@@ -1,0 +1,50 @@
+//! E3/E4/E5 — extension experiments as bench targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::{
+    optimal_operating_point, refined_waste, GlobalStore, HierarchicalModel, Protocol, Scenario,
+};
+use dck_experiments::phi_choice;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    // Print the φ* headline once.
+    let report = phi_choice::run(9);
+    println!(
+        "\nphi-choice: {} rows; max gain of tuning phi over the better fixed policy: {:.1}%",
+        report.rows.len(),
+        100.0 * report.max_gain_over_fixed()
+    );
+
+    let exa = Scenario::exa();
+    c.bench_function("extensions/optimal_operating_point", |b| {
+        b.iter(|| {
+            black_box(optimal_operating_point(Protocol::DoubleNbl, &exa.params, 3_600.0).unwrap())
+        })
+    });
+
+    let mut group = c.benchmark_group("extensions/phi_choice_sweep");
+    group.sample_size(10);
+    group.bench_function("9_mtbf_points", |b| {
+        b.iter(|| black_box(phi_choice::run(9)))
+    });
+    group.finish();
+
+    // E5: restart-aware waste (512-point offset integration).
+    let base = Scenario::base();
+    c.bench_function("extensions/refined_waste", |b| {
+        b.iter(|| {
+            black_box(refined_waste(Protocol::DoubleNbl, &base.params, 4.0, 60.0, 120.0).unwrap())
+        })
+    });
+
+    // E4: two-level optimal-K tuning.
+    let store = GlobalStore::new(600.0, 600.0).unwrap();
+    let hm = HierarchicalModel::new(Protocol::DoubleNbl, &base.params, 4.0, store).unwrap();
+    c.bench_function("extensions/hierarchical_optimal_k", |b| {
+        b.iter(|| black_box(hm.optimal(120.0, 10_000_000).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! F4 — waste surface on the Base scenario (Figure 4a–c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dck_core::Scenario;
+use dck_experiments::waste_surface::{self, Resolution};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let scenario = Scenario::base();
+
+    // Regenerate at paper resolution once and report the corner values
+    // the paper describes in prose.
+    let fig = waste_surface::run(&scenario, Resolution::default());
+    println!("\nFigure 4 (Base): waste at optimal period");
+    for s in &fig.surfaces {
+        let z = fig.matrix(s);
+        let (first, last) = (&z[0], z.last().unwrap());
+        println!(
+            "  {:<10} M=15s: waste {:.3}..{:.3} | M=1day: {:.5}..{:.5}",
+            s.protocol.to_string(),
+            first.iter().cloned().fold(f64::INFINITY, f64::min),
+            first.iter().cloned().fold(0.0, f64::max),
+            last.iter().cloned().fold(f64::INFINITY, f64::min),
+            last.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_waste_base");
+    for (label, res) in [
+        (
+            "coarse",
+            Resolution {
+                mtbf_points: 9,
+                phi_points: 9,
+            },
+        ),
+        ("paper", Resolution::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &res, |b, &res| {
+            b.iter(|| black_box(waste_surface::run(&scenario, res)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

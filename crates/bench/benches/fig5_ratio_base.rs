@@ -1,0 +1,26 @@
+//! F5 — waste ratios at M = 7 h, Base scenario (Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::Scenario;
+use dck_experiments::waste_ratio;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scenario = Scenario::base();
+    let fig = waste_ratio::run(&scenario, 41);
+    println!("\nFigure 5 (Base, M = 7h): waste relative to DOUBLENBL");
+    println!("  phi/R | BoF/NBL | Triple/NBL");
+    for p in fig.points.iter().step_by(5) {
+        println!(
+            "  {:>5.2} | {:>7.4} | {:>10.4}",
+            p.phi_ratio, p.bof_over_nbl, p.triple_over_nbl
+        );
+    }
+
+    c.bench_function("fig5_ratio_base/41_points", |b| {
+        b.iter(|| black_box(waste_ratio::run(&scenario, 41)))
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! F6 — success-probability ratios, Base scenario (Figure 6a–b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::Scenario;
+use dck_experiments::risk_surface::{self, Resolution, RiskPoint};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let scenario = Scenario::base();
+    let fig = risk_surface::run(&scenario, Resolution::default());
+    // Report the harsh corner the paper highlights: M = 60 s, T = 30 d.
+    let harsh = fig
+        .points
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.mtbf - 60.0).abs() + (a.exploitation - 30.0 * 86400.0).abs() / 1e6;
+            let db = (b.mtbf - 60.0).abs() + (b.exploitation - 30.0 * 86400.0).abs() / 1e6;
+            da.partial_cmp(&db).unwrap()
+        })
+        .unwrap();
+    println!(
+        "\nFigure 6 (Base, harsh corner M=60s, T=30d): NBL/BoF = {:.4}, BoF/Triple = {:.4}, NBL/Triple = {:.4}",
+        harsh.nbl_over_bof(),
+        harsh.bof_over_triple(),
+        harsh.nbl_over_triple()
+    );
+    let _ = RiskPoint::nbl_over_bof; // series accessors exercised above
+
+    c.bench_function("fig6_risk_base/30x30_grid", |b| {
+        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default())))
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

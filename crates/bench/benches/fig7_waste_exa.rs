@@ -1,0 +1,29 @@
+//! F7 — waste surface on the Exa scenario (Figure 7a–c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::Scenario;
+use dck_experiments::waste_surface::{self, Resolution};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let scenario = Scenario::exa();
+    let fig = waste_surface::run(&scenario, Resolution::default());
+    println!("\nFigure 7 (Exa): waste at optimal period");
+    for s in &fig.surfaces {
+        let z = fig.matrix(s);
+        let last = z.last().unwrap();
+        println!(
+            "  {:<10} waste at M=1day: {:.5} (phi=0) .. {:.5} (phi=R)",
+            s.protocol.to_string(),
+            last[0],
+            last[last.len() - 1],
+        );
+    }
+
+    c.bench_function("fig7_waste_exa/paper_resolution", |b| {
+        b.iter(|| black_box(waste_surface::run(&scenario, Resolution::default())))
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

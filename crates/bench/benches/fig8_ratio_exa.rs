@@ -1,0 +1,26 @@
+//! F8 — waste ratios at M = 7 h, Exa scenario (Figure 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::Scenario;
+use dck_experiments::waste_ratio;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let scenario = Scenario::exa();
+    let fig = waste_ratio::run(&scenario, 41);
+    println!("\nFigure 8 (Exa, M = 7h): waste relative to DOUBLENBL");
+    println!("  phi/R | BoF/NBL | Triple/NBL");
+    for p in fig.points.iter().step_by(5) {
+        println!(
+            "  {:>5.2} | {:>7.4} | {:>10.4}",
+            p.phi_ratio, p.bof_over_nbl, p.triple_over_nbl
+        );
+    }
+
+    c.bench_function("fig8_ratio_exa/41_points", |b| {
+        b.iter(|| black_box(waste_ratio::run(&scenario, 41)))
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! F9 — success-probability ratios, Exa scenario (Figure 9a–b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::Scenario;
+use dck_experiments::risk_surface::{self, Resolution};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let scenario = Scenario::exa();
+    let fig = risk_surface::run(&scenario, Resolution::default());
+    let harsh = fig
+        .points
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.mtbf - 60.0).abs() + (a.exploitation - 60.0 * 7.0 * 86400.0).abs() / 1e7;
+            let db = (b.mtbf - 60.0).abs() + (b.exploitation - 60.0 * 7.0 * 86400.0).abs() / 1e7;
+            da.partial_cmp(&db).unwrap()
+        })
+        .unwrap();
+    println!(
+        "\nFigure 9 (Exa, harsh corner M~60s, T~60w): NBL/BoF = {:.4}, BoF/Triple = {:.4}",
+        harsh.nbl_over_bof(),
+        harsh.bof_over_triple()
+    );
+
+    c.bench_function("fig9_risk_exa/30x30_grid", |b| {
+        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default())))
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Simulation-kernel microbenchmarks and design ablations.
+//!
+//! Ablations backing DESIGN.md's choices:
+//! * event queue: stable binary heap vs a sorted-`Vec` baseline;
+//! * failure sources: O(1) aggregated Poisson vs O(log n) per-node
+//!   renewal heap (the reason the Exponential fast path exists);
+//! * single-run simulation throughput (failures/second of virtual
+//!   platform time);
+//! * parallel Monte-Carlo scaling across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dck_core::{PlatformParams, Protocol};
+use dck_failures::{
+    AggregatedExponential, DistributionSpec, FailureSource, MtbfSpec, PerNodeRenewal,
+};
+use dck_sim::{estimate_waste, run_to_completion, MonteCarloConfig, RunConfig};
+use dck_simcore::par::parallel_map_indexed;
+use dck_simcore::{EventQueue, RngFactory, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event_queue");
+    let n: usize = 10_000;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("heap_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(n);
+            for i in 0..n {
+                // Pseudo-random but deterministic times.
+                let t = ((i * 2_654_435_761) % 1_000_003) as f64;
+                q.push(SimTime::seconds(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            black_box(acc)
+        })
+    });
+    // Ablation baseline: keep a Vec sorted by insertion (what a naive
+    // simulator does); same workload.
+    group.bench_function("sorted_vec_baseline_10k", |b| {
+        b.iter(|| {
+            let mut v: Vec<(f64, usize)> = Vec::with_capacity(n);
+            for i in 0..n {
+                let t = ((i * 2_654_435_761) % 1_000_003) as f64;
+                let pos = v
+                    .binary_search_by(|probe| probe.0.partial_cmp(&t).unwrap())
+                    .unwrap_or_else(|p| p);
+                v.insert(pos, (t, i));
+            }
+            let mut acc = 0usize;
+            for (_, i) in v {
+                acc = acc.wrapping_add(i);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_failure_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/failure_sources");
+    let events: u64 = 100_000;
+    group.throughput(Throughput::Elements(events));
+    let spec = MtbfSpec::Platform {
+        mtbf: SimTime::seconds(60.0),
+        nodes: 10_368,
+    };
+    group.bench_function("aggregated_exponential_100k", |b| {
+        b.iter(|| {
+            let mut src = AggregatedExponential::new(spec, RngFactory::new(1).stream(0));
+            let mut last = SimTime::ZERO;
+            for _ in 0..events {
+                last = src.next_failure().at;
+            }
+            black_box(last)
+        })
+    });
+    group.bench_function("per_node_renewal_100k", |b| {
+        b.iter(|| {
+            let mut src = PerNodeRenewal::new(
+                DistributionSpec::Exponential {
+                    mean: spec.individual_mtbf(),
+                },
+                spec.nodes(),
+                RngFactory::new(1).stream(0),
+            );
+            let mut last = SimTime::ZERO;
+            for _ in 0..events {
+                last = src.next_failure().at;
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulation_run(c: &mut Criterion) {
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 96).unwrap();
+    let mut group = c.benchmark_group("kernel/simulation_run");
+    group.sample_size(20);
+    for (label, mtbf, work_hours) in [("m10min", 600.0, 50.0), ("m1h", 3600.0, 200.0)] {
+        let cfg = RunConfig::new(Protocol::Triple, params, 1.0, mtbf);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let spec = MtbfSpec::Individual {
+                    mtbf: SimTime::seconds(cfg.mtbf * cfg.params.nodes as f64),
+                    nodes: cfg.usable_nodes(),
+                };
+                let mut src = AggregatedExponential::new(spec, RngFactory::new(3).stream(0));
+                black_box(run_to_completion(cfg, work_hours * 3600.0, &mut src).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_montecarlo_scaling(c: &mut Criterion) {
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 96).unwrap();
+    let run_cfg = RunConfig::new(Protocol::DoubleNbl, params, 1.0, 1800.0);
+    let mut group = c.benchmark_group("kernel/montecarlo_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let mut mc = MonteCarloConfig::new(32, 11);
+        mc.workers = workers;
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &mc, |b, mc| {
+            b.iter(|| black_box(estimate_waste(&run_cfg, 20.0 * 3600.0, mc).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/parallel_map");
+    group.throughput(Throughput::Elements(10_000));
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(parallel_map_indexed(10_000, workers, |i| {
+                        (i as f64).sqrt().sin()
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_failure_sources,
+    bench_simulation_run,
+    bench_montecarlo_scaling,
+    bench_parallel_map
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! V2 — closed-form vs numeric optimal period cross-check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::{numeric_optimal_period, optimal_period, Protocol, Scenario};
+use dck_experiments::period_check;
+use std::hint::black_box;
+
+fn bench_period_check(c: &mut Criterion) {
+    let report = period_check::run();
+    println!(
+        "\nPeriod check: {} rows; max interior closed-form vs numeric rel. err = {:.2e}",
+        report.rows.len(),
+        report.max_interior_rel_err()
+    );
+
+    let scenario = Scenario::base();
+    let m = 7.0 * 3600.0;
+    c.bench_function("period/closed_form", |b| {
+        b.iter(|| black_box(optimal_period(Protocol::DoubleNbl, &scenario.params, 1.0, m).unwrap()))
+    });
+    c.bench_function("period/golden_section", |b| {
+        b.iter(|| {
+            black_box(
+                numeric_optimal_period(Protocol::DoubleNbl, &scenario.params, 1.0, m).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_period_check);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! T1 — regenerate Table I.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated artifact once so `cargo bench` output
+    // doubles as the reproduction record.
+    let table = dck_experiments::table1::run();
+    println!("\n{}", table.to_ascii());
+
+    c.bench_function("table1/regenerate", |b| {
+        b.iter(|| black_box(dck_experiments::table1::run()))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! V1 — model-vs-simulation validation as a bench target.
+//!
+//! Prints the validation verdict once, then times a representative
+//! Monte-Carlo waste estimation (the dominant cost of the experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dck_core::{PlatformParams, Protocol};
+use dck_experiments::validate::{self, ValidateConfig};
+use dck_sim::{estimate_waste, MonteCarloConfig, RunConfig};
+use std::hint::black_box;
+
+fn bench_validate(c: &mut Criterion) {
+    let cfg = ValidateConfig::fast();
+    let rows = validate::run_waste(&cfg);
+    let ok = rows.iter().filter(|r| r.within).count();
+    println!(
+        "\nValidation (fast): {}/{} waste points within tolerance; max |z| = {:.2}",
+        ok,
+        rows.len(),
+        rows.iter().map(|r| r.z_score).fold(0.0, f64::max)
+    );
+
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 96).unwrap();
+    let run_cfg = RunConfig::new(Protocol::DoubleNbl, params, 2.0, 3600.0);
+    let mc = MonteCarloConfig::new(20, 7);
+    let mut group = c.benchmark_group("validate_model_vs_sim");
+    group.sample_size(10);
+    group.bench_function("waste_20reps_20mtbf_work", |b| {
+        b.iter(|| black_box(estimate_waste(&run_cfg, 20.0 * 3600.0, &mc).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! # dck-bench — Criterion benchmark harness
+//!
+//! The benches live in `benches/`, one target per paper artifact plus
+//! kernel microbenchmarks and design ablations:
+//!
+//! | Target | Regenerates / measures |
+//! |---|---|
+//! | `table1` | Table I |
+//! | `fig4_waste_base`, `fig7_waste_exa` | Figures 4 / 7 waste surfaces |
+//! | `fig5_ratio_base`, `fig8_ratio_exa` | Figures 5 / 8 waste ratios |
+//! | `fig6_risk_base`, `fig9_risk_exa` | Figures 6 / 9 risk surfaces |
+//! | `validate_model_vs_sim` | V1 Monte-Carlo validation throughput |
+//! | `period_check` | V2 closed-form vs golden-section optimizer |
+//! | `extensions` | E3 φ*-tuning, E4 hierarchical K*, E5 refined waste |
+//! | `kernel` | event queue vs sorted-Vec ablation, aggregated vs renewal failure sources, single-run throughput, Monte-Carlo worker scaling, parallel map |
+//!
+//! Each figure bench prints its headline series once, so `cargo bench`
+//! output doubles as a quick reproduction record.
+//!
+//! This library target is intentionally empty — it exists so the bench
+//! targets have a crate to attach to.

@@ -1,0 +1,646 @@
+//! Command implementations: parsed arguments → rendered report.
+
+use crate::parse::{
+    format_duration, parse_duration, resolve_params, resolve_phi, resolve_protocol, Args,
+};
+use dck_core::{
+    base_success_probability, optimal_period, Evaluation, Protocol, RiskModel, Scenario,
+};
+use dck_experiments::output::{ascii_table, fmt_f64};
+use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
+use dck_sim::{estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
+use dck_simcore::{RngFactory, SimTime};
+use std::fmt::Write as _;
+
+/// Entry point: dispatches a command line to its implementation and
+/// returns the rendered output.
+///
+/// # Errors
+/// A usage or domain error message fit for stderr.
+pub fn run(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw)?;
+    let command = args.positional(0).unwrap_or("help");
+    let out = match command {
+        "scenarios" => cmd_scenarios(&args)?,
+        "waste" => cmd_waste(&args)?,
+        "period" => cmd_period(&args)?,
+        "risk" => cmd_risk(&args)?,
+        "compare" => cmd_compare(&args)?,
+        "optimize" => cmd_optimize(&args)?,
+        "hierarchical" => cmd_hierarchical(&args)?,
+        "simulate" => cmd_simulate(&args)?,
+        "trace" => cmd_trace(&args)?,
+        "help" | "-h" | "--help" => usage(),
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    args.ensure_all_consumed()?;
+    Ok(out)
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "dck — in-memory buddy checkpointing toolkit\n\
+     \n\
+     commands:\n\
+     \x20 scenarios                               list Table I scenarios\n\
+     \x20 waste    --protocol P [opts]            waste breakdown at the optimal period\n\
+     \x20 period   [opts]                         optimal periods, all protocols\n\
+     \x20 risk     --life T [opts]                success probabilities over a platform life\n\
+     \x20 compare  --life T [opts]                all protocols side by side\n\
+     \x20 optimize [opts]                         best overhead phi* per protocol\n\
+     \x20 hierarchical --write T --read T [opts]  two-level global-checkpoint tuning\n\
+     \x20 simulate --protocol P --work W [opts]   Monte-Carlo waste vs model\n\
+     \x20 trace    generate|stats ...             failure-trace tooling\n\
+     \n\
+     common options:\n\
+     \x20 --scenario base|exa      parameter preset (default base)\n\
+     \x20 --mtbf DUR               platform MTBF (default 7h)\n\
+     \x20 --phi-ratio X            overhead ratio phi/R in [0,1] (default 0)\n\
+     \x20 --delta/--theta-min/--downtime DUR, --alpha X, --nodes N   overrides\n\
+     durations: 45s, 30min, 7h, 1d, 2w\n"
+        .to_string()
+}
+
+fn cmd_scenarios(_args: &Args) -> Result<String, String> {
+    let rows: Vec<Vec<String>> = Scenario::all()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format_duration(s.params.downtime),
+                format_duration(s.params.delta),
+                format_duration(s.params.theta_min),
+                format!("{}", s.params.alpha),
+                format!("{}", s.params.nodes),
+                s.description.clone(),
+            ]
+        })
+        .collect();
+    Ok(ascii_table(
+        &["scenario", "D", "delta", "R", "alpha", "n", "description"],
+        &rows,
+    ))
+}
+
+fn cmd_waste(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let protocol = resolve_protocol(args, None)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let e =
+        Evaluation::at_optimal_period(protocol, &params, phi, mtbf).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on scenario {scenario}, M = {}",
+        protocol,
+        format_duration(mtbf)
+    );
+    let _ = writeln!(
+        out,
+        "  phi = {} (ratio {:.2}), theta = {}",
+        fmt_f64(e.phi),
+        e.phi / params.theta_min,
+        format_duration(e.theta)
+    );
+    let _ = writeln!(
+        out,
+        "  optimal period P* = {} ({:?})",
+        format_duration(e.period),
+        e.period_source
+    );
+    let _ = writeln!(
+        out,
+        "  period structure: first {} | exchange {} | compute {}",
+        format_duration(e.structure.first),
+        format_duration(e.structure.exchange),
+        format_duration(e.structure.sigma)
+    );
+    let _ = writeln!(
+        out,
+        "  waste: fault-free {:.4} + failures {:.4} -> total {:.4}",
+        e.waste.fault_free, e.waste.failure_induced, e.waste.total
+    );
+    if let Ok(r) = dck_core::refined_waste(protocol, &params, phi, e.period, mtbf) {
+        let _ = writeln!(
+            out,
+            "  refined (restart-aware) waste: {:.4} (first-order Eq. 5: {:.4})",
+            r.total, r.first_order
+        );
+    }
+    let _ = writeln!(out, "  efficiency: {:.2}%", 100.0 * e.efficiency());
+    let _ = writeln!(
+        out,
+        "  risk window after a failure: {}",
+        format_duration(e.risk_window)
+    );
+    Ok(out)
+}
+
+fn cmd_period(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let rows: Vec<Vec<String>> = Protocol::ALL
+        .iter()
+        .map(|&p| {
+            let opt = optimal_period(p, &params, phi, mtbf).map_err(|e| e.to_string())?;
+            Ok(vec![
+                p.to_string(),
+                format_duration(opt.period),
+                format!("{:?}", opt.source),
+                format!("{:.4}", opt.waste.fault_free),
+                format!("{:.4}", opt.waste.failure_induced),
+                format!("{:.4}", opt.waste.total),
+            ])
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(format!(
+        "Optimal periods on scenario {scenario}, M = {}, phi = {}\n{}",
+        format_duration(mtbf),
+        fmt_f64(phi),
+        ascii_table(
+            &[
+                "protocol",
+                "P*",
+                "source",
+                "waste_ff",
+                "waste_fail",
+                "waste"
+            ],
+            &rows
+        )
+    ))
+}
+
+fn cmd_risk(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let life = args.get_duration("life", 30.0 * 86_400.0)?;
+    // Figures 6/9 pin θ at its maximum; allow overriding via phi-ratio.
+    let theta = match args.get("phi-ratio") {
+        Some(_) => {
+            let phi = resolve_phi(args, &params)?;
+            dck_core::OverlapModel::new(&params)
+                .theta_of_phi(phi)
+                .map_err(|e| e.to_string())?
+        }
+        None => params.theta_max(),
+    };
+    let mut rows = Vec::new();
+    for p in Protocol::ALL {
+        let rm = RiskModel::with_theta(p, &params, theta).map_err(|e| e.to_string())?;
+        let s = rm
+            .success_probability(mtbf, life)
+            .map_err(|e| e.to_string())?;
+        rows.push(vec![
+            p.to_string(),
+            format_duration(s.risk_window),
+            format!("{:.6}", s.probability),
+            format!("{:.3e}", 1.0 - s.probability),
+        ]);
+    }
+    let p_base = base_success_probability(&params, mtbf, life).map_err(|e| e.to_string())?;
+    rows.push(vec![
+        "no checkpointing".into(),
+        "-".into(),
+        format!("{:.6}", p_base),
+        format!("{:.3e}", 1.0 - p_base),
+    ]);
+    Ok(format!(
+        "Success probability on scenario {scenario}: M = {}, platform life = {}, theta = {}\n{}",
+        format_duration(mtbf),
+        format_duration(life),
+        format_duration(theta),
+        ascii_table(
+            &["protocol", "risk window", "P(success)", "P(fatal)"],
+            &rows
+        )
+    ))
+}
+
+fn cmd_compare(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let life = args.get_duration("life", 30.0 * 86_400.0)?;
+    let mut rows = Vec::new();
+    for p in Protocol::EVALUATED {
+        let e = Evaluation::at_optimal_period(p, &params, phi, mtbf).map_err(|e| e.to_string())?;
+        let surv = e
+            .success_probability(&params, life)
+            .map_err(|e| e.to_string())?;
+        rows.push(vec![
+            p.to_string(),
+            format_duration(e.period),
+            format!("{:.4}", e.waste.total),
+            format!("{:.2}%", 100.0 * e.efficiency()),
+            format_duration(e.risk_window),
+            format!("{:.6}", surv),
+        ]);
+    }
+    Ok(format!(
+        "Scenario {scenario}: M = {}, phi = {}, life = {}\n{}",
+        format_duration(mtbf),
+        fmt_f64(phi),
+        format_duration(life),
+        ascii_table(
+            &[
+                "protocol",
+                "P*",
+                "waste",
+                "efficiency",
+                "risk window",
+                "P(success)"
+            ],
+            &rows
+        )
+    ))
+}
+
+fn cmd_optimize(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let mut rows = Vec::new();
+    for p in Protocol::EVALUATED {
+        let op = dck_core::optimal_operating_point(p, &params, mtbf).map_err(|e| e.to_string())?;
+        rows.push(vec![
+            p.to_string(),
+            fmt_f64(op.phi),
+            format!("{:.2}", op.phi / params.theta_min),
+            format_duration(op.theta),
+            format_duration(op.period),
+            format!("{:.4}", op.waste.total),
+        ]);
+    }
+    Ok(format!(
+        "Waste-optimal overhead on scenario {scenario}, M = {}\n\
+         (phi* trades transfer overlap against per-failure loss; see phi-choice experiment)\n{}",
+        format_duration(mtbf),
+        ascii_table(
+            &["protocol", "phi*", "phi*/R", "theta*", "P*", "waste*"],
+            &rows
+        )
+    ))
+}
+
+fn cmd_hierarchical(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 600.0)?;
+    let write = args.get_duration("write", 600.0)?;
+    let read = args.get_duration("read", write)?;
+    let life = args.get_duration("life", 30.0 * 86_400.0)?;
+    let store = dck_core::GlobalStore::new(write, read).map_err(|e| e.to_string())?;
+
+    let mut rows = Vec::new();
+    for p in Protocol::EVALUATED {
+        let hm =
+            dck_core::HierarchicalModel::new(p, &params, phi, store).map_err(|e| e.to_string())?;
+        let level1 = optimal_period(p, &params, phi, mtbf).map_err(|e| e.to_string())?;
+        let rm = RiskModel::new(p, &params, phi).map_err(|e| e.to_string())?;
+        let p_success = rm
+            .success_probability(mtbf, life)
+            .map_err(|e| e.to_string())?
+            .probability;
+        let best = hm.optimal(mtbf, 100_000_000).map_err(|e| e.to_string())?;
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.4}", level1.waste.total),
+            format!("{:.6}", p_success),
+            best.periods_per_global.to_string(),
+            format_duration(best.segment),
+            format!("{:.4}", best.waste),
+            format!("{:.2}", best.fatal_rate * life),
+        ]);
+    }
+    Ok(format!(
+        "Two-level checkpointing on scenario {scenario}: M = {}, phi = {}, Cg = {}, Rg = {}\n\
+         (fatal buddy failures become rollbacks to the last global checkpoint)\n{}",
+        format_duration(mtbf),
+        fmt_f64(phi),
+        format_duration(write),
+        format_duration(read),
+        ascii_table(
+            &[
+                "protocol",
+                "L1 waste",
+                "L1 P(life)",
+                "K*",
+                "segment",
+                "2-level waste",
+                "rollbacks/life"
+            ],
+            &rows
+        )
+    ))
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let protocol = resolve_protocol(args, None)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 3600.0)?;
+    let work = args.get_duration("work", 40.0 * 3600.0)?;
+    let reps: usize = args.get_parsed("reps", 100)?;
+    let seed: u64 = args.get_parsed("seed", 0xDC)?;
+
+    let mut run_cfg = RunConfig::new(protocol, params, phi, mtbf);
+    run_cfg.period = PeriodChoice::Optimal;
+    let mc = MonteCarloConfig {
+        replications: reps,
+        seed,
+        workers: 0,
+        source: dck_sim::montecarlo::SourceKind::Exponential,
+    };
+    let est = estimate_waste(&run_cfg, work, &mc).map_err(|e| e.to_string())?;
+    let model = optimal_period(protocol, &params, phi, mtbf)
+        .map_err(|e| e.to_string())?
+        .waste
+        .total;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Monte-Carlo waste, {} on scenario {scenario} ({} nodes simulated)",
+        protocol,
+        run_cfg.usable_nodes()
+    );
+    let _ = writeln!(
+        out,
+        "  M = {}, phi = {}, work per run = {}, {} replications (seed {seed})",
+        format_duration(mtbf),
+        fmt_f64(phi),
+        format_duration(work),
+        reps
+    );
+    let _ = writeln!(
+        out,
+        "  simulated waste: {:.5} ± {:.5} (95% CI over {} completed runs)",
+        est.ci95.mean, est.ci95.half_width, est.completed
+    );
+    let _ = writeln!(out, "  model waste (Eqs. 5/7/8/14): {model:.5}");
+    let _ = writeln!(
+        out,
+        "  mean failures per run: {:.1}; fatal runs: {}; truncated: {}",
+        est.failures.mean(),
+        est.fatal,
+        est.truncated
+    );
+    let verdict = if est.ci95.contains_with_slack(model, 4.0) {
+        "model within Monte-Carlo tolerance"
+    } else {
+        "MODEL OUTSIDE TOLERANCE"
+    };
+    let _ = writeln!(out, "  -> {verdict}");
+    Ok(out)
+}
+
+fn cmd_trace(args: &Args) -> Result<String, String> {
+    match args.positional(1) {
+        Some("generate") => {
+            let nodes: u64 = args.get_parsed("nodes", 64)?;
+            let mtbf = args.get_duration("mtbf", 600.0)?;
+            let horizon = args.get_duration("horizon", 86_400.0)?;
+            let seed: u64 = args.get_parsed("seed", 1)?;
+            let out_path = args
+                .get("out")
+                .ok_or_else(|| "--out FILE is required".to_string())?
+                .to_string();
+            let spec = MtbfSpec::Platform {
+                mtbf: SimTime::seconds(mtbf),
+                nodes,
+            };
+            let mut source = AggregatedExponential::new(spec, RngFactory::new(seed).stream(0));
+            let trace = FailureTrace::record(&mut source, SimTime::seconds(horizon));
+            std::fs::write(&out_path, trace.to_json())
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            Ok(format!(
+                "wrote {} failures over {} ({} nodes) to {out_path}\n",
+                trace.len(),
+                format_duration(horizon),
+                nodes
+            ))
+        }
+        Some("stats") => {
+            let path = args
+                .positional(2)
+                .ok_or_else(|| "trace stats needs a file".to_string())?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let trace = FailureTrace::from_json(&json)?;
+            let counts = trace.per_node_counts();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            let mtbf = trace
+                .empirical_platform_mtbf()
+                .map(|m| format_duration(m.as_secs()))
+                .unwrap_or_else(|| "n/a".into());
+            Ok(format!(
+                "trace {path}: {} failures over {} nodes\n  span: {}\n  empirical platform MTBF: {}\n  max failures on one node: {max}\n",
+                trace.len(),
+                trace.nodes(),
+                trace
+                    .span()
+                    .map(|s| format_duration(s.as_secs()))
+                    .unwrap_or_else(|| "empty".into()),
+                mtbf
+            ))
+        }
+        _ => Err("usage: dck trace <generate|stats> ...".to_string()),
+    }
+}
+
+/// Parses a duration or returns a domain error (re-exported for main).
+pub fn duration_arg(s: &str) -> Result<f64, String> {
+    parse_duration(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(raw: &[&str]) -> String {
+        run(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("command succeeds")
+    }
+
+    fn run_err(raw: &[&str]) -> String {
+        run(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect_err("command fails")
+    }
+
+    #[test]
+    fn scenarios_lists_both() {
+        let out = run_ok(&["scenarios"]);
+        assert!(out.contains("Base"));
+        assert!(out.contains("Exa"));
+    }
+
+    #[test]
+    fn waste_reports_breakdown() {
+        let out = run_ok(&[
+            "waste",
+            "--protocol",
+            "triple",
+            "--phi-ratio",
+            "0.25",
+            "--mtbf",
+            "7h",
+        ]);
+        assert!(out.contains("TRIPLE"));
+        assert!(out.contains("optimal period"));
+        assert!(out.contains("efficiency"));
+    }
+
+    #[test]
+    fn period_lists_all_protocols() {
+        let out = run_ok(&["period", "--mtbf", "1h", "--phi-ratio", "0.5"]);
+        for p in Protocol::ALL {
+            assert!(out.contains(p.paper_name()), "{p:?} missing");
+        }
+    }
+
+    #[test]
+    fn risk_includes_baseline() {
+        let out = run_ok(&["risk", "--mtbf", "10min", "--life", "30d"]);
+        assert!(out.contains("no checkpointing"));
+        assert!(out.contains("TRIPLE"));
+    }
+
+    #[test]
+    fn compare_runs_on_exa() {
+        let out = run_ok(&[
+            "compare",
+            "--scenario",
+            "exa",
+            "--phi-ratio",
+            "0.1",
+            "--mtbf",
+            "7h",
+            "--life",
+            "4w",
+        ]);
+        assert!(out.contains("Exa"));
+        assert!(out.contains("DOUBLEBOF"));
+    }
+
+    #[test]
+    fn hierarchical_reports_tuning() {
+        let out = run_ok(&[
+            "hierarchical",
+            "--mtbf",
+            "5min",
+            "--phi-ratio",
+            "1.0",
+            "--write",
+            "10min",
+            "--life",
+            "30d",
+        ]);
+        assert!(out.contains("K*"));
+        assert!(out.contains("rollbacks/life"));
+        assert!(out.contains("TRIPLE"));
+    }
+
+    #[test]
+    fn waste_includes_refined_estimate() {
+        let out = run_ok(&[
+            "waste",
+            "--protocol",
+            "double-nbl",
+            "--mtbf",
+            "2min",
+            "--phi-ratio",
+            "1.0",
+        ]);
+        assert!(out.contains("refined (restart-aware) waste"));
+    }
+
+    #[test]
+    fn optimize_reports_phi_star() {
+        let out = run_ok(&["optimize", "--scenario", "exa", "--mtbf", "15min"]);
+        assert!(out.contains("phi*"));
+        assert!(out.contains("TRIPLE"));
+        // At such a low MTBF the double protocols should not pick full
+        // overlap (phi* > 0 shows up as a non-zero ratio somewhere).
+        let out_day = run_ok(&["optimize", "--scenario", "exa", "--mtbf", "1d"]);
+        assert_ne!(out, out_day);
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let out = run_ok(&[
+            "simulate",
+            "--protocol",
+            "double-nbl",
+            "--phi-ratio",
+            "0.5",
+            "--mtbf",
+            "30min",
+            "--work",
+            "5h",
+            "--reps",
+            "10",
+            "--nodes",
+            "8",
+            "--seed",
+            "3",
+        ]);
+        assert!(out.contains("simulated waste"));
+        assert!(out.contains("model waste"));
+    }
+
+    #[test]
+    fn trace_generate_and_stats_roundtrip() {
+        let path = std::env::temp_dir().join(format!("dck-cli-{}.json", std::process::id()));
+        let p = path.to_str().unwrap();
+        let out = run_ok(&[
+            "trace",
+            "generate",
+            "--nodes",
+            "16",
+            "--mtbf",
+            "5min",
+            "--horizon",
+            "6h",
+            "--seed",
+            "9",
+            "--out",
+            p,
+        ]);
+        assert!(out.contains("failures"));
+        let out = run_ok(&["trace", "stats", p]);
+        assert!(out.contains("empirical platform MTBF"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        assert!(run_err(&["frobnicate"]).contains("unknown command"));
+        assert!(
+            run_err(&["waste", "--protocol", "triple", "--bogus", "1"]).contains("unknown flag")
+        );
+        assert!(run_err(&["waste"]).contains("--protocol is required"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_ok(&["help"]);
+        assert!(out.contains("commands:"));
+        let out = run_ok(&[]);
+        assert!(out.contains("commands:"));
+    }
+
+    #[test]
+    fn overrides_flow_through() {
+        let out = run_ok(&[
+            "period",
+            "--scenario",
+            "base",
+            "--delta",
+            "10s",
+            "--mtbf",
+            "1d",
+        ]);
+        assert!(out.contains("Base"));
+    }
+}

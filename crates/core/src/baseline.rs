@@ -1,0 +1,171 @@
+//! Centralized-checkpointing baselines: Young and Daly (§III-B, §VII).
+//!
+//! The classical coordinated protocols checkpoint the *whole
+//! application* to stable storage in time `C`, so their optimal periods
+//! (Young \[6\]: `P* = √(2MC) + C`; Daly \[7\]:
+//! `P* = √(2(M + D + R)C) + C`) use a much larger `C` than the
+//! per-node local time `δ` of the distributed buddy algorithms — that
+//! gap is the paper's motivation. This module implements both classic
+//! formulas and a first-order waste model for centralized
+//! checkpointing, so the buddy protocols can be compared against the
+//! state of the art they replace.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Young's first-order optimal period: `√(2MC) + C`.
+///
+/// # Panics
+/// Debug-asserts positive inputs (callers validate through
+/// [`CentralizedModel`]).
+pub fn young_period(mtbf: f64, checkpoint: f64) -> f64 {
+    debug_assert!(mtbf > 0.0 && checkpoint > 0.0);
+    (2.0 * mtbf * checkpoint).sqrt() + checkpoint
+}
+
+/// Daly's higher-order optimal period: `√(2(M + D + R)C) + C`.
+///
+/// Note: Daly's refinement adds the downtime and recovery to the MTBF
+/// term (this is the form quoted in the paper, §III-B).
+pub fn daly_period(mtbf: f64, checkpoint: f64, downtime: f64, recovery: f64) -> f64 {
+    debug_assert!(mtbf > 0.0 && checkpoint > 0.0);
+    (2.0 * (mtbf + downtime + recovery) * checkpoint).sqrt() + checkpoint
+}
+
+/// First-order model of coordinated checkpointing to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CentralizedModel {
+    /// Time `C` to checkpoint the whole application to stable storage.
+    pub checkpoint: f64,
+    /// Downtime `D` after a failure.
+    pub downtime: f64,
+    /// Time `R` to reload the checkpoint from stable storage.
+    pub recovery: f64,
+}
+
+impl CentralizedModel {
+    /// Builds and validates the model.
+    pub fn new(checkpoint: f64, downtime: f64, recovery: f64) -> Result<Self, ModelError> {
+        if !(checkpoint.is_finite() && checkpoint > 0.0) {
+            return Err(ModelError::invalid("checkpoint", "must be finite and > 0"));
+        }
+        if !(downtime.is_finite() && downtime >= 0.0) {
+            return Err(ModelError::invalid("downtime", "must be finite and >= 0"));
+        }
+        if !(recovery.is_finite() && recovery >= 0.0) {
+            return Err(ModelError::invalid("recovery", "must be finite and >= 0"));
+        }
+        Ok(CentralizedModel {
+            checkpoint,
+            downtime,
+            recovery,
+        })
+    }
+
+    /// First-order waste at period `p` and platform MTBF `m`, using the
+    /// same multiplicative decomposition as the buddy protocols:
+    /// `WASTEff = C/P`, `F = D + R + P/2` (work since the last
+    /// checkpoint is lost, half a period in expectation, plus downtime
+    /// and recovery).
+    ///
+    /// # Errors
+    /// Requires `p ≥ C` and `m > 0`.
+    pub fn waste(&self, p: f64, m: f64) -> Result<f64, ModelError> {
+        if !(p.is_finite() && p >= self.checkpoint) {
+            return Err(ModelError::invalid("period", "must be >= checkpoint time"));
+        }
+        if !(m.is_finite() && m > 0.0) {
+            return Err(ModelError::invalid("mtbf", "must be finite and > 0"));
+        }
+        let wff = (self.checkpoint / p).clamp(0.0, 1.0);
+        let f = self.downtime + self.recovery + p / 2.0;
+        let wfail = (f / m).clamp(0.0, 1.0);
+        Ok(1.0 - (1.0 - wfail) * (1.0 - wff))
+    }
+
+    /// Waste at Young's period.
+    pub fn waste_at_young(&self, m: f64) -> Result<f64, ModelError> {
+        self.waste(young_period(m, self.checkpoint), m)
+    }
+
+    /// Waste at Daly's period.
+    pub fn waste_at_daly(&self, m: f64) -> Result<f64, ModelError> {
+        self.waste(
+            daly_period(m, self.checkpoint, self.downtime, self.recovery),
+            m,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::golden_section_min;
+
+    #[test]
+    fn young_reference_value() {
+        // M = 3600 s, C = 100 s: P* = sqrt(720000) + 100 ≈ 948.5.
+        let p = young_period(3600.0, 100.0);
+        assert!((p - (720_000.0f64.sqrt() + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_exceeds_young_with_overheads() {
+        let y = young_period(3600.0, 100.0);
+        let d = daly_period(3600.0, 100.0, 60.0, 100.0);
+        assert!(d > y);
+        // With D = R = 0, Daly reduces to Young.
+        assert_eq!(daly_period(3600.0, 100.0, 0.0, 0.0), y);
+    }
+
+    #[test]
+    fn young_period_near_numeric_waste_minimum() {
+        let model = CentralizedModel::new(100.0, 0.0, 0.0).unwrap();
+        let m = 24.0 * 3600.0;
+        let p_young = young_period(m, 100.0);
+        let p_best = golden_section_min(
+            |p| model.waste(p, m).unwrap_or(f64::INFINITY),
+            100.0,
+            50_000.0,
+            1e-12,
+        );
+        // First-order formula: within a few percent of the true optimum.
+        assert!(
+            (p_young - p_best).abs() / p_best < 0.05,
+            "young {p_young} vs numeric {p_best}"
+        );
+    }
+
+    #[test]
+    fn buddy_checkpointing_motivation_holds() {
+        // The paper's point: centralized C is ~application-sized, buddy
+        // δ is node-sized, so the centralized waste is far larger.
+        use crate::params::PlatformParams;
+        use crate::period::optimal_period;
+        use crate::protocol::Protocol;
+
+        let m = 7.0 * 3600.0;
+        // Whole-application checkpoint: say 10 min to stable storage.
+        let central = CentralizedModel::new(600.0, 0.0, 600.0).unwrap();
+        let w_central = central.waste_at_daly(m).unwrap();
+
+        let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap();
+        let w_buddy = optimal_period(Protocol::DoubleNbl, &params, 1.0, m)
+            .unwrap()
+            .waste
+            .total;
+        assert!(
+            w_buddy < w_central / 3.0,
+            "buddy {w_buddy} vs centralized {w_central}"
+        );
+    }
+
+    #[test]
+    fn waste_saturates_and_validates() {
+        let model = CentralizedModel::new(100.0, 60.0, 100.0).unwrap();
+        assert_eq!(model.waste(1000.0, 10.0).unwrap(), 1.0);
+        assert!(model.waste(50.0, 3600.0).is_err());
+        assert!(model.waste(1000.0, 0.0).is_err());
+        assert!(CentralizedModel::new(0.0, 0.0, 0.0).is_err());
+    }
+}

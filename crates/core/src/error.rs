@@ -1,0 +1,68 @@
+//! Model-level error type.
+
+use std::fmt;
+
+/// Errors raised when a model is instantiated outside its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter violated a documented constraint.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The requested operating point admits no feasible period
+    /// (e.g. the platform MTBF is smaller than the per-failure loss).
+    Infeasible {
+        /// Human-readable description of the violated feasibility
+        /// condition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ModelError::Infeasible { reason } => write!(f, "infeasible operating point: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// Convenience constructor for parameter violations.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        ModelError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for infeasibility.
+    pub fn infeasible(reason: impl Into<String>) -> Self {
+        ModelError::Infeasible {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::invalid("alpha", "must be non-negative");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `alpha`: must be non-negative"
+        );
+        let e = ModelError::infeasible("M <= D + R");
+        assert!(e.to_string().contains("M <= D + R"));
+    }
+}

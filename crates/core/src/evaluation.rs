@@ -1,0 +1,179 @@
+//! High-level evaluation API: one call from `(protocol, platform, φ, M)`
+//! to everything the paper plots.
+
+use crate::error::ModelError;
+use crate::params::PlatformParams;
+use crate::period::{optimal_period, PeriodSource};
+use crate::protocol::Protocol;
+use crate::risk::RiskModel;
+use crate::waste::{PeriodStructure, WasteBreakdown, WasteModel};
+use serde::{Deserialize, Serialize};
+
+/// A fully evaluated operating point of one protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The protocol evaluated.
+    pub protocol: Protocol,
+    /// Overhead `φ` in effect.
+    pub phi: f64,
+    /// Derived transfer stretch `θ(φ)`.
+    pub theta: f64,
+    /// Platform MTBF `M` used (seconds).
+    pub mtbf: f64,
+    /// The period evaluated.
+    pub period: f64,
+    /// How the period was chosen.
+    pub period_source: PeriodSource,
+    /// Waste decomposition at that period.
+    pub waste: WasteBreakdown,
+    /// Period phase structure.
+    pub structure: PeriodStructure,
+    /// Risk window length after a failure.
+    pub risk_window: f64,
+}
+
+impl Evaluation {
+    /// Evaluates a protocol at its model-optimal period (the operating
+    /// point of Figures 4, 5, 7, 8).
+    pub fn at_optimal_period(
+        protocol: Protocol,
+        params: &PlatformParams,
+        phi: f64,
+        mtbf: f64,
+    ) -> Result<Evaluation, ModelError> {
+        let opt = optimal_period(protocol, params, phi, mtbf)?;
+        Self::at_period(protocol, params, phi, mtbf, opt.period).map(|mut e| {
+            e.period_source = opt.source;
+            e
+        })
+    }
+
+    /// Evaluates a protocol at an explicit period.
+    pub fn at_period(
+        protocol: Protocol,
+        params: &PlatformParams,
+        phi: f64,
+        mtbf: f64,
+        period: f64,
+    ) -> Result<Evaluation, ModelError> {
+        let model = WasteModel::new(protocol, params, phi)?;
+        let waste = model.waste(period, mtbf)?;
+        let structure = model.structure(period)?;
+        let risk = RiskModel::new(protocol, params, phi)?;
+        Ok(Evaluation {
+            protocol,
+            phi: model.phi(),
+            theta: model.theta(),
+            mtbf,
+            period,
+            period_source: PeriodSource::ClosedForm,
+            waste,
+            structure,
+            risk_window: risk.risk_window(),
+        })
+    }
+
+    /// Success probability over exploitation time `t` at this operating
+    /// point's `θ` (Eqs. 11/16).
+    pub fn success_probability(&self, params: &PlatformParams, t: f64) -> Result<f64, ModelError> {
+        let risk = RiskModel::with_theta(self.protocol, params, self.theta)?;
+        Ok(risk.success_probability(self.mtbf, t)?.probability)
+    }
+
+    /// Efficiency `1 − waste` (fraction of time doing useful work).
+    pub fn efficiency(&self) -> f64 {
+        1.0 - self.waste.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap()
+    }
+
+    const M7H: f64 = 7.0 * 3600.0;
+
+    #[test]
+    fn optimal_evaluation_is_consistent() {
+        let e = Evaluation::at_optimal_period(Protocol::DoubleNbl, &base(), 1.0, M7H).unwrap();
+        assert!(e.period > 0.0);
+        assert_eq!(e.waste.period, e.period);
+        assert!(
+            (e.structure.first + e.structure.exchange + e.structure.sigma - e.period).abs() < 1e-9
+        );
+        assert!(e.efficiency() > 0.9);
+        assert_eq!(e.risk_window, 0.0 + 4.0 + e.theta);
+    }
+
+    #[test]
+    fn triple_beats_double_at_low_phi() {
+        // §VI: "Up to φ/R ≤ 0.5, TRIPLE has a much smaller waste".
+        // Strictly below 0.5: at φ = δ (ratio 0.5 in Base) the
+        // fault-free overheads 2φ and δ+φ coincide exactly.
+        for ratio in [0.0, 0.1, 0.25, 0.45] {
+            let phi = ratio * 4.0;
+            let tri = Evaluation::at_optimal_period(Protocol::Triple, &base(), phi, M7H).unwrap();
+            let dbl =
+                Evaluation::at_optimal_period(Protocol::DoubleNbl, &base(), phi, M7H).unwrap();
+            assert!(
+                tri.waste.total < dbl.waste.total,
+                "ratio {ratio}: triple {} vs double {}",
+                tri.waste.total,
+                dbl.waste.total
+            );
+        }
+    }
+
+    #[test]
+    fn triple_worst_case_overhead_bounded() {
+        // §VI: "The overhead, however, is limited to 15% more waste in
+        // the worst case" (Base scenario, M = 7 h).
+        let mut worst: f64 = 0.0;
+        for i in 0..=20 {
+            let phi = 4.0 * i as f64 / 20.0;
+            let tri = Evaluation::at_optimal_period(Protocol::Triple, &base(), phi, M7H).unwrap();
+            let dbl =
+                Evaluation::at_optimal_period(Protocol::DoubleNbl, &base(), phi, M7H).unwrap();
+            worst = worst.max(tri.waste.total / dbl.waste.total);
+        }
+        assert!(worst < 1.20, "worst-case triple/double ratio {worst}");
+        assert!(worst > 1.0, "triple should lose somewhere near φ = R");
+    }
+
+    #[test]
+    fn bof_waste_at_least_nbl() {
+        // §VI: "DOUBLEBOF has always a higher waste than DOUBLENBL,
+        // until the ratio … makes waiting for the transfer transparent".
+        for i in 0..=10 {
+            let phi = 4.0 * i as f64 / 10.0;
+            let bof =
+                Evaluation::at_optimal_period(Protocol::DoubleBof, &base(), phi, M7H).unwrap();
+            let nbl =
+                Evaluation::at_optimal_period(Protocol::DoubleNbl, &base(), phi, M7H).unwrap();
+            assert!(
+                bof.waste.total >= nbl.waste.total - 1e-12,
+                "phi {phi}: bof {} < nbl {}",
+                bof.waste.total,
+                nbl.waste.total
+            );
+        }
+    }
+
+    #[test]
+    fn success_probability_accessible_from_evaluation() {
+        let e = Evaluation::at_optimal_period(Protocol::Triple, &base(), 0.0, 600.0).unwrap();
+        let p = e.success_probability(&base(), 30.0 * 86_400.0).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn explicit_period_evaluation() {
+        let e = Evaluation::at_period(Protocol::DoubleBof, &base(), 2.0, M7H, 500.0).unwrap();
+        assert_eq!(e.period, 500.0);
+        // Infeasible period is rejected.
+        assert!(Evaluation::at_period(Protocol::DoubleBof, &base(), 2.0, M7H, 10.0).is_err());
+    }
+}

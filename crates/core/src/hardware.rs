@@ -1,0 +1,143 @@
+//! Deriving model parameters from hardware characteristics (§VI).
+//!
+//! The paper's Table I parameters are not arbitrary: the `Base`
+//! scenario checkpoints 512 MB per node at SSD speed (`δ ≈ 2 s`) and
+//! uploads it to a neighbor over the network (`R ≈ 4 s`); the `Exa`
+//! scenario assumes 1 TB/s/node network and 500 Gb/s/node local storage
+//! bus. [`HardwareSpec`] encodes that derivation so downstream users
+//! can plug in their own machines instead of copying magic constants.
+
+use crate::error::ModelError;
+use crate::params::PlatformParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware characteristics sufficient to derive `δ` and `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Checkpoint image size per node, in bytes.
+    pub checkpoint_bytes: f64,
+    /// Sustained local storage (or memory-copy) bandwidth, bytes/s —
+    /// determines the blocking local-checkpoint time `δ`.
+    pub local_bandwidth: f64,
+    /// Sustained point-to-point network bandwidth, bytes/s — determines
+    /// the blocking remote-transfer time `θmin = R`.
+    pub network_bandwidth: f64,
+    /// Overlap speedup factor `α` of the platform's network stack.
+    pub alpha: f64,
+    /// Downtime `D` (s) to detect a failure and allocate a spare.
+    pub downtime: f64,
+    /// Node count `n`.
+    pub nodes: u64,
+}
+
+impl HardwareSpec {
+    /// Local checkpoint time `δ = size / local bandwidth`.
+    pub fn delta(&self) -> f64 {
+        self.checkpoint_bytes / self.local_bandwidth
+    }
+
+    /// Blocking remote transfer time `θmin = size / network bandwidth`.
+    pub fn theta_min(&self) -> f64 {
+        self.checkpoint_bytes / self.network_bandwidth
+    }
+
+    /// Derives the model parameters.
+    pub fn params(&self) -> Result<PlatformParams, ModelError> {
+        if !(self.checkpoint_bytes.is_finite() && self.checkpoint_bytes > 0.0) {
+            return Err(ModelError::invalid("checkpoint_bytes", "must be > 0"));
+        }
+        if !(self.local_bandwidth.is_finite() && self.local_bandwidth > 0.0) {
+            return Err(ModelError::invalid("local_bandwidth", "must be > 0"));
+        }
+        if !(self.network_bandwidth.is_finite() && self.network_bandwidth > 0.0) {
+            return Err(ModelError::invalid("network_bandwidth", "must be > 0"));
+        }
+        PlatformParams::new(
+            self.downtime,
+            self.delta(),
+            self.theta_min(),
+            self.alpha,
+            self.nodes,
+        )
+    }
+
+    /// The hardware behind Table I's `Base` scenario: 512 MB images,
+    /// SSD-speed local writes (2 s), network uploads at half that
+    /// speed (4 s), `α = 10`, no downtime modeled, 324 × 32 nodes.
+    pub fn base_scenario() -> HardwareSpec {
+        const MB: f64 = 1024.0 * 1024.0;
+        HardwareSpec {
+            checkpoint_bytes: 512.0 * MB,
+            local_bandwidth: 256.0 * MB,   // → δ = 2 s
+            network_bandwidth: 128.0 * MB, // → R = 4 s
+            alpha: 10.0,
+            downtime: 0.0,
+            nodes: 324 * 32,
+        }
+    }
+
+    /// The hardware behind Table I's `Exa` scenario: "slim" exascale
+    /// node with 1 TB/s network and 500 Gb/s local storage bus, sized
+    /// so that `δ = 30 s` and `R = 60 s`, one million nodes, one-minute
+    /// downtime.
+    pub fn exa_scenario() -> HardwareSpec {
+        // 500 Gb/s = 62.5 GB/s local bus; δ = 30 s ⇒ image ≈ 1875 GB…
+        // The paper's δ/R values are the normative quantities; we pick
+        // the image size consistent with the stated local bus and δ.
+        let local_bandwidth = 500e9 / 8.0; // bytes/s
+        let checkpoint_bytes = 30.0 * local_bandwidth;
+        let network_bandwidth = checkpoint_bytes / 60.0; // ⇒ R = 60 s
+        HardwareSpec {
+            checkpoint_bytes,
+            local_bandwidth,
+            network_bandwidth,
+            alpha: 10.0,
+            downtime: 60.0,
+            nodes: 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_derives_table1_values() {
+        let hw = HardwareSpec::base_scenario();
+        let p = hw.params().unwrap();
+        assert!((p.delta - 2.0).abs() < 1e-12);
+        assert!((p.theta_min - 4.0).abs() < 1e-12);
+        assert_eq!(p.alpha, 10.0);
+        assert_eq!(p.downtime, 0.0);
+        assert_eq!(p.nodes, 10_368);
+    }
+
+    #[test]
+    fn exa_derives_table1_values() {
+        let hw = HardwareSpec::exa_scenario();
+        let p = hw.params().unwrap();
+        assert!((p.delta - 30.0).abs() < 1e-9);
+        assert!((p.theta_min - 60.0).abs() < 1e-9);
+        assert_eq!(p.downtime, 60.0);
+        assert_eq!(p.nodes, 1_000_000);
+    }
+
+    #[test]
+    fn faster_network_shrinks_r() {
+        let mut hw = HardwareSpec::base_scenario();
+        let r0 = hw.theta_min();
+        hw.network_bandwidth *= 2.0;
+        assert!((hw.theta_min() - r0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_hardware_rejected() {
+        let mut hw = HardwareSpec::base_scenario();
+        hw.checkpoint_bytes = 0.0;
+        assert!(hw.params().is_err());
+        let mut hw = HardwareSpec::base_scenario();
+        hw.network_bandwidth = -1.0;
+        assert!(hw.params().is_err());
+    }
+}

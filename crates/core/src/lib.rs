@@ -1,0 +1,86 @@
+//! # dck-core — analytical models for in-memory buddy checkpointing
+//!
+//! Rust implementation of the unified performance/risk model of
+//! *"Revisiting the double checkpointing algorithm"* (Dongarra, Hérault,
+//! Robert — APDCM 2013). The paper studies protocols that store
+//! checkpoints in the memory of peer nodes instead of centralized
+//! stable storage:
+//!
+//! * **DOUBLE (blocking)** — Zheng, Shi & Kalé's buddy algorithm \[1\]:
+//!   nodes pair up and exchange checkpoints synchronously.
+//! * **DOUBLENBL** — Ni, Meneses & Kalé's semi-blocking variant \[2\]:
+//!   the exchange overlaps computation, at an overhead of `φ` work
+//!   units per period.
+//! * **DOUBLEBOF** — this paper's *blocking-on-failure* variant: after
+//!   a failure both checkpoint files are re-sent at maximum (blocking)
+//!   speed, shrinking the risk window.
+//! * **TRIPLE** — this paper's new protocol: triples with a rotation of
+//!   preferred/secondary buddies, replacing the blocking local
+//!   checkpoint with an overlapped remote one, so fault-free waste
+//!   tends to zero while a fatal failure now requires *three* failures
+//!   in one triple within the risk window.
+//!
+//! The crate exposes, for each protocol: the waste decomposition
+//! (Eqs. 4–5), the expected per-failure loss `F` (Eqs. 7, 8, 14), the
+//! closed-form optimal period (Eqs. 9, 10, 15) cross-checked by a
+//! numerical optimizer, the risk-window length, and the application
+//! success probability (Eqs. 11, 12, 16) — plus the Young/Daly
+//! centralized-checkpointing baselines the paper compares against.
+//!
+//! Beyond the paper, the crate adds: a waste-optimal overhead choice
+//! `φ*` ([`opt`]), a restart-aware higher-order waste model
+//! ([`refined`], Daly-style), and a hierarchical two-level model
+//! combining buddy checkpointing with rare global checkpoints
+//! ([`hierarchical`], the paper's §VIII future-work proposal).
+//!
+//! # Quickstart
+//! ```
+//! use dck_core::prelude::*;
+//!
+//! let scenario = Scenario::base();            // Table I "Base"
+//! let phi = 0.0;                              // fully overlapped
+//! let m = 7.0 * 3600.0;                       // platform MTBF: 7 h
+//! let triple = Evaluation::at_optimal_period(Protocol::Triple, &scenario.params, phi, m).unwrap();
+//! let double = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, m).unwrap();
+//! assert!(triple.waste.total < double.waste.total);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod error;
+pub mod evaluation;
+pub mod hardware;
+pub mod hierarchical;
+pub mod opt;
+pub mod overlap;
+pub mod params;
+pub mod period;
+pub mod protocol;
+pub mod refined;
+pub mod risk;
+pub mod scenario;
+pub mod waste;
+
+/// One-stop imports for typical model use.
+pub mod prelude {
+    pub use crate::baseline::{daly_period, young_period, CentralizedModel};
+    pub use crate::error::ModelError;
+    pub use crate::evaluation::Evaluation;
+    pub use crate::hardware::HardwareSpec;
+    pub use crate::hierarchical::{GlobalStore, HierarchicalModel, HierarchicalPoint};
+    pub use crate::opt::{optimal_operating_point, OperatingPoint};
+    pub use crate::overlap::OverlapModel;
+    pub use crate::params::PlatformParams;
+    pub use crate::period::{
+        golden_section_min, numeric_optimal_period, optimal_period, OptimalPeriod, PeriodSource,
+    };
+    pub use crate::protocol::Protocol;
+    pub use crate::refined::{refined_optimal_period, refined_waste, RefinedWaste};
+    pub use crate::risk::{base_success_probability, RiskModel, SuccessProbability};
+    pub use crate::scenario::Scenario;
+    pub use crate::waste::{PeriodStructure, WasteBreakdown, WasteModel};
+}
+
+pub use prelude::*;

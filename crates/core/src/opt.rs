@@ -1,0 +1,190 @@
+//! Optimal operating-point selection (extension beyond the paper).
+//!
+//! The paper treats the overhead `φ` as an exogenous property of the
+//! application ("the amount of work that can be done during the
+//! checkpoint phase"). But under its own overlap model the *operator*
+//! chooses the transfer stretch `θ ∈ [θmin, θmax]`, and `φ(θ)` follows:
+//! stretching the transfer hides more of its cost (smaller `φ`, smaller
+//! fault-free waste) while lengthening the per-failure loss constant
+//! `A` (which contains `θ`) and the risk window. So for each `(protocol,
+//! platform, M)` there is a waste-optimal `φ*` — this module computes
+//! it, with the period re-optimized at every probe.
+//!
+//! Shape of the trade-off: at large MTBF the fault-free term dominates
+//! and full overlap (`φ* = 0`) wins; as failures become frequent the
+//! `θ/M` term in `WASTEfail` grows and the optimum moves toward
+//! blocking transfers. The crossover MTBF is protocol-dependent —
+//! TRIPLE, whose fault-free waste vanishes at `φ = 0`, holds on to full
+//! overlap much longer than the double protocols.
+
+use crate::error::ModelError;
+use crate::params::PlatformParams;
+use crate::period::{golden_section_min, optimal_period};
+use crate::protocol::Protocol;
+use crate::waste::WasteBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// A fully chosen operating point: overhead, period, and its waste.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The chosen overhead `φ* ∈ [0, θmin]`.
+    pub phi: f64,
+    /// The implied transfer stretch `θ(φ*)`.
+    pub theta: f64,
+    /// The waste-optimal period at `φ*`.
+    pub period: f64,
+    /// Waste decomposition at `(φ*, P*)`.
+    pub waste: WasteBreakdown,
+}
+
+/// Waste at the optimal period as a function of `φ` (helper).
+fn waste_at_phi(protocol: Protocol, params: &PlatformParams, phi: f64, mtbf: f64) -> f64 {
+    optimal_period(protocol, params, phi, mtbf)
+        .map(|o| o.waste.total)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Finds the overhead `φ* ∈ [0, θmin]` minimizing the waste at the
+/// (re-optimized) period, for platform MTBF `m`.
+///
+/// The objective is not guaranteed unimodal across the clamping
+/// boundaries, so a coarse grid scan brackets the minimum before a
+/// golden-section refinement.
+///
+/// # Errors
+/// Propagates parameter validation; requires `m > 0`.
+pub fn optimal_operating_point(
+    protocol: Protocol,
+    params: &PlatformParams,
+    m: f64,
+) -> Result<OperatingPoint, ModelError> {
+    params.validate()?;
+    if !(m.is_finite() && m > 0.0) {
+        return Err(ModelError::invalid("mtbf", "must be finite and > 0"));
+    }
+    let r = params.theta_min;
+    const GRID: usize = 32;
+    let mut best_i = 0;
+    let mut best_w = f64::INFINITY;
+    for i in 0..=GRID {
+        let phi = r * i as f64 / GRID as f64;
+        let w = waste_at_phi(protocol, params, phi, m);
+        if w < best_w {
+            best_w = w;
+            best_i = i;
+        }
+    }
+    // Refine inside the bracketing cells around the best grid point.
+    let lo = r * best_i.saturating_sub(1) as f64 / GRID as f64;
+    let hi = r * (best_i + 1).min(GRID) as f64 / GRID as f64;
+    let phi = golden_section_min(|phi| waste_at_phi(protocol, params, phi, m), lo, hi, 1e-10);
+    let opt = optimal_period(protocol, params, phi, m)?;
+    let theta = crate::overlap::OverlapModel::new(params).theta_of_phi(phi)?;
+    Ok(OperatingPoint {
+        phi,
+        theta,
+        period: opt.period,
+        waste: opt.waste,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap()
+    }
+
+    fn exa() -> PlatformParams {
+        PlatformParams::new(60.0, 30.0, 60.0, 10.0, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn large_mtbf_prefers_full_overlap() {
+        // At M = 1 day on Base, fault-free waste dominates: φ* ≈ 0.
+        for protocol in Protocol::EVALUATED {
+            let op = optimal_operating_point(protocol, &base(), 86_400.0).unwrap();
+            assert!(
+                op.phi < 0.05 * base().theta_min,
+                "{protocol:?}: phi* = {}",
+                op.phi
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_beats_both_endpoints() {
+        for protocol in Protocol::EVALUATED {
+            for m in [120.0, 600.0, 3_600.0, 86_400.0] {
+                let op = optimal_operating_point(protocol, &base(), m).unwrap();
+                let w0 = waste_at_phi(protocol, &base(), 0.0, m);
+                let wr = waste_at_phi(protocol, &base(), base().theta_min, m);
+                assert!(
+                    op.waste.total <= w0 + 1e-9 && op.waste.total <= wr + 1e-9,
+                    "{protocol:?} M={m}: opt {} vs endpoints {w0}, {wr}",
+                    op.waste.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_dense_grid() {
+        // φ* should be within numerical noise of the best of a dense scan.
+        let m = 900.0;
+        for protocol in Protocol::EVALUATED {
+            let op = optimal_operating_point(protocol, &exa(), m).unwrap();
+            let mut best = f64::INFINITY;
+            for i in 0..=1000 {
+                let phi = exa().theta_min * i as f64 / 1000.0;
+                best = best.min(waste_at_phi(protocol, &exa(), phi, m));
+            }
+            assert!(
+                op.waste.total <= best + 1e-6,
+                "{protocol:?}: {} vs dense grid {best}",
+                op.waste.total
+            );
+        }
+    }
+
+    #[test]
+    fn low_mtbf_moves_double_away_from_full_overlap() {
+        // On Exa at very low MTBF, stretching θ to 660 s costs too much
+        // per failure; the optimal φ for the double protocols is
+        // strictly positive.
+        let op = optimal_operating_point(Protocol::DoubleNbl, &exa(), 900.0).unwrap();
+        assert!(op.phi > 1.0, "phi* = {}", op.phi);
+        // While at M = 1 day it returns to (near) full overlap.
+        let op_day = optimal_operating_point(Protocol::DoubleNbl, &exa(), 86_400.0).unwrap();
+        assert!(op_day.phi < op.phi);
+    }
+
+    #[test]
+    fn triple_keeps_overlap_longer_than_double() {
+        // TRIPLE's fault-free waste vanishes at φ = 0, so its optimal φ
+        // stays at/near zero deeper into the low-MTBF regime.
+        let m = 900.0;
+        let tri = optimal_operating_point(Protocol::Triple, &exa(), m).unwrap();
+        let dbl = optimal_operating_point(Protocol::DoubleNbl, &exa(), m).unwrap();
+        assert!(
+            tri.phi <= dbl.phi + 1e-9,
+            "tri {} vs dbl {}",
+            tri.phi,
+            dbl.phi
+        );
+    }
+
+    #[test]
+    fn operating_point_is_consistent() {
+        let op = optimal_operating_point(Protocol::DoubleBof, &base(), 3_600.0).unwrap();
+        assert!((0.0..=base().theta_min).contains(&op.phi));
+        assert!(op.theta >= base().theta_min);
+        assert_eq!(op.waste.period, op.period);
+    }
+
+    #[test]
+    fn rejects_bad_mtbf() {
+        assert!(optimal_operating_point(Protocol::Triple, &base(), 0.0).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's new overlap model (§II).
+//!
+//! The key extension over Ni et al. \[2\] is to make the overhead `φ`
+//! of a remote checkpoint transfer a function of how long the transfer
+//! is stretched:
+//!
+//! * at `θ = θmin` the transfer is fully blocking — overhead `φ = θmin`
+//!   (100 %: no application progress during the transfer);
+//! * at `θ = θmax = (1+α)·θmin` the transfer is fully overlapped —
+//!   overhead `φ = 0`;
+//! * in between, linear interpolation: `θ(φ) = θmin + α(θmin − φ)`.
+//!
+//! `α` measures "the rate at which the overhead decreases when the
+//! communication length increases". Larger `α` means the network needs
+//! more stretching to hide a transfer (the paper calls `α = 10` a
+//! conservative assumption on the communication-to-computation ratio).
+
+use crate::error::ModelError;
+use crate::params::PlatformParams;
+use serde::{Deserialize, Serialize};
+
+/// The `φ ↔ θ` linear interpolation for one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapModel {
+    theta_min: f64,
+    alpha: f64,
+}
+
+impl OverlapModel {
+    /// Builds the overlap model from platform parameters.
+    pub fn new(params: &PlatformParams) -> Self {
+        OverlapModel {
+            theta_min: params.theta_min,
+            alpha: params.alpha,
+        }
+    }
+
+    /// Builds directly from `θmin` and `α` (both validated).
+    pub fn from_raw(theta_min: f64, alpha: f64) -> Result<Self, ModelError> {
+        if !(theta_min.is_finite() && theta_min > 0.0) {
+            return Err(ModelError::invalid("theta_min", "must be finite and > 0"));
+        }
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(ModelError::invalid("alpha", "must be finite and >= 0"));
+        }
+        Ok(OverlapModel { theta_min, alpha })
+    }
+
+    /// `θmin` (= `R`).
+    #[inline]
+    pub fn theta_min(&self) -> f64 {
+        self.theta_min
+    }
+
+    /// `θmax = (1+α)·θmin`, the fully-overlapped transfer length.
+    #[inline]
+    pub fn theta_max(&self) -> f64 {
+        (1.0 + self.alpha) * self.theta_min
+    }
+
+    /// `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Transfer duration for a chosen overhead: `θ(φ) = θmin + α(θmin − φ)`.
+    ///
+    /// # Errors
+    /// `φ` must lie in `[0, θmin]`.
+    pub fn theta_of_phi(&self, phi: f64) -> Result<f64, ModelError> {
+        if !(phi.is_finite() && (0.0..=self.theta_min + 1e-12).contains(&phi)) {
+            return Err(ModelError::invalid(
+                "phi",
+                format!("must be in [0, θmin = {}], got {phi}", self.theta_min),
+            ));
+        }
+        Ok(self.theta_min + self.alpha * (self.theta_min - phi.min(self.theta_min)))
+    }
+
+    /// Inverse map: the overhead incurred by a transfer of length `θ`,
+    /// `φ(θ) = θmin − (θ − θmin)/α`, clamped to `[0, θmin]` outside the
+    /// interpolation range (stretching beyond `θmax` cannot reduce the
+    /// overhead below zero).
+    ///
+    /// # Errors
+    /// `θ` must be at least `θmin` (the physical transfer time).
+    pub fn phi_of_theta(&self, theta: f64) -> Result<f64, ModelError> {
+        if !(theta.is_finite() && theta >= self.theta_min - 1e-12) {
+            return Err(ModelError::invalid(
+                "theta",
+                format!("must be >= θmin = {}, got {theta}", self.theta_min),
+            ));
+        }
+        if self.alpha == 0.0 {
+            // No overlap capability: any transfer is fully blocking.
+            return Ok(self.theta_min);
+        }
+        let phi = self.theta_min - (theta - self.theta_min) / self.alpha;
+        Ok(phi.clamp(0.0, self.theta_min))
+    }
+
+    /// The fraction `φ/R ∈ [0, 1]` the paper uses as the normalized
+    /// x-axis of Figures 4, 5, 7 and 8.
+    pub fn phi_ratio(&self, phi: f64) -> f64 {
+        phi / self.theta_min
+    }
+
+    /// The overhead corresponding to a normalized ratio `φ/R ∈ [0,1]`.
+    pub fn phi_from_ratio(&self, ratio: f64) -> f64 {
+        ratio.clamp(0.0, 1.0) * self.theta_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OverlapModel {
+        OverlapModel::from_raw(4.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn endpoints_match_paper() {
+        let m = model();
+        // Fully blocking: φ = θmin ⇒ θ = θmin.
+        assert_eq!(m.theta_of_phi(4.0).unwrap(), 4.0);
+        // Fully overlapped: φ = 0 ⇒ θ = (1+α)θmin = 44.
+        assert_eq!(m.theta_of_phi(0.0).unwrap(), 44.0);
+        assert_eq!(m.theta_max(), 44.0);
+    }
+
+    #[test]
+    fn theta_and_phi_are_inverse() {
+        let m = model();
+        for phi in [0.0, 0.5, 1.0, 2.0, 3.3, 4.0] {
+            let theta = m.theta_of_phi(phi).unwrap();
+            let back = m.phi_of_theta(theta).unwrap();
+            assert!(
+                (back - phi).abs() < 1e-12,
+                "phi {phi} -> theta {theta} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_is_decreasing_in_phi() {
+        let m = model();
+        let mut last = f64::INFINITY;
+        for i in 0..=40 {
+            let phi = i as f64 * 0.1;
+            let theta = m.theta_of_phi(phi).unwrap();
+            assert!(theta < last);
+            last = theta;
+        }
+    }
+
+    #[test]
+    fn phi_clamps_beyond_theta_max() {
+        let m = model();
+        // Stretching past θmax keeps φ = 0 (can't gain negative overhead).
+        assert_eq!(m.phi_of_theta(100.0).unwrap(), 0.0);
+        // θ exactly θmin ⇒ fully blocking.
+        assert_eq!(m.phi_of_theta(4.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn zero_alpha_is_always_blocking() {
+        let m = OverlapModel::from_raw(4.0, 0.0).unwrap();
+        assert_eq!(m.theta_max(), 4.0);
+        assert_eq!(m.phi_of_theta(4.0).unwrap(), 4.0);
+        assert_eq!(m.phi_of_theta(10.0).unwrap(), 4.0);
+        // θ(φ) is constant θmin whatever φ we ask for.
+        assert_eq!(m.theta_of_phi(4.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let m = model();
+        assert!(m.theta_of_phi(-0.1).is_err());
+        assert!(m.theta_of_phi(4.5).is_err());
+        assert!(m.theta_of_phi(f64::NAN).is_err());
+        assert!(m.phi_of_theta(3.0).is_err());
+    }
+
+    #[test]
+    fn ratio_conversions() {
+        let m = model();
+        assert_eq!(m.phi_from_ratio(0.5), 2.0);
+        assert_eq!(m.phi_ratio(2.0), 0.5);
+        assert_eq!(m.phi_from_ratio(2.0), 4.0); // clamped
+    }
+}

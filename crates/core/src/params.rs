@@ -1,0 +1,135 @@
+//! Platform and protocol parameters (the paper's notation, §II).
+//!
+//! Following the paper, the application progresses at unit speed when
+//! not slowed by checkpointing, "so that time-units and work-units can
+//! be used indifferently". All times are `f64` seconds.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// The machine/protocol constants of the model.
+///
+/// | Field | Paper symbol | Meaning |
+/// |---|---|---|
+/// | `downtime` | `D` | failure detection + node re-allocation time |
+/// | `delta` | `δ` | blocking local-checkpoint time |
+/// | `theta_min` | `θmin = R` | fully-blocking remote transfer time (= recovery time) |
+/// | `alpha` | `α` | overlap speedup factor: how much longer a transfer must be stretched to hide its cost |
+/// | `nodes` | `n` | platform node count (risk model) |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformParams {
+    /// Downtime `D` (s): detect the failure and allocate a replacement.
+    pub downtime: f64,
+    /// Local checkpoint time `δ` (s), blocking.
+    pub delta: f64,
+    /// Minimum (fully blocking) remote transfer time `θmin = R` (s).
+    pub theta_min: f64,
+    /// Overlap speedup factor `α ≥ 0` (dimensionless).
+    pub alpha: f64,
+    /// Number of platform nodes `n`.
+    pub nodes: u64,
+}
+
+impl PlatformParams {
+    /// Builds and validates a parameter set.
+    pub fn new(
+        downtime: f64,
+        delta: f64,
+        theta_min: f64,
+        alpha: f64,
+        nodes: u64,
+    ) -> Result<Self, ModelError> {
+        let p = PlatformParams {
+            downtime,
+            delta,
+            theta_min,
+            alpha,
+            nodes,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks every documented constraint.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !(self.downtime.is_finite() && self.downtime >= 0.0) {
+            return Err(ModelError::invalid("downtime", "must be finite and >= 0"));
+        }
+        if !(self.delta.is_finite() && self.delta >= 0.0) {
+            return Err(ModelError::invalid("delta", "must be finite and >= 0"));
+        }
+        if !(self.theta_min.is_finite() && self.theta_min > 0.0) {
+            return Err(ModelError::invalid("theta_min", "must be finite and > 0"));
+        }
+        if !(self.alpha.is_finite() && self.alpha >= 0.0) {
+            return Err(ModelError::invalid("alpha", "must be finite and >= 0"));
+        }
+        if self.nodes == 0 {
+            return Err(ModelError::invalid("nodes", "must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Recovery time `R`: the paper sets `R = θmin` — the faulty node's
+    /// own checkpoint is always re-sent at maximum (blocking) speed.
+    #[inline]
+    pub fn recovery(&self) -> f64 {
+        self.theta_min
+    }
+
+    /// Longest useful transfer stretch `θmax = (1 + α)·θmin`: beyond
+    /// this the transfer is fully overlapped (`φ = 0`).
+    #[inline]
+    pub fn theta_max(&self) -> f64 {
+        (1.0 + self.alpha) * self.theta_min
+    }
+
+    /// Per-node instantaneous failure rate `λ = 1/(n·M)` for a platform
+    /// MTBF `m` (seconds).
+    #[inline]
+    pub fn lambda(&self, platform_mtbf: f64) -> f64 {
+        1.0 / (self.nodes as f64 * platform_mtbf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I "Base": D=0, δ=2, R=4, α=10, n=324·32.
+    pub fn base() -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap()
+    }
+
+    #[test]
+    fn base_parameters_validate() {
+        let p = base();
+        assert_eq!(p.recovery(), 4.0);
+        assert_eq!(p.theta_max(), 44.0);
+        assert_eq!(p.nodes, 10_368);
+    }
+
+    #[test]
+    fn lambda_matches_definition() {
+        let p = base();
+        let m = 7.0 * 3600.0;
+        let lambda = p.lambda(m);
+        assert!((lambda - 1.0 / (10_368.0 * m)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PlatformParams::new(-1.0, 2.0, 4.0, 10.0, 8).is_err());
+        assert!(PlatformParams::new(0.0, -2.0, 4.0, 10.0, 8).is_err());
+        assert!(PlatformParams::new(0.0, 2.0, 0.0, 10.0, 8).is_err());
+        assert!(PlatformParams::new(0.0, 2.0, 4.0, -0.5, 8).is_err());
+        assert!(PlatformParams::new(0.0, 2.0, 4.0, 10.0, 0).is_err());
+        assert!(PlatformParams::new(0.0, 2.0, f64::NAN, 10.0, 8).is_err());
+    }
+
+    #[test]
+    fn zero_alpha_means_no_overlap_headroom() {
+        let p = PlatformParams::new(0.0, 2.0, 4.0, 0.0, 8).unwrap();
+        assert_eq!(p.theta_max(), p.theta_min);
+    }
+}

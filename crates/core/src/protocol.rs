@@ -1,0 +1,138 @@
+//! The checkpointing protocols under study.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A buddy-checkpointing protocol variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Zheng, Shi & Kalé's original blocking double checkpointing \[1\]:
+    /// modeled as `DoubleNbl` operated at `φ = θmin` (the transfer
+    /// admits no overlap at all).
+    DoubleBlocking,
+    /// Ni, Meneses & Kalé's non-blocking double checkpointing \[2\]:
+    /// after a failure the buddy's checkpoint is re-sent at overlapped
+    /// speed `θ(φ)`.
+    DoubleNbl,
+    /// This paper's blocking-on-failure double checkpointing: after a
+    /// failure both files are re-sent at maximum speed `R`, trading
+    /// per-failure overhead for a shorter risk window.
+    DoubleBof,
+    /// This paper's triple checkpointing (non-blocking recovery
+    /// variant, the one analyzed in §V).
+    Triple,
+    /// Triple checkpointing with blocking-on-failure recovery: the two
+    /// buddy images are re-sent at maximum speed after a failure,
+    /// shrinking the risk window to `D + 3R` (§IV mentions this
+    /// variant; §V.C gives its risk window).
+    TripleBof,
+}
+
+impl Protocol {
+    /// All protocol variants, in presentation order.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::DoubleBlocking,
+        Protocol::DoubleNbl,
+        Protocol::DoubleBof,
+        Protocol::Triple,
+        Protocol::TripleBof,
+    ];
+
+    /// The three protocols compared throughout the paper's evaluation.
+    pub const EVALUATED: [Protocol; 3] =
+        [Protocol::DoubleBof, Protocol::DoubleNbl, Protocol::Triple];
+
+    /// Number of processors per buddy group (2 for double, 3 for triple).
+    pub fn group_size(&self) -> u64 {
+        match self {
+            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => 2,
+            Protocol::Triple | Protocol::TripleBof => 3,
+        }
+    }
+
+    /// Number of failures within one group's risk window needed for a
+    /// fatal (unrecoverable) failure.
+    pub fn fatal_failure_depth(&self) -> u32 {
+        self.group_size() as u32
+    }
+
+    /// True for the triple-family protocols.
+    pub fn is_triple(&self) -> bool {
+        self.group_size() == 3
+    }
+
+    /// Canonical lowercase identifier (stable; used in CSV headers and
+    /// CLI arguments).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Protocol::DoubleBlocking => "double-blocking",
+            Protocol::DoubleNbl => "double-nbl",
+            Protocol::DoubleBof => "double-bof",
+            Protocol::Triple => "triple",
+            Protocol::TripleBof => "triple-bof",
+        }
+    }
+
+    /// Parses the canonical identifier (case-insensitive, `_`/`-`
+    /// agnostic).
+    pub fn parse(s: &str) -> Option<Protocol> {
+        let norm = s.to_ascii_lowercase().replace('_', "-");
+        Protocol::ALL.into_iter().find(|p| p.id() == norm)
+    }
+
+    /// The paper's display name (e.g. `DOUBLENBL`).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            Protocol::DoubleBlocking => "DOUBLE (blocking)",
+            Protocol::DoubleNbl => "DOUBLENBL",
+            Protocol::DoubleBof => "DOUBLEBOF",
+            Protocol::Triple => "TRIPLE",
+            Protocol::TripleBof => "TRIPLE (BoF)",
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sizes() {
+        assert_eq!(Protocol::DoubleNbl.group_size(), 2);
+        assert_eq!(Protocol::DoubleBof.group_size(), 2);
+        assert_eq!(Protocol::Triple.group_size(), 3);
+        assert_eq!(Protocol::TripleBof.group_size(), 3);
+        assert!(!Protocol::DoubleBlocking.is_triple());
+        assert!(Protocol::Triple.is_triple());
+    }
+
+    #[test]
+    fn fatal_depth_equals_group_size() {
+        for p in Protocol::ALL {
+            assert_eq!(p.fatal_failure_depth() as u64, p.group_size());
+        }
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::parse(p.id()), Some(p));
+        }
+        assert_eq!(Protocol::parse("DOUBLE_NBL"), Some(Protocol::DoubleNbl));
+        assert_eq!(Protocol::parse("Triple"), Some(Protocol::Triple));
+        assert_eq!(Protocol::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Protocol::DoubleNbl.to_string(), "DOUBLENBL");
+        assert_eq!(Protocol::DoubleBof.to_string(), "DOUBLEBOF");
+        assert_eq!(Protocol::Triple.to_string(), "TRIPLE");
+    }
+}

@@ -1,0 +1,353 @@
+//! Risk model: risk windows and success probabilities (§III-C, §V-C).
+//!
+//! After a failure, the application is *at risk* until the replacement
+//! node has recovered **and** holds fresh copies of its group's
+//! checkpoints again: a further failure inside the same group during
+//! that window is fatal (unrecoverable — the job must restart from
+//! scratch). The window length per protocol:
+//!
+//! | Protocol | Risk window |
+//! |---|---|
+//! | DOUBLENBL | `D + R + θ` (buddy file re-sent at overlapped speed) |
+//! | DOUBLEBOF | `D + 2R` (both files re-sent at blocking speed) |
+//! | TRIPLE    | `D + R + 2θ` |
+//! | TRIPLE-BoF| `D + 3R` |
+//!
+//! Success probabilities over an exploitation time `T` with per-node
+//! rate `λ = 1/(nM)` (first-order, as in the paper — including its
+//! correction of \[1\]'s missing factor 2):
+//!
+//! * pairs (Eq. 11):   `Pdouble = (1 − 2λ²·T·Risk)^(n/2)`
+//! * triples (Eq. 16): `Ptriple = (1 − 6λ³·T·Risk²)^(n/3)`
+//! * no checkpointing (Eq. 12): `Pbase = (1 − λ·Tbase)^n`
+
+use crate::error::ModelError;
+use crate::overlap::OverlapModel;
+use crate::params::PlatformParams;
+use crate::protocol::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Success-probability result with the ingredients that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessProbability {
+    /// Probability in `[0, 1]` that no fatal failure strikes during the
+    /// exploitation window.
+    pub probability: f64,
+    /// Risk-window length used (seconds).
+    pub risk_window: f64,
+    /// Per-node failure rate `λ` used (s⁻¹).
+    pub lambda: f64,
+    /// Exploitation time `T` used (seconds).
+    pub exploitation: f64,
+}
+
+/// Risk model for one `(protocol, platform, φ)` operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskModel {
+    protocol: Protocol,
+    params: PlatformParams,
+    theta: f64,
+}
+
+impl RiskModel {
+    /// Builds the model, deriving `θ = θ(φ)` from the overlap model.
+    pub fn new(protocol: Protocol, params: &PlatformParams, phi: f64) -> Result<Self, ModelError> {
+        params.validate()?;
+        let phi = match protocol {
+            Protocol::DoubleBlocking => params.theta_min,
+            _ => phi,
+        };
+        let theta = OverlapModel::new(params).theta_of_phi(phi)?;
+        Ok(RiskModel {
+            protocol,
+            params: *params,
+            theta,
+        })
+    }
+
+    /// Builds the model at an explicit transfer stretch `θ ≥ θmin`
+    /// (Figures 6 and 9 pin `θ = (α+1)·R`, "the largest possible risk
+    /// duration").
+    pub fn with_theta(
+        protocol: Protocol,
+        params: &PlatformParams,
+        theta: f64,
+    ) -> Result<Self, ModelError> {
+        params.validate()?;
+        if !(theta.is_finite() && theta >= params.theta_min - 1e-12) {
+            return Err(ModelError::invalid(
+                "theta",
+                format!("must be >= θmin = {}, got {theta}", params.theta_min),
+            ));
+        }
+        Ok(RiskModel {
+            protocol,
+            params: *params,
+            theta,
+        })
+    }
+
+    /// The protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The transfer stretch `θ` in effect.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Length of the risk window after a failure (§III-C, §V-C).
+    pub fn risk_window(&self) -> f64 {
+        let d = self.params.downtime;
+        let r = self.params.recovery();
+        match self.protocol {
+            Protocol::DoubleNbl => d + r + self.theta,
+            // The original blocking protocol re-sends at blocking speed
+            // by construction: same window as BoF.
+            Protocol::DoubleBof | Protocol::DoubleBlocking => d + 2.0 * r,
+            Protocol::Triple => d + r + 2.0 * self.theta,
+            Protocol::TripleBof => d + 3.0 * r,
+        }
+    }
+
+    /// Success probability of the application over exploitation time
+    /// `t` (seconds) at platform MTBF `m` (Eqs. 11 / 16).
+    ///
+    /// The first-order bracket is clamped at 0: beyond the model's
+    /// validity range the probability floors at "certain failure"
+    /// rather than going negative.
+    ///
+    /// # Errors
+    /// Requires `m > 0` and `t ≥ 0`.
+    pub fn success_probability(&self, m: f64, t: f64) -> Result<SuccessProbability, ModelError> {
+        if !(m.is_finite() && m > 0.0) {
+            return Err(ModelError::invalid("mtbf", "must be finite and > 0"));
+        }
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(ModelError::invalid(
+                "exploitation",
+                "must be finite and >= 0",
+            ));
+        }
+        let n = self.params.nodes as f64;
+        let lambda = self.params.lambda(m);
+        let risk = self.risk_window();
+        let probability = match self.protocol.group_size() {
+            2 => {
+                let inner = (1.0 - 2.0 * lambda * lambda * t * risk).max(0.0);
+                inner.powf(n / 2.0)
+            }
+            3 => {
+                let inner = (1.0 - 6.0 * lambda.powi(3) * t * risk * risk).max(0.0);
+                inner.powf(n / 3.0)
+            }
+            _ => unreachable!("group sizes are 2 or 3"),
+        };
+        Ok(SuccessProbability {
+            probability,
+            risk_window: risk,
+            lambda,
+            exploitation: t,
+        })
+    }
+
+    /// Expected number of fatal failures per group over `t` — the
+    /// quantity inside the first-order bracket (`2λ²T·Risk` for pairs,
+    /// `6λ³T·Risk²` for triples). Useful when probabilities are so
+    /// close to 1 that ratios lose precision.
+    pub fn fatal_rate_per_group(&self, m: f64, t: f64) -> f64 {
+        let lambda = self.params.lambda(m);
+        let risk = self.risk_window();
+        match self.protocol.group_size() {
+            2 => 2.0 * lambda * lambda * t * risk,
+            3 => 6.0 * lambda.powi(3) * t * risk * risk,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Success probability with no checkpointing at all (Eq. 12): the
+/// application of failure-free duration `t_base` succeeds only if *no*
+/// node fails for its whole duration.
+pub fn base_success_probability(
+    params: &PlatformParams,
+    m: f64,
+    t_base: f64,
+) -> Result<f64, ModelError> {
+    if !(m.is_finite() && m > 0.0) {
+        return Err(ModelError::invalid("mtbf", "must be finite and > 0"));
+    }
+    if !(t_base.is_finite() && t_base >= 0.0) {
+        return Err(ModelError::invalid("t_base", "must be finite and >= 0"));
+    }
+    let lambda = params.lambda(m);
+    let inner = (1.0 - lambda * t_base).max(0.0);
+    Ok(inner.powf(params.nodes as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_params() -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap()
+    }
+
+    fn exa_params() -> PlatformParams {
+        PlatformParams::new(60.0, 30.0, 60.0, 10.0, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn risk_windows_match_paper() {
+        let p = base_params();
+        // θ = (α+1)R = 44 everywhere (φ = 0).
+        let nbl = RiskModel::new(Protocol::DoubleNbl, &p, 0.0).unwrap();
+        assert_eq!(nbl.risk_window(), 0.0 + 4.0 + 44.0);
+        let bof = RiskModel::new(Protocol::DoubleBof, &p, 0.0).unwrap();
+        assert_eq!(bof.risk_window(), 0.0 + 8.0);
+        let tri = RiskModel::new(Protocol::Triple, &p, 0.0).unwrap();
+        assert_eq!(tri.risk_window(), 0.0 + 4.0 + 88.0);
+        let tbf = RiskModel::new(Protocol::TripleBof, &p, 0.0).unwrap();
+        assert_eq!(tbf.risk_window(), 12.0);
+    }
+
+    #[test]
+    fn bof_window_shorter_than_nbl() {
+        // The whole point of BoF: whenever θ > R, its window is shorter.
+        for phi in [0.0, 1.0, 3.0] {
+            let p = base_params();
+            let nbl = RiskModel::new(Protocol::DoubleNbl, &p, phi).unwrap();
+            let bof = RiskModel::new(Protocol::DoubleBof, &p, phi).unwrap();
+            assert!(bof.risk_window() < nbl.risk_window(), "phi {phi}");
+        }
+        // At φ = R (θ = R) they coincide.
+        let p = base_params();
+        let nbl = RiskModel::new(Protocol::DoubleNbl, &p, 4.0).unwrap();
+        let bof = RiskModel::new(Protocol::DoubleBof, &p, 4.0).unwrap();
+        assert_eq!(bof.risk_window(), nbl.risk_window());
+    }
+
+    #[test]
+    fn with_theta_pins_the_stretch() {
+        let p = base_params();
+        let m = RiskModel::with_theta(Protocol::Triple, &p, 44.0).unwrap();
+        assert_eq!(m.theta(), 44.0);
+        assert!(RiskModel::with_theta(Protocol::Triple, &p, 1.0).is_err());
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval_and_monotone_in_t() {
+        let p = exa_params();
+        let model = RiskModel::with_theta(Protocol::DoubleNbl, &p, 660.0).unwrap();
+        let m = 60.0; // 1-minute MTBF: harshest paper regime
+        let mut last = 1.0;
+        for weeks in [1.0, 10.0, 30.0, 60.0] {
+            let t = weeks * 7.0 * 86_400.0;
+            let s = model.success_probability(m, t).unwrap().probability;
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= last + 1e-15, "not monotone at {weeks} weeks");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn triple_beats_double_at_low_mtbf() {
+        // §VI: TRIPLE provides risk mitigation by orders of magnitude.
+        let p = base_params();
+        let theta = 44.0;
+        let m = 60.0; // 1 min
+        let t = 30.0 * 86_400.0; // 30 days
+        let dbl = RiskModel::with_theta(Protocol::DoubleNbl, &p, theta)
+            .unwrap()
+            .success_probability(m, t)
+            .unwrap()
+            .probability;
+        let tri = RiskModel::with_theta(Protocol::Triple, &p, theta)
+            .unwrap()
+            .success_probability(m, t)
+            .unwrap()
+            .probability;
+        assert!(tri > dbl, "triple {tri} vs double {dbl}");
+        // The double protocol is measurably at risk in this regime.
+        assert!(dbl < 0.999);
+        assert!(tri > 0.99);
+    }
+
+    #[test]
+    fn bof_at_least_as_safe_as_nbl() {
+        let p = exa_params();
+        let theta = 660.0;
+        let m = 120.0;
+        let t = 60.0 * 7.0 * 86_400.0;
+        let nbl = RiskModel::with_theta(Protocol::DoubleNbl, &p, theta)
+            .unwrap()
+            .success_probability(m, t)
+            .unwrap()
+            .probability;
+        let bof = RiskModel::with_theta(Protocol::DoubleBof, &p, theta)
+            .unwrap()
+            .success_probability(m, t)
+            .unwrap()
+            .probability;
+        assert!(bof >= nbl);
+    }
+
+    #[test]
+    fn probability_floors_at_zero() {
+        // Degenerate regime: make the bracket go negative.
+        let p = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 4).unwrap();
+        let model = RiskModel::with_theta(Protocol::DoubleNbl, &p, 1e9).unwrap();
+        let s = model.success_probability(1e-3, 1e12).unwrap();
+        assert_eq!(s.probability, 0.0);
+    }
+
+    #[test]
+    fn base_probability_eq12() {
+        let p = base_params();
+        let m = 3600.0;
+        let lambda = p.lambda(m);
+        let t = 1e5;
+        let expected = (1.0 - lambda * t).powf(p.nodes as f64);
+        assert!((base_success_probability(&p, m, t).unwrap() - expected).abs() < 1e-12);
+        // Checkpointing (double) beats no checkpointing over long runs.
+        let dbl = RiskModel::new(Protocol::DoubleNbl, &p, 0.0)
+            .unwrap()
+            .success_probability(m, t)
+            .unwrap()
+            .probability;
+        assert!(dbl > base_success_probability(&p, m, t).unwrap());
+    }
+
+    #[test]
+    fn fatal_rate_matches_bracket() {
+        let p = base_params();
+        let model = RiskModel::with_theta(Protocol::Triple, &p, 44.0).unwrap();
+        let m = 600.0;
+        let t = 86_400.0;
+        let rate = model.fatal_rate_per_group(m, t);
+        let prob = model.success_probability(m, t).unwrap().probability;
+        let n3 = p.nodes as f64 / 3.0;
+        assert!((prob - (1.0 - rate).powf(n3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exploitation_is_certain_success() {
+        let p = base_params();
+        let model = RiskModel::new(Protocol::DoubleBof, &p, 1.0).unwrap();
+        assert_eq!(
+            model.success_probability(60.0, 0.0).unwrap().probability,
+            1.0
+        );
+        assert_eq!(base_success_probability(&p, 60.0, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let p = base_params();
+        let model = RiskModel::new(Protocol::DoubleNbl, &p, 1.0).unwrap();
+        assert!(model.success_probability(0.0, 10.0).is_err());
+        assert!(model.success_probability(10.0, -1.0).is_err());
+        assert!(base_success_probability(&p, -1.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's evaluation scenarios (Table I).
+//!
+//! | Scenario | D | δ | φ | R | α | n |
+//! |---|---|---|---|---|---|---|
+//! | Base | 0 | 2 | 0 ≤ φ ≤ 4 | 4 | 10 | 324 × 32 |
+//! | Exa  | 60 | 30 | 0 ≤ φ ≤ 60 | 60 | 10 | 10⁶ |
+
+use crate::hardware::HardwareSpec;
+use crate::params::PlatformParams;
+use serde::{Deserialize, Serialize};
+
+/// A named evaluation scenario: platform parameters plus the φ sweep
+/// range used in the figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Short name (`Base`, `Exa`, ...).
+    pub name: String,
+    /// The platform parameters.
+    pub params: PlatformParams,
+    /// The φ sweep range `[0, phi_max]` (Table I: `0 ≤ φ ≤ R`).
+    pub phi_max: f64,
+    /// One-line description for reports.
+    pub description: String,
+}
+
+impl Scenario {
+    /// Table I `Base`: the setup of Ni et al. \[2\] — 512 MB images at
+    /// SSD speed, 324 × 32 nodes.
+    pub fn base() -> Scenario {
+        let params = HardwareSpec::base_scenario()
+            .params()
+            .expect("Base scenario parameters are valid by construction");
+        Scenario {
+            name: "Base".into(),
+            phi_max: params.theta_min,
+            description: "Cluster from Ni/Meneses/Kalé [2]: 512MB checkpoints, \
+                          δ=2s, R=4s, α=10, n=10368, D=0"
+                .into(),
+            params,
+        }
+    }
+
+    /// Table I `Exa`: the IESP "slim" exascale projection — 10⁶ nodes,
+    /// δ=30 s, R=60 s, D=60 s.
+    pub fn exa() -> Scenario {
+        let params = HardwareSpec::exa_scenario()
+            .params()
+            .expect("Exa scenario parameters are valid by construction");
+        Scenario {
+            name: "Exa".into(),
+            phi_max: params.theta_min,
+            description: "IESP slim exascale projection: δ=30s, R=60s, α=10, \
+                          n=1e6, D=60s"
+                .into(),
+            params,
+        }
+    }
+
+    /// Both Table I scenarios, in paper order.
+    pub fn all() -> Vec<Scenario> {
+        vec![Scenario::base(), Scenario::exa()]
+    }
+
+    /// Looks a scenario up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        match name.to_ascii_lowercase().as_str() {
+            "base" => Some(Scenario::base()),
+            "exa" => Some(Scenario::exa()),
+            _ => None,
+        }
+    }
+
+    /// The φ values for a sweep of `points` samples over `[0, phi_max]`
+    /// (inclusive endpoints), the x-axis of Figures 4, 5, 7, 8.
+    pub fn phi_sweep(&self, points: usize) -> Vec<f64> {
+        assert!(points >= 2, "a sweep needs at least its two endpoints");
+        (0..points)
+            .map(|i| self.phi_max * i as f64 / (points - 1) as f64)
+            .collect()
+    }
+
+    /// Logarithmic MTBF grid from `lo` to `hi` seconds with `points`
+    /// samples — the M-axis of Figures 4 and 7 (15 s to 1 day).
+    pub fn mtbf_sweep(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+        assert!(points >= 2 && lo > 0.0 && hi > lo);
+        let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
+        (0..points).map(|i| lo * ratio.powi(i as i32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_table1() {
+        let s = Scenario::base();
+        assert_eq!(s.params.downtime, 0.0);
+        assert!((s.params.delta - 2.0).abs() < 1e-12);
+        assert!((s.params.theta_min - 4.0).abs() < 1e-12);
+        assert_eq!(s.params.alpha, 10.0);
+        assert_eq!(s.params.nodes, 324 * 32);
+        assert!((s.phi_max - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exa_matches_table1() {
+        let s = Scenario::exa();
+        assert_eq!(s.params.downtime, 60.0);
+        assert!((s.params.delta - 30.0).abs() < 1e-9);
+        assert!((s.params.theta_min - 60.0).abs() < 1e-9);
+        assert_eq!(s.params.nodes, 1_000_000);
+        assert!((s.phi_max - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Scenario::by_name("base").unwrap().name, "Base");
+        assert_eq!(Scenario::by_name("EXA").unwrap().name, "Exa");
+        assert!(Scenario::by_name("petascale").is_none());
+        assert_eq!(Scenario::all().len(), 2);
+    }
+
+    #[test]
+    fn phi_sweep_covers_range() {
+        let s = Scenario::base();
+        let sweep = s.phi_sweep(5);
+        assert_eq!(sweep, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn mtbf_sweep_is_log_spaced() {
+        let grid = Scenario::mtbf_sweep(15.0, 86_400.0, 10);
+        assert_eq!(grid.len(), 10);
+        assert!((grid[0] - 15.0).abs() < 1e-9);
+        assert!((grid[9] - 86_400.0).abs() < 1e-6);
+        // Equal ratios between consecutive points.
+        let r0 = grid[1] / grid[0];
+        for w in grid.windows(2) {
+            assert!((w[1] / w[0] - r0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests for the analytical models.
+
+use dck_core::{
+    numeric_optimal_period, optimal_operating_point, optimal_period, refined_waste, GlobalStore,
+    HierarchicalModel, OverlapModel, PeriodSource, PlatformParams, Protocol, RiskModel, WasteModel,
+};
+use proptest::prelude::*;
+
+/// Random-but-valid platform parameters.
+fn params_strategy() -> impl Strategy<Value = PlatformParams> {
+    (
+        0.0f64..120.0,   // downtime
+        0.1f64..100.0,   // delta
+        0.5f64..200.0,   // theta_min
+        0.0f64..20.0,    // alpha
+        1u64..1_000_000, // nodes
+    )
+        .prop_map(|(d, delta, theta_min, alpha, nodes)| {
+            PlatformParams::new(d, delta, theta_min, alpha, nodes).expect("ranges are valid")
+        })
+}
+
+fn protocol_strategy() -> impl Strategy<Value = Protocol> {
+    prop::sample::select(vec![
+        Protocol::DoubleBlocking,
+        Protocol::DoubleNbl,
+        Protocol::DoubleBof,
+        Protocol::Triple,
+        Protocol::TripleBof,
+    ])
+}
+
+proptest! {
+    /// θ(φ) and φ(θ) are inverse bijections on the interpolation range.
+    #[test]
+    fn overlap_model_inverse(params in params_strategy(), ratio in 0.0f64..1.0) {
+        prop_assume!(params.alpha > 1e-6);
+        let m = OverlapModel::new(&params);
+        let phi = ratio * params.theta_min;
+        let theta = m.theta_of_phi(phi).unwrap();
+        prop_assert!(theta >= params.theta_min - 1e-9);
+        prop_assert!(theta <= m.theta_max() + 1e-9);
+        let back = m.phi_of_theta(theta).unwrap();
+        prop_assert!((back - phi).abs() < 1e-6 * (1.0 + phi));
+    }
+
+    /// Eq. 5's multiplicative waste decomposition holds identically.
+    #[test]
+    fn waste_decomposition_identity(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.0f64..50.0,
+        mtbf in 10.0f64..1e7,
+    ) {
+        let phi = ratio * params.theta_min;
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let period = model.min_period() * period_mult;
+        let w = model.waste(period, mtbf).unwrap();
+        let recomposed = w.failure_induced + w.fault_free - w.failure_induced * w.fault_free;
+        prop_assert!((w.total - recomposed).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&w.total));
+        prop_assert!(w.fault_free <= 1.0 && w.failure_induced <= 1.0);
+    }
+
+    /// Fnbl = Ftri (the paper's §V-A observation), for every parameter
+    /// set, φ and period.
+    #[test]
+    fn nbl_and_triple_failure_losses_equal(
+        params in params_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.0f64..50.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let nbl = WasteModel::new(Protocol::DoubleNbl, &params, phi).unwrap();
+        let tri = WasteModel::new(Protocol::Triple, &params, phi).unwrap();
+        // Use a period feasible for both.
+        let p = nbl.min_period().max(tri.min_period()) * period_mult;
+        prop_assert!((nbl.failure_loss(p) - tri.failure_loss(p)).abs() < 1e-9);
+    }
+
+    /// The closed-form optimal period is a true stationary point: the
+    /// numeric golden-section optimum agrees wherever the closed form
+    /// is interior.
+    #[test]
+    fn closed_form_matches_numeric_optimum(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf_mult in 10.0f64..10_000.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        // Make the MTBF comfortably larger than the failure constant so
+        // the optimum is interior most of the time.
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let mtbf = model.failure_loss_constant().max(1.0) * mtbf_mult;
+        let analytic = optimal_period(protocol, &params, phi, mtbf).unwrap();
+        let numeric = numeric_optimal_period(protocol, &params, phi, mtbf).unwrap();
+        if analytic.source == PeriodSource::ClosedForm {
+            let rel = (analytic.period - numeric.period).abs() / analytic.period;
+            prop_assert!(rel < 5e-3, "rel err {rel}: {} vs {}", analytic.period, numeric.period);
+        }
+        // Regardless of provenance, neither reports a better waste than
+        // the other beyond numeric noise.
+        prop_assert!((analytic.waste.total - numeric.waste.total).abs() < 1e-6);
+    }
+
+    /// Waste at the optimal period is non-increasing in the MTBF.
+    #[test]
+    fn optimal_waste_monotone_in_mtbf(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf in 100.0f64..1e6,
+    ) {
+        let phi = ratio * params.theta_min;
+        let w1 = optimal_period(protocol, &params, phi, mtbf).unwrap().waste.total;
+        let w2 = optimal_period(protocol, &params, phi, mtbf * 2.0).unwrap().waste.total;
+        prop_assert!(w2 <= w1 + 1e-9, "waste rose with MTBF: {w1} -> {w2}");
+    }
+
+    /// Success probabilities are proper probabilities, monotone
+    /// decreasing in exploitation time, and triple ≥ double for equal θ.
+    #[test]
+    fn risk_model_sane(
+        params in params_strategy(),
+        theta_mult in 1.0f64..10.0,
+        mtbf in 30.0f64..1e5,
+        t in 1.0f64..1e8,
+    ) {
+        let theta = params.theta_min * theta_mult;
+        let dbl = RiskModel::with_theta(Protocol::DoubleNbl, &params, theta).unwrap();
+        let tri = RiskModel::with_theta(Protocol::Triple, &params, theta).unwrap();
+        let pd = dbl.success_probability(mtbf, t).unwrap().probability;
+        let pt = tri.success_probability(mtbf, t).unwrap().probability;
+        prop_assert!((0.0..=1.0).contains(&pd));
+        prop_assert!((0.0..=1.0).contains(&pt));
+        let pd2 = dbl.success_probability(mtbf, t * 2.0).unwrap().probability;
+        prop_assert!(pd2 <= pd + 1e-12);
+    }
+
+    /// BoF's risk window never exceeds NBL's, and the triple BoF
+    /// variant's never exceeds plain triple's.
+    #[test]
+    fn bof_windows_shorter(params in params_strategy(), ratio in 0.0f64..1.0) {
+        let phi = ratio * params.theta_min;
+        let win = |p: Protocol| RiskModel::new(p, &params, phi).unwrap().risk_window();
+        prop_assert!(win(Protocol::DoubleBof) <= win(Protocol::DoubleNbl) + 1e-9);
+        prop_assert!(win(Protocol::TripleBof) <= win(Protocol::Triple) + 1e-9);
+    }
+
+    /// The refined waste converges to the first-order waste as the MTBF
+    /// grows, and never leaves the unit interval.
+    #[test]
+    fn refined_converges_to_first_order(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..20.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let period = model.min_period() * period_mult;
+        // Large-MTBF limit: outages are tiny relative to M.
+        let m_large = 1e6 * (model.failure_loss_constant() + period);
+        let r = refined_waste(protocol, &params, phi, period, m_large).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.total));
+        prop_assert!(
+            (r.total - r.first_order).abs() < 1e-4,
+            "refined {} vs first-order {} at huge MTBF",
+            r.total,
+            r.first_order
+        );
+        // The realized loss is never below the planned loss (up to the
+        // midpoint-rule error across the re-execution discontinuity,
+        // ~jump/SAMPLES ≈ 1% of the planned loss).
+        let planned = model.failure_loss(period);
+        prop_assert!(
+            r.realized_failure_loss >= planned * (1.0 - 0.01),
+            "realized {} vs planned {planned}",
+            r.realized_failure_loss
+        );
+    }
+
+    /// The tuned operating point never loses to any φ on a coarse grid.
+    #[test]
+    fn optimal_phi_beats_grid(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        mtbf_mult in 20.0f64..5_000.0,
+    ) {
+        let model = WasteModel::new(protocol, &params, 0.0).unwrap();
+        let m = model.failure_loss_constant().max(1.0) * mtbf_mult;
+        let op = optimal_operating_point(protocol, &params, m).unwrap();
+        for i in 0..=8 {
+            let phi = params.theta_min * i as f64 / 8.0;
+            let w = optimal_period(protocol, &params, phi, m).unwrap().waste.total;
+            prop_assert!(
+                op.waste.total <= w + 1e-9,
+                "phi* {} waste {} beaten by phi {} waste {}",
+                op.phi,
+                op.waste.total,
+                phi,
+                w
+            );
+        }
+    }
+
+    /// Hierarchical invariants: the two-level waste is at least the
+    /// level-1 waste, at most 1, and decreasing the fatal rate (triple
+    /// vs double at identical parameters) never increases the level-2
+    /// premium.
+    #[test]
+    fn hierarchical_premium_sane(
+        params in params_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf_mult in 20.0f64..2_000.0,
+        write_time in 10.0f64..5_000.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let store = GlobalStore::new(write_time, write_time).unwrap();
+        let model = WasteModel::new(Protocol::DoubleNbl, &params, phi).unwrap();
+        let m = model.failure_loss_constant().max(1.0) * mtbf_mult;
+        prop_assume!(m > params.downtime + params.recovery() + 1.0);
+        let hm = HierarchicalModel::new(Protocol::DoubleNbl, &params, phi, store).unwrap();
+        let best = hm.optimal(m, 1_000_000).unwrap();
+        let level1 = optimal_period(Protocol::DoubleNbl, &params, phi, m).unwrap().waste.total;
+        prop_assert!(best.waste >= level1 - 1e-12);
+        prop_assert!(best.waste <= 1.0);
+        prop_assert!(best.periods_per_global >= 1);
+    }
+
+    /// Work per period is positive whenever the period strictly exceeds
+    /// the protocol's minimum, and equals the paper's W formulas.
+    #[test]
+    fn work_per_period_formulas(
+        params in params_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..50.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        type WorkFormula = fn(f64, f64, f64) -> f64;
+        let expected: [(Protocol, WorkFormula); 2] = [
+            (Protocol::DoubleNbl, |p, d, phi| p - d - phi),
+            (Protocol::Triple, |p, _d, phi| p - 2.0 * phi),
+        ];
+        for (protocol, expected) in expected {
+            let model = WasteModel::new(protocol, &params, phi).unwrap();
+            let period = model.min_period() * period_mult;
+            let s = model.structure(period).unwrap();
+            let w = expected(period, params.delta, phi);
+            prop_assert!((s.work - w).abs() < 1e-9);
+            prop_assert!(s.work > 0.0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! E2 — what did non-blocking checkpointing buy? (\[1\] vs \[2\], §II).
+//!
+//! The paper's starting point is the history: Zheng/Shi/Kalé's original
+//! *blocking* double checkpointing \[1\] stops the application for the
+//! whole remote exchange; Ni/Meneses/Kalé's *non-blocking* version \[2\]
+//! overlaps it at overhead `φ`. This experiment quantifies that
+//! improvement across the MTBF axis — the waste of `DOUBLE (blocking)`
+//! against `DOUBLENBL` at several overlap qualities — together with the
+//! risk price (the non-blocking risk window is `D + R + θ` instead of
+//! `D + 2R`), i.e. the trade the paper's DOUBLEBOF was designed to
+//! navigate.
+
+use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
+use dck_core::{optimal_period, Protocol, RiskModel, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// One sweep row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingGainRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Platform MTBF (s).
+    pub mtbf: f64,
+    /// Waste of the original blocking protocol \[1\].
+    pub waste_blocking: f64,
+    /// Waste of DOUBLENBL at φ/R = 0.5 (partial overlap).
+    pub waste_nbl_half: f64,
+    /// Waste of DOUBLENBL at φ/R = 0 (full overlap).
+    pub waste_nbl_full: f64,
+    /// Relative gain of full overlap over blocking, `1 − W_nbl/W_blk`.
+    pub gain_full_overlap: f64,
+    /// Risk window of the blocking protocol (s).
+    pub risk_blocking: f64,
+    /// Risk window of DOUBLENBL at full overlap (s).
+    pub risk_nbl_full: f64,
+}
+
+/// The E2 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingGainReport {
+    /// Rows, grouped by scenario.
+    pub rows: Vec<BlockingGainRow>,
+}
+
+/// Runs the sweep over both scenarios.
+pub fn run(mtbf_points: usize) -> BlockingGainReport {
+    let mut rows = Vec::new();
+    for scenario in Scenario::all() {
+        let grid = Scenario::mtbf_sweep(60.0, 86_400.0, mtbf_points);
+        for &m in &grid {
+            let waste = |protocol: Protocol, phi: f64| {
+                optimal_period(protocol, &scenario.params, phi, m)
+                    .expect("valid sweep point")
+                    .waste
+                    .total
+            };
+            let risk = |protocol: Protocol, phi: f64| {
+                RiskModel::new(protocol, &scenario.params, phi)
+                    .expect("valid")
+                    .risk_window()
+            };
+            let r = scenario.params.theta_min;
+            let waste_blocking = waste(Protocol::DoubleBlocking, r);
+            let waste_nbl_full = waste(Protocol::DoubleNbl, 0.0);
+            let gain = if waste_blocking > 0.0 && waste_blocking < 1.0 {
+                1.0 - waste_nbl_full / waste_blocking
+            } else {
+                0.0
+            };
+            rows.push(BlockingGainRow {
+                scenario: scenario.name.clone(),
+                mtbf: m,
+                waste_blocking,
+                waste_nbl_half: waste(Protocol::DoubleNbl, 0.5 * r),
+                waste_nbl_full,
+                gain_full_overlap: gain,
+                risk_blocking: risk(Protocol::DoubleBlocking, r),
+                risk_nbl_full: risk(Protocol::DoubleNbl, 0.0),
+            });
+        }
+    }
+    BlockingGainReport { rows }
+}
+
+impl BlockingGainReport {
+    /// Largest relative gain of full overlap over blocking.
+    pub fn max_gain(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.gain_full_overlap)
+            .fold(0.0, f64::max)
+    }
+
+    /// ASCII rendering.
+    pub fn to_ascii(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    fmt_f64(r.mtbf),
+                    format!("{:.4}", r.waste_blocking),
+                    format!("{:.4}", r.waste_nbl_half),
+                    format!("{:.4}", r.waste_nbl_full),
+                    format!("{:.1}%", 100.0 * r.gain_full_overlap),
+                    format!("{:.0}", r.risk_blocking),
+                    format!("{:.0}", r.risk_nbl_full),
+                ]
+            })
+            .collect();
+        format!(
+            "Blocking [1] vs non-blocking [2] double checkpointing\n{}",
+            ascii_table(
+                &[
+                    "scenario",
+                    "M_s",
+                    "W blocking",
+                    "W nbl (phi=R/2)",
+                    "W nbl (phi=0)",
+                    "gain",
+                    "risk blk (s)",
+                    "risk nbl (s)",
+                ],
+                &rows
+            )
+        )
+    }
+
+    /// Writes CSV + JSON + ASCII.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    fmt_f64(r.mtbf),
+                    fmt_f64(r.waste_blocking),
+                    fmt_f64(r.waste_nbl_half),
+                    fmt_f64(r.waste_nbl_full),
+                    fmt_f64(r.gain_full_overlap),
+                    fmt_f64(r.risk_blocking),
+                    fmt_f64(r.risk_nbl_full),
+                ]
+            })
+            .collect();
+        out.write_text(
+            "blocking_gain.csv",
+            &to_csv(
+                &[
+                    "scenario",
+                    "mtbf_s",
+                    "waste_blocking",
+                    "waste_nbl_half",
+                    "waste_nbl_full",
+                    "gain_full_overlap",
+                    "risk_blocking_s",
+                    "risk_nbl_full_s",
+                ],
+                &rows,
+            ),
+        )?;
+        out.write_json("blocking_gain.json", self)?;
+        out.write_text("blocking_gain.txt", &self.to_ascii())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_blocking_wins_except_in_the_saturation_regime() {
+        let report = run(10);
+        assert_eq!(report.rows.len(), 20);
+        for r in &report.rows {
+            // The risk price of full overlap always applies: the window
+            // grows from D+2R to D+R+(1+α)R.
+            assert!(r.risk_nbl_full > r.risk_blocking);
+            // The crossover sits near the hour scale on Base and a few
+            // hours on Exa (its A-term carries θmax = 660 s); above
+            // ~4 h overlap dominates on both: eliminating φ beats
+            // shortening θ.
+            if r.mtbf >= 15_000.0 {
+                assert!(
+                    r.waste_nbl_full <= r.waste_blocking + 1e-12,
+                    "{}: M={}",
+                    r.scenario,
+                    r.mtbf
+                );
+                assert!(r.waste_nbl_full <= r.waste_nbl_half + 1e-12);
+            }
+        }
+        // Below that, stretching θ to 11R can *lose* to blocking (the
+        // φ-choice regime map): the sweep must contain such a point.
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|r| r.waste_nbl_full > r.waste_blocking),
+            "expected a low-MTBF point where blocking wins"
+        );
+        // And the gain is substantial somewhere on the axis.
+        assert!(report.max_gain() > 0.3, "max gain {}", report.max_gain());
+    }
+
+    #[test]
+    fn gain_grows_with_mtbf_on_base() {
+        // At large MTBF the fault-free δ+φ term dominates: eliminating φ
+        // entirely is worth the most there.
+        let report = run(12);
+        let base_rows: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.scenario == "Base")
+            .collect();
+        let first_positive = base_rows
+            .iter()
+            .find(|r| r.gain_full_overlap > 0.0)
+            .expect("some gain");
+        let last = base_rows.last().unwrap();
+        assert!(last.gain_full_overlap >= first_positive.gain_full_overlap * 0.8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Gnuplot script generation for the regenerated figures.
+//!
+//! Each figure writer drops a `figN.gp` next to its CSVs; running
+//! `gnuplot figN.gp` inside the results directory renders a PNG with
+//! the paper's axes (waste surfaces over log-MTBF × φ/R; ratio curves;
+//! success-probability ratio surfaces).
+
+use std::fmt::Write as _;
+
+/// Script for the 3-panel waste surfaces (Figures 4 and 7).
+pub fn waste_surface_script(fig: u8, scenario: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Figure {fig} ({scenario}): waste at the optimal period.\n\
+         # Render with: gnuplot fig{fig}.gp\n\
+         set terminal pngcairo size 1500,520 enhanced\n\
+         set output 'fig{fig}.png'\n\
+         set multiplot layout 1,3\n\
+         set logscale x\n\
+         set xlabel 'M (s)'\n\
+         set ylabel 'phi/R'\n\
+         set zlabel 'Waste'\n\
+         set zrange [0:1]\n\
+         set cbrange [0:1]\n\
+         set xtics ('1min' 60, '10min' 600, '1h' 3600, '4h' 14400, '1day' 86400)\n\
+         set datafile separator ','\n\
+         set hidden3d\n\
+         set dgrid3d 33,21"
+    );
+    for (proto, title) in [
+        ("double-bof", "DOUBLEBOF"),
+        ("double-nbl", "DOUBLENBL"),
+        ("triple", "TRIPLE"),
+    ] {
+        let _ = writeln!(
+            s,
+            "set title '{title}'\n\
+             splot 'fig{fig}_{proto}.csv' skip 1 using 1:2:3 with lines notitle"
+        );
+    }
+    s.push_str("unset multiplot\n");
+    s
+}
+
+/// Script for the waste-ratio curves (Figures 5 and 8).
+pub fn waste_ratio_script(fig: u8, scenario: &str) -> String {
+    format!(
+        "# Figure {fig} ({scenario}): waste relative to DOUBLENBL at M = 7h.\n\
+         set terminal pngcairo size 800,560 enhanced\n\
+         set output 'fig{fig}.png'\n\
+         set datafile separator ','\n\
+         set xlabel 'phi/R'\n\
+         set ylabel 'Waste Ratio'\n\
+         set key top left\n\
+         set grid\n\
+         plot 'fig{fig}_waste_ratio.csv' skip 1 using 1:5 with lines lw 2 \
+         title 'DoubleBoF/DoubleNBL', \\\n     '' skip 1 using 1:6 with lines lw 2 \
+         title 'Triple/DoubleNBL', 1 with lines dt 2 lc 'gray' notitle\n"
+    )
+}
+
+/// Script for the success-probability ratio surfaces (Figures 6 and 9).
+pub fn risk_surface_script(fig: u8, scenario: &str, t_unit: &str, t_unit_secs: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Figure {fig} ({scenario}): relative success probabilities, theta = (alpha+1)R.\n\
+         set terminal pngcairo size 1100,520 enhanced\n\
+         set output 'fig{fig}.png'\n\
+         set multiplot layout 1,2\n\
+         set datafile separator ','\n\
+         set xlabel 'M (minutes)'\n\
+         set ylabel 'Platform Exploitation ({t_unit})'\n\
+         set zrange [0:1]\n\
+         set cbrange [0:1]\n\
+         set dgrid3d 30,30\n\
+         set hidden3d"
+    );
+    let _ = writeln!(
+        s,
+        "set title 'DOUBLENBL / DOUBLEBOF success probability'\n\
+         splot 'fig{fig}_risk.csv' skip 1 using ($1/60):($2/{t_unit_secs}):6 with lines notitle"
+    );
+    let _ = writeln!(
+        s,
+        "set title 'DOUBLEBOF / TRIPLE success probability'\n\
+         splot 'fig{fig}_risk.csv' skip 1 using ($1/60):($2/{t_unit_secs}):7 with lines notitle"
+    );
+    s.push_str("unset multiplot\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_script_references_all_protocol_csvs() {
+        let s = waste_surface_script(4, "Base");
+        for f in [
+            "fig4_double-bof.csv",
+            "fig4_double-nbl.csv",
+            "fig4_triple.csv",
+        ] {
+            assert!(s.contains(f), "{f} missing");
+        }
+        assert!(s.contains("logscale x"));
+        assert!(s.contains("set output 'fig4.png'"));
+    }
+
+    #[test]
+    fn ratio_script_plots_both_series() {
+        let s = waste_ratio_script(5, "Base");
+        assert!(s.contains("using 1:5"));
+        assert!(s.contains("using 1:6"));
+        assert!(s.contains("DoubleBoF/DoubleNBL"));
+    }
+
+    #[test]
+    fn risk_script_scales_time_axis() {
+        let s = risk_surface_script(9, "Exa", "weeks", 604800.0);
+        assert!(s.contains("($2/604800)"));
+        assert!(s.contains("fig9_risk.csv"));
+    }
+}

@@ -1,0 +1,341 @@
+//! E4 — hierarchical (two-level) checkpointing (§VIII future work).
+//!
+//! Quantifies what the paper's proposed combination buys: adding rare
+//! global checkpoints to stable storage converts the buddy protocols'
+//! *fatal* failures into bounded rollbacks. For each protocol on the
+//! harsh Base regime this experiment reports the level-1 success
+//! probability over a 30-day campaign (the cliff), the optimally-tuned
+//! two-level waste (the insurance premium), and a Monte-Carlo
+//! spot-check of the two-level waste model.
+
+use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
+use dck_core::{optimal_period, GlobalStore, HierarchicalModel, Protocol, RiskModel, Scenario};
+use dck_sim::hierarchical::{run_hierarchical, HierarchicalRunConfig};
+use dck_sim::{PeriodChoice, RunConfig};
+use dck_simcore::{OnlineStats, RngFactory, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the E4 experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchicalConfig {
+    /// Global write time `Cg` (s).
+    pub write_time: f64,
+    /// Global read time `Rg` (s).
+    pub read_time: f64,
+    /// Monte-Carlo replications for the spot check.
+    pub replications: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            write_time: 600.0,
+            read_time: 600.0,
+            replications: 40,
+            seed: 0xE4,
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalRow {
+    /// Level-1 protocol.
+    pub protocol: Protocol,
+    /// Platform MTBF (s).
+    pub mtbf: f64,
+    /// Level-1 waste at its optimal period.
+    pub level1_waste: f64,
+    /// Level-1 success probability over 30 days (Eq. 11/16).
+    pub level1_success_30d: f64,
+    /// Optimal buddy periods per global segment.
+    pub k_star: u32,
+    /// Optimal global segment length (s).
+    pub segment: f64,
+    /// Two-level waste at `K*` (model).
+    pub two_level_waste: f64,
+    /// Expected fatal rollbacks per 30 days.
+    pub rollbacks_per_30d: f64,
+}
+
+/// Monte-Carlo spot check of one two-level operating point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotCheck {
+    /// Protocol checked.
+    pub protocol: Protocol,
+    /// MTBF (s).
+    pub mtbf: f64,
+    /// `K` used.
+    pub k: u32,
+    /// Model waste.
+    pub model_waste: f64,
+    /// Simulated mean waste.
+    pub sim_waste: f64,
+    /// Simulated standard error.
+    pub std_error: f64,
+    /// Mean fatal rollbacks per run.
+    pub mean_rollbacks: f64,
+}
+
+/// The E4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalReport {
+    /// Model comparison rows.
+    pub rows: Vec<HierarchicalRow>,
+    /// Monte-Carlo spot checks.
+    pub spot_checks: Vec<SpotCheck>,
+}
+
+/// Runs E4 on the Base scenario at the blocking operating point
+/// (φ = R — the φ-choice optimum in the harsh regime).
+pub fn run(cfg: &HierarchicalConfig) -> HierarchicalReport {
+    let scenario = Scenario::base();
+    let params = scenario.params;
+    let phi = params.theta_min;
+    let store = GlobalStore::new(cfg.write_time, cfg.read_time).expect("valid store");
+    let month = 30.0 * 86_400.0;
+
+    let mut rows = Vec::new();
+    for protocol in Protocol::EVALUATED {
+        for mtbf in [60.0, 300.0, 1_800.0] {
+            let level1 = optimal_period(protocol, &params, phi, mtbf).expect("valid point");
+            let success = RiskModel::new(protocol, &params, phi)
+                .expect("valid")
+                .success_probability(mtbf, month)
+                .expect("valid")
+                .probability;
+            let hm = HierarchicalModel::new(protocol, &params, phi, store).expect("valid");
+            let best = hm.optimal(mtbf, 10_000_000).expect("valid");
+            rows.push(HierarchicalRow {
+                protocol,
+                mtbf,
+                level1_waste: level1.waste.total,
+                level1_success_30d: success,
+                k_star: best.periods_per_global,
+                segment: best.segment,
+                two_level_waste: best.waste,
+                rollbacks_per_30d: best.fatal_rate * month,
+            });
+        }
+    }
+
+    // Spot-check the model against the two-level simulator on a small
+    // platform (waste is n-independent; fatal rate is recomputed for
+    // the small n inside both model and simulator).
+    let mut spot_checks = Vec::new();
+    let mut small = params;
+    small.nodes = 96;
+    for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+        let mtbf = 300.0;
+        let hm = HierarchicalModel::new(protocol, &small, phi, store).expect("valid");
+        // Pin a small K so each run spans many segments — the model's
+        // per-segment amortization is only comparable when the run
+        // contains several of them (K* can exceed the whole run).
+        let k = 100;
+        let best = hm.evaluate(k, mtbf).expect("valid");
+        let run_cfg = HierarchicalRunConfig {
+            inner: {
+                let mut c = RunConfig::new(protocol, small, phi, mtbf);
+                c.period = PeriodChoice::Optimal;
+                c
+            },
+            store,
+            periods_per_global: k,
+            max_rollbacks: 100_000,
+        };
+        let mut stats = OnlineStats::new();
+        let mut rollbacks = OnlineStats::new();
+        for i in 0..cfg.replications {
+            let spec = dck_failures::MtbfSpec::Individual {
+                mtbf: SimTime::seconds(mtbf * small.nodes as f64),
+                nodes: run_cfg.inner.usable_nodes(),
+            };
+            let mut source = dck_failures::AggregatedExponential::new(
+                spec,
+                RngFactory::new(cfg.seed).component_stream("hier", i as u64),
+            );
+            let out =
+                run_hierarchical(&run_cfg, 300.0 * mtbf, &mut source).expect("valid configuration");
+            if out.completed {
+                stats.push(out.waste());
+                rollbacks.push(out.fatal_rollbacks as f64);
+            }
+        }
+        spot_checks.push(SpotCheck {
+            protocol,
+            mtbf,
+            k,
+            model_waste: best.waste,
+            sim_waste: stats.mean(),
+            std_error: stats.std_error(),
+            mean_rollbacks: rollbacks.mean(),
+        });
+    }
+
+    HierarchicalReport { rows, spot_checks }
+}
+
+impl HierarchicalReport {
+    /// ASCII rendering.
+    pub fn to_ascii(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.to_string(),
+                    fmt_f64(r.mtbf),
+                    format!("{:.4}", r.level1_waste),
+                    format!("{:.6}", r.level1_success_30d),
+                    r.k_star.to_string(),
+                    format!("{:.0}", r.segment),
+                    format!("{:.4}", r.two_level_waste),
+                    format!("{:.2}", r.rollbacks_per_30d),
+                ]
+            })
+            .collect();
+        let spots: Vec<Vec<String>> = self
+            .spot_checks
+            .iter()
+            .map(|s| {
+                vec![
+                    s.protocol.to_string(),
+                    fmt_f64(s.mtbf),
+                    s.k.to_string(),
+                    format!("{:.4}", s.model_waste),
+                    format!("{:.4} ± {:.4}", s.sim_waste, s.std_error),
+                    format!("{:.2}", s.mean_rollbacks),
+                ]
+            })
+            .collect();
+        format!(
+            "Two-level checkpointing on Base (phi = R, Cg = Rg = 10 min)\n{}\n\
+             Monte-Carlo spot check (96 nodes, M = 5 min)\n{}",
+            ascii_table(
+                &[
+                    "protocol",
+                    "M_s",
+                    "L1 waste",
+                    "L1 P(30d)",
+                    "K*",
+                    "segment_s",
+                    "2-level waste",
+                    "rollbacks/30d",
+                ],
+                &rows
+            ),
+            ascii_table(
+                &[
+                    "protocol",
+                    "M_s",
+                    "K",
+                    "model",
+                    "sim (mean ± se)",
+                    "rollbacks/run"
+                ],
+                &spots
+            )
+        )
+    }
+
+    /// Writes CSV + JSON + ASCII.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.id().into(),
+                    fmt_f64(r.mtbf),
+                    fmt_f64(r.level1_waste),
+                    fmt_f64(r.level1_success_30d),
+                    r.k_star.to_string(),
+                    fmt_f64(r.segment),
+                    fmt_f64(r.two_level_waste),
+                    fmt_f64(r.rollbacks_per_30d),
+                ]
+            })
+            .collect();
+        out.write_text(
+            "hierarchical.csv",
+            &to_csv(
+                &[
+                    "protocol",
+                    "mtbf_s",
+                    "level1_waste",
+                    "level1_success_30d",
+                    "k_star",
+                    "segment_s",
+                    "two_level_waste",
+                    "rollbacks_per_30d",
+                ],
+                &rows,
+            ),
+        )?;
+        out.write_json("hierarchical.json", self)?;
+        out.write_text("hierarchical.txt", &self.to_ascii())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> HierarchicalConfig {
+        HierarchicalConfig {
+            replications: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_level_waste_bounded_and_insurance_cheap_for_triple() {
+        let report = run(&fast());
+        assert_eq!(report.rows.len(), 9);
+        for r in &report.rows {
+            assert!(r.two_level_waste >= r.level1_waste - 1e-12, "{r:?}");
+            assert!(r.two_level_waste <= 1.0);
+        }
+        // TRIPLE's fatal rate is tiny, so its insurance premium at the
+        // harshest point is far below DOUBLE's.
+        let dbl = report
+            .rows
+            .iter()
+            .find(|r| r.protocol == Protocol::DoubleNbl && r.mtbf == 60.0)
+            .unwrap();
+        let tri = report
+            .rows
+            .iter()
+            .find(|r| r.protocol == Protocol::Triple && r.mtbf == 60.0)
+            .unwrap();
+        let dbl_premium = dbl.two_level_waste - dbl.level1_waste;
+        let tri_premium = tri.two_level_waste - tri.level1_waste;
+        assert!(
+            tri_premium < 0.5 * dbl_premium,
+            "triple premium {tri_premium} vs double {dbl_premium}"
+        );
+        // And the level-1 cliff it removes is real for the double.
+        assert!(dbl.level1_success_30d < 0.9);
+    }
+
+    #[test]
+    fn spot_checks_within_tolerance() {
+        let report = run(&fast());
+        for s in &report.spot_checks {
+            let tol = (4.0 * s.std_error).max(0.05);
+            assert!(
+                (s.sim_waste - s.model_waste).abs() < tol,
+                "{:?}: sim {} vs model {}",
+                s.protocol,
+                s.sim_waste,
+                s.model_waste
+            );
+        }
+    }
+}

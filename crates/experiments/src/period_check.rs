@@ -1,0 +1,291 @@
+//! V2 — optimal-period cross-check (§III-B, §V-B).
+//!
+//! Two independent validations of the Maple-derived closed forms:
+//!
+//! 1. the derivative-free golden-section minimizer of the exact waste
+//!    function must land on the closed-form period (Eqs. 9/10/15);
+//! 2. the buddy protocols' optimal waste must beat the centralized
+//!    Young/Daly baseline instantiated with an application-level
+//!    checkpoint time — the gap that motivates the paper.
+
+use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
+use dck_core::{
+    daly_period, numeric_optimal_period, optimal_period, young_period, CentralizedModel,
+    PeriodSource, Protocol, Scenario,
+};
+use serde::{Deserialize, Serialize};
+
+/// One cross-check row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol checked.
+    pub protocol: Protocol,
+    /// Overhead ratio `φ/R`.
+    pub phi_ratio: f64,
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Closed-form optimal period (after feasibility clamping).
+    pub closed_form: f64,
+    /// Numeric (golden-section) optimal period.
+    pub numeric: f64,
+    /// Relative disagreement.
+    pub rel_err: f64,
+    /// Waste at the closed-form period.
+    pub waste: f64,
+    /// Whether the closed form was interior, clamped, or saturated.
+    pub source: PeriodSource,
+}
+
+/// Young/Daly baseline comparison row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Application-level checkpoint time `C` used for the baseline.
+    pub centralized_c: f64,
+    /// Young's period.
+    pub young: f64,
+    /// Daly's period.
+    pub daly: f64,
+    /// Centralized waste at Daly's period.
+    pub centralized_waste: f64,
+    /// Buddy (DOUBLENBL, φ/R = 0.25) waste at the optimal period.
+    pub buddy_waste: f64,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodReport {
+    /// Closed-form vs numeric rows.
+    pub rows: Vec<PeriodRow>,
+    /// Baseline comparison rows.
+    pub baseline: Vec<BaselineRow>,
+}
+
+/// Runs the cross-check over both scenarios.
+pub fn run() -> PeriodReport {
+    let mut rows = Vec::new();
+    let mut baseline = Vec::new();
+    for scenario in Scenario::all() {
+        for protocol in Protocol::EVALUATED {
+            for phi_ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                for mtbf in [600.0, 3_600.0, 7.0 * 3_600.0, 86_400.0] {
+                    let phi = phi_ratio * scenario.params.theta_min;
+                    let analytic =
+                        optimal_period(protocol, &scenario.params, phi, mtbf).expect("valid point");
+                    let numeric = numeric_optimal_period(protocol, &scenario.params, phi, mtbf)
+                        .expect("valid point");
+                    let rel_err =
+                        (analytic.period - numeric.period).abs() / analytic.period.max(1e-9);
+                    rows.push(PeriodRow {
+                        scenario: scenario.name.clone(),
+                        protocol,
+                        phi_ratio,
+                        mtbf,
+                        closed_form: analytic.period,
+                        numeric: numeric.period,
+                        rel_err,
+                        waste: analytic.waste.total,
+                        source: analytic.source,
+                    });
+                }
+            }
+        }
+
+        // Baseline: centralized checkpointing of the whole application.
+        // The aggregate image is n× the node image; pushing it through
+        // shared stable storage is bandwidth-bound. We conservatively
+        // charge only 100 node-images' worth of time (a machine with a
+        // parallel file system absorbing 1% of the aggregate at node
+        // speed) — even this optimistic baseline loses clearly.
+        let c = scenario.params.delta * 100.0;
+        let central =
+            CentralizedModel::new(c, scenario.params.downtime, c).expect("valid baseline");
+        for mtbf in [3_600.0, 7.0 * 3_600.0, 86_400.0] {
+            let phi = 0.25 * scenario.params.theta_min;
+            let buddy = optimal_period(Protocol::DoubleNbl, &scenario.params, phi, mtbf)
+                .expect("valid point")
+                .waste
+                .total;
+            baseline.push(BaselineRow {
+                scenario: scenario.name.clone(),
+                mtbf,
+                centralized_c: c,
+                young: young_period(mtbf, c),
+                daly: daly_period(mtbf, c, scenario.params.downtime, c),
+                centralized_waste: central.waste_at_daly(mtbf).expect("valid"),
+                buddy_waste: buddy,
+            });
+        }
+    }
+    PeriodReport { rows, baseline }
+}
+
+impl PeriodReport {
+    /// Largest closed-form vs numeric disagreement across interior
+    /// optima.
+    pub fn max_interior_rel_err(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.source == PeriodSource::ClosedForm)
+            .map(|r| r.rel_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// ASCII rendering of both tables.
+    pub fn to_ascii(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.protocol.to_string(),
+                    fmt_f64(r.phi_ratio),
+                    fmt_f64(r.mtbf),
+                    fmt_f64(r.closed_form),
+                    fmt_f64(r.numeric),
+                    format!("{:.2e}", r.rel_err),
+                    format!("{:?}", r.source),
+                ]
+            })
+            .collect();
+        let base: Vec<Vec<String>> = self
+            .baseline
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    fmt_f64(r.mtbf),
+                    fmt_f64(r.centralized_c),
+                    fmt_f64(r.young),
+                    fmt_f64(r.daly),
+                    fmt_f64(r.centralized_waste),
+                    fmt_f64(r.buddy_waste),
+                ]
+            })
+            .collect();
+        format!(
+            "Closed-form (Eqs. 9/10/15) vs numeric optimum\n{}\n\
+             Young/Daly centralized baseline vs buddy checkpointing\n{}",
+            ascii_table(
+                &[
+                    "scenario", "protocol", "phi/R", "M_s", "closed", "numeric", "rel_err",
+                    "source"
+                ],
+                &rows
+            ),
+            ascii_table(
+                &[
+                    "scenario",
+                    "M_s",
+                    "C_s",
+                    "young",
+                    "daly",
+                    "central_waste",
+                    "buddy_waste"
+                ],
+                &base
+            )
+        )
+    }
+
+    /// Writes CSV + JSON + ASCII.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.protocol.id().into(),
+                    fmt_f64(r.phi_ratio),
+                    fmt_f64(r.mtbf),
+                    fmt_f64(r.closed_form),
+                    fmt_f64(r.numeric),
+                    format!("{:.3e}", r.rel_err),
+                    fmt_f64(r.waste),
+                    format!("{:?}", r.source),
+                ]
+            })
+            .collect();
+        out.write_text(
+            "period_check.csv",
+            &to_csv(
+                &[
+                    "scenario",
+                    "protocol",
+                    "phi_over_r",
+                    "mtbf_s",
+                    "closed_form_s",
+                    "numeric_s",
+                    "rel_err",
+                    "waste",
+                    "source",
+                ],
+                &rows,
+            ),
+        )?;
+        out.write_json("period_check.json", self)?;
+        out.write_text("period_check.txt", &self.to_ascii())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_agree_with_numeric_everywhere() {
+        let report = run();
+        assert!(!report.rows.is_empty());
+        let max_err = report.max_interior_rel_err();
+        assert!(max_err < 1e-3, "max interior rel err {max_err}");
+        // Clamped/saturated rows agree too (both end up at Pmin).
+        for r in &report.rows {
+            if r.source != PeriodSource::ClosedForm {
+                assert!(
+                    r.rel_err < 1e-3 || r.waste >= 1.0,
+                    "{:?} {} φ/R={} M={}: {} vs {}",
+                    r.source,
+                    r.protocol,
+                    r.phi_ratio,
+                    r.mtbf,
+                    r.closed_form,
+                    r.numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buddy_always_beats_centralized_baseline() {
+        let report = run();
+        for b in &report.baseline {
+            assert!(
+                b.buddy_waste < b.centralized_waste,
+                "{} at M={}: buddy {} vs central {}",
+                b.scenario,
+                b.mtbf,
+                b.buddy_waste,
+                b.centralized_waste
+            );
+        }
+    }
+
+    #[test]
+    fn daly_period_at_least_young() {
+        let report = run();
+        for b in &report.baseline {
+            assert!(b.daly >= b.young);
+        }
+    }
+}

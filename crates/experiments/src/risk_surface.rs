@@ -1,0 +1,335 @@
+//! F6 / F9 — relative success probabilities (Figures 6 and 9).
+//!
+//! Ratios of application success probabilities over a grid of platform
+//! MTBF × platform exploitation time, with the transfer stretch pinned
+//! at its maximum `θ = (α+1)·R` ("the largest possible risk duration"):
+//!
+//! * Figure 6 (`Base`): `M ∈ (0, 30] min`, exploitation 1–30 **days**;
+//! * Figure 9 (`Exa`): `M ∈ (0, 60] min`, exploitation 0–60 **weeks**.
+//!
+//! Subfigure (a) plots `DOUBLENBL / DOUBLEBOF` (≤ 1: BoF is safer);
+//! subfigure (b) compares TRIPLE with double checkpointing. The paper's
+//! caption for (b) says "DOUBLEBOF/TRIPLE" while the body text compares
+//! TRIPLE against DOUBLENBL; we emit **all three** ratios so either
+//! reading can be reproduced (see EXPERIMENTS.md).
+
+use crate::output::{ascii_heatmap, fmt_f64, to_csv, OutputDir};
+use dck_core::{Protocol, RiskModel, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// One grid point of the risk-ratio surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskPoint {
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Platform exploitation time (seconds).
+    pub exploitation: f64,
+    /// Success probability of DOUBLENBL (Eq. 11).
+    pub p_nbl: f64,
+    /// Success probability of DOUBLEBOF (Eq. 11).
+    pub p_bof: f64,
+    /// Success probability of TRIPLE (Eq. 16).
+    pub p_triple: f64,
+}
+
+impl RiskPoint {
+    /// Subfigure (a): `DOUBLENBL / DOUBLEBOF` (1 if both are 0).
+    pub fn nbl_over_bof(&self) -> f64 {
+        safe_ratio(self.p_nbl, self.p_bof)
+    }
+
+    /// Caption reading of subfigure (b): `DOUBLEBOF / TRIPLE`.
+    pub fn bof_over_triple(&self) -> f64 {
+        safe_ratio(self.p_bof, self.p_triple)
+    }
+
+    /// Body-text reading of subfigure (b): `DOUBLENBL / TRIPLE`.
+    pub fn nbl_over_triple(&self) -> f64 {
+        safe_ratio(self.p_nbl, self.p_triple)
+    }
+}
+
+fn safe_ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskSurfaceFigure {
+    /// Scenario name (`Base` → Fig. 6, `Exa` → Fig. 9).
+    pub scenario: String,
+    /// MTBF grid (seconds).
+    pub mtbf_grid: Vec<f64>,
+    /// Exploitation grid (seconds).
+    pub exploitation_grid: Vec<f64>,
+    /// Points in row-major order (MTBF outer, exploitation inner).
+    pub points: Vec<RiskPoint>,
+    /// Transfer stretch used: `θ = (α+1)·R`.
+    pub theta: f64,
+}
+
+/// Grid resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct Resolution {
+    /// MTBF samples.
+    pub mtbf_points: usize,
+    /// Exploitation samples.
+    pub exploitation_points: usize,
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution {
+            mtbf_points: 30,
+            exploitation_points: 30,
+        }
+    }
+}
+
+/// Computes the figure for a scenario.
+pub fn run(scenario: &Scenario, res: Resolution) -> RiskSurfaceFigure {
+    let is_base = scenario.name == "Base";
+    // Paper axes: Base M ∈ (0, 30] min / T in days 1..30;
+    //             Exa  M ∈ (0, 60] min / T in weeks up to 60.
+    let (m_max_min, t_unit, t_max_units) = if is_base {
+        (30.0, 86_400.0, 30.0)
+    } else {
+        (60.0, 7.0 * 86_400.0, 60.0)
+    };
+    let mtbf_grid: Vec<f64> = (1..=res.mtbf_points)
+        .map(|i| 60.0 * m_max_min * i as f64 / res.mtbf_points as f64)
+        .collect();
+    let exploitation_grid: Vec<f64> = (1..=res.exploitation_points)
+        .map(|i| t_unit * t_max_units * i as f64 / res.exploitation_points as f64)
+        .collect();
+
+    let theta = scenario.params.theta_max();
+    let model = |p: Protocol| {
+        RiskModel::with_theta(p, &scenario.params, theta).expect("θmax is a valid stretch")
+    };
+    let (nbl, bof, tri) = (
+        model(Protocol::DoubleNbl),
+        model(Protocol::DoubleBof),
+        model(Protocol::Triple),
+    );
+
+    let mut points = Vec::with_capacity(mtbf_grid.len() * exploitation_grid.len());
+    for &m in &mtbf_grid {
+        for &t in &exploitation_grid {
+            let p = |rm: &RiskModel| {
+                rm.success_probability(m, t)
+                    .expect("grid points are valid")
+                    .probability
+            };
+            points.push(RiskPoint {
+                mtbf: m,
+                exploitation: t,
+                p_nbl: p(&nbl),
+                p_bof: p(&bof),
+                p_triple: p(&tri),
+            });
+        }
+    }
+    RiskSurfaceFigure {
+        scenario: scenario.name.clone(),
+        mtbf_grid,
+        exploitation_grid,
+        points,
+        theta,
+    }
+}
+
+impl RiskSurfaceFigure {
+    /// The figure number this data reproduces.
+    pub fn figure_number(&self) -> u8 {
+        if self.scenario == "Base" {
+            6
+        } else {
+            9
+        }
+    }
+
+    /// Extracts a ratio matrix `z[m][t]`.
+    pub fn matrix(&self, f: impl Fn(&RiskPoint) -> f64) -> Vec<Vec<f64>> {
+        let cols = self.exploitation_grid.len();
+        self.points
+            .chunks(cols)
+            .map(|row| row.iter().map(&f).collect())
+            .collect()
+    }
+
+    /// Writes CSV + JSON + ASCII previews.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let fig = self.figure_number();
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt_f64(p.mtbf),
+                    fmt_f64(p.exploitation),
+                    fmt_f64(p.p_nbl),
+                    fmt_f64(p.p_bof),
+                    fmt_f64(p.p_triple),
+                    fmt_f64(p.nbl_over_bof()),
+                    fmt_f64(p.bof_over_triple()),
+                    fmt_f64(p.nbl_over_triple()),
+                ]
+            })
+            .collect();
+        out.write_text(
+            &format!("fig{fig}_risk.csv"),
+            &to_csv(
+                &[
+                    "mtbf_s",
+                    "exploitation_s",
+                    "p_double_nbl",
+                    "p_double_bof",
+                    "p_triple",
+                    "nbl_over_bof",
+                    "bof_over_triple",
+                    "nbl_over_triple",
+                ],
+                &rows,
+            ),
+        )?;
+        out.write_text(
+            &format!("fig{fig}a_preview.txt"),
+            &format!(
+                "Fig {fig}a: DOUBLENBL/DOUBLEBOF success ratio (rows: MTBF asc, cols: T asc)\n{}",
+                ascii_heatmap(&self.matrix(RiskPoint::nbl_over_bof))
+            ),
+        )?;
+        out.write_text(
+            &format!("fig{fig}b_preview.txt"),
+            &format!(
+                "Fig {fig}b: DOUBLEBOF/TRIPLE success ratio (rows: MTBF asc, cols: T asc)\n{}",
+                ascii_heatmap(&self.matrix(RiskPoint::bof_over_triple))
+            ),
+        )?;
+        out.write_json(&format!("fig{fig}.json"), self)?;
+        let (unit, secs) = if self.scenario == "Base" {
+            ("days", 86_400.0)
+        } else {
+            ("weeks", 604_800.0)
+        };
+        out.write_text(
+            &format!("fig{fig}.gp"),
+            &crate::gnuplot::risk_surface_script(fig, &self.scenario, unit, secs),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Resolution {
+        Resolution {
+            mtbf_points: 6,
+            exploitation_points: 6,
+        }
+    }
+
+    #[test]
+    fn probabilities_and_ratios_in_range() {
+        for scenario in [Scenario::base(), Scenario::exa()] {
+            let fig = run(&scenario, small());
+            for p in &fig.points {
+                for v in [p.p_nbl, p.p_bof, p.p_triple] {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+                assert!(p.nbl_over_bof() <= 1.0 + 1e-12, "BoF is the safer double");
+                assert!(p.nbl_over_triple() <= 1.0 + 1e-12, "TRIPLE safest");
+                assert!(p.bof_over_triple() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn base_ratios_near_one_except_harsh_corner() {
+        // §VI: differences are "measurable for long periods (above 10
+        // days) and very low MTBF (M ≤ 60 s); otherwise all protocols
+        // have a success probability almost equal to 1".
+        let fig = run(
+            &Scenario::base(),
+            Resolution {
+                mtbf_points: 30,
+                exploitation_points: 30,
+            },
+        );
+        assert_eq!(fig.figure_number(), 6);
+        // Mild corner: largest MTBF (30 min), shortest T (1 day).
+        let mild = fig
+            .points
+            .iter()
+            .find(|p| p.mtbf == 1800.0 && (p.exploitation - 86_400.0).abs() < 1.0)
+            .unwrap();
+        assert!(mild.nbl_over_bof() > 0.999);
+        assert!(mild.nbl_over_triple() > 0.999);
+        // Harsh corner: M = 60 s, T = 30 days.
+        let harsh = fig
+            .points
+            .iter()
+            .find(|p| p.mtbf == 60.0 && (p.exploitation - 30.0 * 86_400.0).abs() < 1.0)
+            .unwrap();
+        assert!(harsh.nbl_over_bof() < 1.0);
+        // TRIPLE's advantage is orders of magnitude in this corner.
+        assert!(
+            harsh.nbl_over_triple() < 0.7,
+            "nbl/triple {}",
+            harsh.nbl_over_triple()
+        );
+        assert!(
+            harsh.p_triple > 0.99,
+            "triple stays near 1: {}",
+            harsh.p_triple
+        );
+    }
+
+    #[test]
+    fn theta_is_pinned_at_max() {
+        let fig = run(&Scenario::base(), small());
+        assert!((fig.theta - 44.0).abs() < 1e-12);
+        let fig = run(&Scenario::exa(), small());
+        assert!((fig.theta - 660.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exa_axes_match_paper() {
+        let fig = run(&Scenario::exa(), small());
+        assert_eq!(fig.figure_number(), 9);
+        assert!((fig.mtbf_grid.last().unwrap() - 3600.0).abs() < 1e-9); // 60 min
+        let t_max = *fig.exploitation_grid.last().unwrap();
+        assert!((t_max - 60.0 * 7.0 * 86_400.0).abs() < 1e-3); // 60 weeks
+    }
+
+    #[test]
+    fn ratios_degrade_with_longer_exploitation() {
+        let fig = run(&Scenario::base(), small());
+        // Within the lowest-MTBF row, NBL/TRIPLE falls as T grows.
+        let row = fig.matrix(RiskPoint::nbl_over_triple);
+        for w in row[0].windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn safe_ratio_edge_cases() {
+        assert_eq!(safe_ratio(0.0, 0.0), 1.0);
+        assert_eq!(safe_ratio(0.5, 0.0), f64::INFINITY);
+        assert_eq!(safe_ratio(0.25, 0.5), 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! T1 — Table I: the evaluation scenarios.
+
+use crate::output::{ascii_table, to_csv, OutputDir};
+use dck_core::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Downtime `D` (s).
+    pub downtime: f64,
+    /// Local checkpoint `δ` (s).
+    pub delta: f64,
+    /// Overhead range upper bound (`0 ≤ φ ≤ phi_max`).
+    pub phi_max: f64,
+    /// Blocking remote transfer `R` (s).
+    pub recovery: f64,
+    /// Overlap factor `α`.
+    pub alpha: f64,
+    /// Node count `n`.
+    pub nodes: u64,
+}
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in paper order (`Base`, `Exa`).
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds Table I from the scenario definitions.
+pub fn run() -> Table1 {
+    let rows = Scenario::all()
+        .into_iter()
+        .map(|s| Table1Row {
+            scenario: s.name.clone(),
+            downtime: s.params.downtime,
+            delta: s.params.delta,
+            phi_max: s.phi_max,
+            recovery: s.params.recovery(),
+            alpha: s.params.alpha,
+            nodes: s.params.nodes,
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// The cells as strings, for CSV/ASCII rendering.
+    fn cells(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    format!("{}", r.downtime),
+                    format!("{}", r.delta),
+                    format!("0 <= phi <= {}", r.phi_max),
+                    format!("{}", r.recovery),
+                    format!("{}", r.alpha),
+                    format!("{}", r.nodes),
+                ]
+            })
+            .collect()
+    }
+
+    /// ASCII rendering (matches the paper's column order).
+    pub fn to_ascii(&self) -> String {
+        ascii_table(
+            &["Scenario", "D", "delta", "phi", "R", "alpha", "n"],
+            &self.cells(),
+        )
+    }
+
+    /// Writes `table1.csv`, `table1.json` and `table1.txt`.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        out.write_text(
+            "table1.csv",
+            &to_csv(
+                &["scenario", "D", "delta", "phi_max", "R", "alpha", "n"],
+                &self
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.scenario.clone(),
+                            r.downtime.to_string(),
+                            r.delta.to_string(),
+                            r.phi_max.to_string(),
+                            r.recovery.to_string(),
+                            r.alpha.to_string(),
+                            r.nodes.to_string(),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        )?;
+        out.write_json("table1.json", self)?;
+        out.write_text("table1.txt", &self.to_ascii())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let t = run();
+        assert_eq!(t.rows.len(), 2);
+        let base = &t.rows[0];
+        assert_eq!(base.scenario, "Base");
+        assert_eq!(base.downtime, 0.0);
+        assert!((base.delta - 2.0).abs() < 1e-12);
+        assert!((base.recovery - 4.0).abs() < 1e-12);
+        assert_eq!(base.alpha, 10.0);
+        assert_eq!(base.nodes, 324 * 32);
+
+        let exa = &t.rows[1];
+        assert_eq!(exa.scenario, "Exa");
+        assert_eq!(exa.downtime, 60.0);
+        assert!((exa.delta - 30.0).abs() < 1e-9);
+        assert!((exa.recovery - 60.0).abs() < 1e-9);
+        assert_eq!(exa.nodes, 1_000_000);
+    }
+
+    #[test]
+    fn ascii_contains_both_scenarios() {
+        let text = run().to_ascii();
+        assert!(text.contains("Base"));
+        assert!(text.contains("Exa"));
+        assert!(text.contains("1000000"));
+    }
+}

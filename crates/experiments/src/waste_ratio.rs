@@ -1,0 +1,199 @@
+//! F5 / F8 — waste ratios at `M = 7 h` (Figures 5 and 8).
+//!
+//! Waste of DOUBLEBOF and TRIPLE relative to DOUBLENBL, as a function
+//! of `φ/R ∈ [0, 1]`, at the model-optimal periods — `Base` for
+//! Figure 5, `Exa` for Figure 8.
+
+use crate::output::{fmt_f64, to_csv, OutputDir};
+use dck_core::{Evaluation, Protocol, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// The MTBF pinned by both figures: 7 hours.
+pub const M_7H: f64 = 7.0 * 3600.0;
+
+/// One sampled ratio point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// Overhead ratio `φ/R`.
+    pub phi_ratio: f64,
+    /// Absolute waste of DOUBLENBL (the reference).
+    pub waste_nbl: f64,
+    /// Absolute waste of DOUBLEBOF.
+    pub waste_bof: f64,
+    /// Absolute waste of TRIPLE.
+    pub waste_triple: f64,
+    /// `DOUBLEBOF / DOUBLENBL` waste ratio.
+    pub bof_over_nbl: f64,
+    /// `TRIPLE / DOUBLENBL` waste ratio.
+    pub triple_over_nbl: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WasteRatioFigure {
+    /// Scenario name (`Base` → Fig. 5, `Exa` → Fig. 8).
+    pub scenario: String,
+    /// MTBF used (7 h).
+    pub mtbf: f64,
+    /// Sampled points.
+    pub points: Vec<RatioPoint>,
+}
+
+/// Computes the figure with `points` φ/R samples.
+pub fn run(scenario: &Scenario, points: usize) -> WasteRatioFigure {
+    assert!(points >= 2);
+    let pts = (0..points)
+        .map(|i| {
+            let ratio = i as f64 / (points - 1) as f64;
+            let phi = ratio * scenario.params.theta_min;
+            let eval = |p: Protocol| {
+                Evaluation::at_optimal_period(p, &scenario.params, phi, M_7H)
+                    .expect("Table I operating points are valid")
+                    .waste
+                    .total
+            };
+            let nbl = eval(Protocol::DoubleNbl);
+            let bof = eval(Protocol::DoubleBof);
+            let tri = eval(Protocol::Triple);
+            RatioPoint {
+                phi_ratio: ratio,
+                waste_nbl: nbl,
+                waste_bof: bof,
+                waste_triple: tri,
+                bof_over_nbl: bof / nbl,
+                triple_over_nbl: tri / nbl,
+            }
+        })
+        .collect();
+    WasteRatioFigure {
+        scenario: scenario.name.clone(),
+        mtbf: M_7H,
+        points: pts,
+    }
+}
+
+impl WasteRatioFigure {
+    /// The figure number this data reproduces.
+    pub fn figure_number(&self) -> u8 {
+        if self.scenario == "Base" {
+            5
+        } else {
+            8
+        }
+    }
+
+    /// Writes CSV + JSON.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let fig = self.figure_number();
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt_f64(p.phi_ratio),
+                    fmt_f64(p.waste_nbl),
+                    fmt_f64(p.waste_bof),
+                    fmt_f64(p.waste_triple),
+                    fmt_f64(p.bof_over_nbl),
+                    fmt_f64(p.triple_over_nbl),
+                ]
+            })
+            .collect();
+        out.write_text(
+            &format!("fig{fig}_waste_ratio.csv"),
+            &to_csv(
+                &[
+                    "phi_over_r",
+                    "waste_double_nbl",
+                    "waste_double_bof",
+                    "waste_triple",
+                    "bof_over_nbl",
+                    "triple_over_nbl",
+                ],
+                &rows,
+            ),
+        )?;
+        out.write_json(&format!("fig{fig}.json"), self)?;
+        out.write_text(
+            &format!("fig{fig}.gp"),
+            &crate::gnuplot::waste_ratio_script(fig, &self.scenario),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_shape_matches_figure5() {
+        let fig = run(&Scenario::base(), 21);
+        assert_eq!(fig.figure_number(), 5);
+
+        // (i) BoF never beats NBL, and they converge at φ/R = 1.
+        for p in &fig.points {
+            assert!(p.bof_over_nbl >= 1.0 - 1e-9, "at {}", p.phi_ratio);
+        }
+        let last = fig.points.last().unwrap();
+        assert!((last.bof_over_nbl - 1.0).abs() < 1e-9);
+
+        // (ii) TRIPLE wins by a lot at low φ/R…
+        let first = &fig.points[0];
+        assert!(first.triple_over_nbl < 0.5, "{}", first.triple_over_nbl);
+        // …and loses by a bounded margin (≤ ~15 %) at the blocking end.
+        assert!(last.triple_over_nbl > 1.0);
+        assert!(last.triple_over_nbl < 1.20, "{}", last.triple_over_nbl);
+
+        // (iii) The crossover sits near φ = δ (φ/R = 0.5 in Base).
+        let cross = fig
+            .points
+            .windows(2)
+            .find(|w| w[0].triple_over_nbl <= 1.0 && w[1].triple_over_nbl > 1.0)
+            .expect("crossover exists");
+        assert!(
+            (cross[0].phi_ratio - 0.5).abs() < 0.11,
+            "{}",
+            cross[0].phi_ratio
+        );
+    }
+
+    #[test]
+    fn exa_shape_matches_figure8() {
+        let fig = run(&Scenario::exa(), 21);
+        assert_eq!(fig.figure_number(), 8);
+        // §VI-B: "the gain of TRIPLE increases up to 25% of that of
+        // DOUBLENBL when φ/R = 1/10" — i.e. TRIPLE's waste is about
+        // 25% lower around φ/R = 0.1.
+        let near_tenth = fig
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.phi_ratio - 0.1)
+                    .abs()
+                    .partial_cmp(&(b.phi_ratio - 0.1).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            near_tenth.triple_over_nbl < 0.85,
+            "triple/nbl at phi/R=0.1: {}",
+            near_tenth.triple_over_nbl
+        );
+        // Exa crossover near φ = δ ⇒ φ/R = 0.5 as well.
+        let last = fig.points.last().unwrap();
+        assert!(last.triple_over_nbl > 1.0);
+    }
+
+    #[test]
+    fn ratios_monotone_toward_blocking_end() {
+        // TRIPLE's relative position degrades as φ/R grows.
+        let fig = run(&Scenario::base(), 21);
+        for w in fig.points.windows(2) {
+            assert!(w[1].triple_over_nbl >= w[0].triple_over_nbl - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! F4 / F7 — waste surfaces (Figures 4 and 7).
+//!
+//! For each evaluated protocol, the waste at the model-optimal period
+//! as a function of the overhead ratio `φ/R ∈ [0, 1]` and the platform
+//! MTBF `M ∈ [15 s, 1 day]` (log axis) — `Base` for Figure 4, `Exa`
+//! for Figure 7.
+
+use crate::output::{ascii_heatmap, fmt_f64, to_csv, OutputDir};
+use dck_core::{Evaluation, Protocol, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Overhead ratio `φ/R`.
+    pub phi_ratio: f64,
+    /// Waste at the optimal period, in `[0, 1]`.
+    pub waste: f64,
+    /// The optimal period used (seconds).
+    pub period: f64,
+}
+
+/// The waste surface of one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolSurface {
+    /// Protocol plotted.
+    pub protocol: Protocol,
+    /// Points in row-major order (MTBF outer, φ/R inner).
+    pub points: Vec<SurfacePoint>,
+}
+
+/// The full figure: one surface per evaluated protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WasteSurfaceFigure {
+    /// Scenario name (`Base` → Fig. 4, `Exa` → Fig. 7).
+    pub scenario: String,
+    /// MTBF grid (seconds, log-spaced).
+    pub mtbf_grid: Vec<f64>,
+    /// φ/R grid.
+    pub phi_grid: Vec<f64>,
+    /// Surfaces in paper order: DOUBLEBOF (a), DOUBLENBL (b), TRIPLE (c).
+    pub surfaces: Vec<ProtocolSurface>,
+}
+
+/// Grid resolution for the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Resolution {
+    /// MTBF samples (log-spaced 15 s → 1 day).
+    pub mtbf_points: usize,
+    /// φ/R samples over `[0, 1]`.
+    pub phi_points: usize,
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution {
+            mtbf_points: 33,
+            phi_points: 21,
+        }
+    }
+}
+
+/// Computes the figure for a scenario.
+pub fn run(scenario: &Scenario, res: Resolution) -> WasteSurfaceFigure {
+    // The paper's axis: "from 15s, where no progress happens for any
+    // protocol, up to 1 day, where the waste is almost 0 for all".
+    let mtbf_grid = Scenario::mtbf_sweep(15.0, 86_400.0, res.mtbf_points);
+    let phi_grid: Vec<f64> = (0..res.phi_points)
+        .map(|i| i as f64 / (res.phi_points - 1) as f64)
+        .collect();
+
+    let surfaces = Protocol::EVALUATED
+        .iter()
+        .map(|&protocol| {
+            let mut points = Vec::with_capacity(mtbf_grid.len() * phi_grid.len());
+            for &m in &mtbf_grid {
+                for &ratio in &phi_grid {
+                    let phi = ratio * scenario.params.theta_min;
+                    let e = Evaluation::at_optimal_period(protocol, &scenario.params, phi, m)
+                        .expect("Table I operating points are valid");
+                    points.push(SurfacePoint {
+                        mtbf: m,
+                        phi_ratio: ratio,
+                        waste: e.waste.total,
+                        period: e.period,
+                    });
+                }
+            }
+            ProtocolSurface { protocol, points }
+        })
+        .collect();
+
+    WasteSurfaceFigure {
+        scenario: scenario.name.clone(),
+        mtbf_grid,
+        phi_grid,
+        surfaces,
+    }
+}
+
+impl WasteSurfaceFigure {
+    /// The figure number this data reproduces.
+    pub fn figure_number(&self) -> u8 {
+        if self.scenario == "Base" {
+            4
+        } else {
+            7
+        }
+    }
+
+    /// Extracts the waste matrix `z[m][phi]` of one surface.
+    pub fn matrix(&self, surface: &ProtocolSurface) -> Vec<Vec<f64>> {
+        let cols = self.phi_grid.len();
+        surface
+            .points
+            .chunks(cols)
+            .map(|row| row.iter().map(|p| p.waste).collect())
+            .collect()
+    }
+
+    /// Writes one CSV per protocol plus JSON and ASCII previews.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn write(&self, out: &OutputDir) -> std::io::Result<()> {
+        let fig = self.figure_number();
+        for s in &self.surfaces {
+            let rows: Vec<Vec<String>> = s
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        fmt_f64(p.mtbf),
+                        fmt_f64(p.phi_ratio),
+                        fmt_f64(p.waste),
+                        fmt_f64(p.period),
+                    ]
+                })
+                .collect();
+            out.write_text(
+                &format!("fig{}_{}.csv", fig, s.protocol.id()),
+                &to_csv(&["mtbf_s", "phi_over_r", "waste", "period_s"], &rows),
+            )?;
+            out.write_text(
+                &format!("fig{}_{}.txt", fig, s.protocol.id()),
+                &format!(
+                    "{} waste surface, scenario {} (rows: MTBF 15s->1day, cols: phi/R 0->1)\n{}",
+                    s.protocol,
+                    self.scenario,
+                    ascii_heatmap(&self.matrix(s))
+                ),
+            )?;
+        }
+        out.write_json(&format!("fig{fig}.json"), self)?;
+        out.write_text(
+            &format!("fig{fig}.gp"),
+            &crate::gnuplot::waste_surface_script(fig, &self.scenario),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Resolution {
+        Resolution {
+            mtbf_points: 7,
+            phi_points: 5,
+        }
+    }
+
+    #[test]
+    fn surfaces_cover_grid_for_all_protocols() {
+        let fig = run(&Scenario::base(), small());
+        assert_eq!(fig.figure_number(), 4);
+        assert_eq!(fig.surfaces.len(), 3);
+        for s in &fig.surfaces {
+            assert_eq!(s.points.len(), 7 * 5);
+            for p in &s.points {
+                assert!((0.0..=1.0).contains(&p.waste), "waste {}", p.waste);
+                assert!(p.period > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_progress_at_15s_and_tiny_waste_at_1day() {
+        // The paper's axis endpoints: waste ≈ 1 at M = 15 s, ≈ 0 at 1 day.
+        let fig = run(&Scenario::base(), small());
+        for s in &fig.surfaces {
+            let z = fig.matrix(s);
+            let first_row_max = z[0].iter().cloned().fold(0.0, f64::max);
+            // At M = 15 s the double protocols are saturated; TRIPLE at
+            // φ ≈ 0 can still progress a little, but most of the row is
+            // heavy waste.
+            assert!(first_row_max > 0.9, "{}: {first_row_max}", s.protocol);
+            let last_row_max = z.last().unwrap().iter().cloned().fold(0.0, f64::max);
+            assert!(last_row_max < 0.1, "{}: {last_row_max}", s.protocol);
+        }
+    }
+
+    #[test]
+    fn waste_decreases_with_mtbf() {
+        let fig = run(&Scenario::base(), small());
+        for s in &fig.surfaces {
+            let z = fig.matrix(s);
+            // At fixed φ/R, waste is non-increasing in M.
+            for col in 0..fig.phi_grid.len() {
+                for w in z.windows(2) {
+                    assert!(w[1][col] <= w[0][col] + 1e-9, "{}: col {col}", s.protocol);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_benefits_most_from_low_phi() {
+        // §VI: "TRIPLE takes a higher benefit of a low value of φ".
+        let fig = run(&Scenario::base(), small());
+        let z: Vec<Vec<Vec<f64>>> = fig.surfaces.iter().map(|s| fig.matrix(s)).collect();
+        // At the largest MTBF row, TRIPLE's φ=0 waste is far below the
+        // doubles'.
+        let last = fig.mtbf_grid.len() - 1;
+        let bof = z[0][last][0];
+        let nbl = z[1][last][0];
+        let tri = z[2][last][0];
+        assert!(tri < nbl && tri < bof, "tri {tri}, nbl {nbl}, bof {bof}");
+        assert!(tri < 0.5 * nbl, "tri {tri} vs nbl {nbl}");
+    }
+
+    #[test]
+    fn exa_surface_runs() {
+        let fig = run(&Scenario::exa(), small());
+        assert_eq!(fig.figure_number(), 7);
+        assert_eq!(fig.surfaces.len(), 3);
+    }
+}

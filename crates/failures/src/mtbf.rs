@@ -1,0 +1,186 @@
+//! MTBF algebra.
+//!
+//! The paper (§III-C, §VII) uses two views of reliability:
+//!
+//! * the **platform MTBF** `M`: mean time between failures *anywhere*
+//!   on the machine — the quantity the waste model consumes;
+//! * the **individual (per-node) MTBF** `M_ind = n·M`, equivalently the
+//!   per-node instantaneous rate `λ = 1/(nM)` — the quantity the risk
+//!   model consumes.
+//!
+//! "a parallel job using n processors of individual MTBF `M_ind` can be
+//! viewed as a single processor job with MTBF `M = M_ind / n`" (§VII).
+//! [`MtbfSpec`] captures either specification and converts exactly.
+
+use dck_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Reliability of an `n`-node platform, specified either way.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MtbfSpec {
+    /// Mean time between failures across the whole platform.
+    Platform {
+        /// Platform MTBF `M`.
+        mtbf: SimTime,
+        /// Node count `n`.
+        nodes: u64,
+    },
+    /// Mean time between failures of one node.
+    Individual {
+        /// Per-node MTBF `M_ind`.
+        mtbf: SimTime,
+        /// Node count `n`.
+        nodes: u64,
+    },
+}
+
+impl MtbfSpec {
+    /// Platform MTBF `M` (seconds between platform-level failures).
+    pub fn platform_mtbf(&self) -> SimTime {
+        match *self {
+            MtbfSpec::Platform { mtbf, .. } => mtbf,
+            MtbfSpec::Individual { mtbf, nodes } => {
+                assert!(nodes > 0, "platform must have nodes");
+                mtbf / nodes as f64
+            }
+        }
+    }
+
+    /// Individual node MTBF `M_ind = n·M`.
+    pub fn individual_mtbf(&self) -> SimTime {
+        match *self {
+            MtbfSpec::Platform { mtbf, nodes } => mtbf * nodes as f64,
+            MtbfSpec::Individual { mtbf, .. } => mtbf,
+        }
+    }
+
+    /// Number of nodes `n`.
+    pub fn nodes(&self) -> u64 {
+        match *self {
+            MtbfSpec::Platform { nodes, .. } | MtbfSpec::Individual { nodes, .. } => nodes,
+        }
+    }
+
+    /// Per-node instantaneous failure rate `λ = 1/(nM)` in s⁻¹.
+    pub fn node_rate(&self) -> f64 {
+        1.0 / self.individual_mtbf().as_secs()
+    }
+
+    /// Platform-level failure rate `nλ = 1/M` in s⁻¹.
+    pub fn platform_rate(&self) -> f64 {
+        1.0 / self.platform_mtbf().as_secs()
+    }
+
+    /// Probability that a given node survives a window of length `w`
+    /// under Exponential failures: `exp(−λw)`.
+    pub fn node_survival(&self, w: SimTime) -> f64 {
+        (-self.node_rate() * w.as_secs()).exp()
+    }
+
+    /// Probability that the whole platform sees no failure during a
+    /// window of length `w`: `exp(−nλw)`.
+    pub fn platform_survival(&self, w: SimTime) -> f64 {
+        (-self.platform_rate() * w.as_secs()).exp()
+    }
+
+    /// Expected number of failures anywhere on the platform during a
+    /// window of length `w`.
+    pub fn expected_failures(&self, w: SimTime) -> f64 {
+        w.as_secs() * self.platform_rate()
+    }
+
+    /// Rescales to a different node count keeping the *individual* MTBF
+    /// fixed (the physically meaningful scaling when growing a machine
+    /// from the same component class: platform MTBF shrinks as 1/n).
+    pub fn with_nodes(&self, nodes: u64) -> MtbfSpec {
+        MtbfSpec::Individual {
+            mtbf: self.individual_mtbf(),
+            nodes,
+        }
+    }
+}
+
+/// Computes the introduction's headline number: the probability that at
+/// least one of `n` independent components fails within a window, given
+/// per-component survival probability `p_unit` for that window.
+///
+/// The paper's example: a 50-year component MTBF gives p ≈ 0.999998 of
+/// surviving one hour, yet a million-node machine fails within the hour
+/// with probability `1 − 0.999998^1e6 > 0.86`.
+pub fn any_component_failure_probability(p_unit_survival: f64, n: u64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p_unit_survival),
+        "survival probability must be in [0,1]"
+    );
+    1.0 - p_unit_survival.powf(n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_and_individual_views_convert() {
+        let spec = MtbfSpec::Individual {
+            mtbf: SimTime::years(50.0),
+            nodes: 1_000_000,
+        };
+        let m = spec.platform_mtbf();
+        // 50 years / 1e6 ≈ 1577 s ≈ 26 min.
+        assert!((m.as_secs() - 50.0 * 365.0 * 86_400.0 / 1e6).abs() < 1e-6);
+        let back = MtbfSpec::Platform {
+            mtbf: m,
+            nodes: 1_000_000,
+        };
+        assert!((back.individual_mtbf().as_secs() - spec.individual_mtbf().as_secs()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rates_are_reciprocal_mtbfs() {
+        let spec = MtbfSpec::Platform {
+            mtbf: SimTime::hours(1.0),
+            nodes: 100,
+        };
+        assert!((spec.platform_rate() - 1.0 / 3600.0).abs() < 1e-15);
+        assert!((spec.node_rate() - 1.0 / 360_000.0).abs() < 1e-15);
+        assert_eq!(spec.nodes(), 100);
+    }
+
+    #[test]
+    fn paper_introduction_example() {
+        // 0.999998 hourly survival per node, one million nodes → > 0.86.
+        let p = any_component_failure_probability(0.999998, 1_000_000);
+        assert!(p > 0.86, "got {p}");
+        assert!(p < 0.87, "got {p}");
+    }
+
+    #[test]
+    fn survival_probabilities() {
+        let spec = MtbfSpec::Platform {
+            mtbf: SimTime::hours(1.0),
+            nodes: 10,
+        };
+        // Platform survives one platform-MTBF with probability 1/e.
+        let p = spec.platform_survival(SimTime::hours(1.0));
+        assert!((p - (-1.0f64).exp()).abs() < 1e-12);
+        // Node survival over the same window is much higher.
+        assert!(spec.node_survival(SimTime::hours(1.0)) > p);
+        // Expected failures over 3 platform MTBFs is 3.
+        assert!((spec.expected_failures(SimTime::hours(3.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_nodes_keeps_individual_mtbf() {
+        let spec = MtbfSpec::Platform {
+            mtbf: SimTime::hours(10.0),
+            nodes: 100,
+        };
+        let grown = spec.with_nodes(1000);
+        assert_eq!(grown.nodes(), 1000);
+        assert!(
+            (grown.individual_mtbf().as_secs() - spec.individual_mtbf().as_secs()).abs() < 1e-9
+        );
+        // Platform MTBF shrank 10x.
+        assert!((grown.platform_mtbf().as_secs() - 3600.0).abs() < 1e-9);
+    }
+}

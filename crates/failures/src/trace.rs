@@ -1,0 +1,299 @@
+//! Recorded failure traces: capture, persist, replay.
+//!
+//! A trace pins down the *exact* failure history of a run, which gives
+//! three things the raw stochastic sources cannot: (i) bit-for-bit
+//! reproducible experiments across machines and crate versions, (ii) a
+//! medium for sharing adversarial or regression scenarios as JSON, and
+//! (iii) a place to compute empirical statistics (observed MTBF,
+//! per-node counts) to validate the generators themselves.
+
+use crate::process::{FailureEvent, FailureSource, NodeId};
+use dck_simcore::{OnlineStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An ordered, finite failure history over an `n`-node platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureTrace {
+    nodes: u64,
+    events: Vec<FailureEvent>,
+}
+
+impl FailureTrace {
+    /// Builds a trace from pre-sorted events.
+    ///
+    /// # Panics
+    /// Panics if events are not in non-decreasing time order or name a
+    /// node outside `0..nodes`.
+    pub fn new(nodes: u64, events: Vec<FailureEvent>) -> Self {
+        let mut last = SimTime::seconds(f64::NEG_INFINITY);
+        for ev in &events {
+            assert!(ev.at >= last, "trace events must be time-ordered");
+            assert!(ev.node < nodes, "node {} out of range", ev.node);
+            last = ev.at;
+        }
+        FailureTrace { nodes, events }
+    }
+
+    /// Records all failures of `source` strictly before `horizon`.
+    pub fn record(source: &mut dyn FailureSource, horizon: SimTime) -> Self {
+        let mut events = Vec::new();
+        loop {
+            let ev = source.next_failure();
+            if ev.at >= horizon {
+                break;
+            }
+            events.push(ev);
+        }
+        FailureTrace {
+            nodes: source.nodes(),
+            events,
+        }
+    }
+
+    /// Number of nodes the trace covers.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// The recorded events, time-ordered.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Number of recorded failures.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no failures were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last recorded failure (None if empty).
+    pub fn span(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Empirical platform MTBF: mean gap between successive events.
+    /// Returns `None` with fewer than 2 events.
+    pub fn empirical_platform_mtbf(&self) -> Option<SimTime> {
+        if self.events.len() < 2 {
+            return None;
+        }
+        let mut stats = OnlineStats::new();
+        for w in self.events.windows(2) {
+            stats.push((w[1].at - w[0].at).as_secs());
+        }
+        Some(SimTime::seconds(stats.mean()))
+    }
+
+    /// Failure count per node.
+    pub fn per_node_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.nodes as usize];
+        for ev in &self.events {
+            counts[ev.node as usize] += 1;
+        }
+        counts
+    }
+
+    /// Keeps only events on nodes satisfying `keep`, renumbering nothing.
+    pub fn filter_nodes(&self, keep: impl Fn(NodeId) -> bool) -> FailureTrace {
+        FailureTrace {
+            nodes: self.nodes,
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| keep(e.node))
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace from JSON, re-validating ordering.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let raw: FailureTrace = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let mut last = SimTime::seconds(f64::NEG_INFINITY);
+        for ev in &raw.events {
+            if ev.at < last {
+                return Err("trace events out of order".into());
+            }
+            if ev.node >= raw.nodes {
+                return Err(format!("node {} out of range", ev.node));
+            }
+            last = ev.at;
+        }
+        Ok(raw)
+    }
+
+    /// A replaying [`FailureSource`] over this trace. After the trace
+    /// is exhausted the replayer reports failures at `SimTime::INFINITY`
+    /// (i.e. never again), letting simulations run to their horizon.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            trace: self,
+            next: 0,
+        }
+    }
+}
+
+/// Replays a [`FailureTrace`] as a [`FailureSource`].
+#[derive(Debug, Clone)]
+pub struct TraceReplay<'a> {
+    trace: &'a FailureTrace,
+    next: usize,
+}
+
+impl FailureSource for TraceReplay<'_> {
+    fn next_failure(&mut self) -> FailureEvent {
+        match self.trace.events.get(self.next) {
+            Some(ev) => {
+                self.next += 1;
+                *ev
+            }
+            None => FailureEvent {
+                at: SimTime::INFINITY,
+                node: 0,
+            },
+        }
+    }
+
+    fn nodes(&self) -> u64 {
+        self.trace.nodes
+    }
+
+    fn platform_mtbf(&self) -> SimTime {
+        self.trace
+            .empirical_platform_mtbf()
+            .unwrap_or(SimTime::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mtbf::MtbfSpec;
+    use crate::process::AggregatedExponential;
+    use dck_simcore::RngFactory;
+
+    fn small_trace() -> FailureTrace {
+        FailureTrace::new(
+            4,
+            vec![
+                FailureEvent {
+                    at: SimTime::seconds(10.0),
+                    node: 1,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(25.0),
+                    node: 3,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(25.0),
+                    node: 0,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(40.0),
+                    node: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let spec = MtbfSpec::Platform {
+            mtbf: SimTime::minutes(10.0),
+            nodes: 8,
+        };
+        let mut src = AggregatedExponential::new(spec, RngFactory::new(42).stream(0));
+        let trace = FailureTrace::record(&mut src, SimTime::hours(10.0));
+        assert!(!trace.is_empty());
+        assert!(trace.span().unwrap() < SimTime::hours(10.0));
+
+        let mut replay = trace.replay();
+        for ev in trace.events() {
+            assert_eq!(replay.next_failure(), *ev);
+        }
+        // Exhausted: reports "never".
+        assert_eq!(replay.next_failure().at, SimTime::INFINITY);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = small_trace();
+        let json = trace.to_json();
+        let back = FailureTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_order() {
+        let bad = r#"{"nodes":2,"events":[{"at":5.0,"node":0},{"at":1.0,"node":1}]}"#;
+        assert!(FailureTrace::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_bad_node() {
+        let bad = r#"{"nodes":2,"events":[{"at":5.0,"node":7}]}"#;
+        assert!(FailureTrace::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn empirical_mtbf_of_even_spacing() {
+        let trace = FailureTrace::new(
+            1,
+            (1..=10)
+                .map(|i| FailureEvent {
+                    at: SimTime::seconds(i as f64 * 5.0),
+                    node: 0,
+                })
+                .collect(),
+        );
+        assert_eq!(
+            trace.empirical_platform_mtbf().unwrap(),
+            SimTime::seconds(5.0)
+        );
+    }
+
+    #[test]
+    fn per_node_counts_and_filter() {
+        let trace = small_trace();
+        assert_eq!(trace.per_node_counts(), vec![1, 2, 0, 1]);
+        let only1 = trace.filter_nodes(|n| n == 1);
+        assert_eq!(only1.len(), 2);
+        assert!(only1.events().iter().all(|e| e.node == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn constructor_rejects_disorder() {
+        let _ = FailureTrace::new(
+            2,
+            vec![
+                FailureEvent {
+                    at: SimTime::seconds(5.0),
+                    node: 0,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(1.0),
+                    node: 1,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = FailureTrace::new(3, vec![]);
+        assert!(t.is_empty());
+        assert!(t.span().is_none());
+        assert!(t.empirical_platform_mtbf().is_none());
+        assert_eq!(t.per_node_counts(), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Buddy groups: pairs and triples with buddy rotation (§II, §IV).
+//!
+//! Nodes are partitioned into consecutive groups of 2 (double) or 3
+//! (triple). Within a triple `(p, p′, p″)` the paper organizes "a
+//! rotation of buddies": `p` prefers `p′` and keeps `p″` secondary,
+//! `p′` prefers `p″` and keeps `p` secondary, `p″` prefers `p` and
+//! keeps `p′` secondary — so each node *sends* its image to its
+//! preferred buddy in part 1 and to its secondary in part 2, and
+//! symmetrically *receives* exactly one image per part.
+
+use dck_core::{ModelError, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Node index type (matches `dck_failures::NodeId`).
+pub type NodeId = u64;
+
+/// Group index type.
+pub type GroupId = u64;
+
+/// A partition of `n` nodes into buddy groups of fixed size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupLayout {
+    nodes: u64,
+    group_size: u64,
+}
+
+impl GroupLayout {
+    /// Builds the layout for a protocol over `nodes` nodes.
+    ///
+    /// # Errors
+    /// `nodes` must be a positive multiple of the group size (the paper
+    /// assumes exact pairing; use [`GroupLayout::usable_nodes`] to round
+    /// a raw machine size down first).
+    pub fn new(protocol: Protocol, nodes: u64) -> Result<Self, ModelError> {
+        let group_size = protocol.group_size();
+        if nodes == 0 || !nodes.is_multiple_of(group_size) {
+            return Err(ModelError::invalid(
+                "nodes",
+                format!("must be a positive multiple of {group_size}, got {nodes}"),
+            ));
+        }
+        Ok(GroupLayout { nodes, group_size })
+    }
+
+    /// The largest node count `≤ nodes` usable by `protocol`.
+    pub fn usable_nodes(protocol: Protocol, nodes: u64) -> u64 {
+        nodes - nodes % protocol.group_size()
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Nodes per group (2 or 3).
+    pub fn group_size(&self) -> u64 {
+        self.group_size
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u64 {
+        self.nodes / self.group_size
+    }
+
+    /// The group a node belongs to.
+    pub fn group_of(&self, node: NodeId) -> GroupId {
+        debug_assert!(node < self.nodes);
+        node / self.group_size
+    }
+
+    /// The members of a group, in node order.
+    pub fn members(&self, group: GroupId) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(group < self.groups());
+        let start = group * self.group_size;
+        start..start + self.group_size
+    }
+
+    /// The buddy a node *sends its checkpoint to* in the first exchange:
+    /// the next member of the group, cyclically (the "preferred buddy"
+    /// for triples; the unique buddy for pairs).
+    pub fn preferred_buddy(&self, node: NodeId) -> NodeId {
+        let g = self.group_of(node);
+        let base = g * self.group_size;
+        base + (node - base + 1) % self.group_size
+    }
+
+    /// The buddy a node sends its checkpoint to in the second exchange
+    /// (triples only: the remaining member; for pairs this coincides
+    /// with the preferred buddy — there is only one peer).
+    pub fn secondary_buddy(&self, node: NodeId) -> NodeId {
+        let g = self.group_of(node);
+        let base = g * self.group_size;
+        base + (node - base + self.group_size - 1) % self.group_size
+    }
+
+    /// Nodes whose *preferred* buddy is `node` (i.e. whose image `node`
+    /// receives during the first exchange).
+    pub fn preferred_by(&self, node: NodeId) -> NodeId {
+        // Inverse of preferred_buddy within the group.
+        self.secondary_buddy(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_layout() {
+        let l = GroupLayout::new(Protocol::DoubleNbl, 8).unwrap();
+        assert_eq!(l.groups(), 4);
+        assert_eq!(l.group_of(0), 0);
+        assert_eq!(l.group_of(5), 2);
+        assert_eq!(l.members(1).collect::<Vec<_>>(), vec![2, 3]);
+        // Pairs: preferred == secondary == the other node.
+        assert_eq!(l.preferred_buddy(2), 3);
+        assert_eq!(l.preferred_buddy(3), 2);
+        assert_eq!(l.secondary_buddy(2), 3);
+    }
+
+    #[test]
+    fn triple_rotation_matches_paper() {
+        let l = GroupLayout::new(Protocol::Triple, 9).unwrap();
+        // Group 0 = (0, 1, 2) ≙ (p, p′, p″):
+        // p prefers p′, p′ prefers p″, p″ prefers p.
+        assert_eq!(l.preferred_buddy(0), 1);
+        assert_eq!(l.preferred_buddy(1), 2);
+        assert_eq!(l.preferred_buddy(2), 0);
+        // Secondary buddies are the rotation the other way.
+        assert_eq!(l.secondary_buddy(0), 2);
+        assert_eq!(l.secondary_buddy(1), 0);
+        assert_eq!(l.secondary_buddy(2), 1);
+    }
+
+    #[test]
+    fn rotation_is_a_bijection_per_phase() {
+        let l = GroupLayout::new(Protocol::Triple, 12).unwrap();
+        // In each exchange phase every node receives exactly one image.
+        use std::collections::HashSet;
+        let recv_phase1: HashSet<NodeId> = (0..12).map(|n| l.preferred_buddy(n)).collect();
+        let recv_phase2: HashSet<NodeId> = (0..12).map(|n| l.secondary_buddy(n)).collect();
+        assert_eq!(recv_phase1.len(), 12);
+        assert_eq!(recv_phase2.len(), 12);
+    }
+
+    #[test]
+    fn buddies_stay_in_group() {
+        let l = GroupLayout::new(Protocol::Triple, 300).unwrap();
+        for n in 0..300 {
+            assert_eq!(l.group_of(l.preferred_buddy(n)), l.group_of(n));
+            assert_eq!(l.group_of(l.secondary_buddy(n)), l.group_of(n));
+            assert_ne!(l.preferred_buddy(n), n);
+            assert_ne!(l.secondary_buddy(n), n);
+            assert_ne!(l.preferred_buddy(n), l.secondary_buddy(n));
+        }
+    }
+
+    #[test]
+    fn preferred_by_is_inverse() {
+        let l = GroupLayout::new(Protocol::Triple, 9).unwrap();
+        for n in 0..9 {
+            assert_eq!(l.preferred_buddy(l.preferred_by(n)), n);
+        }
+    }
+
+    #[test]
+    fn rejects_indivisible_node_counts() {
+        assert!(GroupLayout::new(Protocol::DoubleNbl, 7).is_err());
+        assert!(GroupLayout::new(Protocol::Triple, 10).is_err());
+        assert!(GroupLayout::new(Protocol::Triple, 0).is_err());
+        assert_eq!(GroupLayout::usable_nodes(Protocol::Triple, 10), 9);
+        assert_eq!(GroupLayout::usable_nodes(Protocol::DoubleNbl, 7), 6);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dck-protocols — executable buddy-checkpointing protocol machinery
+//!
+//! Where `dck-core` holds the paper's *closed-form* models, this crate
+//! holds the *mechanistic* protocol semantics that a discrete-event
+//! simulator executes:
+//!
+//! * [`schedule`] — the deterministic periodic schedule of each
+//!   protocol (phase boundaries, per-phase application speed, work as a
+//!   function of schedule position and its inverse).
+//! * [`response`] — what happens when a failure strikes at a given
+//!   offset inside the period: how long the platform is blocked
+//!   (downtime + blocking transfers) and how long re-execution takes,
+//!   transcribing §III/§V's case analysis (`RE1..RE3`) into exact
+//!   per-offset formulas. The uniform-offset expectation of the
+//!   response reproduces Eqs. 7/8/14 (property-tested).
+//! * [`groups`] — the pairing of nodes into buddy pairs and triples
+//!   with the rotation of preferred/secondary buddies (§IV).
+//! * [`risk`] — per-group risk-window bookkeeping and fatal-failure
+//!   detection (two failures in a pair / three in a triple within open
+//!   risk windows).
+//! * [`store`] — per-node checkpoint storage with atomic two-set
+//!   updates and peak-memory accounting, substantiating the paper's
+//!   "constant memory / equally memory-demanding" claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod groups;
+pub mod recovery;
+pub mod response;
+pub mod risk;
+pub mod schedule;
+pub mod store;
+
+pub use groups::GroupLayout;
+pub use recovery::{RecoveryPlan, Transfer, TransferMode, TransferPayload, TransferSource};
+pub use response::FailureResponse;
+pub use risk::RiskTracker;
+pub use schedule::PeriodSchedule;
+pub use store::{CheckpointStore, ImageKind, StorageDriver};

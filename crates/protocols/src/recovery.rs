@@ -1,0 +1,253 @@
+//! Recovery plans: the message sequence after a failure (§II, §IV).
+//!
+//! When node `v` fails, its replacement must receive, in order:
+//!
+//! 1. **its own last checkpoint** — always re-sent at maximum
+//!    (blocking) speed `R = θmin`, "because all processors are stopped
+//!    until the faulty one has recovered";
+//! 2. **the image(s) it was storing for its buddies** — one for pairs,
+//!    two for triples — re-sent either at overlapped speed `θ(φ)`
+//!    (non-blocking variants) or at maximum speed `R` (the
+//!    blocking-on-failure variants).
+//!
+//! [`RecoveryPlan`] constructs that sequence explicitly. Its derived
+//! quantities — the wall-clock until the group is fully re-protected
+//! (= the risk window) and the time the platform stays blocked — must
+//! and do agree with the closed-form tables in `dck_core::risk` and
+//! `dck_protocols::response` (tested below), so those tables are not
+//! free-floating constants but consequences of the message sequence.
+
+use dck_core::{ModelError, OverlapModel, PlatformParams, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Who re-sends a file to the replacement node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferSource {
+    /// The unique buddy (pair protocols).
+    Buddy,
+    /// The preferred buddy of the failed node (triples).
+    PreferredBuddy,
+    /// The secondary buddy of the failed node (triples).
+    SecondaryBuddy,
+}
+
+/// What the file contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferPayload {
+    /// The failed node's own checkpoint (needed to resume at all).
+    OwnCheckpoint,
+    /// A buddy's image the failed node was storing (needed to
+    /// re-establish redundancy — the group is at risk until received).
+    StoredImageOf(TransferSource),
+}
+
+/// How a transfer is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferMode {
+    /// Maximum speed, application stopped: duration `R = θmin`.
+    Blocking,
+    /// Overlapped with re-execution at overhead `φ`: duration `θ(φ)`.
+    Overlapped,
+}
+
+/// One recovery transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sender.
+    pub from: TransferSource,
+    /// Contents.
+    pub payload: TransferPayload,
+    /// Sending mode.
+    pub mode: TransferMode,
+    /// Wall-clock duration (seconds).
+    pub duration: f64,
+}
+
+/// The full post-failure message sequence of a protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPlan {
+    /// Downtime `D` before any transfer starts.
+    pub downtime: f64,
+    /// Transfers in wire order.
+    pub transfers: Vec<Transfer>,
+}
+
+impl RecoveryPlan {
+    /// Builds the plan for `(protocol, params, φ)`.
+    ///
+    /// # Errors
+    /// Propagates parameter/φ validation.
+    pub fn new(
+        protocol: Protocol,
+        params: &PlatformParams,
+        phi: f64,
+    ) -> Result<RecoveryPlan, ModelError> {
+        params.validate()?;
+        let overlap = OverlapModel::new(params);
+        let phi = match protocol {
+            Protocol::DoubleBlocking => params.theta_min,
+            _ => phi,
+        };
+        let theta = overlap.theta_of_phi(phi)?;
+        let r = params.recovery();
+
+        let own = |from| Transfer {
+            from,
+            payload: TransferPayload::OwnCheckpoint,
+            mode: TransferMode::Blocking,
+            duration: r,
+        };
+        let image = |from, mode| Transfer {
+            from,
+            payload: TransferPayload::StoredImageOf(from),
+            mode,
+            duration: match mode {
+                TransferMode::Blocking => r,
+                TransferMode::Overlapped => theta,
+            },
+        };
+
+        let transfers = match protocol {
+            Protocol::DoubleNbl => vec![
+                own(TransferSource::Buddy),
+                image(TransferSource::Buddy, TransferMode::Overlapped),
+            ],
+            // The original blocking protocol cannot overlap anything;
+            // with φ pinned at θmin its "overlapped" re-send already
+            // takes θ = R, but the wire mode is blocking.
+            Protocol::DoubleBof | Protocol::DoubleBlocking => vec![
+                own(TransferSource::Buddy),
+                image(TransferSource::Buddy, TransferMode::Blocking),
+            ],
+            Protocol::Triple => vec![
+                own(TransferSource::PreferredBuddy),
+                image(TransferSource::PreferredBuddy, TransferMode::Overlapped),
+                image(TransferSource::SecondaryBuddy, TransferMode::Overlapped),
+            ],
+            Protocol::TripleBof => vec![
+                own(TransferSource::PreferredBuddy),
+                image(TransferSource::PreferredBuddy, TransferMode::Blocking),
+                image(TransferSource::SecondaryBuddy, TransferMode::Blocking),
+            ],
+        };
+        Ok(RecoveryPlan {
+            downtime: params.downtime,
+            transfers,
+        })
+    }
+
+    /// Wall-clock from the failure until the group holds fresh copies
+    /// of everything again — the **risk window**.
+    pub fn risk_window(&self) -> f64 {
+        self.downtime + self.transfers.iter().map(|t| t.duration).sum::<f64>()
+    }
+
+    /// Time the platform stays fully blocked: downtime plus the leading
+    /// run of blocking transfers (overlapped transfers run concurrently
+    /// with re-execution).
+    pub fn blocked(&self) -> f64 {
+        let blocking_prefix: f64 = self
+            .transfers
+            .iter()
+            .take_while(|t| t.mode == TransferMode::Blocking)
+            .map(|t| t.duration)
+            .sum();
+        self.downtime + blocking_prefix
+    }
+
+    /// Total bytes-on-the-wire proxy: number of images re-sent (the
+    /// paper's "TRIPLE needs to exchange twice the data" point applies
+    /// to the periodic exchange; recovery resends group_size images).
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::FailureResponse;
+    use dck_core::RiskModel;
+
+    fn base() -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).unwrap()
+    }
+
+    fn exa() -> PlatformParams {
+        PlatformParams::new(60.0, 30.0, 60.0, 10.0, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn plan_risk_window_matches_risk_model() {
+        // The §III-C/§V-C table is a consequence of the wire sequence.
+        for params in [base(), exa()] {
+            for protocol in Protocol::ALL {
+                for ratio in [0.0, 0.3, 0.7, 1.0] {
+                    let phi = ratio * params.theta_min;
+                    let plan = RecoveryPlan::new(protocol, &params, phi).unwrap();
+                    let model = RiskModel::new(protocol, &params, phi).unwrap();
+                    assert!(
+                        (plan.risk_window() - model.risk_window()).abs() < 1e-9,
+                        "{protocol:?} phi {phi}: plan {} vs model {}",
+                        plan.risk_window(),
+                        model.risk_window()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_blocked_matches_failure_response() {
+        for params in [base(), exa()] {
+            for protocol in Protocol::ALL {
+                let phi = 0.5 * params.theta_min;
+                let plan = RecoveryPlan::new(protocol, &params, phi).unwrap();
+                let model = dck_core::WasteModel::new(protocol, &params, phi).unwrap();
+                let resp =
+                    FailureResponse::new(protocol, &params, phi, model.min_period() * 4.0).unwrap();
+                assert!(
+                    (plan.blocked() - resp.blocked()).abs() < 1e-9,
+                    "{protocol:?}: plan {} vs response {}",
+                    plan.blocked(),
+                    resp.blocked()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_transfer_is_always_the_own_checkpoint_blocking() {
+        for protocol in Protocol::ALL {
+            let plan = RecoveryPlan::new(protocol, &base(), 1.0).unwrap();
+            let first = &plan.transfers[0];
+            assert_eq!(first.payload, TransferPayload::OwnCheckpoint);
+            assert_eq!(first.mode, TransferMode::Blocking);
+            assert_eq!(first.duration, base().recovery());
+        }
+    }
+
+    #[test]
+    fn transfer_counts_match_group_redundancy() {
+        assert_eq!(
+            RecoveryPlan::new(Protocol::DoubleNbl, &base(), 1.0)
+                .unwrap()
+                .transfer_count(),
+            2
+        );
+        assert_eq!(
+            RecoveryPlan::new(Protocol::Triple, &base(), 1.0)
+                .unwrap()
+                .transfer_count(),
+            3
+        );
+    }
+
+    #[test]
+    fn triple_images_come_from_both_buddies() {
+        let plan = RecoveryPlan::new(Protocol::Triple, &base(), 0.0).unwrap();
+        let sources: Vec<_> = plan.transfers[1..].iter().map(|t| t.from).collect();
+        assert!(sources.contains(&TransferSource::PreferredBuddy));
+        assert!(sources.contains(&TransferSource::SecondaryBuddy));
+    }
+}

@@ -1,0 +1,245 @@
+//! Risk-window bookkeeping and fatal-failure detection (§III-C, §V-C).
+//!
+//! After node `v` fails at time `t`, its group is *at risk* until
+//! `t + Risk`: the replacement has not yet re-collected the group's
+//! checkpoint images, so its data survives only in the other members'
+//! memories. A failure of *every* member of the group while their
+//! windows overlap means the data is gone: a **fatal failure** — the
+//! application cannot be recovered.
+//!
+//! For pairs that means the buddy failing inside the victim's window;
+//! for triples, all three members simultaneously inside open windows.
+//! (A repeat failure of the *same* node merely restarts its window:
+//! its image still lives with its buddies.)
+//!
+//! Windows have the fixed length `Risk` of the first-order model
+//! (`RiskModel::risk_window` in `dck-core`); the model neglects the
+//! lengthening of windows by overlapping recoveries, and so do we —
+//! that is precisely the approximation Eqs. 11/16 make, and matching it
+//! is what lets the simulator validate those formulas.
+
+use crate::groups::{GroupId, GroupLayout, NodeId};
+use std::collections::HashMap;
+
+/// Outcome of recording one failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureOutcome {
+    /// True if this failure made the group unrecoverable.
+    pub fatal: bool,
+    /// Number of group members (including this one) inside open risk
+    /// windows right after this failure.
+    pub members_at_risk: u32,
+}
+
+/// Tracks open risk windows per group and detects fatal failures.
+#[derive(Debug, Clone)]
+pub struct RiskTracker {
+    layout: GroupLayout,
+    risk_window: f64,
+    /// Open windows per group: `(member, open-until)`. Sparse — only
+    /// groups with at least one recent failure are present.
+    open: HashMap<GroupId, Vec<(NodeId, f64)>>,
+    fatal_seen: u64,
+    failures_seen: u64,
+}
+
+impl RiskTracker {
+    /// Creates a tracker with the given fixed window length.
+    ///
+    /// # Panics
+    /// Panics if `risk_window` is negative or NaN.
+    pub fn new(layout: GroupLayout, risk_window: f64) -> Self {
+        assert!(
+            risk_window >= 0.0 && risk_window.is_finite(),
+            "risk window must be finite and >= 0"
+        );
+        RiskTracker {
+            layout,
+            risk_window,
+            open: HashMap::new(),
+            fatal_seen: 0,
+            failures_seen: 0,
+        }
+    }
+
+    /// The window length in use.
+    pub fn risk_window(&self) -> f64 {
+        self.risk_window
+    }
+
+    /// Total failures recorded.
+    pub fn failures_seen(&self) -> u64 {
+        self.failures_seen
+    }
+
+    /// Total fatal failures detected.
+    pub fn fatal_seen(&self) -> u64 {
+        self.fatal_seen
+    }
+
+    /// Records a failure of `node` at time `t` and reports whether it
+    /// is fatal. Windows that ended at or before `t` are pruned first.
+    ///
+    /// # Panics
+    /// Debug-panics if `t` moves backwards within a group (callers feed
+    /// time-ordered failures).
+    pub fn record_failure(&mut self, node: NodeId, t: f64) -> FailureOutcome {
+        self.failures_seen += 1;
+        let group = self.layout.group_of(node);
+        let windows = self.open.entry(group).or_default();
+        windows.retain(|&(_, until)| until > t);
+
+        let others_at_risk = windows.iter().filter(|&&(m, _)| m != node).count() as u32;
+        let fatal = u64::from(others_at_risk) + 1 >= self.layout.group_size();
+
+        // Restart (or open) this node's window.
+        match windows.iter_mut().find(|(m, _)| *m == node) {
+            Some(w) => w.1 = t + self.risk_window,
+            None => windows.push((node, t + self.risk_window)),
+        }
+
+        if fatal {
+            self.fatal_seen += 1;
+        }
+        FailureOutcome {
+            fatal,
+            members_at_risk: others_at_risk + 1,
+        }
+    }
+
+    /// Number of groups with at least one window open at time `t`
+    /// (diagnostic; prunes nothing).
+    pub fn groups_at_risk(&self, t: f64) -> usize {
+        self.open
+            .values()
+            .filter(|ws| ws.iter().any(|&(_, until)| until > t))
+            .count()
+    }
+
+    /// Drops all state (e.g. after an application restart).
+    pub fn reset(&mut self) {
+        self.open.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dck_core::Protocol;
+
+    fn pair_tracker(window: f64) -> RiskTracker {
+        RiskTracker::new(GroupLayout::new(Protocol::DoubleNbl, 8).unwrap(), window)
+    }
+
+    fn triple_tracker(window: f64) -> RiskTracker {
+        RiskTracker::new(GroupLayout::new(Protocol::Triple, 9).unwrap(), window)
+    }
+
+    #[test]
+    fn single_failure_is_never_fatal() {
+        let mut t = pair_tracker(10.0);
+        let o = t.record_failure(0, 100.0);
+        assert!(!o.fatal);
+        assert_eq!(o.members_at_risk, 1);
+    }
+
+    #[test]
+    fn buddy_failure_inside_window_is_fatal() {
+        let mut t = pair_tracker(10.0);
+        assert!(!t.record_failure(0, 100.0).fatal);
+        let o = t.record_failure(1, 105.0);
+        assert!(o.fatal);
+        assert_eq!(o.members_at_risk, 2);
+        assert_eq!(t.fatal_seen(), 1);
+    }
+
+    #[test]
+    fn buddy_failure_after_window_is_safe() {
+        let mut t = pair_tracker(10.0);
+        t.record_failure(0, 100.0);
+        // Window closed exactly at 110: a failure at 110 is safe.
+        assert!(!t.record_failure(1, 110.0).fatal);
+        // …and at 110.1 too.
+        let mut t = pair_tracker(10.0);
+        t.record_failure(0, 100.0);
+        assert!(!t.record_failure(1, 110.1).fatal);
+    }
+
+    #[test]
+    fn same_node_refailing_is_not_fatal_but_restarts_window() {
+        let mut t = pair_tracker(10.0);
+        t.record_failure(0, 100.0);
+        // Replacement of node 0 dies again: not fatal (buddy holds data)…
+        assert!(!t.record_failure(0, 105.0).fatal);
+        // …but the window now extends to 115: buddy failing at 112 kills.
+        assert!(t.record_failure(1, 112.0).fatal);
+    }
+
+    #[test]
+    fn unrelated_groups_do_not_interact() {
+        let mut t = pair_tracker(10.0);
+        t.record_failure(0, 100.0);
+        assert!(!t.record_failure(2, 101.0).fatal);
+        assert!(!t.record_failure(4, 102.0).fatal);
+        assert_eq!(t.groups_at_risk(103.0), 3);
+        assert_eq!(t.groups_at_risk(200.0), 0);
+    }
+
+    #[test]
+    fn triple_needs_three_members() {
+        let mut t = triple_tracker(10.0);
+        assert!(!t.record_failure(0, 100.0).fatal);
+        let o = t.record_failure(1, 102.0);
+        assert!(!o.fatal);
+        assert_eq!(o.members_at_risk, 2);
+        // Third member inside both windows: fatal.
+        let o = t.record_failure(2, 104.0);
+        assert!(o.fatal);
+        assert_eq!(o.members_at_risk, 3);
+    }
+
+    #[test]
+    fn triple_survives_if_first_window_expired() {
+        let mut t = triple_tracker(10.0);
+        t.record_failure(0, 100.0);
+        t.record_failure(1, 109.0);
+        // Node 0's window closed at 110; at 112 only node 1 is at risk.
+        let o = t.record_failure(2, 112.0);
+        assert!(!o.fatal);
+        assert_eq!(o.members_at_risk, 2);
+    }
+
+    #[test]
+    fn triple_two_failures_never_fatal() {
+        let mut t = triple_tracker(1e9);
+        t.record_failure(3, 0.0);
+        for i in 0..100 {
+            assert!(!t.record_failure(4, i as f64).fatal);
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = pair_tracker(5.0);
+        for i in 0..10 {
+            t.record_failure(0, i as f64 * 100.0);
+        }
+        assert_eq!(t.failures_seen(), 10);
+        assert_eq!(t.fatal_seen(), 0);
+    }
+
+    #[test]
+    fn reset_clears_windows() {
+        let mut t = pair_tracker(1e6);
+        t.record_failure(0, 0.0);
+        t.reset();
+        assert!(!t.record_failure(1, 1.0).fatal);
+    }
+
+    #[test]
+    fn zero_window_never_fatal() {
+        let mut t = pair_tracker(0.0);
+        t.record_failure(0, 100.0);
+        assert!(!t.record_failure(1, 100.0).fatal);
+    }
+}

@@ -1,0 +1,369 @@
+//! Checkpoint storage with atomic set updates and memory accounting.
+//!
+//! §IV: "The collection, for all processes in the system, of a set of
+//! checkpoints represents the (global) snapshot of the parallel
+//! application. Such sets must be updated atomically. This is
+//! implemented by keeping two sets at all time: the last set of
+//! checkpoints that was successful […] and the current set […] that
+//! might be unfinished when a failure hits."
+//!
+//! [`CheckpointStore`] models one node's share of those sets, and
+//! [`StorageDriver`] executes the per-period staging/commit sequence of
+//! each protocol over a whole [`GroupLayout`]. Its accounting
+//! substantiates the paper's memory claim: the double and triple
+//! protocols both hold **2 images per node in steady state, 4 at the
+//! peak of an exchange** — the triple protocol is "equally
+//! memory-demanding" despite replicating to two buddies.
+
+use crate::groups::{GroupLayout, NodeId};
+use dck_core::{ModelError, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// What a stored checkpoint image is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImageKind {
+    /// The node's own state, kept locally (double protocols only).
+    Local,
+    /// A peer's image, received over the network.
+    Remote {
+        /// The node whose state the image captures.
+        owner: NodeId,
+    },
+}
+
+impl ImageKind {
+    /// The node whose state this image captures.
+    pub fn owner(&self, holder: NodeId) -> NodeId {
+        match *self {
+            ImageKind::Local => holder,
+            ImageKind::Remote { owner } => owner,
+        }
+    }
+}
+
+/// One image within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredImage {
+    /// What the image is.
+    pub kind: ImageKind,
+    /// The snapshot epoch (period index) the image belongs to.
+    pub epoch: u64,
+}
+
+/// One node's checkpoint storage: committed set + staging set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    node: NodeId,
+    committed: Vec<StoredImage>,
+    staging: Vec<StoredImage>,
+    staging_epoch: Option<u64>,
+    peak_images: usize,
+}
+
+impl CheckpointStore {
+    /// An empty store for `node` ("the first set of checkpoints is
+    /// represented by the starting configuration" — zero images).
+    pub fn new(node: NodeId) -> Self {
+        CheckpointStore {
+            node,
+            committed: Vec::new(),
+            staging: Vec::new(),
+            staging_epoch: None,
+            peak_images: 0,
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Starts staging a new epoch.
+    ///
+    /// # Errors
+    /// A staging epoch must not already be open.
+    pub fn begin_epoch(&mut self, epoch: u64) -> Result<(), ModelError> {
+        if self.staging_epoch.is_some() {
+            return Err(ModelError::invalid("epoch", "staging already open"));
+        }
+        if let Some(last) = self.committed.first() {
+            if epoch <= last.epoch {
+                return Err(ModelError::invalid("epoch", "must increase monotonically"));
+            }
+        }
+        self.staging_epoch = Some(epoch);
+        Ok(())
+    }
+
+    /// Adds an image to the staging set.
+    ///
+    /// # Errors
+    /// Requires an open staging epoch; an image of the same owner must
+    /// not already be staged.
+    pub fn stage(&mut self, kind: ImageKind) -> Result<(), ModelError> {
+        let epoch = self
+            .staging_epoch
+            .ok_or_else(|| ModelError::invalid("epoch", "no staging epoch open"))?;
+        let owner = kind.owner(self.node);
+        if self
+            .staging
+            .iter()
+            .any(|img| img.kind.owner(self.node) == owner)
+        {
+            return Err(ModelError::invalid(
+                "image",
+                format!("owner {owner} already staged this epoch"),
+            ));
+        }
+        self.staging.push(StoredImage { kind, epoch });
+        self.peak_images = self.peak_images.max(self.total_images());
+        Ok(())
+    }
+
+    /// Atomically replaces the committed set with the staging set.
+    ///
+    /// # Errors
+    /// Requires an open staging epoch.
+    pub fn commit(&mut self) -> Result<(), ModelError> {
+        if self.staging_epoch.is_none() {
+            return Err(ModelError::invalid("epoch", "no staging epoch open"));
+        }
+        self.committed = std::mem::take(&mut self.staging);
+        self.staging_epoch = None;
+        Ok(())
+    }
+
+    /// Drops the staging set, keeping the last committed set — what
+    /// happens when a failure interrupts an exchange.
+    pub fn abort(&mut self) {
+        self.staging.clear();
+        self.staging_epoch = None;
+    }
+
+    /// The committed images.
+    pub fn committed(&self) -> &[StoredImage] {
+        &self.committed
+    }
+
+    /// True if the committed set holds an image of `owner`'s state.
+    pub fn holds_image_of(&self, owner: NodeId) -> bool {
+        self.committed
+            .iter()
+            .any(|img| img.kind.owner(self.node) == owner)
+    }
+
+    /// Epoch of the committed set (None before the first commit).
+    pub fn committed_epoch(&self) -> Option<u64> {
+        self.committed.first().map(|img| img.epoch)
+    }
+
+    /// Images currently resident (committed + staging).
+    pub fn total_images(&self) -> usize {
+        self.committed.len() + self.staging.len()
+    }
+
+    /// Largest number of simultaneously resident images ever observed.
+    pub fn peak_images(&self) -> usize {
+        self.peak_images
+    }
+}
+
+/// Executes each protocol's per-period storage sequence over a layout.
+#[derive(Debug, Clone)]
+pub struct StorageDriver {
+    protocol: Protocol,
+    layout: GroupLayout,
+    stores: Vec<CheckpointStore>,
+    epoch: u64,
+}
+
+impl StorageDriver {
+    /// Builds a driver with empty stores.
+    pub fn new(protocol: Protocol, layout: GroupLayout) -> Self {
+        let stores = (0..layout.nodes()).map(CheckpointStore::new).collect();
+        StorageDriver {
+            protocol,
+            layout,
+            stores,
+            epoch: 0,
+        }
+    }
+
+    /// Runs one full checkpointing period (stage everything, commit).
+    ///
+    /// Double: each node stages its own local image plus its buddy's
+    /// remote image. Triple: each node stages the two images it
+    /// receives (one per exchange part); no local image is kept.
+    pub fn run_period(&mut self) -> Result<(), ModelError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for node in 0..self.layout.nodes() {
+            self.stores[node as usize].begin_epoch(epoch)?;
+        }
+        match self.protocol {
+            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
+                for node in 0..self.layout.nodes() {
+                    let buddy = self.layout.preferred_buddy(node);
+                    let store = &mut self.stores[node as usize];
+                    store.stage(ImageKind::Local)?;
+                    store.stage(ImageKind::Remote { owner: buddy })?;
+                }
+            }
+            Protocol::Triple | Protocol::TripleBof => {
+                for node in 0..self.layout.nodes() {
+                    // Part 1: receive from the node that prefers us.
+                    let from1 = self.layout.preferred_by(node);
+                    // Part 2: receive from the node whose secondary we are.
+                    let from2 = self.layout.preferred_buddy(node);
+                    let store = &mut self.stores[node as usize];
+                    store.stage(ImageKind::Remote { owner: from1 })?;
+                    store.stage(ImageKind::Remote { owner: from2 })?;
+                }
+            }
+        }
+        for store in &mut self.stores {
+            store.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Aborts an in-flight period on every node (failure mid-exchange).
+    pub fn abort_period(&mut self) {
+        for store in &mut self.stores {
+            store.abort();
+        }
+    }
+
+    /// The per-node stores.
+    pub fn stores(&self) -> &[CheckpointStore] {
+        &self.stores
+    }
+
+    /// Where a node's state can be recovered from after it fails: every
+    /// *other* node whose committed set holds an image of it.
+    pub fn recovery_sources(&self, failed: NodeId) -> Vec<NodeId> {
+        (0..self.layout.nodes())
+            .filter(|&n| n != failed && self.stores[n as usize].holds_image_of(failed))
+            .collect()
+    }
+
+    /// Maximum of per-node peak image counts.
+    pub fn peak_images_any_node(&self) -> usize {
+        self.stores
+            .iter()
+            .map(CheckpointStore::peak_images)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver(protocol: Protocol, nodes: u64) -> StorageDriver {
+        StorageDriver::new(protocol, GroupLayout::new(protocol, nodes).unwrap())
+    }
+
+    #[test]
+    fn double_holds_local_plus_buddy() {
+        let mut d = driver(Protocol::DoubleNbl, 4);
+        d.run_period().unwrap();
+        for node in 0..4u64 {
+            let store = &d.stores()[node as usize];
+            assert_eq!(store.committed().len(), 2);
+            assert!(store.holds_image_of(node));
+            let buddy = if node % 2 == 0 { node + 1 } else { node - 1 };
+            assert!(store.holds_image_of(buddy));
+        }
+    }
+
+    #[test]
+    fn triple_holds_both_peers_no_local() {
+        let mut d = driver(Protocol::Triple, 6);
+        d.run_period().unwrap();
+        for node in 0..6u64 {
+            let store = &d.stores()[node as usize];
+            assert_eq!(store.committed().len(), 2);
+            assert!(!store.holds_image_of(node), "triple keeps no local image");
+        }
+        // Every node's state is recoverable from both of its peers.
+        for node in 0..6u64 {
+            let sources = d.recovery_sources(node);
+            assert_eq!(sources.len(), 2, "node {node}: {sources:?}");
+        }
+    }
+
+    #[test]
+    fn double_recovery_source_is_the_buddy() {
+        let mut d = driver(Protocol::DoubleBof, 4);
+        d.run_period().unwrap();
+        assert_eq!(d.recovery_sources(0), vec![1]);
+        assert_eq!(d.recovery_sources(3), vec![2]);
+    }
+
+    #[test]
+    fn memory_is_constant_and_equal_across_protocols() {
+        // The paper's claim: triple is "equally memory-demanding".
+        let mut peaks = Vec::new();
+        for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+            let mut d = driver(protocol, 6);
+            for _ in 0..50 {
+                d.run_period().unwrap();
+            }
+            // Steady state: 2 committed images per node.
+            for s in d.stores() {
+                assert_eq!(s.total_images(), 2);
+            }
+            // Peak: both sets resident during an exchange = 4.
+            assert_eq!(d.peak_images_any_node(), 4);
+            peaks.push(d.peak_images_any_node());
+        }
+        assert_eq!(peaks[0], peaks[1]);
+    }
+
+    #[test]
+    fn abort_keeps_last_committed_set() {
+        let mut d = driver(Protocol::Triple, 3);
+        d.run_period().unwrap();
+        let epoch1: Vec<_> = d.stores().iter().map(|s| s.committed_epoch()).collect();
+
+        // Start a second period but fail mid-exchange.
+        for node in 0..3u64 {
+            d.stores[node as usize].begin_epoch(2).unwrap();
+            d.stores[node as usize]
+                .stage(ImageKind::Remote {
+                    owner: (node + 1) % 3,
+                })
+                .unwrap();
+        }
+        d.abort_period();
+        let after: Vec<_> = d.stores().iter().map(|s| s.committed_epoch()).collect();
+        assert_eq!(epoch1, after);
+        for s in d.stores() {
+            assert_eq!(s.total_images(), 2);
+        }
+    }
+
+    #[test]
+    fn store_rejects_double_staging_and_stale_epochs() {
+        let mut s = CheckpointStore::new(0);
+        s.begin_epoch(1).unwrap();
+        assert!(s.begin_epoch(2).is_err());
+        s.stage(ImageKind::Local).unwrap();
+        assert!(s.stage(ImageKind::Local).is_err());
+        s.commit().unwrap();
+        assert!(s.begin_epoch(1).is_err()); // must increase
+        assert!(s.commit().is_err()); // nothing open
+        assert!(s.stage(ImageKind::Local).is_err());
+    }
+
+    #[test]
+    fn fresh_store_is_empty() {
+        let s = CheckpointStore::new(7);
+        assert_eq!(s.total_images(), 0);
+        assert_eq!(s.peak_images(), 0);
+        assert!(s.committed_epoch().is_none());
+        assert!(!s.holds_image_of(7));
+    }
+}

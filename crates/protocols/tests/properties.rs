@@ -1,0 +1,184 @@
+//! Property-based tests for the protocol machinery.
+
+use dck_core::{PlatformParams, Protocol, WasteModel};
+use dck_protocols::{FailureResponse, GroupLayout, PeriodSchedule, RiskTracker};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = PlatformParams> {
+    (
+        0.0f64..60.0,  // downtime
+        0.1f64..50.0,  // delta
+        0.5f64..100.0, // theta_min
+        0.0f64..15.0,  // alpha
+    )
+        .prop_map(|(d, delta, theta_min, alpha)| {
+            PlatformParams::new(d, delta, theta_min, alpha, 96).expect("valid ranges")
+        })
+}
+
+fn protocol_strategy() -> impl Strategy<Value = Protocol> {
+    prop::sample::select(vec![
+        Protocol::DoubleBlocking,
+        Protocol::DoubleNbl,
+        Protocol::DoubleBof,
+        Protocol::Triple,
+        Protocol::TripleBof,
+    ])
+}
+
+proptest! {
+    /// `work_at` and `time_to_reach_work` are mutually inverse on every
+    /// schedule, and `work_at` is monotone and 1-Lipschitz (the app
+    /// never runs faster than unit speed).
+    #[test]
+    fn schedule_inverse_and_lipschitz(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..20.0,
+        w_target in 0.0f64..5000.0,
+        v_probe in 0.0f64..5000.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let period = model.min_period() * period_mult;
+        let sched = PeriodSchedule::new(protocol, &params, phi, period).unwrap();
+        prop_assume!(sched.work_per_period() > 1e-9);
+
+        // Inverse property.
+        let v = sched.time_to_reach_work(w_target);
+        prop_assert!((sched.work_at(v) - w_target).abs() < 1e-6);
+
+        // Monotone, 1-Lipschitz.
+        let w1 = sched.work_at(v_probe);
+        let w2 = sched.work_at(v_probe + 1.0);
+        prop_assert!(w2 >= w1 - 1e-12);
+        prop_assert!(w2 - w1 <= 1.0 + 1e-9);
+    }
+
+    /// The uniform-offset expectation of the mechanistic outage equals
+    /// the paper's per-failure loss `F = A + P/2` (Eqs. 7/8/14) for the
+    /// paper's three protocols (the BoF subtraction never clamps for
+    /// DOUBLEBOF since RE ≥ θ ≥ φ there; TRIPLE has no subtraction).
+    #[test]
+    fn expected_outage_equals_f(
+        params in params_strategy(),
+        protocol in prop::sample::select(vec![
+            Protocol::DoubleNbl,
+            Protocol::DoubleBof,
+            Protocol::Triple,
+        ]),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..20.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let period = model.min_period() * period_mult;
+        let resp = FailureResponse::new(protocol, &params, phi, period).unwrap();
+        let numeric = resp.expected_outage_numeric(20_000);
+        let f = model.failure_loss(period);
+        prop_assert!(
+            (numeric - f).abs() < 1e-3 * (1.0 + f),
+            "numeric {numeric} vs F {f}"
+        );
+    }
+
+    /// Buddy maps are fixed-point-free involutions (pairs) or 3-cycles
+    /// (triples) that stay within the group.
+    #[test]
+    fn buddy_maps_are_group_permutations(groups in 1u64..200, triple in any::<bool>()) {
+        let protocol = if triple { Protocol::Triple } else { Protocol::DoubleNbl };
+        let n = groups * protocol.group_size();
+        let layout = GroupLayout::new(protocol, n).unwrap();
+        for node in 0..n {
+            let p = layout.preferred_buddy(node);
+            let s = layout.secondary_buddy(node);
+            prop_assert_ne!(p, node);
+            prop_assert_ne!(s, node);
+            prop_assert_eq!(layout.group_of(p), layout.group_of(node));
+            prop_assert_eq!(layout.group_of(s), layout.group_of(node));
+            if triple {
+                prop_assert_ne!(p, s);
+                // preferred is a 3-cycle: p³ = id.
+                let ppp = layout.preferred_buddy(layout.preferred_buddy(p));
+                prop_assert_eq!(ppp, node);
+            } else {
+                // pairs: involution.
+                prop_assert_eq!(layout.preferred_buddy(p), node);
+                prop_assert_eq!(p, s);
+            }
+        }
+    }
+
+    /// Fatal detection matches a brute-force reference: replay a random
+    /// failure sequence and check each verdict against an O(n²) oracle
+    /// over the full history.
+    #[test]
+    fn risk_tracker_matches_bruteforce(
+        events in prop::collection::vec((0u64..12, 0.0f64..1000.0), 1..60),
+        window in 0.5f64..100.0,
+        triple in any::<bool>(),
+    ) {
+        let protocol = if triple { Protocol::Triple } else { Protocol::DoubleNbl };
+        let n = 12;
+        let layout = GroupLayout::new(protocol, n).unwrap();
+        let mut tracker = RiskTracker::new(layout, window);
+
+        // Sort events by time (the tracker requires ordered feeds).
+        let mut events = events;
+        events.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+        let mut history: Vec<(u64, f64)> = Vec::new();
+        for &(node, t) in &events {
+            // Oracle: after this failure, is every member of the node's
+            // group inside an open window? A member's window is open if
+            // its most recent failure time t' satisfies t < t' + window.
+            let group = layout.group_of(node);
+            let mut members_at_risk = 1u64; // the current victim
+            for m in layout.members(group) {
+                if m == node {
+                    continue;
+                }
+                let last = history
+                    .iter()
+                    .rev()
+                    .find(|&&(hn, _)| hn == m)
+                    .map(|&(_, ht)| ht);
+                if let Some(ht) = last {
+                    if t < ht + window {
+                        members_at_risk += 1;
+                    }
+                }
+            }
+            let oracle_fatal = members_at_risk >= layout.group_size();
+            let outcome = tracker.record_failure(node, t);
+            prop_assert_eq!(
+                outcome.fatal, oracle_fatal,
+                "node {} at t {}: tracker {:?} vs oracle {}",
+                node, t, outcome, oracle_fatal
+            );
+            history.push((node, t));
+        }
+    }
+
+    /// Re-execution is always non-negative and no larger than the
+    /// worst case `2θ + σ + P` (previous period + current offset +
+    /// slowdown windows).
+    #[test]
+    fn reexec_bounded(
+        params in params_strategy(),
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..20.0,
+        off_frac in 0.0f64..1.0,
+    ) {
+        let phi = ratio * params.theta_min;
+        let model = WasteModel::new(protocol, &params, phi).unwrap();
+        let period = model.min_period() * period_mult;
+        let resp = FailureResponse::new(protocol, &params, phi, period).unwrap();
+        let off = off_frac * period * 0.999;
+        let re = resp.reexec(off);
+        prop_assert!(re >= 0.0);
+        prop_assert!(re <= 2.0 * model.theta() + period + period, "re {re} too large");
+    }
+}

@@ -1,0 +1,401 @@
+//! Two-level (hierarchical) simulation: buddy checkpointing plus
+//! periodic global checkpoints to stable storage (§VIII future work).
+//!
+//! The run is a sequence of *segments* of `K` buddy periods. Each
+//! segment executes under the ordinary level-1 simulator; a **fatal**
+//! buddy failure no longer ends the run — the application reloads the
+//! last global checkpoint (blocking `D + Rg`) and re-runs the segment.
+//! A completed segment is sealed by a blocking global write `Cg`. The
+//! write is **resumable**: each node writes its own file, so a failure
+//! during the write costs a normal `D + R` buddy recovery (the segment
+//! boundary's buddy snapshots are intact) plus re-sending only the
+//! failed node's share — already-written data persists. A full-restart
+//! write would be unusable in exactly the regimes that need global
+//! checkpoints (`Cg ≳ M` ⇒ `e^{Cg/M}` expected restarts).
+//!
+//! Known first-order seams (all conservative or negligible, and shared
+//! with the analytical `HierarchicalModel`): risk windows do not
+//! persist across segment boundaries (window ≪ segment), and a failure
+//! during the global write is treated as non-fatal (the write window is
+//! short relative to the segment).
+
+use crate::config::RunConfig;
+use crate::run::{run_to_completion_with_pending, StopReason};
+use dck_core::{GlobalStore, ModelError};
+use dck_failures::{FailureEvent, FailureSource};
+use dck_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a two-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalRunConfig {
+    /// Level-1 (buddy) configuration.
+    pub inner: RunConfig,
+    /// Level-2 storage costs.
+    pub store: GlobalStore,
+    /// Buddy periods per global segment (`K`).
+    pub periods_per_global: u32,
+    /// Safety cap on fatal rollbacks per run.
+    pub max_rollbacks: u64,
+}
+
+/// Outcome of a two-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalOutcome {
+    /// Wall-clock duration.
+    pub total_time: f64,
+    /// Useful work completed.
+    pub useful_work: f64,
+    /// Level-1 failures absorbed from buddy memory.
+    pub failures: u64,
+    /// Fatal buddy failures converted into global rollbacks.
+    pub fatal_rollbacks: u64,
+    /// Global checkpoints written.
+    pub global_writes: u64,
+    /// True if the work target was reached (false = rollback cap hit).
+    pub completed: bool,
+}
+
+impl HierarchicalOutcome {
+    /// Empirical waste.
+    pub fn waste(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.useful_work / self.total_time).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A failure source with a push-back buffer, letting the wrapper peek
+/// at events around global-write windows without losing them for the
+/// next segment.
+struct BufferedSource<'a> {
+    pending: VecDeque<FailureEvent>,
+    inner: &'a mut dyn FailureSource,
+}
+
+impl FailureSource for BufferedSource<'_> {
+    fn next_failure(&mut self) -> FailureEvent {
+        self.pending
+            .pop_front()
+            .unwrap_or_else(|| self.inner.next_failure())
+    }
+
+    fn nodes(&self) -> u64 {
+        self.inner.nodes()
+    }
+
+    fn platform_mtbf(&self) -> SimTime {
+        self.inner.platform_mtbf()
+    }
+}
+
+/// Runs `t_base` units of work under the two-level scheme.
+///
+/// # Errors
+/// Propagates level-1 configuration errors; `periods_per_global ≥ 1`.
+pub fn run_hierarchical(
+    cfg: &HierarchicalRunConfig,
+    t_base: f64,
+    source: &mut dyn FailureSource,
+) -> Result<HierarchicalOutcome, ModelError> {
+    if cfg.periods_per_global == 0 {
+        return Err(ModelError::invalid("periods_per_global", "must be >= 1"));
+    }
+    let (schedule, _response, _) = cfg.inner.build()?;
+    if schedule.work_per_period() <= 0.0 {
+        return Ok(HierarchicalOutcome {
+            total_time: f64::INFINITY,
+            useful_work: 0.0,
+            failures: 0,
+            fatal_rollbacks: 0,
+            global_writes: 0,
+            completed: false,
+        });
+    }
+    let segment_work = cfg.periods_per_global as f64 * schedule.work_per_period();
+    let recovery_blocked = cfg.inner.params.downtime + cfg.inner.params.recovery();
+
+    let mut buffered = BufferedSource {
+        pending: VecDeque::new(),
+        inner: source,
+    };
+
+    let mut wall = 0.0_f64;
+    let mut committed = 0.0_f64; // work safely on stable storage
+    let mut failures = 0u64;
+    let mut rollbacks = 0u64;
+    let mut writes = 0u64;
+
+    while committed < t_base {
+        let target = (t_base - committed).min(segment_work);
+        // Run the segment on a time-shifted view: inner simulation time
+        // starts at 0, so offset the source events.
+        // (Exponential sources are memoryless; for renewal sources the
+        // shift is the standard stationary approximation.)
+        let offset = wall;
+        let mut shifted = ShiftedSource {
+            inner: &mut buffered,
+            offset,
+        };
+        let (out, pending) = run_to_completion_with_pending(&cfg.inner, target, &mut shifted)?;
+        if let Some(ev) = pending {
+            // Re-inject the unconsumed event (back in absolute time) so
+            // the failure stream is not thinned at segment boundaries.
+            buffered.pending.push_front(FailureEvent {
+                at: SimTime::seconds(ev.at.as_secs() + offset),
+                node: ev.node,
+            });
+        }
+        failures += out.failures;
+        match out.reason {
+            StopReason::WorkComplete => {
+                wall += out.total_time;
+                // Seal with a resumable global write; a failure during
+                // the write pauses it for a buddy recovery and the
+                // already-written portion persists.
+                let mut remaining = cfg.store.write_time;
+                let mut pos = wall;
+                loop {
+                    let ev = buffered.next_failure();
+                    if ev.at.as_secs() >= pos + remaining {
+                        buffered.pending.push_front(ev);
+                        wall = pos + remaining;
+                        break;
+                    }
+                    failures += 1;
+                    remaining -= ev.at.as_secs() - pos;
+                    pos = ev.at.as_secs() + recovery_blocked;
+                }
+                writes += 1;
+                committed += target;
+            }
+            StopReason::Fatal => {
+                rollbacks += 1;
+                if rollbacks >= cfg.max_rollbacks {
+                    return Ok(HierarchicalOutcome {
+                        total_time: wall + out.fatal_at.unwrap_or(out.total_time),
+                        useful_work: committed,
+                        failures,
+                        fatal_rollbacks: rollbacks,
+                        global_writes: writes,
+                        completed: false,
+                    });
+                }
+                // Reload from stable storage and re-run the segment.
+                wall += out.fatal_at.expect("fatal runs carry a time")
+                    + cfg.inner.params.downtime
+                    + cfg.store.read_time;
+            }
+            StopReason::FailureCapReached | StopReason::NoProgress => {
+                return Ok(HierarchicalOutcome {
+                    total_time: wall + out.total_time,
+                    useful_work: committed + out.useful_work,
+                    failures,
+                    fatal_rollbacks: rollbacks,
+                    global_writes: writes,
+                    completed: false,
+                });
+            }
+            StopReason::HorizonReached => unreachable!("completion mode"),
+        }
+    }
+
+    Ok(HierarchicalOutcome {
+        total_time: wall,
+        useful_work: t_base,
+        failures,
+        fatal_rollbacks: rollbacks,
+        global_writes: writes,
+        completed: true,
+    })
+}
+
+/// Presents the tail of a failure stream with times shifted so the next
+/// segment's inner simulation can start at t = 0.
+struct ShiftedSource<'a, 'b> {
+    inner: &'a mut BufferedSource<'b>,
+    offset: f64,
+}
+
+impl FailureSource for ShiftedSource<'_, '_> {
+    fn next_failure(&mut self) -> FailureEvent {
+        let ev = self.inner.next_failure();
+        FailureEvent {
+            at: SimTime::seconds((ev.at.as_secs() - self.offset).max(0.0)),
+            node: ev.node,
+        }
+    }
+
+    fn nodes(&self) -> u64 {
+        self.inner.nodes()
+    }
+
+    fn platform_mtbf(&self) -> SimTime {
+        self.inner.platform_mtbf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeriodChoice;
+    use dck_core::{HierarchicalModel, PlatformParams, Protocol};
+    use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
+    use dck_simcore::RngFactory;
+
+    fn params(nodes: u64) -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, nodes).unwrap()
+    }
+
+    fn store() -> GlobalStore {
+        GlobalStore::new(600.0, 600.0).unwrap()
+    }
+
+    fn cfg(protocol: Protocol, nodes: u64, phi: f64, mtbf: f64, k: u32) -> HierarchicalRunConfig {
+        HierarchicalRunConfig {
+            inner: RunConfig::new(protocol, params(nodes), phi, mtbf),
+            store: store(),
+            periods_per_global: k,
+            max_rollbacks: 10_000,
+        }
+    }
+
+    fn exp_source(c: &HierarchicalRunConfig, seed: u64) -> AggregatedExponential {
+        let spec = MtbfSpec::Individual {
+            mtbf: SimTime::seconds(c.inner.mtbf * c.inner.params.nodes as f64),
+            nodes: c.inner.usable_nodes(),
+        };
+        AggregatedExponential::new(spec, RngFactory::new(seed).stream(0))
+    }
+
+    #[test]
+    fn failure_free_run_pays_exactly_the_global_writes() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 1e9, 10);
+        c.inner.period = PeriodChoice::Explicit(100.0);
+        // 10 periods × 97 work = 970 per segment; ask for 2 segments.
+        let trace = FailureTrace::new(8, vec![]);
+        let out = run_hierarchical(&c, 1940.0, &mut trace.replay()).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.global_writes, 2);
+        assert_eq!(out.fatal_rollbacks, 0);
+        // 2 × (1000 schedule + 600 write).
+        assert!((out.total_time - 3200.0).abs() < 1e-6, "{}", out.total_time);
+        assert!((out.useful_work - 1940.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_last_segment_supported() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 1e9, 10);
+        c.inner.period = PeriodChoice::Explicit(100.0);
+        let trace = FailureTrace::new(8, vec![]);
+        // 1.5 segments of work: the final write still seals the tail.
+        let out = run_hierarchical(&c, 1455.0, &mut trace.replay()).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.global_writes, 2);
+        assert!((out.useful_work - 1455.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fatal_failure_rolls_back_instead_of_dying() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 1e9, 10);
+        c.inner.period = PeriodChoice::Explicit(100.0);
+        // Buddy pair (0,1) dies within the 38 s risk window at t=250:
+        // fatal for plain level-1 — here it must roll back and finish.
+        let trace = FailureTrace::new(
+            8,
+            vec![
+                FailureEvent {
+                    at: SimTime::seconds(250.0),
+                    node: 0,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(260.0),
+                    node: 1,
+                },
+            ],
+        );
+        let out = run_hierarchical(&c, 970.0, &mut trace.replay()).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.fatal_rollbacks, 1);
+        // Lost the 260 s of the first attempt + D + Rg, then a clean
+        // segment: 260 + 600 + 1000 + 600(write).
+        assert!((out.total_time - 2460.0).abs() < 1e-6, "{}", out.total_time);
+    }
+
+    #[test]
+    fn failure_during_global_write_pauses_it() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 1e9, 10);
+        c.inner.period = PeriodChoice::Explicit(100.0);
+        // Segment completes at t = 1000; write runs (1000, 1600); a
+        // failure at 1300 pauses it for D + R = 4 and the 300 s already
+        // written persist: the remaining 300 s complete at 1904... no —
+        // resume at 1304 with 300 s left ⇒ done at 1604.
+        let trace = FailureTrace::new(
+            8,
+            vec![FailureEvent {
+                at: SimTime::seconds(1300.0),
+                node: 2,
+            }],
+        );
+        let out = run_hierarchical(&c, 970.0, &mut trace.replay()).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.global_writes, 1);
+        assert!((out.total_time - 1604.0).abs() < 1e-6, "{}", out.total_time);
+    }
+
+    #[test]
+    fn monte_carlo_matches_hierarchical_model() {
+        // Harsh-ish regime at blocking φ so level 1 progresses: the
+        // two-level waste prediction should land near the simulation.
+        let m = 300.0;
+        let k = 40;
+        let c = cfg(Protocol::DoubleNbl, 64, 4.0, m, k);
+        let model = HierarchicalModel::new(Protocol::DoubleNbl, &params(64), 4.0, store())
+            .unwrap()
+            .evaluate(k, m)
+            .unwrap();
+        let mut wastes = Vec::new();
+        for seed in 0..24 {
+            let mut src = exp_source(&c, seed);
+            let out = run_hierarchical(&c, 30.0 * m, &mut src).unwrap();
+            assert!(out.completed);
+            wastes.push(out.waste());
+        }
+        let mean: f64 = wastes.iter().sum::<f64>() / wastes.len() as f64;
+        assert!(
+            (mean - model.waste).abs() < 0.12,
+            "sim {mean} vs model {}",
+            model.waste
+        );
+    }
+
+    #[test]
+    fn rollback_cap_reported() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 1e9, 10);
+        c.inner.period = PeriodChoice::Explicit(100.0);
+        c.max_rollbacks = 1;
+        // Every attempt dies: pairs keep failing together.
+        let events: Vec<FailureEvent> = (0..200)
+            .flat_map(|i| {
+                let t = 100.0 + i as f64 * 2000.0;
+                [
+                    FailureEvent {
+                        at: SimTime::seconds(t),
+                        node: 0,
+                    },
+                    FailureEvent {
+                        at: SimTime::seconds(t + 5.0),
+                        node: 1,
+                    },
+                ]
+            })
+            .collect();
+        let trace = FailureTrace::new(8, events);
+        let out = run_hierarchical(&c, 1e9, &mut trace.replay()).unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.fatal_rollbacks, 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Parallel Monte-Carlo replication of protocol simulations.
+//!
+//! Replications are embarrassingly parallel and fully reproducible:
+//! replication `i` derives its RNG stream from `(seed, i)` regardless
+//! of which worker thread executes it, so results are bit-identical
+//! across worker counts.
+
+use crate::config::RunConfig;
+use crate::run::{run_to_completion, run_until, RunOutcome, StopReason};
+use dck_core::ModelError;
+use dck_failures::{AggregatedExponential, DistributionSpec, MtbfSpec, PerNodeRenewal};
+use dck_simcore::par::{default_workers, parallel_map_indexed};
+use dck_simcore::{ConfidenceInterval, OnlineStats, RngFactory, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which failure process drives the replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// The paper's assumption: Exponential failures, simulated by the
+    /// O(1)-per-event aggregated Poisson process.
+    Exponential,
+    /// Per-node renewal process with the given inter-arrival shape; the
+    /// distribution's mean is re-targeted to the individual-node MTBF.
+    /// Starts fresh at t = 0 (all nodes brand-new: infant-mortality
+    /// shapes front-load failures).
+    Renewal(DistributionSpec),
+    /// Like [`SourceKind::Renewal`] but warmed up for ten individual
+    /// MTBFs before t = 0, approximating the stationary regime.
+    RenewalWarmed(DistributionSpec),
+}
+
+/// Monte-Carlo harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of independent replications.
+    pub replications: usize,
+    /// Master seed; replication `i` uses stream `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Failure process.
+    pub source: SourceKind,
+}
+
+impl MonteCarloConfig {
+    /// A sensible default: `replications` runs, all cores, Exponential.
+    pub fn new(replications: usize, seed: u64) -> Self {
+        MonteCarloConfig {
+            replications,
+            seed,
+            workers: 0,
+            source: SourceKind::Exponential,
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            default_workers(0)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Builds the failure source for one replication. The platform MTBF is
+/// calibrated so the *per-node* rate matches `run_cfg.params` even when
+/// the node count is rounded down to a group multiple.
+fn build_source(
+    run_cfg: &RunConfig,
+    mc: &MonteCarloConfig,
+    replication: u64,
+) -> Box<dyn dck_failures::FailureSource> {
+    let usable = run_cfg.usable_nodes();
+    let n_cfg = run_cfg.params.nodes as f64;
+    // Per-node MTBF is n·M; keep it fixed under rounding.
+    let individual = SimTime::seconds(run_cfg.mtbf * n_cfg);
+    let mtbf = MtbfSpec::Individual {
+        mtbf: individual,
+        nodes: usable,
+    };
+    let rng = RngFactory::new(mc.seed).component_stream("failures", replication);
+    match mc.source {
+        SourceKind::Exponential => Box::new(AggregatedExponential::new(mtbf, rng)),
+        SourceKind::Renewal(spec) => {
+            Box::new(PerNodeRenewal::new(spec.with_mean(individual), usable, rng))
+        }
+        SourceKind::RenewalWarmed(spec) => Box::new(PerNodeRenewal::with_warmup(
+            spec.with_mean(individual),
+            usable,
+            rng,
+            individual * 10.0,
+        )),
+    }
+}
+
+/// Aggregated waste estimate across replications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WasteEstimate {
+    /// Per-run waste statistics (completed runs only).
+    pub waste: OnlineStats,
+    /// 95% Student-t interval on the mean waste.
+    pub ci95: ConfidenceInterval,
+    /// Per-run failure-count statistics.
+    pub failures: OnlineStats,
+    /// Replications that completed their work.
+    pub completed: usize,
+    /// Replications ended by a fatal failure.
+    pub fatal: usize,
+    /// Replications stopped by the failure cap or no-progress guard.
+    pub truncated: usize,
+}
+
+/// Aggregated success-probability estimate across replications.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SuccessEstimate {
+    /// Total replications.
+    pub runs: usize,
+    /// Replications with no fatal failure before the horizon.
+    pub survived: usize,
+    /// Point estimate `survived / runs`.
+    pub p_hat: f64,
+    /// 95% Wilson score interval `(lo, hi)`.
+    pub wilson95: (f64, f64),
+}
+
+/// Estimates the waste of an operating point by running `t_base` work
+/// to completion across replications.
+///
+/// # Errors
+/// Propagates configuration errors from the first replication.
+pub fn estimate_waste(
+    run_cfg: &RunConfig,
+    t_base: f64,
+    mc: &MonteCarloConfig,
+) -> Result<WasteEstimate, ModelError> {
+    // Validate once up front so worker panics can't hide config errors.
+    run_cfg.build()?;
+    let outcomes: Vec<RunOutcome> =
+        parallel_map_indexed(mc.replications, mc.resolved_workers(), |i| {
+            let mut source = build_source(run_cfg, mc, i as u64);
+            run_to_completion(run_cfg, t_base, source.as_mut())
+                .expect("validated configuration cannot fail")
+        });
+
+    let mut waste = OnlineStats::new();
+    let mut failures = OnlineStats::new();
+    let (mut completed, mut fatal, mut truncated) = (0, 0, 0);
+    for o in &outcomes {
+        match o.reason {
+            StopReason::WorkComplete => {
+                completed += 1;
+                waste.push(o.waste());
+                failures.push(o.failures as f64);
+            }
+            StopReason::Fatal => fatal += 1,
+            StopReason::FailureCapReached | StopReason::NoProgress => truncated += 1,
+            StopReason::HorizonReached => unreachable!("completion mode has no horizon"),
+        }
+    }
+    let ci95 = ConfidenceInterval::from_stats(&waste, 0.95);
+    Ok(WasteEstimate {
+        waste,
+        ci95,
+        failures,
+        completed,
+        fatal,
+        truncated,
+    })
+}
+
+/// Estimates the success probability over an exploitation horizon.
+///
+/// # Errors
+/// Propagates configuration errors.
+pub fn estimate_success(
+    run_cfg: &RunConfig,
+    horizon: f64,
+    mc: &MonteCarloConfig,
+) -> Result<SuccessEstimate, ModelError> {
+    run_cfg.build()?;
+    let survived_flags: Vec<bool> =
+        parallel_map_indexed(mc.replications, mc.resolved_workers(), |i| {
+            let mut source = build_source(run_cfg, mc, i as u64);
+            run_until(run_cfg, horizon, source.as_mut())
+                .expect("validated configuration cannot fail")
+                .survived()
+        });
+    let survived = survived_flags.iter().filter(|&&s| s).count();
+    let runs = mc.replications;
+    let p_hat = if runs == 0 {
+        0.0
+    } else {
+        survived as f64 / runs as f64
+    };
+    Ok(SuccessEstimate {
+        runs,
+        survived,
+        p_hat,
+        wilson95: wilson_interval(survived, runs, 1.96),
+    })
+}
+
+/// Wilson score interval for a binomial proportion at normal quantile
+/// `z` (1.96 for 95%).
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeriodChoice;
+    use dck_core::{PlatformParams, Protocol, RiskModel, WasteModel};
+
+    fn params(nodes: u64) -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, nodes).unwrap()
+    }
+
+    #[test]
+    fn wilson_interval_reference() {
+        let (lo, hi) = wilson_interval(8, 10, 1.96);
+        // Known value: 8/10 → approx (0.49, 0.94).
+        assert!((lo - 0.49).abs() < 0.01, "lo {lo}");
+        assert!((hi - 0.943).abs() < 0.01, "hi {hi}");
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.1);
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.9);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn waste_estimate_matches_model_at_moderate_mtbf() {
+        // Base-like platform, M = 1 h, 64 nodes, φ = 1. The model's
+        // first-order waste should sit within the Monte-Carlo CI
+        // (with slack: the model is first-order).
+        let m = 3600.0;
+        let run_cfg = RunConfig::new(Protocol::DoubleNbl, params(64), 1.0, m);
+        let mc = MonteCarloConfig::new(60, 0xDC0FFEE);
+        let t_base = 40.0 * 3600.0; // 40 h of work per run
+        let est = estimate_waste(&run_cfg, t_base, &mc).unwrap();
+        assert_eq!(est.completed + est.fatal + est.truncated, 60);
+        assert!(est.completed > 50, "completed {}", est.completed);
+
+        let opt = dck_core::optimal_period(Protocol::DoubleNbl, &params(64), 1.0, m).unwrap();
+        let model_waste = opt.waste.total;
+        assert!(
+            est.ci95.contains_with_slack(model_waste, 4.0),
+            "model {model_waste} vs sim {} ± {}",
+            est.ci95.mean,
+            est.ci95.half_width
+        );
+    }
+
+    #[test]
+    fn success_estimate_matches_eq11_order_of_magnitude() {
+        // Harsh regime so fatal failures actually occur: M = 60 s,
+        // 64 nodes, horizon 12 h.
+        let m = 60.0;
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(64), 0.0, m);
+        run_cfg.period = PeriodChoice::Explicit(200.0);
+        let horizon = 12.0 * 3600.0;
+        let mc = MonteCarloConfig::new(300, 42);
+        let est = estimate_success(&run_cfg, horizon, &mc).unwrap();
+
+        let model = RiskModel::new(Protocol::DoubleNbl, &params(64), 0.0)
+            .unwrap()
+            .success_probability(m, horizon)
+            .unwrap()
+            .probability;
+        let (lo, hi) = est.wilson95;
+        // Widen the Wilson interval slightly: the analytic model is
+        // first-order in λ·Risk.
+        let slack = 0.05;
+        assert!(
+            model >= lo - slack && model <= hi + slack,
+            "model {model} outside sim [{lo}, {hi}]"
+        );
+        // This regime must be genuinely risky, or the test is vacuous.
+        assert!(est.p_hat < 0.999, "p_hat {}", est.p_hat);
+    }
+
+    #[test]
+    fn replications_are_reproducible_across_worker_counts() {
+        let run_cfg = RunConfig::new(Protocol::Triple, params(9), 1.0, 1800.0);
+        let mut mc1 = MonteCarloConfig::new(16, 7);
+        mc1.workers = 1;
+        let mut mc8 = mc1;
+        mc8.workers = 8;
+        let a = estimate_waste(&run_cfg, 20_000.0, &mc1).unwrap();
+        let b = estimate_waste(&run_cfg, 20_000.0, &mc8).unwrap();
+        assert_eq!(a.waste.mean(), b.waste.mean());
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn renewal_source_supported() {
+        let run_cfg = RunConfig::new(Protocol::DoubleNbl, params(8), 1.0, 1800.0);
+        let mut mc = MonteCarloConfig::new(8, 3);
+        mc.source = SourceKind::Renewal(DistributionSpec::Weibull {
+            mean: SimTime::seconds(1.0), // retargeted internally
+            shape: 0.7,
+        });
+        let est = estimate_waste(&run_cfg, 10_000.0, &mc).unwrap();
+        assert_eq!(est.completed + est.fatal + est.truncated, 8);
+    }
+
+    #[test]
+    fn fault_free_limit_recovers_waste_ff() {
+        // Enormous MTBF: almost no failures, waste → WASTEff at the
+        // chosen period.
+        let m = 1e12;
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(8), 1.0, m);
+        run_cfg.period = PeriodChoice::Explicit(100.0);
+        let mc = MonteCarloConfig::new(4, 1);
+        let est = estimate_waste(&run_cfg, 97_000.0, &mc).unwrap();
+        let wff = WasteModel::new(Protocol::DoubleNbl, &params(8), 1.0)
+            .unwrap()
+            .waste(100.0, m)
+            .unwrap()
+            .fault_free;
+        assert!((est.waste.mean() - wff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_surfaces_as_error() {
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(8), 1.0, 3600.0);
+        run_cfg.period = PeriodChoice::Explicit(1.0);
+        let mc = MonteCarloConfig::new(4, 1);
+        assert!(estimate_waste(&run_cfg, 1000.0, &mc).is_err());
+        assert!(estimate_success(&run_cfg, 1000.0, &mc).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the platform simulator.
+
+use dck_core::{PlatformParams, Protocol};
+use dck_failures::{AggregatedExponential, MtbfSpec};
+use dck_sim::{run_to_completion, run_until, PeriodChoice, RunConfig, StopReason};
+use dck_simcore::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+fn params() -> PlatformParams {
+    PlatformParams::new(0.0, 2.0, 4.0, 10.0, 24).unwrap()
+}
+
+fn protocol_strategy() -> impl Strategy<Value = Protocol> {
+    prop::sample::select(vec![
+        Protocol::DoubleNbl,
+        Protocol::DoubleBof,
+        Protocol::Triple,
+    ])
+}
+
+fn source(cfg: &RunConfig, seed: u64) -> AggregatedExponential {
+    let spec = MtbfSpec::Individual {
+        mtbf: SimTime::seconds(cfg.mtbf * cfg.params.nodes as f64),
+        nodes: cfg.usable_nodes(),
+    };
+    AggregatedExponential::new(spec, RngFactory::new(seed).stream(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: wall-clock time = productive schedule time +
+    /// outage time, and useful work never exceeds either the requested
+    /// work or the elapsed time.
+    #[test]
+    fn run_conserves_time_and_work(
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf in 120.0f64..7200.0,
+        seed in 0u64..1000,
+    ) {
+        let phi = ratio * params().theta_min;
+        let cfg = RunConfig::new(protocol, params(), phi, mtbf);
+        let t_base = 10.0 * mtbf;
+        let mut src = source(&cfg, seed);
+        let out = run_to_completion(&cfg, t_base, &mut src).unwrap();
+        match out.reason {
+            StopReason::WorkComplete => {
+                prop_assert!((out.useful_work - t_base).abs() < 1e-6);
+                prop_assert!(out.total_time >= t_base - 1e-9);
+                // total = productive schedule time + outages; the
+                // productive time is work / (W/P) = t_base * P / W,
+                // which run-internally equals total - outage.
+                let schedule_time = out.total_time - out.outage_time;
+                prop_assert!(schedule_time >= out.useful_work - 1e-6);
+            }
+            StopReason::Fatal => {
+                prop_assert!(out.fatal_at.is_some());
+                prop_assert!(out.useful_work <= t_base + 1e-6);
+            }
+            _ => {}
+        }
+        prop_assert!((0.0..=1.0).contains(&out.waste()));
+    }
+
+    /// Determinism: identical seeds give identical outcomes.
+    #[test]
+    fn runs_are_deterministic(
+        protocol in protocol_strategy(),
+        seed in 0u64..500,
+    ) {
+        let cfg = RunConfig::new(protocol, params(), 1.0, 900.0);
+        let mut s1 = source(&cfg, seed);
+        let mut s2 = source(&cfg, seed);
+        let a = run_to_completion(&cfg, 5_000.0, &mut s1).unwrap();
+        let b = run_to_completion(&cfg, 5_000.0, &mut s2).unwrap();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.failures, b.failures);
+        prop_assert_eq!(a.fatal_at, b.fatal_at);
+    }
+
+    /// Horizon runs never exceed the horizon, and longer horizons only
+    /// accumulate more (or equal) work for the same failure stream.
+    #[test]
+    fn horizon_monotone(seed in 0u64..300, h1 in 1_000.0f64..20_000.0) {
+        let cfg = RunConfig::new(Protocol::DoubleNbl, params(), 1.0, 600.0);
+        let h2 = h1 * 2.0;
+        let mut s1 = source(&cfg, seed);
+        let mut s2 = source(&cfg, seed);
+        let a = run_until(&cfg, h1, &mut s1).unwrap();
+        let b = run_until(&cfg, h2, &mut s2).unwrap();
+        prop_assert!(a.total_time <= h1 + 1e-9);
+        prop_assert!(b.total_time <= h2 + 1e-9);
+        if a.reason == StopReason::HorizonReached && b.reason == StopReason::HorizonReached {
+            prop_assert!(b.useful_work >= a.useful_work - 1e-9);
+        }
+    }
+
+    /// More failures never help: halving the MTBF cannot reduce the
+    /// mean waste of *completed* runs (fatal runs end early and are
+    /// excluded; checked on seed-averaged ensembles to absorb noise).
+    #[test]
+    fn lower_mtbf_never_wastes_less(seed in 0u64..50) {
+        let work = 20_000.0;
+        let mean_waste = |mtbf: f64| -> Option<f64> {
+            let cfg = RunConfig::new(Protocol::DoubleNbl, params(), 1.0, mtbf);
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for i in 0..8 {
+                let mut s = source(&cfg, seed * 8 + i);
+                let out = run_to_completion(&cfg, work, &mut s).unwrap();
+                if out.reason == StopReason::WorkComplete {
+                    sum += out.waste();
+                    n += 1;
+                }
+            }
+            (n > 0).then(|| sum / n as f64)
+        };
+        if let (Some(fast_failing), Some(slow_failing)) = (mean_waste(600.0), mean_waste(6_000.0)) {
+            prop_assert!(
+                fast_failing >= slow_failing * 0.9,
+                "fast {fast_failing} vs slow {slow_failing}"
+            );
+        }
+    }
+
+    /// The no-progress guard fires exactly when the schedule's work per
+    /// period is zero.
+    #[test]
+    fn no_progress_guard(period_extra in 0.0f64..10.0) {
+        // DoubleBlocking: W = P - delta - theta_min; zero at minimum period.
+        let mut cfg = RunConfig::new(Protocol::DoubleBlocking, params(), 0.0, 3600.0);
+        cfg.period = PeriodChoice::Explicit(6.0 + period_extra);
+        let mut src = source(&cfg, 1);
+        let out = run_to_completion(&cfg, 100.0, &mut src).unwrap();
+        if period_extra < 1e-12 {
+            prop_assert_eq!(out.reason, StopReason::NoProgress);
+        } else {
+            prop_assert_ne!(out.reason, StopReason::NoProgress);
+        }
+    }
+}

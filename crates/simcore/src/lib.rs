@@ -1,0 +1,36 @@
+//! # dck-simcore — discrete-event simulation kernel
+//!
+//! Deterministic substrate for the buddy-checkpointing simulators in the
+//! `dck` workspace. Nothing in this crate knows about checkpointing; it
+//! provides the generic machinery every discrete-event simulation needs:
+//!
+//! * [`time`] — virtual time as a strongly-typed, totally-ordered `f64`
+//!   newtype with unit-aware constructors (`SimTime::hours(7.0)`).
+//! * [`event`] — a stable priority queue of timestamped events: ties are
+//!   broken by insertion order so simulations are reproducible regardless
+//!   of the underlying heap's internal layout.
+//! * [`rng`] — SplitMix64-based seed derivation producing independent,
+//!   reproducible random streams per replication/component.
+//! * [`stats`] — online statistics: Welford mean/variance, fixed and
+//!   logarithmic histograms, time-weighted accumulators, Student-t
+//!   confidence intervals.
+//! * [`par`] — a small scoped-thread fork/join utility (built on
+//!   `crossbeam`) used to run Monte-Carlo replications in parallel.
+//!
+//! The kernel is deliberately allocation-light: event queues reserve
+//! capacity up front, statistics are O(1) per observation, and the
+//! parallel map splits indices rather than cloning inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod par;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::{derive_seed, RngFactory, SplitMix64};
+pub use stats::{ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};
+pub use time::SimTime;

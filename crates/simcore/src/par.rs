@@ -1,0 +1,181 @@
+//! Scoped-thread fork/join utilities for Monte-Carlo replication.
+//!
+//! The workspace's dependency policy does not include `rayon`, so this
+//! module provides the one parallel pattern the simulators need: map a
+//! function over an index range on a fixed number of worker threads and
+//! collect the results *in index order*. Work is handed out through an
+//! atomic cursor (work-stealing by chunk), so uneven per-item cost —
+//! common in failure simulations, where unlucky replications run much
+//! longer — still balances well.
+//!
+//! Determinism: results depend only on `(index, f)`, never on thread
+//! scheduling, because each item derives everything (including RNG
+//! seeds) from its index.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size for [`parallel_map_indexed`]: small enough to
+/// balance skewed workloads, large enough to keep cursor contention
+/// negligible.
+const DEFAULT_CHUNK: usize = 4;
+
+/// Returns a sensible worker count: the machine's available parallelism
+/// capped at `cap` (0 = uncapped).
+pub fn default_workers(cap: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cap == 0 {
+        hw
+    } else {
+        hw.min(cap)
+    }
+}
+
+/// Maps `f` over `0..n` using `workers` threads and returns the results
+/// in index order.
+///
+/// `f` must be `Sync` (shared by reference across workers) and the
+/// result type `Send`. With `workers <= 1` the map runs inline on the
+/// caller's thread, which keeps small jobs cheap and makes the parallel
+/// path easy to A/B-test.
+///
+/// # Example
+/// ```
+/// use dck_simcore::par::parallel_map_indexed;
+/// let squares = parallel_map_indexed(8, 4, |i| (i * i) as u64);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn parallel_map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = workers.min(n);
+
+    // Collect into per-slot Options so each worker writes disjoint
+    // indices; unwrap at the end restores plain Vec<T>.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+
+    // Hand each worker a disjoint &mut view via chunk claiming over a
+    // raw split: we give every worker access through a Mutex-free
+    // mechanism by splitting the slot vector into per-index cells.
+    // Simplest safe approach: each worker produces (index, value) pairs
+    // into its own local Vec, then we scatter after the scope ends.
+    let mut per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + DEFAULT_CHUNK).min(n);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    for bucket in per_worker.drain(..) {
+        for (i, v) in bucket {
+            debug_assert!(slots[i].is_none(), "duplicate index {i}");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map missed an index"))
+        .collect()
+}
+
+/// Maps `f` over `0..n` in parallel and reduces the results with a
+/// mergeable accumulator (e.g. [`crate::OnlineStats`]). The reduction
+/// order is fixed (index order), so floating-point results are
+/// reproducible run-to-run.
+pub fn parallel_map_reduce<T, A, F, M>(n: usize, workers: usize, f: F, init: A, merge: M) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(A, T) -> A,
+{
+    let items = parallel_map_indexed(n, workers, f);
+    items.into_iter().fold(init, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = parallel_map_indexed(1000, 8, |i| i * 3);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = parallel_map_indexed(257, 1, |i| (i as f64).sqrt());
+        let par = parallel_map_indexed(257, 7, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_index_computed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = parallel_map_indexed(500, 6, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+        let unique: HashSet<_> = out.iter().collect();
+        assert_eq!(unique.len(), 500);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = parallel_map_indexed(0, 4, |_| 1u32);
+        assert!(empty.is_empty());
+        let one = parallel_map_indexed(1, 4, |i| i + 10);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn map_reduce_matches_fold() {
+        let total = parallel_map_reduce(100, 4, |i| i as u64, 0u64, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers(0) >= 1);
+        assert_eq!(default_workers(1), 1);
+    }
+}

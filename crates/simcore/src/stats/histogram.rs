@@ -1,0 +1,268 @@
+//! Fixed-width and logarithmic histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Binning strategy for a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HistogramKind {
+    /// `bins` equal-width bins covering `[lo, hi)`.
+    Linear {
+        /// Lower edge of the first bin.
+        lo: f64,
+        /// Upper edge of the last bin.
+        hi: f64,
+    },
+    /// `bins` equal-ratio bins covering `[lo, hi)`; requires `lo > 0`.
+    Logarithmic {
+        /// Lower edge (must be positive).
+        lo: f64,
+        /// Upper edge.
+        hi: f64,
+    },
+}
+
+/// A histogram with under/overflow counters.
+///
+/// Values below the range go to the underflow counter, values at or
+/// above the upper edge to the overflow counter; totals are never lost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    kind: HistogramKind,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a linear histogram with `bins` bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            kind: HistogramKind::Linear { lo, hi },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Creates a logarithmic histogram with `bins` bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, `lo <= 0`, or `lo >= hi`.
+    pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0, "log histogram needs a positive lower edge");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            kind: HistogramKind::Logarithmic { lo, hi },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    fn bin_index(&self, x: f64) -> Option<usize> {
+        let bins = self.counts.len() as f64;
+        match self.kind {
+            HistogramKind::Linear { lo, hi } => {
+                if x < lo || x >= hi {
+                    None
+                } else {
+                    Some((((x - lo) / (hi - lo)) * bins) as usize)
+                }
+            }
+            HistogramKind::Logarithmic { lo, hi } => {
+                if x < lo || x >= hi {
+                    None
+                } else {
+                    let f = (x / lo).ln() / (hi / lo).ln();
+                    Some(((f * bins) as usize).min(self.counts.len() - 1))
+                }
+            }
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "histogram observation is NaN");
+        self.total += 1;
+        match self.bin_index(x) {
+            Some(i) => {
+                let last = self.counts.len() - 1;
+                self.counts[i.min(last)] += 1;
+            }
+            None => {
+                let lo = match self.kind {
+                    HistogramKind::Linear { lo, .. } | HistogramKind::Logarithmic { lo, .. } => lo,
+                };
+                if x < lo {
+                    self.underflow += 1;
+                } else {
+                    self.overflow += 1;
+                }
+            }
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at/above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number recorded (in-range + out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let bins = self.counts.len() as f64;
+        match self.kind {
+            HistogramKind::Linear { lo, hi } => {
+                let w = (hi - lo) / bins;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            HistogramKind::Logarithmic { lo, hi } => {
+                let r = (hi / lo).powf(1.0 / bins);
+                (lo * r.powi(i as i32), lo * r.powi(i as i32 + 1))
+            }
+        }
+    }
+
+    /// Merges another histogram with identical kind and bin count.
+    ///
+    /// # Panics
+    /// Panics on mismatched configuration.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.kind, other.kind, "histogram kinds differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Approximate quantile (by linear interpolation inside the bin);
+    /// `None` if the histogram is empty or the quantile falls in the
+    /// under/overflow mass.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cum = self.underflow as f64;
+        if target < cum {
+            return None;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let (lo, hi) = self.bin_edges(i);
+                let frac = (target - cum) / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            cum = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 9.99, 5.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(2.0);
+        h.record(1.0); // at upper edge → overflow
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn log_binning_equal_ratio() {
+        let mut h = Histogram::logarithmic(1.0, 1000.0, 3);
+        // Bins: [1,10), [10,100), [100,1000)
+        for x in [2.0, 5.0, 20.0, 500.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        let (lo, hi) = h.bin_edges(1);
+        assert!((lo - 10.0).abs() < 1e-9);
+        assert!((hi - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::linear(0.0, 1.0, 2);
+        let mut b = Histogram::linear(0.0, 1.0, 2);
+        a.record(0.25);
+        b.record(0.75);
+        b.record(-3.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut h = Histogram::linear(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "kinds differ")]
+    fn merge_rejects_mismatch() {
+        let mut a = Histogram::linear(0.0, 1.0, 2);
+        let b = Histogram::linear(0.0, 2.0, 2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Time-weighted averages of piecewise-constant signals.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant signal over virtual time.
+///
+/// Typical use: track "is the application inside a risk window?" as a
+/// 0/1 signal and read off the fraction of wall-clock time at risk, or
+/// track instantaneous application speed to compute total useful work.
+///
+/// # Example
+/// ```
+/// use dck_simcore::{SimTime, TimeWeighted};
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.set(SimTime::seconds(10.0), 1.0); // signal rises at t=10
+/// tw.set(SimTime::seconds(30.0), 0.0); // falls at t=30
+/// assert_eq!(tw.integral(SimTime::seconds(40.0)), 20.0);
+/// assert_eq!(tw.average(SimTime::seconds(40.0)), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `t0` with initial signal `value`.
+    pub fn new(t0: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            value,
+            integral: 0.0,
+        }
+    }
+
+    /// Changes the signal to `value` at time `t`, accumulating the area
+    /// under the previous value.
+    ///
+    /// # Panics
+    /// Panics (debug) if `t` moves backwards.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        debug_assert!(t >= self.last_t, "time must be monotone");
+        self.integral += self.value * (t - self.last_t).as_secs();
+        self.last_t = t;
+        self.value = value;
+    }
+
+    /// The current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Integral of the signal from the start time up to `t ≥ last set`.
+    pub fn integral(&self, t: SimTime) -> f64 {
+        debug_assert!(t >= self.last_t);
+        self.integral + self.value * (t - self.last_t).as_secs()
+    }
+
+    /// Time-average of the signal over `[start, t]` (0 for empty span).
+    pub fn average(&self, t: SimTime) -> f64 {
+        let span = (t - self.start).as_secs();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.integral(t) / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_average_is_value() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 2.5);
+        assert_eq!(tw.average(SimTime::seconds(8.0)), 2.5);
+        assert_eq!(tw.integral(SimTime::seconds(8.0)), 20.0);
+    }
+
+    #[test]
+    fn step_signal_integrates_exactly() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::seconds(1.0), 3.0);
+        tw.set(SimTime::seconds(4.0), 1.0);
+        // area = 0*1 + 3*3 + 1*(6-4) = 11 over [0,6]
+        assert_eq!(tw.integral(SimTime::seconds(6.0)), 11.0);
+        assert!((tw.average(SimTime::seconds(6.0)) - 11.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_span_average_is_zero() {
+        let tw = TimeWeighted::new(SimTime::seconds(5.0), 9.0);
+        assert_eq!(tw.average(SimTime::seconds(5.0)), 0.0);
+    }
+
+    #[test]
+    fn repeated_sets_at_same_time_keep_last() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::seconds(2.0), 5.0);
+        tw.set(SimTime::seconds(2.0), 7.0);
+        assert_eq!(tw.current(), 7.0);
+        assert_eq!(tw.integral(SimTime::seconds(3.0)), 7.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Welford's online mean/variance with parallel merge.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean / variance / extrema accumulator.
+///
+/// Uses Welford's recurrence for single observations and the Chan et
+/// al. pairwise formula for [`merge`](OnlineStats::merge), so results
+/// are independent of how observations were sharded across threads (up
+/// to floating-point rounding).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "statistics observation is NaN");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for x in it {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n` (0 for fewer than 2 obs).
+    pub fn std_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_naive_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        let (mean, var) = naive(&xs);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        whole.extend(xs.iter().copied());
+
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a.extend(xs[..317].iter().copied());
+        b.extend(xs[317..].iter().copied());
+        a.merge(&b);
+
+        assert!((whole.mean() - a.mean()).abs() < 1e-10);
+        assert!((whole.variance() - a.variance()).abs() < 1e-9);
+        assert_eq!(whole.count(), a.count());
+        assert_eq!(whole.min(), a.min());
+        assert_eq!(whole.max(), a.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        let snapshot = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), snapshot.count());
+        assert_eq!(s.mean(), snapshot.mean());
+
+        let mut e = OnlineStats::new();
+        e.merge(&snapshot);
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+
+        let mut one = OnlineStats::new();
+        one.push(42.0);
+        assert_eq!(one.mean(), 42.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let mut s = OnlineStats::new();
+        s.extend(std::iter::repeat_n(3.25, 10_000));
+        assert_eq!(s.mean(), 3.25);
+        assert!(s.variance().abs() < 1e-18);
+    }
+}

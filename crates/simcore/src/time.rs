@@ -1,0 +1,335 @@
+//! Virtual simulation time.
+//!
+//! All the checkpointing models in this workspace are expressed in
+//! seconds (the paper's Table I gives every parameter in seconds), so
+//! [`SimTime`] wraps an `f64` number of seconds. The newtype exists to
+//! make unit mistakes loud: you cannot accidentally add a raw count of
+//! minutes to a time expressed in seconds without going through one of
+//! the explicit constructors.
+//!
+//! `SimTime` implements a *total* order by rejecting NaN at construction
+//! time, which is what lets [`crate::event::EventQueue`] store events in
+//! a binary heap.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in seconds.
+///
+/// Construction panics on NaN, which makes comparison total and lets the
+/// type implement [`Ord`]. Infinity is allowed: `SimTime::INFINITY` is a
+/// useful sentinel for "never".
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+    /// A sentinel meaning "never happens".
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Wraps a raw number of seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN.
+    #[inline]
+    pub fn seconds(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        SimTime(secs)
+    }
+
+    /// Constructs from minutes.
+    #[inline]
+    pub fn minutes(m: f64) -> Self {
+        Self::seconds(m * 60.0)
+    }
+
+    /// Constructs from hours.
+    #[inline]
+    pub fn hours(h: f64) -> Self {
+        Self::seconds(h * 3_600.0)
+    }
+
+    /// Constructs from days.
+    #[inline]
+    pub fn days(d: f64) -> Self {
+        Self::seconds(d * 86_400.0)
+    }
+
+    /// Constructs from weeks.
+    #[inline]
+    pub fn weeks(w: f64) -> Self {
+        Self::seconds(w * 7.0 * 86_400.0)
+    }
+
+    /// Constructs from years (365 days).
+    #[inline]
+    pub fn years(y: f64) -> Self {
+        Self::seconds(y * 365.0 * 86_400.0)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// The value in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3_600.0
+    }
+
+    /// The value in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// True if this time is finite (not the `INFINITY` sentinel).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: SimTime, hi: SimTime) -> SimTime {
+        debug_assert!(lo <= hi);
+        self.max(lo).min(hi)
+    }
+
+    /// Absolute value (useful for tolerances on spans).
+    #[inline]
+    pub fn abs(self) -> SimTime {
+        SimTime(self.0.abs())
+    }
+
+    /// Checks approximate equality within `tol` seconds.
+    #[inline]
+    pub fn approx_eq(self, other: SimTime, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is rejected at construction, so partial_cmp cannot fail.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is NaN-free by construction")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::seconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::seconds(self.0 / rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn neg(self) -> SimTime {
+        SimTime(-self.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({}s)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-friendly rendering: picks the largest unit that keeps the
+    /// mantissa ≥ 1 (`90s` → `1.5min`, `7200s` → `2h`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        let (value, unit) = if !s.is_finite() {
+            return write!(f, "{s}");
+        } else if s.abs() >= 86_400.0 {
+            (s / 86_400.0, "d")
+        } else if s.abs() >= 3_600.0 {
+            (s / 3_600.0, "h")
+        } else if s.abs() >= 60.0 {
+            (s / 60.0, "min")
+        } else {
+            (s, "s")
+        };
+        if (value - value.round()).abs() < 1e-9 {
+            write!(f, "{}{unit}", value.round())
+        } else {
+            write!(f, "{value:.3}{unit}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::minutes(1.0), SimTime::seconds(60.0));
+        assert_eq!(SimTime::hours(1.0), SimTime::minutes(60.0));
+        assert_eq!(SimTime::days(1.0), SimTime::hours(24.0));
+        assert_eq!(SimTime::weeks(1.0), SimTime::days(7.0));
+        assert_eq!(SimTime::years(1.0), SimTime::days(365.0));
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::seconds(10.0) + SimTime::seconds(5.0);
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!((t - SimTime::seconds(5.0)).as_secs(), 10.0);
+        assert_eq!((t * 2.0).as_secs(), 30.0);
+        assert_eq!((t / 3.0).as_secs(), 5.0);
+        assert_eq!(t / SimTime::seconds(5.0), 3.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            SimTime::seconds(3.0),
+            SimTime::ZERO,
+            SimTime::INFINITY,
+            SimTime::seconds(-1.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::seconds(-1.0));
+        assert_eq!(v[3], SimTime::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::seconds(f64::NAN);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = SimTime::seconds(1.0);
+        let b = SimTime::seconds(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::seconds(5.0).clamp(a, b), b);
+        assert_eq!(SimTime::seconds(0.0).clamp(a, b), a);
+        assert_eq!(SimTime::seconds(1.5).clamp(a, b), SimTime::seconds(1.5));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimTime::seconds(30.0).to_string(), "30s");
+        assert_eq!(SimTime::minutes(1.5).to_string(), "1.500min");
+        assert_eq!(SimTime::hours(2.0).to_string(), "2h");
+        assert_eq!(SimTime::days(3.0).to_string(), "3d");
+        assert_eq!(SimTime::INFINITY.to_string(), "inf");
+    }
+
+    #[test]
+    fn sum_folds_from_zero() {
+        let total: SimTime = (1..=4).map(|i| SimTime::seconds(i as f64)).sum();
+        assert_eq!(total, SimTime::seconds(10.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(SimTime::seconds(1.0).approx_eq(SimTime::seconds(1.0 + 1e-12), 1e-9));
+        assert!(!SimTime::seconds(1.0).approx_eq(SimTime::seconds(1.1), 1e-9));
+    }
+}

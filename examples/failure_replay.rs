@@ -1,0 +1,84 @@
+//! Deterministic failure-trace replay and checkpoint-storage audit.
+//!
+//! ```text
+//! cargo run --example failure_replay
+//! ```
+//!
+//! Records one stochastic failure history, then replays the *identical*
+//! trace against the double and triple protocols — an
+//! apples-to-apples comparison no pair of independent stochastic runs
+//! can give you — and audits the checkpoint stores to substantiate the
+//! paper's "equally memory-demanding" claim (§IV).
+
+use dck::failures::{AggregatedExponential, FailureTrace, MtbfSpec};
+use dck::model::{PlatformParams, Protocol};
+use dck::protocols::{GroupLayout, StorageDriver};
+use dck::sim::{run_to_completion, PeriodChoice, RunConfig};
+use dck::simcore::{RngFactory, SimTime};
+
+fn main() {
+    // One shared failure history over 96 nodes (divisible by 2 and 3).
+    let nodes = 96;
+    let mtbf = MtbfSpec::Platform {
+        mtbf: SimTime::minutes(20.0),
+        nodes,
+    };
+    let mut source = AggregatedExponential::new(mtbf, RngFactory::new(2024).stream(0));
+    let trace = FailureTrace::record(&mut source, SimTime::days(2.0));
+    println!(
+        "Recorded {} failures over {} nodes (~{} per hour); empirical MTBF {:.1} min",
+        trace.len(),
+        nodes,
+        trace.len() as f64 / 48.0,
+        trace.empirical_platform_mtbf().unwrap().as_minutes()
+    );
+
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, nodes).expect("valid parameters");
+    let work = 24.0 * 3600.0; // one day of useful work
+
+    println!("\nReplaying the SAME trace against each protocol (phi/R = 0.25):");
+    println!(
+        "{:<12} {:>11} {:>10} {:>10} {:>9} {:>8}",
+        "protocol", "total (h)", "waste", "outage (h)", "failures", "fatal?"
+    );
+    for protocol in [Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple] {
+        let mut cfg = RunConfig::new(protocol, params, 1.0, 20.0 * 60.0);
+        cfg.period = PeriodChoice::Optimal;
+        let out = run_to_completion(&cfg, work, &mut trace.replay()).expect("valid configuration");
+        println!(
+            "{:<12} {:>11.2} {:>10.4} {:>10.2} {:>9} {:>8}",
+            protocol.to_string(),
+            out.total_time / 3600.0,
+            out.waste(),
+            out.outage_time / 3600.0,
+            out.failures,
+            if out.survived() { "no" } else { "YES" }
+        );
+    }
+
+    // Storage audit: run fifty checkpointing periods through the
+    // storage state machine and compare memory footprints.
+    println!("\nCheckpoint storage audit (50 periods):");
+    for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+        let layout = GroupLayout::new(protocol, nodes).expect("divisible node count");
+        let mut driver = StorageDriver::new(protocol, layout);
+        for _ in 0..50 {
+            driver.run_period().expect("storage sequence is valid");
+        }
+        let steady = driver.stores()[0].total_images();
+        let peak = driver.peak_images_any_node();
+        let sources = driver.recovery_sources(0).len();
+        println!(
+            "  {:<12} steady {} images/node, peak {} (two sets in flight), {} recovery source(s) per node",
+            protocol.to_string(),
+            steady,
+            peak,
+            sources
+        );
+    }
+    println!(
+        "\n  Double and triple hold the SAME 2 images per node in steady\n\
+         \x20 state — the triple protocol doubles recovery sources at no\n\
+         \x20 extra memory, which is exactly the paper's §IV claim."
+    );
+}

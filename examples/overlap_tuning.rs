@@ -1,0 +1,73 @@
+//! Tuning the overlap: how hard should you stretch the transfer?
+//!
+//! ```text
+//! cargo run --example overlap_tuning
+//! ```
+//!
+//! The paper's new parameter α models how much a checkpoint transfer
+//! must be stretched to hide its cost: θ(φ) = θmin + α(θmin − φ). The
+//! paper sweeps φ as a free axis; this example exercises the extension
+//! built on top (`optimal_operating_point`): for each platform MTBF,
+//! *choose* the waste-minimizing φ*, and show the regime change — full
+//! overlap at high MTBF, shorter (more blocking) transfers once
+//! failures are frequent enough that a stretched θ costs more in
+//! re-execution and risk than it saves in overhead.
+
+use dck::model::{optimal_operating_point, optimal_period, Protocol, Scenario};
+
+fn main() {
+    let scenario = Scenario::exa();
+    let params = scenario.params;
+    println!(
+        "Overlap tuning on {} (delta = {:.0}s, R = {:.0}s, alpha = {}):\n",
+        scenario.name, params.delta, params.theta_min, params.alpha
+    );
+    println!(
+        "{:>9} | {:<11} {:>8} {:>8} {:>9} | {:>21}",
+        "MTBF", "protocol", "phi*", "phi*/R", "waste*", "vs fixed policies"
+    );
+    println!(
+        "{:>9} | {:<11} {:>8} {:>8} {:>9} | {:>10} {:>10}",
+        "", "", "(s)", "", "", "phi=0", "phi=R"
+    );
+
+    for (label, m) in [
+        ("8 min", 480.0),
+        ("30 min", 1_800.0),
+        ("2 h", 7_200.0),
+        ("8 h", 28_800.0),
+        ("1 day", 86_400.0),
+    ] {
+        for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+            let op = optimal_operating_point(protocol, &params, m).expect("valid point");
+            let w = |phi: f64| {
+                optimal_period(protocol, &params, phi, m)
+                    .expect("valid point")
+                    .waste
+                    .total
+            };
+            println!(
+                "{:>9} | {:<11} {:>8.1} {:>8.2} {:>8.2}% | {:>9.2}% {:>9.2}%",
+                label,
+                protocol.to_string(),
+                op.phi,
+                op.phi / params.theta_min,
+                100.0 * op.waste.total,
+                100.0 * w(0.0),
+                100.0 * w(params.theta_min),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: at a 1-day MTBF every protocol wants full overlap\n\
+         (phi* = 0) — the paper's fault-free argument. As failures get\n\
+         frequent, the stretched transfer (theta up to 11R) inflates\n\
+         every failure's re-execution, so phi* walks toward blocking\n\
+         (phi* = R) for everyone. TRIPLE makes the switch back to\n\
+         overlap at lower MTBF than the doubles (see the 2 h row):\n\
+         its fault-free waste vanishes at phi = 0, so overlap pays\n\
+         off sooner."
+    );
+}

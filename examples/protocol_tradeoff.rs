@@ -1,0 +1,84 @@
+//! Model vs simulation: checking the paper's formulas mechanistically.
+//!
+//! ```text
+//! cargo run --release --example protocol_tradeoff
+//! ```
+//!
+//! The paper's evaluation instantiates closed-form models. This example
+//! runs the *mechanistic* discrete-event simulator — which knows only
+//! the period schedule, the per-offset failure response, and the risk
+//! windows — and compares its Monte-Carlo estimates against Eqs. 5–14
+//! (waste) and 11/16 (success probability) at one operating point per
+//! protocol.
+
+use dck::model::{optimal_period, PlatformParams, Protocol, RiskModel};
+use dck::sim::{estimate_success, estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
+
+fn main() {
+    // Base-like platform scaled to 96 nodes so the example runs in
+    // seconds (waste is node-count independent in the model).
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 96).expect("valid parameters");
+    let mtbf = 3_600.0;
+    let phi = 2.0; // phi/R = 0.5
+    let work = 30.0 * mtbf; // each run absorbs ~30+ failures
+    let reps = 100;
+
+    println!("Waste: model (Eqs. 5/7/8/14) vs {reps}-run Monte-Carlo, M = 1 h, phi/R = 0.5\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>22} {:>6}",
+        "protocol", "P* (s)", "model", "simulated (95% CI)", "|z|"
+    );
+    for protocol in Protocol::EVALUATED {
+        let opt = optimal_period(protocol, &params, phi, mtbf).expect("valid point");
+        let mut run_cfg = RunConfig::new(protocol, params, phi, mtbf);
+        run_cfg.period = PeriodChoice::Explicit(opt.period);
+        let mc = MonteCarloConfig::new(reps, 0xA11CE);
+        let est = estimate_waste(&run_cfg, work, &mc).expect("valid configuration");
+        let z = (opt.waste.total - est.ci95.mean).abs() / est.ci95.half_width.max(1e-12);
+        println!(
+            "{:<12} {:>10.1} {:>12.5} {:>14.5} ± {:.5} {:>6.2}",
+            protocol.to_string(),
+            opt.period,
+            opt.waste.total,
+            est.ci95.mean,
+            est.ci95.half_width,
+            z
+        );
+    }
+
+    // Risk: the harsh corner of Figure 6, full-size Base platform.
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 324 * 32).expect("valid parameters");
+    let mtbf = 60.0;
+    let horizon = 86_400.0;
+    println!(
+        "\nRisk: model (Eqs. 11/16) vs {reps}-run Monte-Carlo, M = 60 s, T = 1 day, n = {}\n",
+        params.nodes
+    );
+    println!(
+        "{:<12} {:>12} {:>24}",
+        "protocol", "model P", "simulated P (95% CI)"
+    );
+    for protocol in Protocol::EVALUATED {
+        let model_p = RiskModel::with_theta(protocol, &params, params.theta_max())
+            .expect("valid")
+            .success_probability(mtbf, horizon)
+            .expect("valid")
+            .probability;
+        let run_cfg = RunConfig::new(protocol, params, 0.0, mtbf);
+        let mc = MonteCarloConfig::new(reps, 0xB0B);
+        let est = estimate_success(&run_cfg, horizon, &mc).expect("valid configuration");
+        println!(
+            "{:<12} {:>12.5} {:>12.5} [{:.4}, {:.4}]",
+            protocol.to_string(),
+            model_p,
+            est.p_hat,
+            est.wilson95.0,
+            est.wilson95.1
+        );
+    }
+
+    println!(
+        "\n  The simulator contains none of the closed forms — agreement\n\
+         \x20 here is evidence the paper's first-order analysis is sound."
+    );
+}

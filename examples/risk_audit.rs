@@ -1,0 +1,102 @@
+//! Risk audit: how long a campaign can you safely run?
+//!
+//! ```text
+//! cargo run --example risk_audit
+//! ```
+//!
+//! In-memory checkpointing trades stable storage for a window of
+//! vulnerability after each failure (§III-C/§V-C). This example audits
+//! that trade for a mission with a reliability target: for each
+//! protocol it reports the success probability over increasing campaign
+//! lengths, then bisects for the longest campaign that still meets a
+//! 99.9% success target — at the paper's worst case for risk,
+//! `θ = (α+1)·R`.
+
+use dck::model::{Protocol, RiskModel, Scenario};
+
+const TARGET: f64 = 0.999;
+
+fn success(model: &RiskModel, mtbf: f64, t: f64) -> f64 {
+    model
+        .success_probability(mtbf, t)
+        .expect("valid risk point")
+        .probability
+}
+
+/// Longest campaign (seconds) with success probability ≥ TARGET.
+fn max_safe_campaign(model: &RiskModel, mtbf: f64) -> f64 {
+    let mut lo = 0.0_f64;
+    let mut hi = 3_650.0 * 86_400.0; // ten years
+    if success(model, mtbf, hi) >= TARGET {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if success(model, mtbf, mid) >= TARGET {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    let scenario = Scenario::base();
+    let params = scenario.params;
+    let theta = params.theta_max(); // the largest possible risk window
+    let mtbf = 120.0; // a harsh platform: one failure every 2 minutes
+
+    println!(
+        "Risk audit on {} (n = {}), M = {} s, theta = {} s (worst case)\n",
+        scenario.name, params.nodes, mtbf, theta
+    );
+
+    let protocols = [
+        Protocol::DoubleNbl,
+        Protocol::DoubleBof,
+        Protocol::Triple,
+        Protocol::TripleBof,
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "protocol", "risk (s)", "P(1 day)", "P(1 week)", "P(30 days)"
+    );
+    for protocol in protocols {
+        let model = RiskModel::with_theta(protocol, &params, theta).expect("θmax is valid");
+        println!(
+            "{:<14} {:>10.0} {:>12.6} {:>12.6} {:>12.6}",
+            protocol.to_string(),
+            model.risk_window(),
+            success(&model, mtbf, 86_400.0),
+            success(&model, mtbf, 7.0 * 86_400.0),
+            success(&model, mtbf, 30.0 * 86_400.0),
+        );
+    }
+
+    println!(
+        "\nLongest campaign meeting a {:.1}% success target:",
+        100.0 * TARGET
+    );
+    for protocol in protocols {
+        let model = RiskModel::with_theta(protocol, &params, theta).expect("θmax is valid");
+        let t = max_safe_campaign(&model, mtbf);
+        let human = if t >= 86_400.0 * 365.0 {
+            format!("{:.1} years", t / (365.0 * 86_400.0))
+        } else if t >= 86_400.0 {
+            format!("{:.1} days", t / 86_400.0)
+        } else {
+            format!("{:.1} hours", t / 3_600.0)
+        };
+        println!("  {:<14} {}", protocol.to_string(), human);
+    }
+
+    println!(
+        "\n  (Reproduces §VI: at low MTBF the double protocols' windows\n\
+         \x20  genuinely bite — BoF's shorter window helps modestly, while\n\
+         \x20  the triple protocols extend the safe campaign by orders of\n\
+         \x20  magnitude because a fatal loss now needs THREE failures in\n\
+         \x20  one triple inside the window.)"
+    );
+}

@@ -1,0 +1,102 @@
+//! Two-level checkpointing: buying insurance against fatal failures.
+//!
+//! ```text
+//! cargo run --release --example two_level
+//! ```
+//!
+//! The paper's conclusion proposes combining in-memory buddy
+//! checkpointing with hierarchical protocols. This example prices that
+//! combination: on a harsh platform the double protocols face a real
+//! probability of *fatal* failure (both buddies dead inside one risk
+//! window — the job is simply gone); adding a rare global checkpoint to
+//! stable storage turns that cliff into a bounded rollback. How much
+//! waste does the insurance cost, and how often is it used?
+
+use dck::model::{optimal_period, GlobalStore, HierarchicalModel, Protocol, RiskModel, Scenario};
+use dck::sim::hierarchical::{run_hierarchical, HierarchicalRunConfig};
+use dck::sim::{PeriodChoice, RunConfig};
+use dck::simcore::{RngFactory, SimTime};
+
+fn main() {
+    let scenario = Scenario::base();
+    let params = scenario.params;
+    let phi = params.theta_min; // blocking transfers: the harsh-regime optimum
+    let mtbf = 120.0; // one failure every 2 minutes
+    let month = 30.0 * 86_400.0;
+    // Stable storage: 10 min to write a global snapshot, 10 min to read.
+    let store = GlobalStore::new(600.0, 600.0).expect("valid store");
+
+    println!(
+        "Platform: {} (n = {}), M = {} s, phi = R; global store 10 min/10 min\n",
+        scenario.name, params.nodes, mtbf
+    );
+    println!(
+        "{:<12} {:>10} {:>12} | {:>9} {:>12} {:>14} {:>13}",
+        "protocol", "L1 waste", "P(30 days)", "K*", "segment", "2-level waste", "rollbacks/30d"
+    );
+    for protocol in Protocol::EVALUATED {
+        let level1 = optimal_period(protocol, &params, phi, mtbf).expect("valid point");
+        let p_success = RiskModel::new(protocol, &params, phi)
+            .expect("valid")
+            .success_probability(mtbf, month)
+            .expect("valid")
+            .probability;
+        let hm = HierarchicalModel::new(protocol, &params, phi, store).expect("valid");
+        let best = hm.optimal(mtbf, 50_000_000).expect("valid");
+        println!(
+            "{:<12} {:>10.4} {:>12.6} | {:>9} {:>11.1}h {:>14.4} {:>13.2}",
+            protocol.to_string(),
+            level1.waste.total,
+            p_success,
+            best.periods_per_global,
+            best.segment / 3600.0,
+            best.waste,
+            best.fatal_rate * month,
+        );
+    }
+
+    // Demonstrate the mechanism: replay a harsh stochastic month on a
+    // small platform and watch rollbacks absorb what would have been
+    // job-killing events.
+    let mut small = params;
+    small.nodes = 96;
+    let hm = HierarchicalModel::new(Protocol::DoubleNbl, &small, phi, store).expect("valid");
+    let k = hm
+        .optimal(mtbf, 1_000_000)
+        .expect("valid")
+        .periods_per_global;
+    let cfg = HierarchicalRunConfig {
+        inner: {
+            let mut c = RunConfig::new(Protocol::DoubleNbl, small, phi, mtbf);
+            c.period = PeriodChoice::Optimal;
+            c
+        },
+        store,
+        periods_per_global: k,
+        max_rollbacks: 1_000_000,
+    };
+    let spec = dck::failures::MtbfSpec::Individual {
+        mtbf: SimTime::seconds(mtbf * small.nodes as f64),
+        nodes: cfg.inner.usable_nodes(),
+    };
+    let mut source = dck::failures::AggregatedExponential::new(spec, RngFactory::new(7).stream(0));
+    let work = 5.0 * 86_400.0; // five days of useful work
+    let out = run_hierarchical(&cfg, work, &mut source).expect("valid configuration");
+    println!(
+        "\nSimulated 5 days of work on 96 nodes (DOUBLENBL, K = {k}):\n\
+         \x20 finished in {:.1} days, waste {:.1}%, {} buddy recoveries,\n\
+         \x20 {} fatal events absorbed by global rollbacks, {} global writes.",
+        out.total_time / 86_400.0,
+        100.0 * out.waste(),
+        out.failures,
+        out.fatal_rollbacks,
+        out.global_writes
+    );
+    println!(
+        "\n  Without level 2, each of those {} fatal events would have\n\
+         \x20 killed the job outright — this is §VIII's proposed\n\
+         \x20 combination, priced: the TRIPLE row shows it needs the\n\
+         \x20 insurance ~1000× less often than the doubles.",
+        out.fatal_rollbacks
+    );
+}

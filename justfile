@@ -1,0 +1,41 @@
+# Common tasks for the dck workspace (https://github.com/casey/just).
+
+# Run everything CI runs.
+ci: fmt-check clippy test doc
+
+fmt:
+    cargo fmt --all
+
+fmt-check:
+    cargo fmt --all --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test --workspace
+
+doc:
+    cargo doc --workspace --no-deps
+
+# Regenerate every table/figure + validations + extensions into results/.
+experiments:
+    cargo run -p dck-experiments --release -- all --out results
+
+# Quick (CI-sized) experiment pass.
+experiments-fast:
+    cargo run -p dck-experiments --release -- all --fast --out results
+
+# Criterion benches: one per paper artifact + kernel ablations.
+bench:
+    cargo bench --workspace
+
+# Render the figures (requires gnuplot).
+figures:
+    cd results && for f in fig*.gp; do gnuplot "$f"; done
+
+# Run all examples.
+examples:
+    for e in quickstart exascale_planner risk_audit protocol_tradeoff \
+             failure_replay overlap_tuning two_level timeline; do \
+        cargo run --release --example "$e"; done

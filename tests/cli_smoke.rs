@@ -1,0 +1,117 @@
+//! Smoke tests over the full `dck` CLI surface (via the library entry
+//! point — no subprocesses needed).
+
+fn run(raw: &[&str]) -> Result<String, String> {
+    dck_cli::run(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+#[test]
+fn every_command_produces_output() {
+    let commands: Vec<Vec<&str>> = vec![
+        vec!["scenarios"],
+        vec!["help"],
+        vec!["waste", "--protocol", "double-nbl", "--mtbf", "4h"],
+        vec![
+            "waste",
+            "--protocol",
+            "triple",
+            "--scenario",
+            "exa",
+            "--phi-ratio",
+            "0.1",
+        ],
+        vec!["period", "--mtbf", "30min"],
+        vec![
+            "period",
+            "--scenario",
+            "exa",
+            "--phi-ratio",
+            "1.0",
+            "--mtbf",
+            "1d",
+        ],
+        vec!["risk", "--mtbf", "2min", "--life", "1w"],
+        vec![
+            "compare",
+            "--phi-ratio",
+            "0.25",
+            "--mtbf",
+            "7h",
+            "--life",
+            "30d",
+        ],
+    ];
+    for cmd in commands {
+        let out = run(&cmd).unwrap_or_else(|e| panic!("{cmd:?} failed: {e}"));
+        assert!(!out.trim().is_empty(), "{cmd:?} produced no output");
+    }
+}
+
+#[test]
+fn simulate_command_agrees_with_model_verdict() {
+    let out = run(&[
+        "simulate",
+        "--protocol",
+        "triple",
+        "--phi-ratio",
+        "0.5",
+        "--mtbf",
+        "20min",
+        "--work",
+        "8h",
+        "--reps",
+        "30",
+        "--nodes",
+        "12",
+        "--seed",
+        "99",
+    ])
+    .unwrap();
+    assert!(
+        out.contains("model within Monte-Carlo tolerance"),
+        "unexpected verdict:\n{out}"
+    );
+}
+
+#[test]
+fn trace_pipeline_via_cli() {
+    let path = std::env::temp_dir().join(format!("dck-smoke-{}.json", std::process::id()));
+    let p = path.to_str().unwrap();
+    run(&[
+        "trace",
+        "generate",
+        "--nodes",
+        "32",
+        "--mtbf",
+        "2min",
+        "--horizon",
+        "2h",
+        "--seed",
+        "5",
+        "--out",
+        p,
+    ])
+    .unwrap();
+    let stats = run(&["trace", "stats", p]).unwrap();
+    assert!(stats.contains("32 nodes"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parameter_overrides_change_results() {
+    let small = run(&["period", "--mtbf", "7h", "--delta", "1s"]).unwrap();
+    let large = run(&["period", "--mtbf", "7h", "--delta", "20s"]).unwrap();
+    assert_ne!(small, large);
+}
+
+#[test]
+fn errors_are_actionable() {
+    let e = run(&["waste"]).unwrap_err();
+    assert!(e.contains("--protocol"));
+    let e = run(&["waste", "--protocol", "warp-drive"]).unwrap_err();
+    assert!(e.contains("unknown protocol"));
+    let e = run(&["period", "--mtbf", "yesterday"]).unwrap_err();
+    assert!(e.contains("duration"));
+    let e = run(&["compare", "--scenario", "zeta"]).unwrap_err();
+    assert!(e.contains("unknown scenario"));
+}

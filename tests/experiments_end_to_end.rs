@@ -1,0 +1,149 @@
+//! End-to-end experiment generation: every artifact writes, parses, and
+//! carries plausible data.
+
+use dck::experiments::{
+    output::OutputDir, period_check, risk_surface, table1, waste_ratio, waste_surface,
+};
+use dck::model::Scenario;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_out(tag: &str) -> (OutputDir, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dck-e2e-{tag}-{}", std::process::id()));
+    (OutputDir::create(&dir).unwrap(), dir)
+}
+
+fn csv_lines(path: PathBuf) -> Vec<String> {
+    fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn table1_writes_all_formats() {
+    let (out, dir) = temp_out("t1");
+    table1::run().write(&out).unwrap();
+    let csv = csv_lines(dir.join("table1.csv"));
+    assert_eq!(csv.len(), 3); // header + 2 scenarios
+    assert!(csv[0].starts_with("scenario,"));
+    let json = fs::read_to_string(dir.join("table1.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["rows"].as_array().unwrap().len(), 2);
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn waste_surfaces_write_per_protocol_csvs() {
+    let (out, dir) = temp_out("fig4");
+    let res = waste_surface::Resolution {
+        mtbf_points: 5,
+        phi_points: 4,
+    };
+    let fig = waste_surface::run(&Scenario::base(), res);
+    fig.write(&out).unwrap();
+    for proto in ["double-bof", "double-nbl", "triple"] {
+        let lines = csv_lines(dir.join(format!("fig4_{proto}.csv")));
+        assert_eq!(lines.len(), 1 + 5 * 4, "{proto}");
+        assert_eq!(lines[0], "mtbf_s,phi_over_r,waste,period_s");
+        // Every data row parses into 4 finite numbers.
+        for line in &lines[1..] {
+            let fields: Vec<f64> = line.split(',').map(|f| f.parse().unwrap()).collect();
+            assert_eq!(fields.len(), 4);
+            assert!(fields.iter().all(|x| x.is_finite()));
+        }
+    }
+    assert!(dir.join("fig4.json").exists());
+    assert!(dir.join("fig4_triple.txt").exists());
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn waste_ratio_csv_roundtrips() {
+    let (out, dir) = temp_out("fig5");
+    let fig = waste_ratio::run(&Scenario::base(), 9);
+    fig.write(&out).unwrap();
+    let lines = csv_lines(dir.join("fig5_waste_ratio.csv"));
+    assert_eq!(lines.len(), 10);
+    // Endpoint sanity straight from the file.
+    let last: Vec<f64> = lines[9].split(',').map(|f| f.parse().unwrap()).collect();
+    assert!((last[0] - 1.0).abs() < 1e-9); // phi/R = 1
+    assert!((last[4] - 1.0).abs() < 1e-9); // BoF/NBL converged
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn risk_surface_writes_previews() {
+    let (out, dir) = temp_out("fig6");
+    let res = risk_surface::Resolution {
+        mtbf_points: 4,
+        exploitation_points: 4,
+    };
+    let fig = risk_surface::run(&Scenario::base(), res);
+    fig.write(&out).unwrap();
+    let lines = csv_lines(dir.join("fig6_risk.csv"));
+    assert_eq!(lines.len(), 1 + 16);
+    assert!(fs::read_to_string(dir.join("fig6a_preview.txt"))
+        .unwrap()
+        .contains("DOUBLENBL/DOUBLEBOF"));
+    assert!(dir.join("fig6b_preview.txt").exists());
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn exa_figures_generate_too() {
+    let (out, dir) = temp_out("exa");
+    let fig7 = waste_surface::run(
+        &Scenario::exa(),
+        waste_surface::Resolution {
+            mtbf_points: 4,
+            phi_points: 4,
+        },
+    );
+    assert_eq!(fig7.figure_number(), 7);
+    fig7.write(&out).unwrap();
+    let fig8 = waste_ratio::run(&Scenario::exa(), 5);
+    assert_eq!(fig8.figure_number(), 8);
+    fig8.write(&out).unwrap();
+    let fig9 = risk_surface::run(
+        &Scenario::exa(),
+        risk_surface::Resolution {
+            mtbf_points: 3,
+            exploitation_points: 3,
+        },
+    );
+    assert_eq!(fig9.figure_number(), 9);
+    fig9.write(&out).unwrap();
+    for f in ["fig7_triple.csv", "fig8_waste_ratio.csv", "fig9_risk.csv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn period_check_report_writes_and_validates() {
+    let (out, dir) = temp_out("period");
+    let report = period_check::run();
+    assert!(report.max_interior_rel_err() < 1e-3);
+    report.write(&out).unwrap();
+    let txt = fs::read_to_string(dir.join("period_check.txt")).unwrap();
+    assert!(txt.contains("Young/Daly"));
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn json_figures_deserialize_back() {
+    let fig = waste_ratio::run(&Scenario::base(), 5);
+    let json = serde_json::to_string(&fig).unwrap();
+    let back: waste_ratio::WasteRatioFigure = serde_json::from_str(&json).unwrap();
+    // serde_json prints the shortest round-trippable decimal, which can
+    // differ from the original by one ulp; compare within tolerance.
+    assert_eq!(fig.scenario, back.scenario);
+    assert_eq!(fig.points.len(), back.points.len());
+    for (a, b) in fig.points.iter().zip(&back.points) {
+        assert!((a.phi_ratio - b.phi_ratio).abs() < 1e-12);
+        assert!((a.waste_nbl - b.waste_nbl).abs() < 1e-12);
+        assert!((a.triple_over_nbl - b.triple_over_nbl).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration: the two-level (hierarchical) extension
+//! end-to-end through the facade.
+
+use dck::failures::{AggregatedExponential, MtbfSpec};
+use dck::model::{GlobalStore, HierarchicalModel, PlatformParams, Protocol};
+use dck::sim::hierarchical::{run_hierarchical, HierarchicalRunConfig};
+use dck::sim::{run_until, PeriodChoice, RunConfig};
+use dck::simcore::{RngFactory, SimTime};
+
+fn params() -> PlatformParams {
+    PlatformParams::new(0.0, 2.0, 4.0, 10.0, 96).unwrap()
+}
+
+fn source(cfg: &RunConfig, seed: u64) -> AggregatedExponential {
+    let spec = MtbfSpec::Individual {
+        mtbf: SimTime::seconds(cfg.mtbf * cfg.params.nodes as f64),
+        nodes: cfg.usable_nodes(),
+    };
+    AggregatedExponential::new(spec, RngFactory::new(seed).stream(0))
+}
+
+/// On a harsh platform, plain level-1 runs die of fatal failures while
+/// the two-level runs all complete — the extension's core promise.
+#[test]
+fn level2_converts_fatal_failures_into_completions() {
+    let mtbf = 60.0;
+    let phi = 4.0; // blocking point: feasible at this MTBF
+    let horizon = 30.0 * 3_600.0;
+
+    // Level 1 alone: count fatal runs over replications.
+    let l1 = RunConfig::new(Protocol::DoubleNbl, params(), phi, mtbf);
+    let mut fatal_l1 = 0;
+    for seed in 0..20 {
+        let mut src = source(&l1, seed);
+        if !run_until(&l1, horizon, &mut src).unwrap().survived() {
+            fatal_l1 += 1;
+        }
+    }
+    assert!(
+        fatal_l1 >= 3,
+        "regime not harsh enough to be informative: {fatal_l1} fatal runs"
+    );
+
+    // Two-level: the same platform, same horizon of work, must always
+    // complete (with rollbacks recorded instead of deaths).
+    let store = GlobalStore::new(300.0, 300.0).unwrap();
+    let hm = HierarchicalModel::new(Protocol::DoubleNbl, &params(), phi, store).unwrap();
+    let k = hm.optimal(mtbf, 1_000_000).unwrap().periods_per_global;
+    let cfg = HierarchicalRunConfig {
+        inner: {
+            let mut c = RunConfig::new(Protocol::DoubleNbl, params(), phi, mtbf);
+            c.period = PeriodChoice::Optimal;
+            c
+        },
+        store,
+        periods_per_global: k,
+        max_rollbacks: 100_000,
+    };
+    let mut total_rollbacks = 0;
+    for seed in 0..20 {
+        let mut src = source(&cfg.inner, 1000 + seed);
+        let out = run_hierarchical(&cfg, 10.0 * 3_600.0, &mut src).unwrap();
+        assert!(out.completed, "seed {seed} did not complete");
+        total_rollbacks += out.fatal_rollbacks;
+    }
+    assert!(
+        total_rollbacks > 0,
+        "expected some fatal events to be absorbed as rollbacks"
+    );
+}
+
+/// The empirical rollback rate matches the model's fatal rate ν.
+#[test]
+fn rollback_rate_matches_fatal_rate_model() {
+    let mtbf = 45.0;
+    let phi = 4.0;
+    let store = GlobalStore::new(300.0, 300.0).unwrap();
+    let hm = HierarchicalModel::new(Protocol::DoubleNbl, &params(), phi, store).unwrap();
+    let nu = hm.fatal_rate(mtbf).unwrap();
+
+    let cfg = HierarchicalRunConfig {
+        inner: RunConfig::new(Protocol::DoubleNbl, params(), phi, mtbf),
+        store,
+        periods_per_global: 200,
+        max_rollbacks: 1_000_000,
+    };
+    let work = 20.0 * 3_600.0;
+    let mut rollbacks = 0u64;
+    let mut wall = 0.0;
+    for seed in 0..30 {
+        let mut src = source(&cfg.inner, 7_000 + seed);
+        let out = run_hierarchical(&cfg, work, &mut src).unwrap();
+        assert!(out.completed);
+        rollbacks += out.fatal_rollbacks;
+        wall += out.total_time;
+    }
+    let empirical = rollbacks as f64 / wall;
+    // Poisson counting noise: compare within a factor of 2 given the
+    // expected count (ν·wall should be tens of events).
+    let expected = nu * wall;
+    assert!(expected > 10.0, "underpowered test: {expected} expected events");
+    assert!(
+        (0.5..2.0).contains(&(empirical / nu)),
+        "empirical rate {empirical} vs model {nu}"
+    );
+}

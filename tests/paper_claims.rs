@@ -1,0 +1,241 @@
+//! End-to-end reproduction of the paper's quantitative claims.
+//!
+//! Each test quotes the claim (with its section) and asserts the
+//! reproduced numbers exhibit it. These are the headline results of
+//! EXPERIMENTS.md.
+
+use dck::model::{Evaluation, OverlapModel, Protocol, RiskModel, Scenario, WasteModel};
+
+const M_7H: f64 = 7.0 * 3600.0;
+
+/// §II: "θ(φ) = θmin + α(θmin − φ)" with "φ = 0 for θ = θmax = (1+α)θmin".
+#[test]
+fn overlap_model_endpoints() {
+    for scenario in Scenario::all() {
+        let m = OverlapModel::new(&scenario.params);
+        let r = scenario.params.theta_min;
+        assert_eq!(m.theta_of_phi(r).unwrap(), r);
+        assert!((m.theta_of_phi(0.0).unwrap() - (1.0 + scenario.params.alpha) * r).abs() < 1e-9);
+    }
+}
+
+/// §V-A: "the value of F is the same for DOUBLENBL and TRIPLE
+/// (Fnbl = Ftri)".
+#[test]
+fn fnbl_equals_ftri() {
+    for scenario in Scenario::all() {
+        for ratio in [0.0, 0.3, 0.7, 1.0] {
+            let phi = ratio * scenario.params.theta_min;
+            let nbl = WasteModel::new(Protocol::DoubleNbl, &scenario.params, phi).unwrap();
+            let tri = WasteModel::new(Protocol::Triple, &scenario.params, phi).unwrap();
+            let p = nbl.min_period().max(tri.min_period()) * 3.0;
+            assert_eq!(nbl.failure_loss(p), tri.failure_loss(p));
+        }
+    }
+}
+
+/// §III-A: "Fbof = Fnbl + R − φ" (Eq. 8 from Eq. 7).
+#[test]
+fn fbof_is_fnbl_plus_r_minus_phi() {
+    let scenario = Scenario::base();
+    for ratio in [0.0, 0.5, 1.0] {
+        let phi = ratio * scenario.params.theta_min;
+        let nbl = WasteModel::new(Protocol::DoubleNbl, &scenario.params, phi).unwrap();
+        let bof = WasteModel::new(Protocol::DoubleBof, &scenario.params, phi).unwrap();
+        let p = 500.0;
+        let expected = nbl.failure_loss(p) + scenario.params.recovery() - phi;
+        assert!((bof.failure_loss(p) - expected).abs() < 1e-12);
+    }
+}
+
+/// §VI-A (Fig. 5): "DOUBLEBOF has always a higher waste than DOUBLENBL,
+/// until the ratio of work that can be done during the checkpoint makes
+/// waiting for the checkpoint transfer transparent."
+#[test]
+fn fig5_bof_never_beats_nbl() {
+    let scenario = Scenario::base();
+    for i in 0..=20 {
+        let phi = scenario.params.theta_min * i as f64 / 20.0;
+        let bof = Evaluation::at_optimal_period(Protocol::DoubleBof, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        let nbl = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        assert!(bof >= nbl - 1e-12, "phi {phi}: bof {bof} < nbl {nbl}");
+    }
+    // Transparency at φ = R: identical.
+    let phi = scenario.params.theta_min;
+    let bof = Evaluation::at_optimal_period(Protocol::DoubleBof, &scenario.params, phi, M_7H)
+        .unwrap()
+        .waste
+        .total;
+    let nbl = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, M_7H)
+        .unwrap()
+        .waste
+        .total;
+    assert!((bof - nbl).abs() < 1e-12);
+}
+
+/// §VI-A (Fig. 5): "Up to φ/R ≤ 0.5, TRIPLE has a much smaller waste
+/// than any of the double checkpointing protocols. […] The overhead,
+/// however, is limited to 15% more waste in the worst case."
+#[test]
+fn fig5_triple_wins_low_phi_and_bounded_loss() {
+    let scenario = Scenario::base();
+    // Much smaller below the crossover.
+    for ratio in [0.0, 0.2, 0.4] {
+        let phi = ratio * scenario.params.theta_min;
+        let tri = Evaluation::at_optimal_period(Protocol::Triple, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        let nbl = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        assert!(tri < nbl, "ratio {ratio}");
+        if ratio < 0.1 {
+            assert!(tri < 0.5 * nbl, "ratio {ratio}: triple {tri} vs nbl {nbl}");
+        }
+    }
+    // Bounded worst case across the full sweep.
+    let mut worst: f64 = 0.0;
+    for i in 0..=40 {
+        let phi = scenario.params.theta_min * i as f64 / 40.0;
+        let tri = Evaluation::at_optimal_period(Protocol::Triple, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        let nbl = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, M_7H)
+            .unwrap()
+            .waste
+            .total;
+        worst = worst.max(tri / nbl);
+    }
+    assert!(worst > 1.0, "triple must lose near φ = R");
+    assert!(worst < 1.20, "worst-case ratio {worst} (paper: ≤ ~15%)");
+}
+
+/// §VI-B (Fig. 8): "the gain of TRIPLE increases up to 25% of that of
+/// DOUBLENBL when φ/R = 1/10" on the Exa scenario.
+#[test]
+fn fig8_exa_triple_gain_at_phi_tenth() {
+    let scenario = Scenario::exa();
+    let phi = 0.1 * scenario.params.theta_min;
+    let tri = Evaluation::at_optimal_period(Protocol::Triple, &scenario.params, phi, M_7H)
+        .unwrap()
+        .waste
+        .total;
+    let nbl = Evaluation::at_optimal_period(Protocol::DoubleNbl, &scenario.params, phi, M_7H)
+        .unwrap()
+        .waste
+        .total;
+    let gain = 1.0 - tri / nbl;
+    assert!(
+        (0.15..0.40).contains(&gain),
+        "gain {gain} (paper reports ~25%)"
+    );
+}
+
+/// §III-B: the optimal periods have the Young/Daly √(2Mδ) shape — the
+/// buddy protocols' periods scale as √M.
+#[test]
+fn optimal_period_scales_as_sqrt_m() {
+    let scenario = Scenario::base();
+    let phi = 1.0;
+    for protocol in [Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple] {
+        let p1 = Evaluation::at_optimal_period(protocol, &scenario.params, phi, M_7H)
+            .unwrap()
+            .period;
+        let p4 = Evaluation::at_optimal_period(protocol, &scenario.params, phi, 4.0 * M_7H)
+            .unwrap()
+            .period;
+        let ratio = p4 / p1;
+        assert!((ratio - 2.0).abs() < 0.02, "{protocol:?}: ratio {ratio}");
+    }
+}
+
+/// §III-C/§V-C: risk windows — NBL `D+R+θ`, BoF `D+2R`, TRIPLE
+/// `D+R+2θ`, TRIPLE-BoF `D+3R` — ordered BoF < NBL < TRIPLE for
+/// stretched transfers, with TRIPLE still the most reliable because its
+/// fatality needs a third failure.
+#[test]
+fn risk_windows_and_reliability_ordering() {
+    let scenario = Scenario::base();
+    let theta = scenario.params.theta_max();
+    let win = |p| {
+        RiskModel::with_theta(p, &scenario.params, theta)
+            .unwrap()
+            .risk_window()
+    };
+    assert_eq!(win(Protocol::DoubleBof), 8.0);
+    assert_eq!(win(Protocol::DoubleNbl), 48.0);
+    assert_eq!(win(Protocol::Triple), 92.0);
+    assert_eq!(win(Protocol::TripleBof), 12.0);
+
+    // Despite the longest window, TRIPLE is the most reliable.
+    let p = |proto: Protocol| {
+        RiskModel::with_theta(proto, &scenario.params, theta)
+            .unwrap()
+            .success_probability(60.0, 30.0 * 86_400.0)
+            .unwrap()
+            .probability
+    };
+    let (nbl, bof, tri) = (
+        p(Protocol::DoubleNbl),
+        p(Protocol::DoubleBof),
+        p(Protocol::Triple),
+    );
+    assert!(bof > nbl);
+    assert!(tri > bof);
+}
+
+/// §VI-A (Fig. 6): "TRIPLE … providing risk mitigation by orders of
+/// magnitude" in the harsh corner (M ≤ 60 s, long exploitation).
+#[test]
+fn fig6_triple_orders_of_magnitude_safer() {
+    let scenario = Scenario::base();
+    let theta = scenario.params.theta_max();
+    let failure = |proto: Protocol| {
+        1.0 - RiskModel::with_theta(proto, &scenario.params, theta)
+            .unwrap()
+            .success_probability(60.0, 30.0 * 86_400.0)
+            .unwrap()
+            .probability
+    };
+    let nbl_fail = failure(Protocol::DoubleNbl);
+    let tri_fail = failure(Protocol::Triple);
+    assert!(
+        nbl_fail / tri_fail > 100.0,
+        "fatal-probability improvement only {}x",
+        nbl_fail / tri_fail
+    );
+}
+
+/// §I: the introduction's motivating number — a million-node machine of
+/// 50-year-MTBF components fails within the hour with probability > 0.86.
+#[test]
+fn introduction_motivating_number() {
+    let p = dck::failures::mtbf::any_component_failure_probability(0.999998, 1_000_000);
+    assert!(p > 0.86);
+}
+
+/// §IV: "equally memory-demanding" — verified mechanically by the
+/// storage state machine.
+#[test]
+fn triple_is_equally_memory_demanding() {
+    use dck::protocols::{GroupLayout, StorageDriver};
+    let mut peaks = Vec::new();
+    for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+        let layout = GroupLayout::new(protocol, 12).unwrap();
+        let mut d = StorageDriver::new(protocol, layout);
+        for _ in 0..10 {
+            d.run_period().unwrap();
+        }
+        peaks.push(d.peak_images_any_node());
+    }
+    assert_eq!(peaks[0], peaks[1]);
+}
