@@ -1,0 +1,72 @@
+//! Sweep execution engines on a Fig-4-sized grid.
+//!
+//! Compares the seed per-cell engine (fresh worker fan-out and barrier
+//! per cell) against the global work pool (all `(cell, chunk)` units in
+//! one work-stealing index space) at several worker counts, plus the
+//! global pool with early stopping. The acceptance target for this
+//! workspace is ≥ 2× for the global pool at 8 workers on this grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dck_core::{Protocol, Scenario};
+use dck_sim::{run_sweep, EarlyStop, SweepEngine, SweepSpec};
+use std::hint::black_box;
+
+/// A Fig-4-shaped grid kept bench-sized: 6 φ-ratios × 5 MTBFs = 30
+/// cells, short replications so per-cell overhead (the quantity under
+/// test) is not drowned out by simulation time.
+fn grid_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        Protocol::DoubleNbl,
+        Scenario::base().params,
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        vec![900.0, 1_800.0, 3_600.0, 4.0 * 3_600.0, 7.0 * 3_600.0],
+    );
+    spec.replications = 16;
+    spec.work_in_mtbfs = 5.0;
+    spec.seed = 0xF194;
+    spec
+}
+
+fn bench_sweep_engines(c: &mut Criterion) {
+    let base = grid_spec();
+    let cells = base.phi_ratios.len() * base.mtbfs.len();
+    let reps = (cells * base.replications) as u64;
+
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reps));
+
+    for workers in [1usize, 2, 8] {
+        let mut spec = base.clone();
+        spec.workers = workers;
+
+        spec.engine = SweepEngine::PerCell;
+        group.bench_function(BenchmarkId::new("per_cell", workers), |b| {
+            b.iter(|| black_box(run_sweep(&spec).unwrap()))
+        });
+
+        spec.engine = SweepEngine::GlobalPool;
+        group.bench_function(BenchmarkId::new("global_pool", workers), |b| {
+            b.iter(|| black_box(run_sweep(&spec).unwrap()))
+        });
+    }
+
+    // Early stopping on top of the pool: same grid, generous budget,
+    // cells retire as they converge.
+    let mut adaptive = base.clone();
+    adaptive.workers = 8;
+    adaptive.replications = 64;
+    adaptive.early_stop = Some(EarlyStop {
+        target_half_width: 0.01,
+        min_replications: 16,
+        batch: 16,
+    });
+    group.bench_function(BenchmarkId::new("global_pool_early_stop", 8), |b| {
+        b.iter(|| black_box(run_sweep(&adaptive).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engines);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use dck_core::{
 };
 use dck_experiments::output::{ascii_table, fmt_f64};
 use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
-use dck_sim::{estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
+use dck_sim::{
+    estimate_waste, run_sweep, EarlyStop, MonteCarloConfig, PeriodChoice, RunConfig, SweepEngine,
+    SweepSpec,
+};
 use dck_simcore::{RngFactory, SimTime};
 use std::fmt::Write as _;
 
@@ -29,6 +32,7 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "optimize" => cmd_optimize(&args)?,
         "hierarchical" => cmd_hierarchical(&args)?,
         "simulate" => cmd_simulate(&args)?,
+        "sweep" => cmd_sweep(&args)?,
         "trace" => cmd_trace(&args)?,
         "help" | "-h" | "--help" => usage(),
         other => return Err(format!("unknown command `{other}`\n{}", usage())),
@@ -50,6 +54,10 @@ pub fn usage() -> String {
      \x20 optimize [opts]                         best overhead phi* per protocol\n\
      \x20 hierarchical --write T --read T [opts]  two-level global-checkpoint tuning\n\
      \x20 simulate --protocol P --work W [opts]   Monte-Carlo waste vs model\n\
+     \x20 sweep    --protocol P [opts]            simulated waste over a (phi/R, MTBF) grid\n\
+     \x20          --phi-ratios A,B,..  --mtbfs D1,D2,..  --reps N  --work-mtbfs X\n\
+     \x20          --engine global|per-cell  --target-hw X [--min-reps N --batch N]\n\
+     \x20          --format ascii|csv|json\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
      \n\
      common options:\n\
@@ -375,11 +383,17 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
         format_duration(work),
         reps
     );
-    let _ = writeln!(
-        out,
-        "  simulated waste: {:.5} ± {:.5} (95% CI over {} completed runs)",
-        est.ci95.mean, est.ci95.half_width, est.completed
-    );
+    let _ = match est.ci95 {
+        Some(ci) => writeln!(
+            out,
+            "  simulated waste: {:.5} ± {:.5} (95% CI over {} completed runs)",
+            ci.mean, ci.half_width, est.completed
+        ),
+        None => writeln!(
+            out,
+            "  simulated waste: n/a (no replication completed its work)"
+        ),
+    };
     let _ = writeln!(out, "  model waste (Eqs. 5/7/8/14): {model:.5}");
     let _ = writeln!(
         out,
@@ -388,13 +402,144 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
         est.fatal,
         est.truncated
     );
-    let verdict = if est.ci95.contains_with_slack(model, 4.0) {
-        "model within Monte-Carlo tolerance"
-    } else {
-        "MODEL OUTSIDE TOLERANCE"
+    let verdict = match est.ci95 {
+        Some(ci) if ci.contains_with_slack(model, 4.0) => "model within Monte-Carlo tolerance",
+        Some(_) => "MODEL OUTSIDE TOLERANCE",
+        None => "DEGENERATE ESTIMATE: every replication was fatal or truncated",
     };
     let _ = writeln!(out, "  -> {verdict}");
     Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let protocol = resolve_protocol(args, None)?;
+
+    let phi_ratios = match args.get("phi-ratios") {
+        None => vec![0.0, 0.5, 1.0],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --phi-ratios entry `{s}`: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let mtbfs = match args.get("mtbfs") {
+        None => vec![1_800.0, 3_600.0, 7.0 * 3_600.0],
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_duration(s.trim()))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+
+    let mut spec = SweepSpec::new(protocol, params, phi_ratios, mtbfs);
+    spec.work_in_mtbfs = args.get_parsed("work-mtbfs", spec.work_in_mtbfs)?;
+    spec.replications = args.get_parsed("reps", spec.replications)?;
+    spec.seed = args.get_parsed("seed", spec.seed)?;
+    spec.workers = args.get_parsed("workers", 0)?;
+    spec.engine = match args.get("engine") {
+        None | Some("global") => SweepEngine::GlobalPool,
+        Some("per-cell") => SweepEngine::PerCell,
+        Some(other) => return Err(format!("unknown --engine `{other}` (global|per-cell)")),
+    };
+    if let Some(target) = args.get("target-hw") {
+        let target_half_width: f64 = target
+            .parse()
+            .map_err(|e| format!("bad --target-hw `{target}`: {e}"))?;
+        let mut es = EarlyStop::at_half_width(target_half_width);
+        es.min_replications = args.get_parsed("min-reps", es.min_replications)?;
+        es.batch = args.get_parsed("batch", es.batch)?;
+        spec.early_stop = Some(es);
+    }
+
+    let result = run_sweep(&spec).map_err(|e| e.to_string())?;
+
+    match args.get("format") {
+        Some("json") => serde_json::to_string_pretty(&result)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| e.to_string()),
+        Some("csv") => {
+            let mut out = String::from(
+                "phi_ratio,mtbf_s,period_s,model_waste,sim_waste,half_width,\
+                 completed,fatal,truncated,replications_run\n",
+            );
+            for c in &result.cells {
+                let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    c.phi_ratio,
+                    c.mtbf,
+                    c.period,
+                    c.model_waste,
+                    opt(c.sim_waste),
+                    opt(c.half_width),
+                    c.completed,
+                    c.fatal,
+                    c.truncated,
+                    c.replications_run
+                );
+            }
+            Ok(out)
+        }
+        None | Some("ascii") => {
+            let rows: Vec<Vec<String>> = result
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        format!("{:.2}", c.phi_ratio),
+                        format_duration(c.mtbf),
+                        format_duration(c.period),
+                        format!("{:.4}", c.model_waste),
+                        match (c.sim_waste, c.half_width) {
+                            (Some(s), Some(h)) => format!("{s:.4} ± {h:.4}"),
+                            _ => "degenerate".to_string(),
+                        },
+                        format!("{}/{}/{}", c.completed, c.fatal, c.truncated),
+                        format!("{}", c.replications_run),
+                    ]
+                })
+                .collect();
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "Waste sweep, {} on scenario {scenario} ({} engine, {} cells, seed {})",
+                protocol,
+                match result.spec.engine {
+                    SweepEngine::GlobalPool => "global-pool",
+                    SweepEngine::PerCell => "per-cell",
+                },
+                result.cells.len(),
+                result.spec.seed
+            );
+            out.push_str(&ascii_table(
+                &[
+                    "phi/R",
+                    "MTBF",
+                    "P*",
+                    "model",
+                    "sim waste (95% CI)",
+                    "ok/fatal/trunc",
+                    "reps",
+                ],
+                &rows,
+            ));
+            let _ = writeln!(
+                out,
+                "max |model - sim| over well-estimated cells: {:.4}; total replications: {}",
+                result.max_model_deviation(),
+                result.total_replications_run()
+            );
+            Ok(out)
+        }
+        Some(other) => Err(format!("unknown --format `{other}` (ascii|csv|json)")),
+    }
 }
 
 fn cmd_trace(args: &Args) -> Result<String, String> {

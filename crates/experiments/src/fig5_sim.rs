@@ -102,6 +102,7 @@ pub fn run(cfg: &Fig5SimConfig) -> Fig5SimFigure {
         estimate_waste(&run_cfg, work, &mc)
             .expect("valid configuration")
             .ci95
+            .expect("F5 operating points always complete runs")
             .mean
     };
     let model_waste = |protocol: Protocol, phi: f64| -> f64 {

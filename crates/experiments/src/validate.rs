@@ -152,18 +152,19 @@ fn waste_point(
     };
     let t_base = cfg.work_in_mtbfs * mtbf;
     let est = estimate_waste(&run_cfg, t_base, &mc).expect("valid configuration");
+    let ci = est.ci95.expect("V1 operating points always complete runs");
     let model = opt.waste.total;
-    let hw = est.ci95.half_width.max(1e-12);
-    let z = (model - est.ci95.mean).abs() / hw;
+    let hw = ci.half_width.max(1e-12);
+    let z = (model - ci.mean).abs() / hw;
     WasteRow {
         protocol,
         phi_ratio,
         mtbf,
         model_waste: model,
-        sim_waste: est.ci95.mean,
-        half_width: est.ci95.half_width,
+        sim_waste: ci.mean,
+        half_width: ci.half_width,
         z_score: z,
-        within: est.ci95.contains_with_slack(model, WASTE_SLACK),
+        within: ci.contains_with_slack(model, WASTE_SLACK),
     }
 }
 

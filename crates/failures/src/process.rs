@@ -317,11 +317,15 @@ mod tests {
     fn warmup_removes_weibull_infant_mortality() {
         // Fresh-start Weibull k = 0.5 front-loads failures: the first
         // window sees far more than rate × window. A warmed-up source
-        // approaches the long-run rate.
+        // approaches the long-run rate. A single run of this process
+        // has heavy-tailed count noise, so the assertion averages a
+        // fixed seed ensemble: the ensemble means are deterministic
+        // (seeded RNG) and far better separated than any single draw.
         let nodes = 64;
         let mean = SimTime::hours(64.0); // individual MTBF ⇒ platform 1 h
         let spec = DistributionSpec::Weibull { mean, shape: 0.5 };
         let window = SimTime::hours(50.0); // expect ~50 under stationarity
+        const SEEDS: [u64; 8] = [21, 22, 23, 24, 25, 26, 27, 28];
 
         let count_in_window = |mut src: PerNodeRenewal| -> u64 {
             let mut n = 0;
@@ -330,26 +334,36 @@ mod tests {
             }
             n
         };
-        let fresh = count_in_window(PerNodeRenewal::new(
-            spec,
-            nodes,
-            RngFactory::new(21).stream(0),
-        ));
-        let warmed = count_in_window(PerNodeRenewal::with_warmup(
-            spec,
-            nodes,
-            RngFactory::new(21).stream(0),
-            SimTime::hours(64.0 * 10.0), // ten individual MTBFs
-        ));
-        // Fresh start massively over-produces early failures…
-        assert!(fresh as f64 > 80.0, "fresh {fresh}");
-        // …while the warmed-up count sits near the stationary 50
-        // (loose band: a single stochastic run).
+        let mut fresh_mean = 0.0;
+        let mut warmed_mean = 0.0;
+        for seed in SEEDS {
+            fresh_mean += count_in_window(PerNodeRenewal::new(
+                spec,
+                nodes,
+                RngFactory::new(seed).stream(0),
+            )) as f64;
+            warmed_mean += count_in_window(PerNodeRenewal::with_warmup(
+                spec,
+                nodes,
+                RngFactory::new(seed).stream(0),
+                SimTime::hours(64.0 * 10.0), // ten individual MTBFs
+            )) as f64;
+        }
+        fresh_mean /= SEEDS.len() as f64;
+        warmed_mean /= SEEDS.len() as f64;
+
+        // Fresh start massively over-produces early failures (the
+        // k = 0.5 burn-in factor is ≫ 2× over this window)…
+        assert!(fresh_mean > 80.0, "fresh mean {fresh_mean}");
+        // …while the warmed-up ensemble sits near the stationary 50.
+        // Band = ±60 % of the expectation, several ensemble standard
+        // errors wide (σ/√8 ≈ 4 counts), so it tolerates RNG changes
+        // without ever overlapping the fresh-start regime.
         assert!(
-            (20..=100).contains(&warmed),
-            "warmed {warmed} (expected near 50)"
+            (20.0..=80.0).contains(&warmed_mean),
+            "warmed mean {warmed_mean} (expected near 50)"
         );
-        assert!(warmed < fresh);
+        assert!(warmed_mean < 0.6 * fresh_mean);
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use run::{
     run_to_completion, run_to_completion_traced, run_to_completion_with_pending, run_until,
     RunOutcome, StopReason, TimelineEvent,
 };
-pub use sweep::{run_sweep, SweepCell, SweepResult, SweepSpec};
+pub use sweep::{run_sweep, EarlyStop, SweepCell, SweepEngine, SweepResult, SweepSpec};

@@ -9,9 +9,17 @@ use crate::config::RunConfig;
 use crate::run::{run_to_completion, run_until, RunOutcome, StopReason};
 use dck_core::ModelError;
 use dck_failures::{AggregatedExponential, DistributionSpec, MtbfSpec, PerNodeRenewal};
-use dck_simcore::par::{default_workers, parallel_map_indexed};
+use dck_simcore::par::{default_workers, parallel_map_fold};
 use dck_simcore::{ConfidenceInterval, OnlineStats, RngFactory, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Replications folded sequentially per work-stealing unit. Shared by
+/// [`estimate_waste`] and the sweep engines in [`crate::sweep`]: as
+/// long as every execution path cuts a cell's replication range into
+/// `REP_CHUNK`-sized chunks and merges the chunk accumulators in
+/// ascending order, results are bit-identical across engines and
+/// worker counts.
+pub(crate) const REP_CHUNK: usize = 8;
 
 /// Which failure process drives the replications.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,8 +106,11 @@ fn build_source(
 pub struct WasteEstimate {
     /// Per-run waste statistics (completed runs only).
     pub waste: OnlineStats,
-    /// 95% Student-t interval on the mean waste.
-    pub ci95: ConfidenceInterval,
+    /// 95% Student-t interval on the mean waste, or `None` when **no**
+    /// replication completed — the estimate is degenerate and there is
+    /// no mean to put an interval around (previously this surfaced as
+    /// a meaningless 0-width interval at 0).
+    pub ci95: Option<ConfidenceInterval>,
     /// Per-run failure-count statistics.
     pub failures: OnlineStats,
     /// Replications that completed their work.
@@ -108,6 +119,89 @@ pub struct WasteEstimate {
     pub fatal: usize,
     /// Replications stopped by the failure cap or no-progress guard.
     pub truncated: usize,
+}
+
+impl WasteEstimate {
+    /// True when no replication completed, so [`WasteEstimate::ci95`]
+    /// is `None` and the waste statistics are empty.
+    pub fn is_degenerate(&self) -> bool {
+        self.completed == 0
+    }
+}
+
+/// Streaming per-chunk accumulator for waste estimation: Welford
+/// statistics plus outcome counters, mergeable in fixed chunk order.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WasteAccum {
+    pub waste: OnlineStats,
+    pub failures: OnlineStats,
+    pub completed: usize,
+    pub fatal: usize,
+    pub truncated: usize,
+}
+
+impl WasteAccum {
+    /// Folds one run outcome into the accumulator.
+    pub fn absorb(&mut self, outcome: &RunOutcome) {
+        match outcome.reason {
+            StopReason::WorkComplete => {
+                self.completed += 1;
+                self.waste.push(outcome.waste());
+                self.failures.push(outcome.failures as f64);
+            }
+            StopReason::Fatal => self.fatal += 1,
+            StopReason::FailureCapReached | StopReason::NoProgress => self.truncated += 1,
+            StopReason::HorizonReached => unreachable!("completion mode has no horizon"),
+        }
+    }
+
+    /// Merges `other` into `self` (chunk order is the caller's
+    /// responsibility; merging in a fixed order keeps floats
+    /// reproducible).
+    pub fn merge_in_place(&mut self, other: &WasteAccum) {
+        self.waste.merge(&other.waste);
+        self.failures.merge(&other.failures);
+        self.completed += other.completed;
+        self.fatal += other.fatal;
+        self.truncated += other.truncated;
+    }
+
+    /// By-value merge for fold-style reduction.
+    pub fn merge(mut self, other: WasteAccum) -> WasteAccum {
+        self.merge_in_place(&other);
+        self
+    }
+
+    /// Finishes the accumulator into a public estimate.
+    pub fn into_estimate(self) -> WasteEstimate {
+        let ci95 = if self.completed > 0 {
+            Some(ConfidenceInterval::from_stats(&self.waste, 0.95))
+        } else {
+            None
+        };
+        WasteEstimate {
+            waste: self.waste,
+            ci95,
+            failures: self.failures,
+            completed: self.completed,
+            fatal: self.fatal,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Runs one replication of `run_cfg` to completion of `t_base` work.
+/// Replication `i` derives its RNG stream from `(mc.seed, i)` only, so
+/// the outcome is independent of which thread executes it.
+pub(crate) fn run_replication(
+    run_cfg: &RunConfig,
+    mc: &MonteCarloConfig,
+    t_base: f64,
+    replication: u64,
+) -> RunOutcome {
+    let mut source = build_source(run_cfg, mc, replication);
+    run_to_completion(run_cfg, t_base, source.as_mut())
+        .expect("validated configuration cannot fail")
 }
 
 /// Aggregated success-probability estimate across replications.
@@ -135,37 +229,19 @@ pub fn estimate_waste(
 ) -> Result<WasteEstimate, ModelError> {
     // Validate once up front so worker panics can't hide config errors.
     run_cfg.build()?;
-    let outcomes: Vec<RunOutcome> =
-        parallel_map_indexed(mc.replications, mc.resolved_workers(), |i| {
-            let mut source = build_source(run_cfg, mc, i as u64);
-            run_to_completion(run_cfg, t_base, source.as_mut())
-                .expect("validated configuration cannot fail")
-        });
-
-    let mut waste = OnlineStats::new();
-    let mut failures = OnlineStats::new();
-    let (mut completed, mut fatal, mut truncated) = (0, 0, 0);
-    for o in &outcomes {
-        match o.reason {
-            StopReason::WorkComplete => {
-                completed += 1;
-                waste.push(o.waste());
-                failures.push(o.failures as f64);
-            }
-            StopReason::Fatal => fatal += 1,
-            StopReason::FailureCapReached | StopReason::NoProgress => truncated += 1,
-            StopReason::HorizonReached => unreachable!("completion mode has no horizon"),
-        }
-    }
-    let ci95 = ConfidenceInterval::from_stats(&waste, 0.95);
-    Ok(WasteEstimate {
-        waste,
-        ci95,
-        failures,
-        completed,
-        fatal,
-        truncated,
-    })
+    // Stream outcomes into per-chunk accumulators instead of
+    // materializing a Vec<RunOutcome>: memory is O(replications /
+    // REP_CHUNK) accumulators, and the fixed chunk-order merge keeps
+    // the floats bit-identical across worker counts.
+    let acc = parallel_map_fold(
+        mc.replications,
+        mc.resolved_workers(),
+        REP_CHUNK,
+        WasteAccum::default,
+        |acc, i| acc.absorb(&run_replication(run_cfg, mc, t_base, i as u64)),
+        WasteAccum::merge,
+    );
+    Ok(acc.into_estimate())
 }
 
 /// Estimates the success probability over an exploitation horizon.
@@ -178,14 +254,19 @@ pub fn estimate_success(
     mc: &MonteCarloConfig,
 ) -> Result<SuccessEstimate, ModelError> {
     run_cfg.build()?;
-    let survived_flags: Vec<bool> =
-        parallel_map_indexed(mc.replications, mc.resolved_workers(), |i| {
+    let survived = parallel_map_fold(
+        mc.replications,
+        mc.resolved_workers(),
+        REP_CHUNK,
+        || 0usize,
+        |acc, i| {
             let mut source = build_source(run_cfg, mc, i as u64);
-            run_until(run_cfg, horizon, source.as_mut())
-                .expect("validated configuration cannot fail")
-                .survived()
-        });
-    let survived = survived_flags.iter().filter(|&&s| s).count();
+            let outcome = run_until(run_cfg, horizon, source.as_mut())
+                .expect("validated configuration cannot fail");
+            *acc += usize::from(outcome.survived());
+        },
+        |a, b| a + b,
+    );
     let runs = mc.replications;
     let p_hat = if runs == 0 {
         0.0
@@ -255,12 +336,30 @@ mod tests {
 
         let opt = dck_core::optimal_period(Protocol::DoubleNbl, &params(64), 1.0, m).unwrap();
         let model_waste = opt.waste.total;
+        let ci95 = est.ci95.expect("completed runs produce an interval");
         assert!(
-            est.ci95.contains_with_slack(model_waste, 4.0),
+            ci95.contains_with_slack(model_waste, 4.0),
             "model {model_waste} vs sim {} ± {}",
-            est.ci95.mean,
-            est.ci95.half_width
+            ci95.mean,
+            ci95.half_width
         );
+    }
+
+    #[test]
+    fn degenerate_estimate_is_marked_not_nan() {
+        // Unsurvivable regime: MTBF far below the rework cost, so no
+        // replication ever completes. The estimate must say so
+        // explicitly rather than reporting a 0 ± 0 interval.
+        let m = 30.0;
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(64), 0.0, m);
+        run_cfg.period = PeriodChoice::Explicit(3600.0);
+        let mc = MonteCarloConfig::new(6, 11);
+        let est = estimate_waste(&run_cfg, 1e7, &mc).unwrap();
+        assert_eq!(est.completed, 0, "regime unexpectedly survivable");
+        assert!(est.is_degenerate());
+        assert!(est.ci95.is_none());
+        assert_eq!(est.fatal + est.truncated, 6);
+        assert_eq!(est.waste.count(), 0);
     }
 
     #[test]
@@ -280,12 +379,15 @@ mod tests {
             .unwrap()
             .probability;
         let (lo, hi) = est.wilson95;
-        // Widen the Wilson interval slightly: the analytic model is
-        // first-order in λ·Risk.
+        // CI-aware tolerance: the Wilson interval already scales with
+        // the 300-replication sample, widened by a fixed model-bias
+        // allowance because Eq. 11 is first-order in λ·Risk. With the
+        // seeded RNG the whole check is deterministic; the slack keeps
+        // it green across reasonable RNG/engine changes.
         let slack = 0.05;
         assert!(
             model >= lo - slack && model <= hi + slack,
-            "model {model} outside sim [{lo}, {hi}]"
+            "model {model} outside sim [{lo}, {hi}] ± {slack}"
         );
         // This regime must be genuinely risky, or the test is vacuous.
         assert!(est.p_hat < 0.999, "p_hat {}", est.p_hat);

@@ -1,8 +1,11 @@
 //! Property-based tests for the platform simulator.
 
-use dck_core::{PlatformParams, Protocol};
+use dck_core::{optimal_period, PlatformParams, Protocol};
 use dck_failures::{AggregatedExponential, MtbfSpec};
-use dck_sim::{run_to_completion, run_until, PeriodChoice, RunConfig, StopReason};
+use dck_sim::{
+    estimate_waste, run_sweep, run_to_completion, run_until, EarlyStop, MonteCarloConfig,
+    PeriodChoice, RunConfig, StopReason, SweepEngine, SweepSpec,
+};
 use dck_simcore::{RngFactory, SimTime};
 use proptest::prelude::*;
 
@@ -122,6 +125,99 @@ proptest! {
                 "fast {fast_failing} vs slow {slow_failing}"
             );
         }
+    }
+
+    /// Sweep execution is one algorithm in six guises: both engines at
+    /// every worker count produce bit-identical cells, with and
+    /// without early stopping. The invariant behind it: replication
+    /// RNG streams derive from (cell seed, index) only, and per-chunk
+    /// accumulators merge in fixed ascending order.
+    #[test]
+    fn sweep_engines_bit_identical_across_workers(
+        seed in 0u64..200,
+        reps in 8usize..32,
+        early in any::<bool>(),
+    ) {
+        let mut spec = SweepSpec::new(
+            Protocol::DoubleNbl,
+            params(),
+            vec![0.25, 0.75],
+            vec![900.0, 3_600.0],
+        );
+        spec.seed = seed;
+        spec.replications = reps;
+        spec.work_in_mtbfs = 6.0;
+        if early {
+            spec.early_stop = Some(EarlyStop {
+                target_half_width: 0.02,
+                min_replications: 8,
+                batch: 8,
+            });
+        }
+        let mut results = Vec::new();
+        for engine in [SweepEngine::PerCell, SweepEngine::GlobalPool] {
+            for workers in [1usize, 2, 8] {
+                spec.engine = engine;
+                spec.workers = workers;
+                results.push(run_sweep(&spec).unwrap());
+            }
+        }
+        let reference = results[0].clone();
+        for other in &results[1..] {
+            for (a, b) in reference.cells.iter().zip(&other.cells) {
+                prop_assert_eq!(
+                    a.sim_waste.map(f64::to_bits),
+                    b.sim_waste.map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    a.half_width.map(f64::to_bits),
+                    b.half_width.map(f64::to_bits)
+                );
+                prop_assert_eq!(a.completed, b.completed);
+                prop_assert_eq!(a.fatal, b.fatal);
+                prop_assert_eq!(a.truncated, b.truncated);
+                prop_assert_eq!(a.replications_run, b.replications_run);
+            }
+        }
+    }
+
+    /// The global pool reproduces the seed sequential path bit-for-bit:
+    /// a one-cell sweep equals a direct `estimate_waste` call at the
+    /// same operating point and seed.
+    #[test]
+    fn global_pool_matches_direct_estimator(
+        seed in 0u64..200,
+        ratio in 0.0f64..1.0,
+    ) {
+        let mtbf = 1_800.0;
+        let mut spec = SweepSpec::new(Protocol::DoubleNbl, params(), vec![ratio], vec![mtbf]);
+        spec.seed = seed;
+        spec.replications = 16;
+        spec.work_in_mtbfs = 6.0;
+        spec.workers = 8;
+        let sweep = run_sweep(&spec).unwrap();
+        let cell = &sweep.cells[0];
+
+        let phi = ratio * params().theta_min;
+        let opt = optimal_period(Protocol::DoubleNbl, &params(), phi, mtbf).unwrap();
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(), phi, mtbf);
+        run_cfg.period = PeriodChoice::Explicit(opt.period);
+        // A one-cell sweep's derived seed is the master seed itself.
+        let mut mc = MonteCarloConfig::new(16, seed);
+        mc.workers = 1;
+        let est = estimate_waste(&run_cfg, 6.0 * mtbf, &mc).unwrap();
+
+        prop_assert_eq!(
+            cell.sim_waste.map(f64::to_bits),
+            est.ci95.map(|ci| ci.mean.to_bits())
+        );
+        prop_assert_eq!(
+            cell.half_width.map(f64::to_bits),
+            est.ci95.map(|ci| ci.half_width.to_bits())
+        );
+        prop_assert_eq!(cell.completed, est.completed);
+        prop_assert_eq!(cell.fatal, est.fatal);
+        prop_assert_eq!(cell.truncated, est.truncated);
     }
 
     /// The no-progress guard fires exactly when the schedule's work per

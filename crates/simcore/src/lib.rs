@@ -14,8 +14,10 @@
 //! * [`stats`] — online statistics: Welford mean/variance, fixed and
 //!   logarithmic histograms, time-weighted accumulators, Student-t
 //!   confidence intervals.
-//! * [`par`] — a small scoped-thread fork/join utility (built on
-//!   `crossbeam`) used to run Monte-Carlo replications in parallel.
+//! * [`par`] — small scoped-thread fork/join utilities (built on
+//!   `std::thread::scope`) used to run Monte-Carlo replications in
+//!   parallel, including a streaming chunked map-fold whose results
+//!   are bit-identical across worker counts.
 //!
 //! The kernel is deliberately allocation-light: event queues reserve
 //! capacity up front, statistics are O(1) per observation, and the

@@ -1,19 +1,28 @@
 //! Scoped-thread fork/join utilities for Monte-Carlo replication.
 //!
 //! The workspace's dependency policy does not include `rayon`, so this
-//! module provides the one parallel pattern the simulators need: map a
-//! function over an index range on a fixed number of worker threads and
-//! collect the results *in index order*. Work is handed out through an
-//! atomic cursor (work-stealing by chunk), so uneven per-item cost —
-//! common in failure simulations, where unlucky replications run much
-//! longer — still balances well.
+//! module provides the two parallel patterns the simulators need:
 //!
-//! Determinism: results depend only on `(index, f)`, never on thread
-//! scheduling, because each item derives everything (including RNG
-//! seeds) from its index.
+//! - [`parallel_map_indexed`]: map a function over an index range on a
+//!   fixed number of worker threads and collect the results *in index
+//!   order*.
+//! - [`parallel_map_fold`]: stream items into per-chunk accumulators
+//!   and merge them in fixed chunk order, never materializing the full
+//!   result vector — the engine primitive behind sweep execution.
+//!
+//! Work is handed out through an atomic cursor (work-stealing by
+//! chunk), so uneven per-item cost — common in failure simulations,
+//! where unlucky replications run much longer — still balances well.
+//!
+//! Determinism: results depend only on `(index, f)` and the fixed
+//! chunk geometry, never on thread scheduling, because each item
+//! derives everything (including RNG seeds) from its index and
+//! accumulators merge in chunk order. [`parallel_map_fold`] is
+//! bit-identical across worker counts, including the inline
+//! `workers <= 1` path.
 
-use crossbeam::thread;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
 /// Default chunk size for [`parallel_map_indexed`]: small enough to
 /// balance skewed workloads, large enough to keep cursor contention
@@ -23,7 +32,7 @@ const DEFAULT_CHUNK: usize = 4;
 /// Returns a sensible worker count: the machine's available parallelism
 /// capped at `cap` (0 = uncapped).
 pub fn default_workers(cap: usize) -> usize {
-    let hw = std::thread::available_parallelism()
+    let hw = thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     if cap == 0 {
@@ -60,23 +69,17 @@ where
     }
     let workers = workers.min(n);
 
-    // Collect into per-slot Options so each worker writes disjoint
-    // indices; unwrap at the end restores plain Vec<T>.
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
     let cursor = AtomicUsize::new(0);
 
-    // Hand each worker a disjoint &mut view via chunk claiming over a
-    // raw split: we give every worker access through a Mutex-free
-    // mechanism by splitting the slot vector into per-index cells.
-    // Simplest safe approach: each worker produces (index, value) pairs
-    // into its own local Vec, then we scatter after the scope ends.
+    // Each worker produces (index, value) pairs into its own local
+    // Vec; the pairs are scattered into slots after the scope ends, so
+    // no synchronization beyond the claim cursor is needed.
     let mut per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(DEFAULT_CHUNK, Ordering::Relaxed);
@@ -95,9 +98,10 @@ where
             .into_iter()
             .map(|h| h.join().expect("parallel_map worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
     for bucket in per_worker.drain(..) {
         for (i, v) in bucket {
             debug_assert!(slots[i].is_none(), "duplicate index {i}");
@@ -125,9 +129,110 @@ where
     items.into_iter().fold(init, merge)
 }
 
+/// Streams `0..n` into per-chunk accumulators and merges them in
+/// fixed chunk order, without materializing a `Vec` of per-item
+/// results.
+///
+/// The index space is cut into chunks of `chunk` consecutive indices
+/// (the last chunk may be short). Each chunk gets a fresh accumulator
+/// from `new_acc`, items fold into it **sequentially in index order**
+/// via `fold`, and the finished chunk accumulators merge via `merge`
+/// **in ascending chunk order**. Because both the chunk geometry and
+/// the merge order are fixed, the result is bit-identical for every
+/// `workers` value — the inline `workers <= 1` path runs the exact
+/// same chunked fold.
+///
+/// Workers claim chunks through an atomic cursor, so skewed per-item
+/// cost still load-balances. Memory is `O(n / chunk)` accumulators
+/// instead of `O(n)` items.
+///
+/// # Example
+/// ```
+/// use dck_simcore::par::parallel_map_fold;
+/// let sum = parallel_map_fold(
+///     100,
+///     4,
+///     16,
+///     || 0u64,
+///     |acc, i| *acc += i as u64,
+///     |a, b| a + b,
+/// );
+/// assert_eq!(sum, 4950);
+/// ```
+pub fn parallel_map_fold<A, New, Fold, Merge>(
+    n: usize,
+    workers: usize,
+    chunk: usize,
+    new_acc: New,
+    fold: Fold,
+    merge: Merge,
+) -> A
+where
+    A: Send,
+    New: Fn() -> A + Sync,
+    Fold: Fn(&mut A, usize) + Sync,
+    Merge: Fn(A, A) -> A,
+{
+    let chunk = chunk.max(1);
+    let num_chunks = n.div_ceil(chunk);
+
+    let run_chunk = |c: usize| -> A {
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        let mut acc = new_acc();
+        for i in start..end {
+            fold(&mut acc, i);
+        }
+        acc
+    };
+
+    if workers <= 1 || num_chunks <= 1 {
+        return (0..num_chunks).map(run_chunk).fold(new_acc(), &merge);
+    }
+    let workers = workers.min(num_chunks);
+
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, A)>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let run_chunk = &run_chunk;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, A)> = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= num_chunks {
+                        break;
+                    }
+                    local.push((c, run_chunk(c)));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map_fold worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<A>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || None);
+    for bucket in per_worker.drain(..) {
+        for (c, acc) in bucket {
+            debug_assert!(slots[c].is_none(), "duplicate chunk {c}");
+            slots[c] = Some(acc);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map_fold missed a chunk"))
+        .fold(new_acc(), merge)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::OnlineStats;
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
 
@@ -171,6 +276,49 @@ mod tests {
     fn map_reduce_matches_fold() {
         let total = parallel_map_reduce(100, 4, |i| i as u64, 0u64, |a, b| a + b);
         assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn map_fold_bit_identical_across_workers() {
+        // Sums of irrational values expose any reassociation: the
+        // merge order must make all worker counts agree to the bit.
+        let run = |workers: usize| {
+            parallel_map_fold(
+                1013,
+                workers,
+                8,
+                OnlineStats::new,
+                |acc: &mut OnlineStats, i| acc.push((i as f64).sqrt().sin()),
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            )
+        };
+        let reference = run(1);
+        for workers in [2, 3, 8] {
+            let par = run(workers);
+            assert_eq!(par.count(), reference.count());
+            assert_eq!(par.mean().to_bits(), reference.mean().to_bits());
+            assert_eq!(par.variance().to_bits(), reference.variance().to_bits());
+        }
+    }
+
+    #[test]
+    fn map_fold_empty_and_single_chunk() {
+        let zero = parallel_map_fold(0, 4, 8, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+        assert_eq!(zero, 0);
+        let small = parallel_map_fold(5, 4, 8, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+        assert_eq!(small, 10);
+    }
+
+    #[test]
+    fn map_fold_chunk_size_changes_geometry_not_totals() {
+        for chunk in [1, 3, 7, 64, 1000] {
+            let total =
+                parallel_map_fold(300, 5, chunk, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+            assert_eq!(total, 44850, "chunk {chunk}");
+        }
     }
 
     #[test]

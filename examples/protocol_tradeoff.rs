@@ -34,14 +34,15 @@ fn main() {
         run_cfg.period = PeriodChoice::Explicit(opt.period);
         let mc = MonteCarloConfig::new(reps, 0xA11CE);
         let est = estimate_waste(&run_cfg, work, &mc).expect("valid configuration");
-        let z = (opt.waste.total - est.ci95.mean).abs() / est.ci95.half_width.max(1e-12);
+        let ci = est.ci95.expect("moderate-MTBF runs complete");
+        let z = (opt.waste.total - ci.mean).abs() / ci.half_width.max(1e-12);
         println!(
             "{:<12} {:>10.1} {:>12.5} {:>14.5} ± {:.5} {:>6.2}",
             protocol.to_string(),
             opt.period,
             opt.waste.total,
-            est.ci95.mean,
-            est.ci95.half_width,
+            ci.mean,
+            ci.half_width,
             z
         );
     }

@@ -58,7 +58,8 @@
 //! let run = RunConfig::new(Protocol::DoubleNbl, params, 1.0, 1800.0);
 //! let mc = MonteCarloConfig::new(10, 42);
 //! let est = estimate_waste(&run, 8.0 * 3600.0, &mc).unwrap();
-//! assert!(est.ci95.mean > 0.0 && est.ci95.mean < 0.5);
+//! let ci = est.ci95.expect("completed runs produce an interval");
+//! assert!(ci.mean > 0.0 && ci.mean < 0.5);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -98,7 +98,10 @@ fn rollback_rate_matches_fatal_rate_model() {
     // Poisson counting noise: compare within a factor of 2 given the
     // expected count (ν·wall should be tens of events).
     let expected = nu * wall;
-    assert!(expected > 10.0, "underpowered test: {expected} expected events");
+    assert!(
+        expected > 10.0,
+        "underpowered test: {expected} expected events"
+    );
     assert!(
         (0.5..2.0).contains(&(empirical / nu)),
         "empirical rate {empirical} vs model {nu}"

@@ -1,0 +1,525 @@
+//! Offline drop-in replacement for the subset of `proptest` the `dck`
+//! workspace uses.
+//!
+//! Differences from upstream, deliberate for an offline vendored shim:
+//!
+//! - **Deterministic**: each test derives its RNG from a hash of the
+//!   test name and the case index, so runs never flake and failures
+//!   reproduce exactly.
+//! - **No shrinking**: a failing case reports the generated inputs
+//!   verbatim (all workspace strategy values are `Debug`).
+//! - Only the combinators this workspace calls are provided: range
+//!   and tuple strategies, `any`, `prop_map`, `Just`,
+//!   `prop::collection::vec`, and `prop::sample::select`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::distributions::SampleRange;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Test-case verdicts produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs did not meet a `prop_assume!` precondition.
+    Reject(String),
+}
+
+/// Result type of a generated property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`cases` is the only knob this shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty as $via:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as $via;
+                let off: $via = SampleRange::sample_from(0..span, rng);
+                (self.start as i64 + off as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8 as u64, i16 as u64, i32 as u64, i64 as u64, isize as u64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized + Debug {
+    /// Generates an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite values only: uniform in sign and magnitude order.
+        let m: f64 = rng.gen_range(-1.0..1.0);
+        let e: i32 = rng.gen_range(0u32..64) as i32 - 32;
+        m * (e as f64).exp2()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy over all of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Range, RangeInclusive, StdRng, Strategy};
+    use rand::Rng;
+
+    /// A length specification for [`vec`].
+    pub trait SizeRange {
+        /// Samples a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Debug, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Uniformly selects one of `options` (must be non-empty).
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::{ProptestConfig, StdRng, Strategy, TestCaseError};
+    use rand::SeedableRng;
+
+    /// Executes a property against generated inputs.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        #[must_use]
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `body` against `cases` generated inputs, panicking on
+        /// the first failure with the offending input. Rejections
+        /// (`prop_assume!`) retry with fresh inputs, up to ten times
+        /// the case budget.
+        pub fn run<S, F>(&mut self, name: &str, strategy: &S, body: F)
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            let base = fnv1a64(name.as_bytes());
+            let mut passed: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(self.config.cases) * 10;
+            while passed < self.config.cases {
+                assert!(
+                    attempts < max_attempts,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({attempts} attempts for {} cases)",
+                    self.config.cases
+                );
+                let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempts));
+                attempts += 1;
+                let input = strategy.generate(&mut rng);
+                let rendered = format!("{input:?}");
+                match body(input) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{name}` failed on case {passed} \
+                             (seed offset {}): {msg}\ninput: {rendered}",
+                            attempts - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced strategy modules, mirroring upstream's `prop::` path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(stringify!($name), &strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (retries new inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            xs in prop::collection::vec((0u32..4, 0.0f64..1.0), 1..20),
+            pick in prop::sample::select(vec![10u8, 20, 30]),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&(a, b)| a < 4 && (0.0..1.0).contains(&b)));
+            prop_assert!([10, 20, 30].contains(&pick));
+        }
+
+        #[test]
+        fn prop_map_and_assume_work(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            let doubled = (0u64..50).prop_map(|x| x * 2);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n);
+            let v = doubled.generate(&mut rng);
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(v, 99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_input() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run("always_fails", &(0u64..10), |x| {
+            prop_assert!(x > 100, "x was {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = (0u64..1000, 0.0f64..1.0);
+        let gen_seq = || {
+            let mut out = Vec::new();
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(16));
+            // Capture the generated inputs via the body.
+            let cell = std::cell::RefCell::new(&mut out);
+            runner.run("det", &s, |v| {
+                cell.borrow_mut().push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(gen_seq(), gen_seq());
+    }
+}

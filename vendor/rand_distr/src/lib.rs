@@ -1,0 +1,139 @@
+//! Offline drop-in replacement for the subset of `rand_distr` the `dck`
+//! workspace uses: `Weibull` and `LogNormal` sampled by inverse CDF /
+//! Box–Muller on top of the vendored `rand` core.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+pub use rand::{Distribution, Standard};
+use std::fmt;
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn unit_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: never returns exactly 0, so ln() is finite.
+    let u: f64 = Standard.sample(rng);
+    1.0 - u
+}
+
+/// Weibull distribution with scale `lambda` and shape `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull<F> {
+    scale: F,
+    shape_inv: F,
+}
+
+impl Weibull<f64> {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    /// Fails on non-positive or non-finite scale/shape.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(Error("Weibull scale must be positive and finite"));
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(Error("Weibull shape must be positive and finite"));
+        }
+        Ok(Weibull {
+            scale,
+            shape_inv: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Weibull<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: lambda * (-ln U)^(1/k) with U in (0, 1].
+        self.scale * (-unit_open01(rng).ln()).powf(self.shape_inv)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// mean and standard deviation.
+    ///
+    /// # Errors
+    /// Fails on negative or non-finite sigma.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !(sigma >= 0.0 && sigma.is_finite()) {
+            return Err(Error("LogNormal sigma must be non-negative and finite"));
+        }
+        if !mu.is_finite() {
+            return Err(Error("LogNormal mu must be finite"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the distribution is stateless so the second
+        // variate is discarded.
+        let u1 = unit_open01(rng);
+        let u2: f64 = Standard.sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(n: usize, mut f: impl FnMut(&mut StdRng) -> f64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(1234);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn weibull_shape_one_mean_is_scale() {
+        let d = Weibull::new(10.0, 1.0).unwrap();
+        let m = mean_of(200_000, |r| d.sample(r));
+        assert!((m - 10.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let (mu, sigma) = (0.5, 0.75);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let m = mean_of(400_000, |r| d.sample(r));
+        let expected = (mu + sigma * sigma / 2.0_f64).exp();
+        assert!(
+            (m - expected).abs() / expected < 0.02,
+            "mean {m} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+}

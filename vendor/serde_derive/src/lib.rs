@@ -1,0 +1,458 @@
+//! Derive macros for the vendored value-tree `serde` subset.
+//!
+//! Parses the item declaration directly from the `proc_macro` token
+//! stream (no `syn`/`quote`), supporting the shapes this workspace
+//! uses: plain structs (named, tuple, unit) and enums with unit,
+//! tuple, and struct variants. Enums serialize externally tagged,
+//! exactly like upstream serde's default; single-field tuple structs
+//! serialize as their inner value (newtype semantics, which also
+//! covers `#[serde(transparent)]`). Generic items are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Rust for Serialize")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Rust for Deserialize")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(toks: &mut Toks) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        // The bracketed attribute body.
+        match toks.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("malformed attribute near {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(toks: &mut Toks) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic items ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body for {name}: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level comma,
+/// tracking `<...>` nesting so generic arguments survive.
+fn skip_to_top_level_comma(toks: &mut Toks) {
+    let mut angle_depth: i64 = 0;
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    toks.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_top_level_comma(&mut toks);
+        names.push(name);
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_to_top_level_comma(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an optional `= discriminant` and the trailing comma.
+        skip_to_top_level_comma(&mut toks);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, struct_to_value(name, fields)),
+        Item::Enum { name, variants } => (name, enum_to_value(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn struct_to_value(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in names {
+                s.push_str(&format!(
+                    "__m.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            let _ = name;
+            s
+        }
+    }
+}
+
+fn enum_to_value(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{vn}\", {payload});\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}\n",
+                    binds = binders.join(", "),
+                ));
+            }
+            Fields::Named(field_names) => {
+                let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                for f in field_names {
+                    inner.push_str(&format!(
+                        "__inner.insert(\"{f}\", ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                         {inner}\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{vn}\", ::serde::Value::Object(__inner));\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}\n",
+                    binds = field_names.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, struct_from_value(name, fields)),
+        Item::Enum { name, variants } => (name, enum_from_value(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// A `from_value` call on `expr`, wrapping errors with `context`.
+fn field_from(expr: &str, context: &str) -> String {
+    format!(
+        "match ::serde::Deserialize::from_value({expr}) {{\n\
+             Ok(__x) => __x,\n\
+             Err(__e) => return Err(::serde::DeError::new(\
+                 format!(\"{context}: {{}}\", __e))),\n\
+         }}"
+    )
+}
+
+fn struct_from_value(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = __v;\nOk({name})"),
+        Fields::Tuple(1) => format!("Ok({name}({}))", field_from("__v", name)),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| field_from(&format!("&__a[{i}]"), &format!("{name}.{i}")))
+                .collect();
+            format!(
+                "let __a = match __v {{\n\
+                     ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                     _ => return Err(::serde::DeError::new(\
+                         \"expected array of length {n} for {name}\")),\n\
+                 }};\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for f in names {
+                inits.push_str(&format!(
+                    "{f}: {},\n",
+                    field_from(
+                        &format!("__obj.get(\"{f}\").unwrap_or(&::serde::Value::Null)"),
+                        &format!("{name}.{f}")
+                    )
+                ));
+            }
+            format!(
+                "let __obj = match __v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     _ => return Err(::serde::DeError::new(\
+                         \"expected object for {name}\")),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+    }
+}
+
+fn enum_from_value(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            Fields::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}({})),\n",
+                    field_from("__inner", &format!("{name}::{vn}"))
+                ));
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| field_from(&format!("&__a[{i}]"), &format!("{name}::{vn}.{i}")))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __a = match __inner {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                             _ => return Err(::serde::DeError::new(\
+                                 \"expected array of length {n} for {name}::{vn}\")),\n\
+                         }};\n\
+                         Ok({name}::{vn}({}))\n\
+                     }}\n",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(field_names) => {
+                let mut inits = String::new();
+                for f in field_names {
+                    inits.push_str(&format!(
+                        "{f}: {},\n",
+                        field_from(
+                            &format!("__obj.get(\"{f}\").unwrap_or(&::serde::Value::Null)"),
+                            &format!("{name}::{vn}.{f}")
+                        )
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __obj = match __inner {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return Err(::serde::DeError::new(\
+                                 \"expected object for {name}::{vn}\")),\n\
+                         }};\n\
+                         Ok({name}::{vn} {{\n{inits}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::new(\
+                     format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+             }},\n\
+             ::serde::Value::Object(__m) => {{\n\
+                 let (__tag, __inner) = match __m.single() {{\n\
+                     Some(x) => x,\n\
+                     None => return Err(::serde::DeError::new(\
+                         \"expected single-key object for enum {name}\")),\n\
+                 }};\n\
+                 let _ = __inner;\n\
+                 match __tag {{\n\
+                     {tagged_arms}\
+                     __other => Err(::serde::DeError::new(\
+                         format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(::serde::DeError::new(\
+                 \"expected string or single-key object for enum {name}\")),\n\
+         }}"
+    )
+}
