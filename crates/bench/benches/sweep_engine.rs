@@ -49,6 +49,16 @@ fn bench_sweep_engines(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("global_pool", workers), |b| {
             b.iter(|| black_box(run_sweep(&spec).unwrap()))
         });
+
+        // Same pool with metric recording on: quantifies the cost of
+        // the observability layer (acceptance: obs-disabled baseline
+        // above regresses < 2%, and this variant stays within noise of
+        // it — the counters are a few relaxed atomic adds per round).
+        group.bench_function(BenchmarkId::new("global_pool_obs", workers), |b| {
+            let was = dck_obs::set_enabled(true);
+            b.iter(|| black_box(run_sweep(&spec).unwrap()));
+            dck_obs::set_enabled(was);
+        });
     }
 
     // Early stopping on top of the pool: same grid, generous budget,

@@ -8,12 +8,14 @@ use dck_core::{
 };
 use dck_experiments::output::{ascii_table, fmt_f64};
 use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
+use dck_obs::{JsonlSink, MetricsSnapshot};
 use dck_sim::{
-    estimate_waste, run_sweep, EarlyStop, MonteCarloConfig, PeriodChoice, RunConfig, SweepEngine,
-    SweepSpec,
+    estimate_waste, replication_source, run_sweep, run_to_completion_sinked, EarlyStop,
+    MonteCarloConfig, PeriodChoice, RunConfig, SweepEngine, SweepResult, SweepSpec, TimelineEvent,
 };
 use dck_simcore::{RngFactory, SimTime};
 use std::fmt::Write as _;
+use std::io::BufWriter;
 
 /// Entry point: dispatches a command line to its implementation and
 /// returns the rendered output.
@@ -32,8 +34,10 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "optimize" => cmd_optimize(&args)?,
         "hierarchical" => cmd_hierarchical(&args)?,
         "simulate" => cmd_simulate(&args)?,
+        "run" => cmd_run(&args)?,
         "sweep" => cmd_sweep(&args)?,
         "trace" => cmd_trace(&args)?,
+        "validate" => cmd_validate(&args)?,
         "help" | "-h" | "--help" => usage(),
         other => return Err(format!("unknown command `{other}`\n{}", usage())),
     };
@@ -54,11 +58,15 @@ pub fn usage() -> String {
      \x20 optimize [opts]                         best overhead phi* per protocol\n\
      \x20 hierarchical --write T --read T [opts]  two-level global-checkpoint tuning\n\
      \x20 simulate --protocol P --work W [opts]   Monte-Carlo waste vs model\n\
+     \x20 run      --protocol P [opts]            one simulated run, observable\n\
+     \x20          --rep N (replication index)  --trace FILE (JSONL timeline)\n\
+     \x20          --metrics FILE (counter snapshot as JSON)\n\
      \x20 sweep    --protocol P [opts]            simulated waste over a (phi/R, MTBF) grid\n\
      \x20          --phi-ratios A,B,..  --mtbfs D1,D2,..  --reps N  --work-mtbfs X\n\
      \x20          --engine global|per-cell  --target-hw X [--min-reps N --batch N]\n\
-     \x20          --format ascii|csv|json\n\
+     \x20          --format ascii|csv|json  --metrics FILE (counters + summary table)\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
+     \x20 validate --trace F | --metrics F | --sweep F   schema-check emitted files\n\
      \n\
      common options:\n\
      \x20 --scenario base|exa      parameter preset (default base)\n\
@@ -411,6 +419,165 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Writes a pretty-printed metrics snapshot to `path`.
+fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_run(args: &Args) -> Result<String, String> {
+    let (params, scenario) = resolve_params(args)?;
+    let protocol = resolve_protocol(args, None)?;
+    let phi = resolve_phi(args, &params)?;
+    let mtbf = args.get_duration("mtbf", 3600.0)?;
+    let work = args.get_duration("work", 40.0 * 3600.0)?;
+    let seed: u64 = args.get_parsed("seed", 0xDC)?;
+    let rep: u64 = args.get_parsed("rep", 0)?;
+    let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+
+    let run_cfg = RunConfig::new(protocol, params, phi, mtbf);
+    let mc = MonteCarloConfig {
+        replications: 1,
+        seed,
+        workers: 1,
+        source: dck_sim::montecarlo::SourceKind::Exponential,
+    };
+    let was_enabled = metrics_path.as_ref().map(|_| {
+        dck_obs::reset();
+        dck_obs::set_enabled(true)
+    });
+
+    // The exact stream replication `rep` of `dck simulate` (same seed)
+    // would consume — a traced run reproduces one Monte-Carlo sample.
+    let mut source = replication_source(&run_cfg, &mc, rep);
+    let result = match &trace_path {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut sink = JsonlSink::new(BufWriter::new(file));
+            let outcome = run_to_completion_sinked(&run_cfg, work, source.as_mut(), &mut sink)
+                .map_err(|e| e.to_string());
+            outcome.and_then(|o| {
+                sink.finish()
+                    .map(|lines| (o, Some(lines)))
+                    .map_err(|e| format!("cannot write {path}: {e}"))
+            })
+        }
+        None => dck_sim::run_to_completion(&run_cfg, work, source.as_mut())
+            .map(|o| (o, None))
+            .map_err(|e| e.to_string()),
+    };
+    let snapshot = was_enabled.map(|was| {
+        dck_obs::set_enabled(was);
+        dck_obs::snapshot()
+    });
+    let (outcome, trace_lines) = result?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Run: {} on scenario {scenario} ({} nodes), replication {rep} of seed {seed}",
+        protocol,
+        run_cfg.usable_nodes()
+    );
+    let _ = writeln!(
+        out,
+        "  M = {}, phi = {}, work = {}, period = optimal",
+        format_duration(mtbf),
+        fmt_f64(phi),
+        format_duration(work)
+    );
+    let _ = writeln!(
+        out,
+        "  outcome: {:?} after {} ({} useful, {} in outages, {} failures)",
+        outcome.reason,
+        format_duration(outcome.total_time),
+        format_duration(outcome.useful_work),
+        format_duration(outcome.outage_time),
+        outcome.failures
+    );
+    let _ = writeln!(out, "  empirical waste: {:.5}", outcome.waste());
+    if let Some(at) = outcome.fatal_at {
+        let _ = writeln!(out, "  fatal failure at {}", format_duration(at));
+    }
+    if let (Some(path), Some(lines)) = (&trace_path, trace_lines) {
+        let _ = writeln!(out, "  timeline: {lines} events -> {path}");
+    }
+    if let (Some(path), Some(snapshot)) = (&metrics_path, &snapshot) {
+        write_metrics(path, snapshot)?;
+        let _ = writeln!(out, "  metrics -> {path}");
+        out.push_str(&snapshot.to_table());
+    }
+    Ok(out)
+}
+
+fn cmd_validate(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    let mut checked = 0u32;
+    if let Some(path) = args.get("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut events = 0usize;
+        let mut last_at = f64::NEG_INFINITY;
+        for (i, line) in text.lines().enumerate() {
+            let event: TimelineEvent = serde_json::from_str(line)
+                .map_err(|e| format!("{path}:{}: invalid TimelineEvent: {e}", i + 1))?;
+            let at = match event {
+                TimelineEvent::Failure { at, .. }
+                | TimelineEvent::OutageEnd { at }
+                | TimelineEvent::Finished { at, .. } => at,
+            };
+            if at < last_at {
+                return Err(format!(
+                    "{path}:{}: timestamp {at} moves backwards (previous {last_at})",
+                    i + 1
+                ));
+            }
+            last_at = at;
+            events += 1;
+        }
+        let _ = writeln!(
+            out,
+            "trace {path}: {events} valid events, timestamps ordered"
+        );
+        checked += 1;
+    }
+    if let Some(path) = args.get("metrics") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let snapshot: MetricsSnapshot = serde_json::from_str(&text)
+            .map_err(|e| format!("{path}: invalid MetricsSnapshot: {e}"))?;
+        let _ = writeln!(
+            out,
+            "metrics {path}: {} counters, {} histograms",
+            snapshot.counters.len(),
+            snapshot.histograms.len()
+        );
+        checked += 1;
+    }
+    if let Some(path) = args.get("sweep") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let result: SweepResult =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: invalid SweepResult: {e}"))?;
+        let expected = result.spec.phi_ratios.len() * result.spec.mtbfs.len();
+        if result.cells.len() != expected {
+            return Err(format!(
+                "{path}: {} cells but the spec's grid has {expected}",
+                result.cells.len()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "sweep {path}: {} cells, grid consistent",
+            result.cells.len()
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("usage: dck validate --trace FILE | --metrics FILE | --sweep FILE".to_string());
+    }
+    Ok(out)
+}
+
 fn cmd_sweep(args: &Args) -> Result<String, String> {
     let (params, scenario) = resolve_params(args)?;
     let protocol = resolve_protocol(args, None)?;
@@ -454,9 +621,22 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         spec.early_stop = Some(es);
     }
 
-    let result = run_sweep(&spec).map_err(|e| e.to_string())?;
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let was_enabled = metrics_path.as_ref().map(|_| {
+        dck_obs::reset();
+        dck_obs::set_enabled(true)
+    });
+    let result = run_sweep(&spec);
+    let snapshot = was_enabled.map(|was| {
+        dck_obs::set_enabled(was);
+        dck_obs::snapshot()
+    });
+    let result = result.map_err(|e| e.to_string())?;
+    if let (Some(path), Some(snapshot)) = (&metrics_path, &snapshot) {
+        write_metrics(path, snapshot)?;
+    }
 
-    match args.get("format") {
+    let rendered = match args.get("format") {
         Some("json") => serde_json::to_string_pretty(&result)
             .map(|mut s| {
                 s.push('\n');
@@ -539,7 +719,17 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
             Ok(out)
         }
         Some(other) => Err(format!("unknown --format `{other}` (ascii|csv|json)")),
+    };
+    let mut rendered = rendered?;
+    // Append the counter table to human-readable output only; csv/json
+    // stay machine-parseable (the snapshot lives in the --metrics file).
+    if matches!(args.get("format"), None | Some("ascii")) {
+        if let Some(snapshot) = &snapshot {
+            rendered.push_str("\nobservability metrics:\n");
+            rendered.push_str(&snapshot.to_table());
+        }
     }
+    Ok(rendered)
 }
 
 fn cmd_trace(args: &Args) -> Result<String, String> {
@@ -755,6 +945,123 @@ mod tests {
         assert!(out.contains("failures"));
         let out = run_ok(&["trace", "stats", p]);
         assert!(out.contains("empirical platform MTBF"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_traces_to_jsonl_and_validates() {
+        let _guard = dck_obs::exclusive_session();
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("dck-run-{}.jsonl", std::process::id()));
+        let metrics = dir.join(format!("dck-run-{}.metrics.json", std::process::id()));
+        let (tp, mp) = (trace.to_str().unwrap(), metrics.to_str().unwrap());
+        let out = run_ok(&[
+            "run",
+            "--protocol",
+            "double-nbl",
+            "--phi-ratio",
+            "0.5",
+            "--mtbf",
+            "30min",
+            "--work",
+            "10h",
+            "--nodes",
+            "8",
+            "--seed",
+            "3",
+            "--trace",
+            tp,
+            "--metrics",
+            mp,
+        ]);
+        assert!(out.contains("empirical waste"), "{out}");
+        assert!(out.contains("timeline:"), "{out}");
+        assert!(out.contains("metric"), "{out}");
+        // Both emitted files pass schema validation.
+        let out = run_ok(&["validate", "--trace", tp, "--metrics", mp]);
+        assert!(out.contains("timestamps ordered"), "{out}");
+        assert!(out.contains("counters"), "{out}");
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn run_is_reproducible_per_replication() {
+        let a = run_ok(&["run", "--protocol", "triple", "--nodes", "9", "--rep", "2"]);
+        let b = run_ok(&["run", "--protocol", "triple", "--nodes", "9", "--rep", "2"]);
+        assert_eq!(a, b);
+        let c = run_ok(&["run", "--protocol", "triple", "--nodes", "9", "--rep", "3"]);
+        assert_ne!(a, c, "different replications draw different streams");
+    }
+
+    #[test]
+    fn sweep_metrics_prints_table_and_writes_snapshot() {
+        let _guard = dck_obs::exclusive_session();
+        let metrics =
+            std::env::temp_dir().join(format!("dck-sweep-{}.metrics.json", std::process::id()));
+        let mp = metrics.to_str().unwrap();
+        let out = run_ok(&[
+            "sweep",
+            "--protocol",
+            "double-nbl",
+            "--phi-ratios",
+            "0.0,0.5",
+            "--mtbfs",
+            "30min",
+            "--reps",
+            "8",
+            "--work-mtbfs",
+            "5",
+            "--nodes",
+            "16",
+            "--metrics",
+            mp,
+        ]);
+        assert!(out.contains("observability metrics:"), "{out}");
+        assert!(out.contains("sweep.cells"), "{out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let snap: dck_obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap.counter("sweep.cells"), 2);
+        assert!(snap.counter("sweep.replications") >= 16);
+        let out = run_ok(&["validate", "--metrics", mp]);
+        assert!(out.contains("counters"), "{out}");
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn sweep_json_output_validates_as_sweep_result() {
+        let path = std::env::temp_dir().join(format!("dck-sweep-{}.json", std::process::id()));
+        let p = path.to_str().unwrap();
+        let out = run_ok(&[
+            "sweep",
+            "--protocol",
+            "triple",
+            "--phi-ratios",
+            "0.5",
+            "--mtbfs",
+            "30min",
+            "--reps",
+            "8",
+            "--work-mtbfs",
+            "5",
+            "--nodes",
+            "9",
+            "--format",
+            "json",
+        ]);
+        std::fs::write(&path, &out).unwrap();
+        let report = run_ok(&["validate", "--sweep", p]);
+        assert!(report.contains("grid consistent"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_empty_invocation() {
+        assert!(run_err(&["validate"]).contains("usage"));
+        let path = std::env::temp_dir().join(format!("dck-garbage-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"NotAnEvent\":{}}\n").unwrap();
+        let err = run_err(&["validate", "--trace", path.to_str().unwrap()]);
+        assert!(err.contains("invalid TimelineEvent"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,21 +38,92 @@ pub struct OperatingPoint {
 }
 
 /// Waste at the optimal period as a function of `φ` (helper).
-fn waste_at_phi(protocol: Protocol, params: &PlatformParams, phi: f64, mtbf: f64) -> f64 {
-    optimal_period(protocol, params, phi, mtbf)
-        .map(|o| o.waste.total)
-        .unwrap_or(f64::INFINITY)
+///
+/// # Errors
+/// Propagates model errors at this probe point. Historically every
+/// error was flattened into a `+∞` sentinel, which made "the model
+/// rejects this operating point" indistinguishable from "this point is
+/// legal but terrible" — and when *all* probes errored, the eventual
+/// follow-up failure surfaced at an arbitrary refined `φ` instead of
+/// the actual cause. The scan machinery now handles the distinction.
+fn waste_at_phi(
+    protocol: Protocol,
+    params: &PlatformParams,
+    phi: f64,
+    mtbf: f64,
+) -> Result<f64, ModelError> {
+    optimal_period(protocol, params, phi, mtbf).map(|o| o.waste.total)
+}
+
+/// Minimizes a fallible `probe(φ)` over `φ ∈ [0, phi_max]`: a coarse
+/// grid scan (the objective is not guaranteed unimodal across clamping
+/// boundaries) brackets the minimum, then golden-section refinement
+/// polishes it.
+///
+/// Probes may fail — the model legitimately rejects part of the range
+/// (e.g. `φ > θmin`). Failed probes are excluded from bracketing, and
+/// the *first* error is remembered: if no probe ever succeeds, that
+/// error is returned verbatim rather than a confusing follow-up error
+/// at an arbitrary refined `φ`.
+///
+/// # Errors
+/// The first probe error, when every probe of the grid scan fails.
+pub fn optimal_phi_scan(
+    phi_max: f64,
+    probe: impl FnMut(f64) -> Result<f64, ModelError>,
+) -> Result<f64, ModelError> {
+    const GRID: usize = 32;
+    // golden_section_min takes Fn; thread the FnMut probe and the
+    // first-error slot through a RefCell.
+    let state = std::cell::RefCell::new((probe, None::<ModelError>));
+    let eval = |phi: f64| -> f64 {
+        let (probe, first_err) = &mut *state.borrow_mut();
+        match probe(phi) {
+            Ok(w) => w,
+            Err(e) => {
+                first_err.get_or_insert(e);
+                f64::INFINITY
+            }
+        }
+    };
+
+    let mut best_i = 0;
+    let mut best_w = f64::INFINITY;
+    for i in 0..=GRID {
+        let phi = phi_max * i as f64 / GRID as f64;
+        let w = eval(phi);
+        if w < best_w {
+            best_w = w;
+            best_i = i;
+        }
+    }
+    if best_w.is_infinite() {
+        // No grid probe produced a usable value. If any failed, report
+        // why; otherwise the objective is genuinely +∞ everywhere and
+        // the left edge is as good an answer as any.
+        let (_, first_err) = state.into_inner();
+        return match first_err {
+            Some(e) => Err(e),
+            None => Ok(0.0),
+        };
+    }
+    // Refine inside the bracketing cells around the best grid point.
+    let lo = phi_max * best_i.saturating_sub(1) as f64 / GRID as f64;
+    let hi = phi_max * (best_i + 1).min(GRID) as f64 / GRID as f64;
+    Ok(golden_section_min(eval, lo, hi, 1e-10))
 }
 
 /// Finds the overhead `φ* ∈ [0, θmin]` minimizing the waste at the
 /// (re-optimized) period, for platform MTBF `m`.
 ///
-/// The objective is not guaranteed unimodal across the clamping
-/// boundaries, so a coarse grid scan brackets the minimum before a
-/// golden-section refinement.
+/// With observability enabled (`dck_obs::enabled()`), every probe
+/// bumps `opt.probes` and every rejected probe bumps
+/// `opt.probe_errors`.
 ///
 /// # Errors
-/// Propagates parameter validation; requires `m > 0`.
+/// Propagates parameter validation; requires `m > 0`. A model error
+/// that rejects the whole `φ` range surfaces as the first probe's
+/// error.
 pub fn optimal_operating_point(
     protocol: Protocol,
     params: &PlatformParams,
@@ -62,22 +133,22 @@ pub fn optimal_operating_point(
     if !(m.is_finite() && m > 0.0) {
         return Err(ModelError::invalid("mtbf", "must be finite and > 0"));
     }
-    let r = params.theta_min;
-    const GRID: usize = 32;
-    let mut best_i = 0;
-    let mut best_w = f64::INFINITY;
-    for i in 0..=GRID {
-        let phi = r * i as f64 / GRID as f64;
+    let counters = dck_obs::enabled().then(|| {
+        (
+            dck_obs::counter("opt.probes"),
+            dck_obs::counter("opt.probe_errors"),
+        )
+    });
+    let phi = optimal_phi_scan(params.theta_min, |phi| {
         let w = waste_at_phi(protocol, params, phi, m);
-        if w < best_w {
-            best_w = w;
-            best_i = i;
+        if let Some((probes, errors)) = &counters {
+            probes.incr();
+            if w.is_err() {
+                errors.incr();
+            }
         }
-    }
-    // Refine inside the bracketing cells around the best grid point.
-    let lo = r * best_i.saturating_sub(1) as f64 / GRID as f64;
-    let hi = r * (best_i + 1).min(GRID) as f64 / GRID as f64;
-    let phi = golden_section_min(|phi| waste_at_phi(protocol, params, phi, m), lo, hi, 1e-10);
+        w
+    })?;
     let opt = optimal_period(protocol, params, phi, m)?;
     let theta = crate::overlap::OverlapModel::new(params).theta_of_phi(phi)?;
     Ok(OperatingPoint {
@@ -118,8 +189,8 @@ mod tests {
         for protocol in Protocol::EVALUATED {
             for m in [120.0, 600.0, 3_600.0, 86_400.0] {
                 let op = optimal_operating_point(protocol, &base(), m).unwrap();
-                let w0 = waste_at_phi(protocol, &base(), 0.0, m);
-                let wr = waste_at_phi(protocol, &base(), base().theta_min, m);
+                let w0 = waste_at_phi(protocol, &base(), 0.0, m).unwrap();
+                let wr = waste_at_phi(protocol, &base(), base().theta_min, m).unwrap();
                 assert!(
                     op.waste.total <= w0 + 1e-9 && op.waste.total <= wr + 1e-9,
                     "{protocol:?} M={m}: opt {} vs endpoints {w0}, {wr}",
@@ -138,7 +209,7 @@ mod tests {
             let mut best = f64::INFINITY;
             for i in 0..=1000 {
                 let phi = exa().theta_min * i as f64 / 1000.0;
-                best = best.min(waste_at_phi(protocol, &exa(), phi, m));
+                best = best.min(waste_at_phi(protocol, &exa(), phi, m).unwrap());
             }
             assert!(
                 op.waste.total <= best + 1e-6,
@@ -186,5 +257,73 @@ mod tests {
     #[test]
     fn rejects_bad_mtbf() {
         assert!(optimal_operating_point(Protocol::Triple, &base(), 0.0).is_err());
+    }
+
+    #[test]
+    fn scan_tolerates_probes_that_fail_for_some_phi() {
+        // Regression for the +∞-sentinel bug: scan a range twice as
+        // wide as the valid one. Probes at φ > θmin fail the model's
+        // φ-validation (a genuine `ModelError`, raised only for part
+        // of the range); the scan must skip them, keep the error out
+        // of the result, and still land on the optimum inside the
+        // valid half.
+        let p = exa();
+        let m = 900.0;
+        let probe = |phi: f64| waste_at_phi(Protocol::DoubleNbl, &p, phi, m);
+        let reference = optimal_phi_scan(p.theta_min, probe).unwrap();
+        let wide = optimal_phi_scan(2.0 * p.theta_min, probe).unwrap();
+        assert!(
+            wide <= p.theta_min + 1e-9,
+            "optimum escaped the valid range: {wide}"
+        );
+        let w_ref = probe(reference).unwrap();
+        let w_wide = probe(wide).unwrap();
+        assert!(
+            (w_ref - w_wide).abs() < 1e-3,
+            "wide-scan waste {w_wide} vs reference {w_ref}"
+        );
+    }
+
+    #[test]
+    fn scan_returns_first_real_error_when_every_probe_fails() {
+        // All probes reject (bad MTBF reaches the model through the
+        // probe): the scan must surface that error — named after its
+        // true cause — instead of manufacturing a follow-up failure at
+        // an arbitrary refined φ.
+        let p = base();
+        let err = optimal_phi_scan(p.theta_min, |phi| {
+            waste_at_phi(Protocol::Triple, &p, phi, f64::NAN)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, ModelError::InvalidParameter { name: "mtbf", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn scan_with_infinite_but_valid_objective_returns_left_edge() {
+        // Probes that *succeed* with +∞ (bad-but-valid points) are not
+        // errors: the scan falls back to φ = 0.
+        let phi = optimal_phi_scan(4.0, |_| Ok(f64::INFINITY)).unwrap();
+        assert_eq!(phi, 0.0);
+    }
+
+    #[test]
+    fn operating_point_counts_probes_when_enabled() {
+        let _guard = dck_obs::exclusive_session();
+        dck_obs::reset();
+        let was = dck_obs::set_enabled(true);
+        let op = optimal_operating_point(Protocol::DoubleNbl, &base(), 3_600.0);
+        dck_obs::set_enabled(was);
+        op.unwrap();
+        let snap = dck_obs::snapshot();
+        // 33 grid probes plus golden-section refinement probes.
+        assert!(
+            snap.counter("opt.probes") >= 33,
+            "probes {}",
+            snap.counter("opt.probes")
+        );
+        assert_eq!(snap.counter("opt.probe_errors"), 0);
     }
 }

@@ -127,8 +127,15 @@ pub fn numeric_optimal_period(
         .sqrt()
         .max(lo * 2.0)
         * 2.0;
-    let f = |p: f64| model.waste(p, m).map(|w| w.total).unwrap_or(f64::INFINITY);
+    let probes = std::cell::Cell::new(0u64);
+    let f = |p: f64| {
+        probes.set(probes.get() + 1);
+        model.waste(p, m).map(|w| w.total).unwrap_or(f64::INFINITY)
+    };
     let period = golden_section_min(f, lo, hi, 1e-10);
+    if dck_obs::enabled() {
+        dck_obs::add("opt.period_probes", probes.get());
+    }
     let waste = model.waste(period, m)?;
     let source = if waste.total >= 1.0 {
         PeriodSource::Saturated
@@ -155,12 +162,14 @@ pub fn golden_section_min(f: impl Fn(f64) -> f64, lo: f64, hi: f64, rel_tol: f64
     let mut d = a + (b - a) * INV_PHI;
     let mut fc = f(c);
     let mut fd = f(d);
+    let mut iters = 0u64;
     // ~75 iterations shrink the bracket by φ⁻⁷⁵ ≈ 2e-16; stop earlier
     // on the relative tolerance.
     for _ in 0..200 {
         if (b - a) <= rel_tol * (a.abs() + b.abs()).max(1.0) {
             break;
         }
+        iters += 1;
         if fc < fd {
             b = d;
             d = c;
@@ -174,6 +183,9 @@ pub fn golden_section_min(f: impl Fn(f64) -> f64, lo: f64, hi: f64, rel_tol: f64
             d = a + (b - a) * INV_PHI;
             fd = f(d);
         }
+    }
+    if dck_obs::enabled() {
+        dck_obs::observe("opt.golden_iters", iters);
     }
     let mid = 0.5 * (a + b);
     // Return the best of the bracket ends, midpoint, and the *original*

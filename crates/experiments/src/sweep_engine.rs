@@ -12,6 +12,7 @@
 
 use crate::output::{fmt_f64, to_csv, OutputDir};
 use dck_core::{Protocol, Scenario};
+use dck_obs::MetricsSnapshot;
 use dck_sim::{run_sweep, EarlyStop, SweepEngine, SweepResult, SweepSpec};
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -96,13 +97,22 @@ pub struct SweepEngineReport {
     pub fixed_replications: usize,
     /// Replications executed under early stopping.
     pub adaptive_replications: usize,
+    /// Observability counters accumulated across all three engine runs
+    /// (rounds, work units, early-stopped cells, pool occupancy).
+    pub metrics: MetricsSnapshot,
     /// The global-pool result (the artifact the grid feeds plotting).
     pub result: SweepResult,
 }
 
-/// Runs the comparison.
+/// Runs the comparison. Metric recording is enabled for its duration
+/// (and the prior enabled state restored after): the counter work is a
+/// handful of relaxed atomic adds per round, far below the timing noise
+/// of the Monte-Carlo work being compared, and never affects results.
 pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
     let mut spec = cfg.spec();
+
+    dck_obs::reset();
+    let was_enabled = dck_obs::set_enabled(true);
 
     spec.engine = SweepEngine::PerCell;
     let t0 = Instant::now();
@@ -126,6 +136,9 @@ pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
     let adaptive = run_sweep(&spec).expect("valid sweep");
     let adaptive_seconds = t0.elapsed().as_secs_f64();
 
+    dck_obs::set_enabled(was_enabled);
+    let metrics = dck_obs::snapshot();
+
     SweepEngineReport {
         config: cfg.clone(),
         per_cell_seconds,
@@ -134,6 +147,7 @@ pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
         engines_identical,
         fixed_replications: global.total_replications_run(),
         adaptive_replications: adaptive.total_replications_run(),
+        metrics,
         result: global,
     }
 }
@@ -146,7 +160,8 @@ impl SweepEngineReport {
              \x20 per-cell engine:    {:.2} ms\n\
              \x20 global pool:        {:.2} ms ({:.2}x)\n\
              \x20 + early stopping:   {:.2} ms ({} of {} replications at half-width {})\n\
-             \x20 engines bit-identical: {}\n",
+             \x20 engines bit-identical: {}\n\
+             \x20 observed: {} rounds, {} units, {} cells early-stopped, {} pool spawns\n",
             self.result.cells.len(),
             self.config.replications,
             1e3 * self.per_cell_seconds,
@@ -157,6 +172,10 @@ impl SweepEngineReport {
             self.fixed_replications,
             fmt_f64(self.config.target_half_width),
             self.engines_identical,
+            self.metrics.counter("sweep.rounds"),
+            self.metrics.counter("sweep.units"),
+            self.metrics.counter("sweep.cells_early_stopped"),
+            self.metrics.counter("par.pool_spawns"),
         )
     }
 
@@ -227,5 +246,15 @@ mod tests {
         for c in &report.result.cells {
             assert!(c.sim_waste.is_some(), "cell {c:?}");
         }
+        // Metrics were recorded across the three engine runs. Other
+        // tests in this binary may run concurrently while the flag is
+        // up, so only assert lower bounds, not exact counts.
+        let cells = report.result.cells.len() as u64;
+        assert!(report.metrics.counter("sweep.cells") >= 3 * cells);
+        assert!(report.metrics.counter("sweep.rounds") >= 3);
+        assert!(
+            report.metrics.counter("sweep.replications")
+                >= (report.fixed_replications + report.adaptive_replications) as u64
+        );
     }
 }

@@ -1,0 +1,139 @@
+//! # dck-obs — observability for runs and sweeps
+//!
+//! A metrics/tracing layer that costs (almost) nothing when disabled:
+//!
+//! * **Counters and histograms** ([`metrics`]) — lock-free atomics
+//!   behind a process-wide [`Registry`], frozen on demand into a
+//!   serializable [`MetricsSnapshot`].
+//! * **Event sinks** ([`sink`]) — a pluggable [`EventSink`] trait the
+//!   simulator streams its `TimelineEvent`s into: in-memory, closure,
+//!   or JSON-lines output.
+//!
+//! ## The enabled flag
+//!
+//! Instrumented hot paths check [`enabled`] — one relaxed atomic load —
+//! and skip all metric work when it is off (the default). Two rules
+//! keep the layer honest:
+//!
+//! * **No instrumentation may influence results.** Counters never touch
+//!   RNG streams, float accumulation order, or work scheduling, so
+//!   sweeps are bit-identical with observability on or off.
+//! * **Defect counters are always on.** Counters that record *detected
+//!   corruption* (e.g. `run.waste_clamped`) bypass the flag — they sit
+//!   on paths that should never execute, so their cost is zero in
+//!   healthy runs and their visibility matters most when nobody
+//!   thought to enable metrics.
+//!
+//! Counter naming: dot-separated lowercase, `<subsystem>.<noun>` —
+//! `run.*` (single runs), `sweep.*` (sweep engines), `opt.*` (operating
+//! point/period optimizers), `par.*` (thread pools).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod sink;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use sink::{CountingSink, EventSink, FnSink, JsonlSink, NullSink, VecSink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when metric recording is globally enabled. One relaxed atomic
+/// load — the hot-path gate.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables metric recording; returns the previous state so
+/// scoped callers can restore it.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Looks up (or creates) a global counter. Hot loops should call this
+/// once and reuse the returned handle.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Looks up (or creates) a global histogram.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Adds 1 to a global counter (unconditionally — callers gate on
+/// [`enabled`] except for always-on defect counters).
+pub fn incr(name: &str) {
+    global().counter(name).incr();
+}
+
+/// Adds `n` to a global counter (unconditionally, see [`incr`]).
+pub fn add(name: &str, n: u64) {
+    global().counter(name).add(n);
+}
+
+/// Records one observation into a global histogram (unconditionally,
+/// see [`incr`]).
+pub fn observe(name: &str, v: u64) {
+    global().histogram(name).observe(v);
+}
+
+/// Freezes the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Zeroes every global instrument.
+pub fn reset() {
+    global().reset();
+}
+
+/// Serializes tests (and tools) that enable, reset, and assert on the
+/// *global* registry: the returned guard holds a process-wide lock, so
+/// concurrent test threads cannot interleave their counter bumps.
+/// Recording itself never takes this lock.
+pub fn exclusive_session() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A panic mid-test must not poison every later metrics test.
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_flag_round_trips() {
+        let _guard = exclusive_session();
+        let was = set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(was);
+    }
+
+    #[test]
+    fn global_helpers_share_one_registry() {
+        let _guard = exclusive_session();
+        reset();
+        incr("test.global_helpers");
+        add("test.global_helpers", 2);
+        observe("test.global_hist", 16);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.global_helpers"), 3);
+        assert_eq!(snap.histograms["test.global_hist"].count, 1);
+        reset();
+        assert_eq!(snapshot().counter("test.global_helpers"), 0);
+    }
+}

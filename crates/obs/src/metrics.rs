@@ -1,0 +1,368 @@
+//! Counters, histograms, and serializable snapshots.
+//!
+//! All instruments are lock-free atomics: recording is a single
+//! `fetch_add`/`fetch_min`/`fetch_max`, safe to call from the
+//! work-stealing pools without perturbing their scheduling. Names are
+//! dot-separated lowercase paths, `<subsystem>.<noun>` (e.g.
+//! `sweep.rounds`, `par.chunks_per_worker`); the registry treats them
+//! as opaque keys, the convention exists for humans reading the
+//! rendered table.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two buckets a [`Histogram`] keeps: bucket `i`
+/// counts observations whose bit length is `i` (0 → bucket 0, 1 →
+/// bucket 1, 2..=3 → bucket 2, …, so bucket `i ≥ 1` covers
+/// `[2^(i−1), 2^i)`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A histogram of `u64` observations with log2 buckets plus exact
+/// count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the current state into a serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Frozen state of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Log2 bucket counts, trailing zero buckets trimmed; bucket `i`
+    /// counts observations of bit length `i`.
+    pub buckets: Vec<u64>,
+}
+
+/// Frozen state of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded (no instruments registered).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as an aligned two-column terminal table.
+    pub fn to_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max("metric".len());
+        let mut out = String::new();
+        let _ = writeln!(out, "{:width$}  value", "metric");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:width$}  {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:width$}  count {} mean {:.2} min {} max {}",
+                h.count, h.mean, h.min, h.max
+            );
+        }
+        out
+    }
+}
+
+/// A named set of instruments. The process-wide instance lives behind
+/// [`crate::global`]; standalone registries exist for tests and for
+/// tools that must not share state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    /// Callers in hot loops should look the handle up once and reuse
+    /// the `Arc`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Freezes every instrument into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every instrument (registrations are kept, so cached
+    /// handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_stats_and_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 1010.0 / 6.0).abs() < 1e-12);
+        // 0 → bucket 0, 1 → bucket 1, {2,3} → bucket 2, 4 → bucket 3,
+        // 1000 → bucket 10.
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets.len(), 11, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        r.counter("a.b").incr();
+        r.counter("a.b").incr();
+        r.histogram("h").observe(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.b"), 2);
+        assert_eq!(snap.histograms["h"].count, 1);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.b"), 0);
+        assert_eq!(snap.histograms["h"].count, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = Registry::new();
+        r.counter("sweep.rounds").add(3);
+        r.histogram("par.chunks_per_worker").observe(5);
+        r.histogram("par.chunks_per_worker").observe(9);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn table_renders_all_instruments() {
+        let r = Registry::new();
+        r.counter("opt.probes").add(33);
+        r.histogram("par.items_per_worker").observe(4);
+        let table = r.snapshot().to_table();
+        assert!(table.contains("opt.probes"));
+        assert!(table.contains("33"));
+        assert!(table.contains("par.items_per_worker"));
+        assert!(table.contains("count 1"));
+    }
+}

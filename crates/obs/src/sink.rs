@@ -1,0 +1,262 @@
+//! Pluggable event sinks.
+//!
+//! An [`EventSink`] consumes a stream of structured events (e.g. the
+//! simulator's `TimelineEvent`s) as they happen. The producer is
+//! generic over `&mut dyn EventSink<E>`, so the cost of tracing is
+//! chosen by the caller: [`NullSink`] for none, [`VecSink`] for
+//! in-memory capture, [`JsonlSink`] for streaming JSON-lines output.
+
+use serde::Serialize;
+use std::io::{self, Write};
+
+/// A consumer of a stream of events.
+pub trait EventSink<E> {
+    /// Consumes one event.
+    fn emit(&mut self, event: &E);
+
+    /// Flushes buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl<E> EventSink<E> for NullSink {
+    fn emit(&mut self, _event: &E) {}
+}
+
+/// Collects events into a `Vec`.
+#[derive(Debug)]
+pub struct VecSink<E> {
+    events: Vec<E>,
+}
+
+impl<E> VecSink<E> {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink { events: Vec::new() }
+    }
+
+    /// The events captured so far.
+    pub fn events(&self) -> &[E] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the captured events.
+    pub fn into_events(self) -> Vec<E> {
+        self.events
+    }
+}
+
+impl<E> Default for VecSink<E> {
+    fn default() -> Self {
+        VecSink::new()
+    }
+}
+
+impl<E: Clone> EventSink<E> for VecSink<E> {
+    fn emit(&mut self, event: &E) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Adapts a closure into a sink.
+#[derive(Debug)]
+pub struct FnSink<F>(pub F);
+
+impl<E, F: FnMut(&E)> EventSink<E> for FnSink<F> {
+    fn emit(&mut self, event: &E) {
+        (self.0)(event);
+    }
+}
+
+/// Counts events without storing them.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// Creates a sink at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Events seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<E> EventSink<E> for CountingSink {
+    fn emit(&mut self, _event: &E) {
+        self.count += 1;
+    }
+}
+
+/// Streams events as JSON lines (one serialized event per line) into
+/// any [`Write`].
+///
+/// I/O errors are deferred: `emit` is infallible (the producer loop
+/// stays clean), writing simply stops at the first error, and
+/// [`JsonlSink::finish`] reports it. A sink dropped without `finish`
+/// swallows the error — acceptable for best-effort tracing, but
+/// callers that promise a complete file must call `finish`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and reports the number of lines written, or the first
+    /// deferred I/O error.
+    ///
+    /// # Errors
+    /// The first error encountered while writing or flushing.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl<E: Serialize, W: Write> EventSink<E> for JsonlSink<W> {
+    fn emit(&mut self, event: &E) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(event) {
+            Ok(s) => s,
+            Err(e) => {
+                self.error = Some(io::Error::other(e.to_string()));
+                return;
+            }
+        };
+        let r = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"));
+        match r {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Event {
+        at: f64,
+        kind: String,
+    }
+
+    fn sample(at: f64) -> Event {
+        Event {
+            at,
+            kind: "tick".to_string(),
+        }
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        EventSink::emit(&mut s, &sample(1.0));
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::new();
+        s.emit(&sample(1.0));
+        s.emit(&sample(2.0));
+        assert_eq!(s.events().len(), 2);
+        let events = s.into_events();
+        assert_eq!(events[0].at, 1.0);
+        assert_eq!(events[1].at, 2.0);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut seen = 0u32;
+        {
+            let mut s = FnSink(|_: &Event| seen += 1);
+            s.emit(&sample(1.0));
+            s.emit(&sample(2.0));
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::new();
+        for i in 0..5 {
+            s.emit(&sample(i as f64));
+        }
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut buf = Vec::new();
+        let mut s = JsonlSink::new(&mut buf);
+        s.emit(&sample(1.5));
+        s.emit(&sample(2.0));
+        let lines = s.finish().unwrap();
+        assert_eq!(lines, 2);
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, vec![sample(1.5), sample(2.0)]);
+    }
+
+    #[test]
+    fn jsonl_sink_defers_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = JsonlSink::new(Failing);
+        s.emit(&sample(1.0));
+        s.emit(&sample(2.0)); // silently skipped after the first error
+        assert_eq!(s.lines(), 0);
+        let err = s.finish().unwrap_err();
+        assert!(err.to_string().contains("disk full"));
+    }
+}

@@ -19,6 +19,7 @@
 //! is what lets the simulator validate those formulas.
 
 use crate::groups::{GroupId, GroupLayout, NodeId};
+use dck_core::ModelError;
 use std::collections::HashMap;
 
 /// Outcome of recording one failure.
@@ -46,20 +47,25 @@ pub struct RiskTracker {
 impl RiskTracker {
     /// Creates a tracker with the given fixed window length.
     ///
-    /// # Panics
-    /// Panics if `risk_window` is negative or NaN.
-    pub fn new(layout: GroupLayout, risk_window: f64) -> Self {
-        assert!(
-            risk_window >= 0.0 && risk_window.is_finite(),
-            "risk window must be finite and >= 0"
-        );
-        RiskTracker {
+    /// # Errors
+    /// `risk_window` must be finite and ≥ 0. (A first-order `RiskModel`
+    /// evaluated outside its domain produces a negative or NaN window;
+    /// callers get a `ModelError` naming the parameter instead of a
+    /// panic deep inside a sweep worker.)
+    pub fn new(layout: GroupLayout, risk_window: f64) -> Result<Self, ModelError> {
+        if !(risk_window >= 0.0 && risk_window.is_finite()) {
+            return Err(ModelError::invalid(
+                "risk_window",
+                format!("must be finite and >= 0, got {risk_window}"),
+            ));
+        }
+        Ok(RiskTracker {
             layout,
             risk_window,
             open: HashMap::new(),
             fatal_seen: 0,
             failures_seen: 0,
-        }
+        })
     }
 
     /// The window length in use.
@@ -128,11 +134,29 @@ mod tests {
     use dck_core::Protocol;
 
     fn pair_tracker(window: f64) -> RiskTracker {
-        RiskTracker::new(GroupLayout::new(Protocol::DoubleNbl, 8).unwrap(), window)
+        RiskTracker::new(GroupLayout::new(Protocol::DoubleNbl, 8).unwrap(), window).unwrap()
     }
 
     fn triple_tracker(window: f64) -> RiskTracker {
-        RiskTracker::new(GroupLayout::new(Protocol::Triple, 9).unwrap(), window)
+        RiskTracker::new(GroupLayout::new(Protocol::Triple, 9).unwrap(), window).unwrap()
+    }
+
+    #[test]
+    fn rejects_negative_or_nan_window() {
+        let layout = GroupLayout::new(Protocol::DoubleNbl, 8).unwrap();
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = RiskTracker::new(layout, bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ModelError::InvalidParameter {
+                        name: "risk_window",
+                        ..
+                    }
+                ),
+                "window {bad}: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -122,7 +122,7 @@ proptest! {
         let protocol = if triple { Protocol::Triple } else { Protocol::DoubleNbl };
         let n = 12;
         let layout = GroupLayout::new(protocol, n).unwrap();
-        let mut tracker = RiskTracker::new(layout, window);
+        let mut tracker = RiskTracker::new(layout, window).unwrap();
 
         // Sort events by time (the tracker requires ordered feeds).
         let mut events = events;

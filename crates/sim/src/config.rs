@@ -75,7 +75,7 @@ impl RunConfig {
         layout_params.nodes = self.usable_nodes();
         let layout = GroupLayout::new(self.protocol, layout_params.nodes)?;
         let risk = RiskModel::new(self.protocol, &self.params, self.phi)?;
-        let tracker = RiskTracker::new(layout, risk.risk_window());
+        let tracker = RiskTracker::new(layout, risk.risk_window())?;
         Ok((schedule, response, tracker))
     }
 }

@@ -42,10 +42,11 @@ pub mod sweep;
 pub use config::{PeriodChoice, RunConfig};
 pub use hierarchical::{run_hierarchical, HierarchicalOutcome, HierarchicalRunConfig};
 pub use montecarlo::{
-    estimate_success, estimate_waste, MonteCarloConfig, SuccessEstimate, WasteEstimate,
+    estimate_success, estimate_waste, replication_source, MonteCarloConfig, SuccessEstimate,
+    WasteEstimate,
 };
 pub use run::{
-    run_to_completion, run_to_completion_traced, run_to_completion_with_pending, run_until,
-    RunOutcome, StopReason, TimelineEvent,
+    run_to_completion, run_to_completion_sinked, run_to_completion_traced,
+    run_to_completion_with_pending, run_until, RunOutcome, StopReason, TimelineEvent,
 };
 pub use sweep::{run_sweep, EarlyStop, SweepCell, SweepEngine, SweepResult, SweepSpec};

@@ -73,7 +73,11 @@ impl MonteCarloConfig {
 /// Builds the failure source for one replication. The platform MTBF is
 /// calibrated so the *per-node* rate matches `run_cfg.params` even when
 /// the node count is rounded down to a group multiple.
-fn build_source(
+///
+/// Public so single-run tooling (e.g. `dck run --trace`) can replay
+/// exactly the stream that replication `i` of a Monte-Carlo estimate
+/// would see.
+pub fn replication_source(
     run_cfg: &RunConfig,
     mc: &MonteCarloConfig,
     replication: u64,
@@ -199,7 +203,7 @@ pub(crate) fn run_replication(
     t_base: f64,
     replication: u64,
 ) -> RunOutcome {
-    let mut source = build_source(run_cfg, mc, replication);
+    let mut source = replication_source(run_cfg, mc, replication);
     run_to_completion(run_cfg, t_base, source.as_mut())
         .expect("validated configuration cannot fail")
 }
@@ -260,7 +264,7 @@ pub fn estimate_success(
         REP_CHUNK,
         || 0usize,
         |acc, i| {
-            let mut source = build_source(run_cfg, mc, i as u64);
+            let mut source = replication_source(run_cfg, mc, i as u64);
             let outcome = run_until(run_cfg, horizon, source.as_mut())
                 .expect("validated configuration cannot fail");
             *acc += usize::from(outcome.survived());

@@ -60,12 +60,29 @@ pub struct RunOutcome {
 impl RunOutcome {
     /// Empirical waste: the fraction of wall-clock time not converted
     /// into useful work (0 for an empty run).
+    ///
+    /// `useful_work > total_time` is impossible for a real run (work
+    /// accrues at unit speed); an outcome in that state is corrupted
+    /// upstream. Clamping silently would launder it into a legal-looking
+    /// waste of 0, so this records the always-on defect counter
+    /// `run.waste_clamped` and debug-panics before clamping. A small
+    /// negative tolerance absorbs float rounding at run boundaries.
     pub fn waste(&self) -> f64 {
         if self.total_time <= 0.0 {
-            0.0
-        } else {
-            (1.0 - self.useful_work / self.total_time).clamp(0.0, 1.0)
+            return 0.0;
         }
+        let raw = 1.0 - self.useful_work / self.total_time;
+        if raw < -1e-9 {
+            // Count before asserting so release builds still record the
+            // defect that debug builds would panic on.
+            dck_obs::incr("run.waste_clamped");
+            debug_assert!(
+                false,
+                "corrupt RunOutcome: useful_work {} exceeds total_time {} (raw waste {raw})",
+                self.useful_work, self.total_time
+            );
+        }
+        raw.clamp(0.0, 1.0)
     }
 
     /// True if the run saw no fatal failure.
@@ -168,9 +185,27 @@ pub fn run_to_completion_traced(
     t_base: f64,
     source: &mut dyn FailureSource,
 ) -> Result<(RunOutcome, Vec<TimelineEvent>), ModelError> {
-    let mut timeline = Vec::new();
-    let (out, _) = drive_observed(cfg, Stop::Work(t_base), source, &mut |e| timeline.push(e))?;
-    Ok((out, timeline))
+    let mut sink = dck_obs::VecSink::new();
+    let out = run_to_completion_sinked(cfg, t_base, source, &mut sink)?;
+    Ok((out, sink.into_events()))
+}
+
+/// Like [`run_to_completion`], but streams every [`TimelineEvent`] into
+/// an [`EventSink`](dck_obs::EventSink) as it happens — no intermediate
+/// `Vec`, so a long run can trace straight to a JSONL file. The sink is
+/// flushed before returning.
+///
+/// # Errors
+/// Propagates configuration errors.
+pub fn run_to_completion_sinked(
+    cfg: &RunConfig,
+    t_base: f64,
+    source: &mut dyn FailureSource,
+    sink: &mut dyn dck_obs::EventSink<TimelineEvent>,
+) -> Result<RunOutcome, ModelError> {
+    let (out, _) = drive_observed(cfg, Stop::Work(t_base), source, &mut |e| sink.emit(&e))?;
+    sink.flush();
+    Ok(out)
 }
 
 type DriveResult = Result<(RunOutcome, Option<dck_failures::FailureEvent>), ModelError>;
@@ -602,5 +637,64 @@ mod tests {
             fatal_at: None,
         };
         assert!((out.waste() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn waste_tolerates_float_rounding_without_counting() {
+        let _guard = dck_obs::exclusive_session();
+        dck_obs::reset();
+        let out = RunOutcome {
+            reason: StopReason::WorkComplete,
+            total_time: 200.0,
+            // One ulp over total_time: boundary rounding, not corruption.
+            useful_work: 200.0 * (1.0 + 1e-15),
+            failures: 0,
+            outage_time: 0.0,
+            fatal_at: None,
+        };
+        assert_eq!(out.waste(), 0.0);
+        assert_eq!(dck_obs::snapshot().counter("run.waste_clamped"), 0);
+    }
+
+    #[test]
+    fn corrupt_waste_is_counted_not_laundered() {
+        let _guard = dck_obs::exclusive_session();
+        dck_obs::reset();
+        let out = RunOutcome {
+            reason: StopReason::WorkComplete,
+            total_time: 200.0,
+            useful_work: 300.0, // impossible: work outran the clock
+            failures: 0,
+            outage_time: 0.0,
+            fatal_at: None,
+        };
+        let waste = std::panic::catch_unwind(|| out.waste());
+        if cfg!(debug_assertions) {
+            assert!(waste.is_err(), "debug builds must panic on corruption");
+        } else {
+            assert_eq!(waste.unwrap(), 0.0);
+        }
+        // The defect counter records it either way — always-on, no
+        // enabled() gate.
+        assert_eq!(dck_obs::snapshot().counter("run.waste_clamped"), 1);
+    }
+
+    #[test]
+    fn sinked_run_matches_traced_and_serializes() {
+        let c = cfg(Protocol::DoubleNbl, 8, 1.0, 100.0);
+        let tr = trace(8, &[(250.0, 0), (300.0, 2)]);
+        let (out, timeline) = run_to_completion_traced(&c, 970.0, &mut tr.replay()).unwrap();
+        let mut buf = Vec::new();
+        let mut jsonl = dck_obs::JsonlSink::new(&mut buf);
+        let sinked = run_to_completion_sinked(&c, 970.0, &mut tr.replay(), &mut jsonl).unwrap();
+        let lines = jsonl.finish().unwrap();
+        assert_eq!(sinked, out);
+        assert_eq!(lines as usize, timeline.len());
+        let parsed: Vec<TimelineEvent> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, timeline);
     }
 }

@@ -41,9 +41,11 @@
 use crate::config::{PeriodChoice, RunConfig};
 use crate::montecarlo::{run_replication, MonteCarloConfig, SourceKind, WasteAccum, REP_CHUNK};
 use dck_core::{optimal_period, ModelError, PlatformParams, Protocol};
+use dck_obs::Counter;
 use dck_simcore::par::{default_workers, parallel_map_indexed};
 use dck_simcore::ConfidenceInterval;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How the sweep distributes work across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -313,10 +315,34 @@ fn chunk_ranges(start: usize, round_end: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
+/// Sweep-progress counter handles, looked up once per sweep when
+/// observability is on so the round loops bump `Arc<Counter>`s instead
+/// of re-resolving names. `None` when disabled — the engines then do no
+/// metric work at all. Counters never influence scheduling or float
+/// order, so results stay bit-identical either way.
+struct SweepCounters {
+    rounds: Arc<Counter>,
+    units: Arc<Counter>,
+    replications: Arc<Counter>,
+    early_stopped: Arc<Counter>,
+}
+
+impl SweepCounters {
+    fn capture() -> Option<Self> {
+        dck_obs::enabled().then(|| SweepCounters {
+            rounds: dck_obs::counter("sweep.rounds"),
+            units: dck_obs::counter("sweep.units"),
+            replications: dck_obs::counter("sweep.replications"),
+            early_stopped: dck_obs::counter("sweep.cells_early_stopped"),
+        })
+    }
+}
+
 fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
     let workers = spec.resolved_workers();
     let budget = spec.replications;
     let round = spec.round_len();
+    let counters = SweepCounters::capture();
     plans
         .iter()
         .map(|plan| {
@@ -325,6 +351,11 @@ fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
             while next < budget {
                 let round_end = (next + round).min(budget);
                 let ranges = chunk_ranges(next, round_end);
+                if let Some(c) = &counters {
+                    c.rounds.incr();
+                    c.units.add(ranges.len() as u64);
+                    c.replications.add((round_end - next) as u64);
+                }
                 // Fresh fan-out per cell per round — the engine's
                 // defining (and costly) property.
                 let unit_accs = parallel_map_indexed(ranges.len(), workers, |u| {
@@ -336,6 +367,9 @@ fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
                 next = round_end;
                 if let Some(es) = spec.early_stop {
                     if cell_converged(&acc, &es, next) {
+                        if let Some(c) = &counters {
+                            c.early_stopped.incr();
+                        }
                         break;
                     }
                 }
@@ -349,6 +383,7 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
     let workers = spec.resolved_workers();
     let budget = spec.replications;
     let round = spec.round_len();
+    let counters = SweepCounters::capture();
     let mut accs: Vec<WasteAccum> = plans.iter().map(|_| WasteAccum::default()).collect();
     let mut next = vec![0usize; plans.len()];
     let mut active: Vec<bool> = plans.iter().map(|_| budget > 0).collect();
@@ -368,6 +403,12 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
         }
         if units.is_empty() {
             break;
+        }
+        if let Some(c) = &counters {
+            c.rounds.incr();
+            c.units.add(units.len() as u64);
+            c.replications
+                .add(units.iter().map(|&(_, s, e)| (e - s) as u64).sum());
         }
         // One pool over every unit of every cell: workers are spawned
         // once for the whole round, and work-stealing overlaps slow
@@ -389,6 +430,9 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
             } else if let Some(es) = spec.early_stop {
                 if cell_converged(&accs[ci], &es, next[ci]) {
                     active[ci] = false;
+                    if let Some(c) = &counters {
+                        c.early_stopped.incr();
+                    }
                 }
             }
         }
@@ -411,6 +455,9 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
 /// points.
 pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, ModelError> {
     let plans = build_plans(spec)?;
+    if dck_obs::enabled() {
+        dck_obs::add("sweep.cells", plans.len() as u64);
+    }
     let cells = match spec.engine {
         SweepEngine::PerCell => run_per_cell(spec, &plans),
         SweepEngine::GlobalPool => run_global_pool(spec, &plans),
@@ -551,6 +598,34 @@ mod tests {
         let c = run_sweep(&spec).unwrap();
         assert_eq!(cell.sim_waste, c.cells[0].sim_waste);
         assert_eq!(cell.replications_run, c.cells[0].replications_run);
+    }
+
+    #[test]
+    fn metrics_count_work_without_perturbing_results() {
+        let _guard = dck_obs::exclusive_session();
+        let mut spec = SweepSpec::new(Protocol::DoubleNbl, params(), vec![0.0, 0.5], vec![1_800.0]);
+        spec.replications = 16;
+        spec.work_in_mtbfs = 8.0;
+        let off = run_sweep(&spec).unwrap();
+        dck_obs::reset();
+        let was = dck_obs::set_enabled(true);
+        let on = run_sweep(&spec).unwrap();
+        dck_obs::set_enabled(was);
+        let snap = dck_obs::snapshot();
+        // Bit-identical with observability on or off (acceptance
+        // criterion: counters never touch RNG streams or float order).
+        for (a, b) in off.cells.iter().zip(&on.cells) {
+            assert_eq!(a.sim_waste, b.sim_waste);
+            assert_eq!(a.half_width, b.half_width);
+            assert_eq!(a.completed, b.completed);
+        }
+        // GlobalPool without early stopping: one round, 2 cells ×
+        // 16 replications in chunks of 8 = 4 units.
+        assert_eq!(snap.counter("sweep.cells"), 2);
+        assert_eq!(snap.counter("sweep.rounds"), 1);
+        assert_eq!(snap.counter("sweep.units"), 4);
+        assert_eq!(snap.counter("sweep.replications"), 32);
+        assert_eq!(snap.counter("sweep.cells_early_stopped"), 0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use dck_core::{optimal_period, PlatformParams, Protocol};
 use dck_failures::{AggregatedExponential, MtbfSpec};
 use dck_sim::{
-    estimate_waste, run_sweep, run_to_completion, run_until, EarlyStop, MonteCarloConfig,
-    PeriodChoice, RunConfig, StopReason, SweepEngine, SweepSpec,
+    estimate_waste, run_sweep, run_to_completion, run_to_completion_traced, run_until, EarlyStop,
+    MonteCarloConfig, PeriodChoice, RunConfig, StopReason, SweepEngine, SweepSpec, TimelineEvent,
 };
 use dck_simcore::{RngFactory, SimTime};
 use proptest::prelude::*;
@@ -218,6 +218,77 @@ proptest! {
         prop_assert_eq!(cell.completed, est.completed);
         prop_assert_eq!(cell.fatal, est.fatal);
         prop_assert_eq!(cell.truncated, est.truncated);
+    }
+
+    /// Timeline invariants for traced runs: timestamps are monotone
+    /// non-decreasing, no prefix has more `OutageEnd`s than `Failure`s
+    /// (an outage can only end after a failure opened it), and the
+    /// `Finished` marker — emitted for `WorkComplete` and `Fatal`
+    /// terminations — is unique, terminal, and names the outcome's
+    /// stop reason at the outcome's stop time.
+    #[test]
+    fn timeline_is_monotone_and_well_formed(
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf in 120.0f64..7200.0,
+        seed in 0u64..300,
+    ) {
+        let phi = ratio * params().theta_min;
+        let cfg = RunConfig::new(protocol, params(), phi, mtbf);
+        let mut src = source(&cfg, seed);
+        let (out, timeline) = run_to_completion_traced(&cfg, 6.0 * mtbf, &mut src).unwrap();
+
+        let stamp = |e: &TimelineEvent| match *e {
+            TimelineEvent::Failure { at, .. }
+            | TimelineEvent::OutageEnd { at }
+            | TimelineEvent::Finished { at, .. } => at,
+        };
+        let mut prev = 0.0;
+        let mut failures = 0usize;
+        let mut outage_ends = 0usize;
+        for (i, e) in timeline.iter().enumerate() {
+            let t = stamp(e);
+            prop_assert!(t >= prev - 1e-9, "event {i} at {t} before {prev}: {e:?}");
+            prev = t;
+            match e {
+                TimelineEvent::Failure { .. } => failures += 1,
+                TimelineEvent::OutageEnd { .. } => outage_ends += 1,
+                TimelineEvent::Finished { reason, at } => {
+                    prop_assert_eq!(i, timeline.len() - 1, "Finished not terminal");
+                    prop_assert_eq!(*reason, out.reason);
+                    prop_assert!((at - out.total_time).abs() < 1e-6);
+                }
+            }
+            prop_assert!(
+                outage_ends <= failures,
+                "event {i}: {outage_ends} OutageEnds but only {failures} Failures"
+            );
+        }
+        prop_assert_eq!(failures, out.failures as usize);
+        if matches!(out.reason, StopReason::WorkComplete | StopReason::Fatal) {
+            prop_assert!(
+                matches!(timeline.last(), Some(TimelineEvent::Finished { .. })),
+                "terminal run missing Finished marker: {:?}",
+                timeline.last()
+            );
+        }
+    }
+
+    /// A timeline survives the JSONL wire format bit-for-bit: each
+    /// event serialized to a line and parsed back compares equal
+    /// (including the exact float timestamps).
+    #[test]
+    fn timeline_round_trips_through_jsonl(seed in 0u64..300, ratio in 0.0f64..1.0) {
+        let phi = ratio * params().theta_min;
+        let cfg = RunConfig::new(Protocol::DoubleNbl, params(), phi, 600.0);
+        let mut src = source(&cfg, seed);
+        let (_, timeline) = run_to_completion_traced(&cfg, 4_000.0, &mut src).unwrap();
+        for e in &timeline {
+            let line = serde_json::to_string(e).unwrap();
+            prop_assert!(!line.contains('\n'), "JSONL line must be newline-free");
+            let back: TimelineEvent = serde_json::from_str(&line).unwrap();
+            prop_assert_eq!(&back, e, "round trip changed {}", line);
+        }
     }
 
     /// The no-progress guard fires exactly when the schedule's work per

@@ -100,6 +100,8 @@ where
             .collect()
     });
 
+    record_pool_occupancy("par.items_per_worker", per_worker.iter().map(Vec::len));
+
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for bucket in per_worker.drain(..) {
@@ -215,6 +217,8 @@ where
             .collect()
     });
 
+    record_pool_occupancy("par.chunks_per_worker", per_worker.iter().map(Vec::len));
+
     let mut slots: Vec<Option<A>> = Vec::with_capacity(num_chunks);
     slots.resize_with(num_chunks, || None);
     for bucket in per_worker.drain(..) {
@@ -227,6 +231,21 @@ where
         .into_iter()
         .map(|s| s.expect("parallel_map_fold missed a chunk"))
         .fold(new_acc(), merge)
+}
+
+/// Records how much work each worker of a just-joined pool claimed —
+/// the load-balance signal for `dck sweep --metrics`. Runs *after* the
+/// scope joins, so recording can never perturb the work-stealing race;
+/// a no-op unless observability is enabled.
+fn record_pool_occupancy(name: &str, per_worker: impl Iterator<Item = usize>) {
+    if !dck_obs::enabled() {
+        return;
+    }
+    dck_obs::incr("par.pool_spawns");
+    let hist = dck_obs::histogram(name);
+    for claimed in per_worker {
+        hist.observe(claimed as u64);
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +344,26 @@ mod tests {
     fn default_workers_positive() {
         assert!(default_workers(0) >= 1);
         assert_eq!(default_workers(1), 1);
+    }
+
+    #[test]
+    fn pool_occupancy_recorded_only_when_enabled() {
+        let _guard = dck_obs::exclusive_session();
+        dck_obs::reset();
+        parallel_map_indexed(64, 4, |i| i);
+        assert_eq!(dck_obs::snapshot().counter("par.pool_spawns"), 0);
+
+        let was = dck_obs::set_enabled(true);
+        parallel_map_indexed(64, 4, |i| i);
+        parallel_map_fold(64, 4, 8, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+        dck_obs::set_enabled(was);
+        let snap = dck_obs::snapshot();
+        assert_eq!(snap.counter("par.pool_spawns"), 2);
+        let items = &snap.histograms["par.items_per_worker"];
+        assert_eq!(items.count, 4, "one observation per worker");
+        assert_eq!(items.sum, 64, "workers claimed every item");
+        let chunks = &snap.histograms["par.chunks_per_worker"];
+        assert_eq!(chunks.count, 4);
+        assert_eq!(chunks.sum, 8, "64 items / chunk 8");
     }
 }

@@ -19,6 +19,7 @@
 //! | [`failures`] | `dck-failures` | Exponential/Weibull/LogNormal failure processes, MTBF algebra, traces |
 //! | [`simcore`] | `dck-simcore` | DES kernel: virtual time, stable event queue, RNG streams, statistics |
 //! | [`experiments`] | `dck-experiments` | regeneration of Table I and Figures 4–9, plus validation experiments |
+//! | [`obs`] | `dck-obs` | zero-cost-when-disabled counters/histograms and pluggable event sinks |
 //!
 //! ## Quickstart
 //!
@@ -93,4 +94,9 @@ pub mod simcore {
 /// Paper-evaluation regeneration (`dck-experiments`).
 pub mod experiments {
     pub use dck_experiments::*;
+}
+
+/// Observability: counters, histograms, event sinks (`dck-obs`).
+pub mod obs {
+    pub use dck_obs::*;
 }

@@ -408,6 +408,16 @@ impl<K: AsRef<str>, T: Serialize> Serialize for BTreeMap<K, T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {v:?}")))?
+            .iter()
+            .map(|(k, v)| T::from_value(v).map(|t| (k.clone(), t)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
