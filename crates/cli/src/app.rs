@@ -35,6 +35,7 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "hierarchical" => cmd_hierarchical(&args)?,
         "simulate" => cmd_simulate(&args)?,
         "run" => cmd_run(&args)?,
+        "inject" => cmd_inject(&args)?,
         "sweep" => cmd_sweep(&args)?,
         "trace" => cmd_trace(&args)?,
         "validate" => cmd_validate(&args)?,
@@ -61,12 +62,15 @@ pub fn usage() -> String {
      \x20 run      --protocol P [opts]            one simulated run, observable\n\
      \x20          --rep N (replication index)  --trace FILE (JSONL timeline)\n\
      \x20          --metrics FILE (counter snapshot as JSON)\n\
+     \x20 inject   --script FILE                  replay a deterministic fault script\n\
+     \x20          --trace FILE (timeline JSONL)  --golden FILE (diff against a golden)\n\
      \x20 sweep    --protocol P [opts]            simulated waste over a (phi/R, MTBF) grid\n\
      \x20          --phi-ratios A,B,..  --mtbfs D1,D2,..  --reps N  --work-mtbfs X\n\
      \x20          --engine global|per-cell  --target-hw X [--min-reps N --batch N]\n\
      \x20          --format ascii|csv|json  --metrics FILE (counters + summary table)\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
-     \x20 validate --trace F | --metrics F | --sweep F   schema-check emitted files\n\
+     \x20 validate --trace F | --metrics F | --sweep F | --conformance F\n\
+     \x20                                          schema-check emitted files\n\
      \n\
      common options:\n\
      \x20 --scenario base|exa      parameter preset (default base)\n\
@@ -512,6 +516,93 @@ fn cmd_run(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_inject(args: &Args) -> Result<String, String> {
+    let script_path = args
+        .get("script")
+        .ok_or_else(|| {
+            "usage: dck inject --script FILE [--trace FILE] [--golden FILE]".to_string()
+        })?
+        .to_string();
+    let trace_path = args.get("trace").map(str::to_string);
+    let golden_path = args.get("golden").map(str::to_string);
+
+    let text = std::fs::read_to_string(&script_path)
+        .map_err(|e| format!("cannot read {script_path}: {e}"))?;
+    let script =
+        dck_testkit::FaultScript::from_json(&text).map_err(|e| format!("{script_path}: {e}"))?;
+    let compiled = script.compile()?;
+    let result = compiled.execute()?;
+    let outcome = &result.outcome;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Inject: script `{}` — {} ({} nodes, {} scripted faults)",
+        script.name,
+        script.protocol,
+        compiled.config.usable_nodes(),
+        compiled.trace.len()
+    );
+    if !script.description.is_empty() {
+        let _ = writeln!(out, "  {}", script.description);
+    }
+    let _ = writeln!(
+        out,
+        "  M = {}, phi/R = {:.2}, period = {}, risk window = {}, work = {}",
+        format_duration(script.mtbf),
+        script.phi_ratio,
+        format_duration(compiled.period),
+        format_duration(compiled.risk_window),
+        format_duration(compiled.work)
+    );
+    let _ = writeln!(
+        out,
+        "  outcome: {:?} after {} ({} useful, {} in outages, {} failures)",
+        outcome.reason,
+        format_duration(outcome.total_time),
+        format_duration(outcome.useful_work),
+        format_duration(outcome.outage_time),
+        outcome.failures
+    );
+    let _ = writeln!(out, "  empirical waste: {:.5}", outcome.waste());
+    if let Some(at) = outcome.fatal_at {
+        let _ = writeln!(out, "  fatal failure at {}", format_duration(at));
+    }
+    match script.expect.check(outcome) {
+        Ok(()) => {
+            let _ = writeln!(out, "  expectation: satisfied");
+        }
+        Err(e) => return Err(format!("script `{}`: expectation failed: {e}", script.name)),
+    }
+    if let Some(path) = &trace_path {
+        let jsonl = dck_testkit::golden::timeline_to_jsonl(&result.timeline);
+        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "  timeline: {} events -> {path}",
+            result.timeline.len()
+        );
+    }
+    if let Some(path) = &golden_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let golden =
+            dck_testkit::golden::timeline_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        match dck_testkit::diff_timelines(
+            &golden,
+            &result.timeline,
+            dck_testkit::diff::FLOAT_TOLERANCE,
+        ) {
+            Some(divergence) => {
+                return Err(format!("golden mismatch against {path}: {divergence}"))
+            }
+            None => {
+                let _ = writeln!(out, "  golden: matches {path} ({} events)", golden.len());
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_validate(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let mut checked = 0u32;
@@ -572,8 +663,32 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
         );
         checked += 1;
     }
+    if let Some(path) = args.get("conformance") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report =
+            dck_testkit::ConformanceReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        if report.failed > 0 {
+            return Err(format!(
+                "{path}: {} conformance cell(s) out of tolerance:\n{}",
+                report.failed,
+                report.failures().join("\n")
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "conformance {path}: {} cells ({} passed, {} degenerate), max |model - sim| = {:.4}",
+            report.cells.len(),
+            report.passed,
+            report.degenerate,
+            report.max_abs_deviation
+        );
+        checked += 1;
+    }
     if checked == 0 {
-        return Err("usage: dck validate --trace FILE | --metrics FILE | --sweep FILE".to_string());
+        return Err(
+            "usage: dck validate --trace FILE | --metrics FILE | --sweep FILE | --conformance FILE"
+                .to_string(),
+        );
     }
     Ok(out)
 }
@@ -1052,6 +1167,96 @@ mod tests {
         std::fs::write(&path, &out).unwrap();
         let report = run_ok(&["validate", "--sweep", p]);
         assert!(report.contains("grid consistent"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn demo_script_json() -> String {
+        r#"{
+  "name": "cli_demo",
+  "description": "two survivable failures in distinct pairs",
+  "protocol": "DoubleNbl",
+  "platform": {"downtime": 0.0, "delta": 2.0, "theta_min": 4.0, "alpha": 10.0, "nodes": 8},
+  "phi_ratio": 0.25,
+  "mtbf": 3600.0,
+  "period": {"Explicit": 100.0},
+  "work": {"Periods": 10.0},
+  "faults": [{"at": 250.0, "node": 0}, {"at": 300.0, "node": 2}],
+  "expect": {"reason": "WorkComplete", "failures": 2, "survives": true}
+}
+"#
+        .to_string()
+    }
+
+    #[test]
+    fn inject_replays_script_and_diffs_golden() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let script = dir.join(format!("dck-inject-{pid}.json"));
+        let trace = dir.join(format!("dck-inject-{pid}.jsonl"));
+        let (sp, tp) = (script.to_str().unwrap(), trace.to_str().unwrap());
+        std::fs::write(&script, demo_script_json()).unwrap();
+
+        // Replay, record the timeline, then use it as its own golden.
+        let out = run_ok(&["inject", "--script", sp, "--trace", tp]);
+        assert!(out.contains("expectation: satisfied"), "{out}");
+        assert!(out.contains("timeline:"), "{out}");
+        let out = run_ok(&["inject", "--script", sp, "--golden", tp]);
+        assert!(out.contains("golden: matches"), "{out}");
+
+        // A tampered golden is reported with the diverging event index.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let tampered: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&trace, tampered).unwrap();
+        let err = run_err(&["inject", "--script", sp, "--golden", tp]);
+        assert!(err.contains("first divergence at event 0"), "{err}");
+
+        std::fs::remove_file(&script).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn inject_reports_expectation_failures() {
+        let dir = std::env::temp_dir();
+        let script = dir.join(format!("dck-inject-bad-{}.json", std::process::id()));
+        std::fs::write(
+            &script,
+            demo_script_json().replace("\"failures\": 2", "\"failures\": 9"),
+        )
+        .unwrap();
+        let err = run_err(&["inject", "--script", script.to_str().unwrap()]);
+        assert!(err.contains("expectation failed"), "{err}");
+        assert!(run_err(&["inject"]).contains("usage"));
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn validate_conformance_report() {
+        use dck_testkit::{run_conformance, ConformanceSpec};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dck-conf-{}.json", std::process::id()));
+        let p = path.to_str().unwrap();
+
+        // A tiny single-plane grid keeps this test fast.
+        let mut spec = ConformanceSpec::coarse();
+        spec.protocols = vec![Protocol::DoubleNbl];
+        spec.mtbfs = vec![3_600.0];
+        spec.alphas = vec![10.0];
+        spec.phi_ratios = vec![0.5];
+        spec.replications = 8;
+        let report = run_conformance(&spec).unwrap();
+        std::fs::write(&path, report.to_json()).unwrap();
+        let out = run_ok(&["validate", "--conformance", p]);
+        assert!(out.contains("cells"), "{out}");
+
+        // A report with failures is rejected, naming the cell.
+        spec.ci_slack = 0.0;
+        spec.bias_allowance = 0.0;
+        let failing = run_conformance(&spec).unwrap();
+        if failing.failed > 0 {
+            std::fs::write(&path, failing.to_json()).unwrap();
+            let err = run_err(&["validate", "--conformance", p]);
+            assert!(err.contains("out of tolerance"), "{err}");
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -29,4 +29,4 @@ pub mod trace;
 pub use distribution::{DistributionSpec, InterArrival};
 pub use mtbf::MtbfSpec;
 pub use process::{AggregatedExponential, FailureEvent, FailureSource, NodeId, PerNodeRenewal};
-pub use trace::FailureTrace;
+pub use trace::{FailureTrace, OwnedTraceReplay, TraceReplay};

@@ -161,6 +161,61 @@ proptest! {
         }
     }
 
+    /// A fault script whose failures are all spaced further apart than
+    /// the protocol's risk window can never produce a fatal outcome:
+    /// at every failure instant, every other window is already closed,
+    /// so at most one group member is ever at risk. Exercises the full
+    /// script → trace → simulator pipeline for all three protocols.
+    #[test]
+    fn spaced_fault_scripts_never_fatal(
+        params in (
+            0.0f64..20.0, // downtime
+            0.1f64..20.0, // delta
+            0.5f64..40.0, // theta_min
+            0.0f64..15.0, // alpha
+        )
+            .prop_map(|(d, delta, theta_min, alpha)| {
+                PlatformParams::new(d, delta, theta_min, alpha, 12).expect("valid ranges")
+            }),
+        protocol in prop::sample::select(Protocol::EVALUATED.to_vec()),
+        ratio in 0.0f64..1.0,
+        victims in prop::collection::vec(0u64..12, 1..8),
+        gaps in prop::collection::vec(0.0f64..50.0, 8),
+        start in 0.0f64..500.0,
+    ) {
+        use dck_sim::{PeriodChoice, StopReason};
+        use dck_testkit::{Expectation, Fault, FaultScript, WorkSpec};
+
+        let mut script = FaultScript {
+            name: "spaced".into(),
+            description: "failures spaced wider than the risk window".into(),
+            protocol,
+            platform: params,
+            phi_ratio: ratio,
+            mtbf: 3_600.0,
+            period: PeriodChoice::Optimal,
+            work: WorkSpec::Periods(20.0),
+            faults: Vec::new(),
+            expect: Expectation { reason: None, failures: None, survives: Some(true) },
+        };
+        let window = script.compile().expect("fault-free compile").risk_window;
+
+        let mut t = start;
+        for (i, &node) in victims.iter().enumerate() {
+            script.faults.push(Fault::on_node(t, node));
+            t += window + 1e-6 + gaps[i];
+        }
+
+        let out = script.run().expect("spaced script runs");
+        prop_assert!(
+            out.outcome.reason != StopReason::Fatal,
+            "{protocol:?} (window {window}): fatal at {:?} with faults {:?}",
+            out.outcome.fatal_at,
+            script.faults
+        );
+        prop_assert!(out.outcome.fatal_at.is_none());
+    }
+
     /// Re-execution is always non-negative and no larger than the
     /// worst case `2θ + σ + P` (previous period + current offset +
     /// slowdown windows).

@@ -1,0 +1,504 @@
+//! Differential model↔simulator conformance.
+//!
+//! The paper's closed-form waste (Eqs. 5/7/8/14 via `core::waste` and
+//! `core::period`) and the mechanistic Monte-Carlo estimate
+//! (`sim::sweep`) are independent implementations of the same physics;
+//! a transcription error in either should be caught by the other. The
+//! driver sweeps an `(MTBF, α, φ/R)` grid per protocol, compares the
+//! two, and reports each cell as *pass* (agreement within a CI95-scaled
+//! tolerance plus a first-order-bias allowance), *fail*, or
+//! *degenerate* (too few replications completed for the estimate to
+//! mean anything — harsh cells where most runs end fatally).
+//!
+//! The resulting [`ConformanceReport`] serializes to the
+//! `conformance.json` artifact that `dck validate --conformance`
+//! re-checks in CI.
+
+use crate::script::FaultScript;
+use dck_core::{ModelError, PlatformParams, Protocol};
+use dck_sim::{run_sweep, SweepSpec};
+use serde::{Deserialize, Serialize};
+
+/// Verdict for one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// |model − sim| within tolerance.
+    Pass,
+    /// Estimate is sound but disagrees with the model.
+    Fail,
+    /// Too few completed replications to judge (< 80%).
+    Degenerate,
+}
+
+/// The grid and budget of a conformance run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceSpec {
+    /// Protocols under test.
+    pub protocols: Vec<Protocol>,
+    /// Platform MTBFs (seconds).
+    pub mtbfs: Vec<f64>,
+    /// Slowdown factors `α` substituted into the base platform.
+    pub alphas: Vec<f64>,
+    /// Overhead ratios `φ/R ∈ [0, 1]`.
+    pub phi_ratios: Vec<f64>,
+    /// Base platform; each grid point replaces its `alpha`.
+    pub base: PlatformParams,
+    /// Monte-Carlo replications per cell.
+    pub replications: usize,
+    /// Useful work per replication, in multiples of the cell MTBF.
+    pub work_in_mtbfs: f64,
+    /// Master seed; each `(protocol, α)` plane derives its own stream
+    /// space.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub workers: usize,
+    /// Tolerance = `ci_slack · half_width + bias_allowance`: the CI95
+    /// half-width scaled by this slack …
+    pub ci_slack: f64,
+    /// … plus an absolute allowance for the first-order model's bias
+    /// (the model is asymptotic in `P/M`; it is *supposed* to be a few
+    /// waste-points off at harsh cells).
+    pub bias_allowance: f64,
+}
+
+impl ConformanceSpec {
+    /// The coarse CI grid: all three evaluated protocols over a
+    /// 3 MTBF × 3 α × 3 φ/R lattice (27 cells per protocol) on the
+    /// Table I Base shape at 48 nodes — small enough for a debug-mode
+    /// tier-1 run, wide enough to cross every period-formula branch.
+    pub fn coarse() -> Self {
+        ConformanceSpec {
+            protocols: Protocol::EVALUATED.to_vec(),
+            mtbfs: vec![1_800.0, 3_600.0, 7.0 * 3_600.0],
+            alphas: vec![0.0, 5.0, 10.0],
+            phi_ratios: vec![0.0, 0.5, 1.0],
+            base: PlatformParams::new(0.0, 2.0, 4.0, 10.0, 48).expect("base params are valid"),
+            replications: 24,
+            work_in_mtbfs: 10.0,
+            seed: 0xC0F0,
+            workers: 0,
+            ci_slack: 3.0,
+            bias_allowance: 0.01,
+        }
+    }
+
+    /// Total number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.protocols.len() * self.mtbfs.len() * self.alphas.len() * self.phi_ratios.len()
+    }
+}
+
+/// One evaluated conformance cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceCell {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Slowdown factor α.
+    pub alpha: f64,
+    /// Overhead ratio φ/R.
+    pub phi_ratio: f64,
+    /// Model-optimal period used by both sides.
+    pub period: f64,
+    /// Closed-form waste at that period.
+    pub model_waste: f64,
+    /// Monte-Carlo mean waste (`None` when no replication completed).
+    pub sim_waste: Option<f64>,
+    /// CI95 half-width of the estimate.
+    pub half_width: Option<f64>,
+    /// The tolerance the cell was judged against.
+    pub tolerance: Option<f64>,
+    /// Replications that completed their work.
+    pub completed: usize,
+    /// Replications executed.
+    pub replications_run: usize,
+    /// Verdict.
+    pub status: CellStatus,
+}
+
+impl ConformanceCell {
+    /// `(protocol, MTBF, α, φ/R)` rendered for failure messages.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "{} @ (MTBF={}s, alpha={}, phi/R={})",
+            self.protocol, self.mtbf, self.alpha, self.phi_ratio
+        )
+    }
+}
+
+/// Grid shape echoed into the report so `dck validate` can cross-check
+/// the cell list without recomputing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSummary {
+    /// Number of protocols.
+    pub protocols: usize,
+    /// Number of MTBF samples.
+    pub mtbfs: usize,
+    /// Number of α samples.
+    pub alphas: usize,
+    /// Number of φ/R samples.
+    pub phi_ratios: usize,
+    /// Total cells (= product of the above).
+    pub cells: usize,
+}
+
+/// The `conformance.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// The spec that produced the report.
+    pub spec: ConformanceSpec,
+    /// Grid shape.
+    pub grid: GridSummary,
+    /// Every evaluated cell, protocol-major then MTBF/α/φ
+    /// lexicographic.
+    pub cells: Vec<ConformanceCell>,
+    /// Cells that passed.
+    pub passed: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// Degenerate cells.
+    pub degenerate: usize,
+    /// Largest |model − sim| over non-degenerate cells.
+    pub max_abs_deviation: f64,
+}
+
+impl ConformanceReport {
+    /// True when no sound cell disagreed with the model.
+    pub fn all_pass(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// One message per failing cell, naming its `(protocol, MTBF, α,
+    /// φ/R)` coordinates.
+    pub fn failures(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Fail)
+            .map(|c| {
+                format!(
+                    "{}: |model {:.5} - sim {:.5}| = {:.5} > tolerance {:.5} (hw {:.5}, {} / {} completed)",
+                    c.coordinates(),
+                    c.model_waste,
+                    c.sim_waste.unwrap_or(f64::NAN),
+                    (c.model_waste - c.sim_waste.unwrap_or(f64::NAN)).abs(),
+                    c.tolerance.unwrap_or(f64::NAN),
+                    c.half_width.unwrap_or(f64::NAN),
+                    c.completed,
+                    c.replications_run,
+                )
+            })
+            .collect()
+    }
+
+    /// Internal consistency of a (possibly externally supplied) report:
+    /// grid shape matches the spec, cell count matches the grid, and
+    /// the verdict tallies match the cells.
+    ///
+    /// # Errors
+    /// The first inconsistency found.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        let spec_cells = self.spec.cell_count();
+        if self.grid.cells != spec_cells {
+            return Err(format!(
+                "grid claims {} cells but the spec's grid has {spec_cells}",
+                self.grid.cells
+            ));
+        }
+        if self.cells.len() != spec_cells {
+            return Err(format!(
+                "{} cells recorded but the spec's grid has {spec_cells}",
+                self.cells.len()
+            ));
+        }
+        let count = |s: CellStatus| self.cells.iter().filter(|c| c.status == s).count();
+        for (label, claimed, actual) in [
+            ("passed", self.passed, count(CellStatus::Pass)),
+            ("failed", self.failed, count(CellStatus::Fail)),
+            ("degenerate", self.degenerate, count(CellStatus::Degenerate)),
+        ] {
+            if claimed != actual {
+                return Err(format!("{label} tally {claimed} but {actual} such cells"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON (the artifact format).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization cannot fail");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and consistency-checks a report.
+    ///
+    /// # Errors
+    /// Parse or consistency error as a message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let report: ConformanceReport =
+            serde_json::from_str(json).map_err(|e| format!("invalid ConformanceReport: {e}"))?;
+        report.check_consistent()?;
+        Ok(report)
+    }
+}
+
+/// Runs the differential grid.
+///
+/// # Errors
+/// Invalid parameters or infeasible operating points from the model
+/// layer.
+pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, ModelError> {
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    for (proto_i, &protocol) in spec.protocols.iter().enumerate() {
+        for (alpha_i, &alpha) in spec.alphas.iter().enumerate() {
+            let mut params = spec.base;
+            params.alpha = alpha;
+            let mut sweep = SweepSpec::new(
+                protocol,
+                params,
+                spec.phi_ratios.clone(),
+                spec.mtbfs.clone(),
+            );
+            sweep.replications = spec.replications;
+            sweep.work_in_mtbfs = spec.work_in_mtbfs;
+            sweep.workers = spec.workers;
+            // Decorrelate the (protocol, α) planes: the sweep already
+            // separates its own (MTBF, φ) cells via (mi << 32) + pi.
+            sweep.seed = spec
+                .seed
+                .wrapping_add((proto_i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((alpha_i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let result = run_sweep(&sweep)?;
+            for c in result.cells {
+                let (status, tolerance) = judge(
+                    c.model_waste,
+                    c.sim_waste,
+                    c.half_width,
+                    c.completed,
+                    c.replications_run,
+                    spec,
+                );
+                cells.push(ConformanceCell {
+                    protocol,
+                    mtbf: c.mtbf,
+                    alpha,
+                    phi_ratio: c.phi_ratio,
+                    period: c.period,
+                    model_waste: c.model_waste,
+                    sim_waste: c.sim_waste,
+                    half_width: c.half_width,
+                    tolerance,
+                    completed: c.completed,
+                    replications_run: c.replications_run,
+                    status,
+                });
+            }
+        }
+    }
+
+    let count = |s: CellStatus| cells.iter().filter(|c| c.status == s).count();
+    let passed = count(CellStatus::Pass);
+    let failed = count(CellStatus::Fail);
+    let degenerate = count(CellStatus::Degenerate);
+    let max_abs_deviation = cells
+        .iter()
+        .filter(|c| c.status != CellStatus::Degenerate)
+        .filter_map(|c| c.sim_waste.map(|s| (c.model_waste - s).abs()))
+        .fold(0.0, f64::max);
+    Ok(ConformanceReport {
+        grid: GridSummary {
+            protocols: spec.protocols.len(),
+            mtbfs: spec.mtbfs.len(),
+            alphas: spec.alphas.len(),
+            phi_ratios: spec.phi_ratios.len(),
+            cells: spec.cell_count(),
+        },
+        cells,
+        passed,
+        failed,
+        degenerate,
+        max_abs_deviation,
+        spec: spec.clone(),
+    })
+}
+
+fn judge(
+    model: f64,
+    sim: Option<f64>,
+    half_width: Option<f64>,
+    completed: usize,
+    run: usize,
+    spec: &ConformanceSpec,
+) -> (CellStatus, Option<f64>) {
+    // An estimate built from fewer than 80% completed replications is
+    // survivorship-biased (the harsh runs died fatally) — judge it
+    // degenerate rather than pretend it measures the waste.
+    let sound = completed * 5 >= run * 4;
+    match (sim, half_width) {
+        (Some(s), Some(hw)) if sound => {
+            let tol = spec.ci_slack * hw + spec.bias_allowance;
+            let status = if (model - s).abs() <= tol {
+                CellStatus::Pass
+            } else {
+                CellStatus::Fail
+            };
+            (status, Some(tol))
+        }
+        _ => (CellStatus::Degenerate, None),
+    }
+}
+
+/// Convenience for harnesses: a [`FaultScript`] exercising the same
+/// operating point as a conformance cell — lets a failing cell be
+/// turned into a deterministic repro script mechanically.
+pub fn cell_repro_script(cell: &ConformanceCell, spec: &ConformanceSpec) -> FaultScript {
+    let mut platform = spec.base;
+    platform.alpha = cell.alpha;
+    FaultScript {
+        name: format!(
+            "repro_{}_m{}_a{}_p{}",
+            cell.protocol.id(),
+            cell.mtbf as i64,
+            cell.alpha as i64,
+            (cell.phi_ratio * 100.0) as i64
+        ),
+        description: format!(
+            "failure-free repro of conformance cell {}",
+            cell.coordinates()
+        ),
+        protocol: cell.protocol,
+        platform,
+        phi_ratio: cell.phi_ratio,
+        mtbf: cell.mtbf,
+        period: dck_sim::PeriodChoice::Explicit(cell.period),
+        work: crate::script::WorkSpec::Periods(10.0),
+        faults: vec![],
+        expect: crate::script::Expectation {
+            reason: Some(dck_sim::StopReason::WorkComplete),
+            failures: Some(0),
+            survives: Some(true),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ConformanceSpec {
+        let mut spec = ConformanceSpec::coarse();
+        spec.protocols = vec![Protocol::DoubleNbl];
+        spec.mtbfs = vec![3_600.0];
+        spec.alphas = vec![10.0];
+        spec.phi_ratios = vec![0.25, 0.75];
+        spec.replications = 16;
+        spec.work_in_mtbfs = 8.0;
+        spec
+    }
+
+    #[test]
+    fn tiny_grid_passes_and_is_consistent() {
+        let spec = tiny_spec();
+        let report = run_conformance(&spec).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        report.check_consistent().unwrap();
+        assert!(report.all_pass(), "{:?}", report.failures());
+        assert!(report.max_abs_deviation < 0.1);
+        for c in &report.cells {
+            assert_eq!(c.status, CellStatus::Pass);
+            assert!(c.tolerance.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = run_conformance(&tiny_spec()).unwrap();
+        let back = ConformanceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn from_json_rejects_tampered_tallies() {
+        let report = run_conformance(&tiny_spec()).unwrap();
+        let mut tampered = report.clone();
+        tampered.passed = 99;
+        let err = ConformanceReport::from_json(&tampered.to_json()).unwrap_err();
+        assert!(err.contains("tally"), "{err}");
+        let mut short = report;
+        short.cells.pop();
+        let err = short.check_consistent().unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn zero_tolerance_fails_and_names_the_cell() {
+        let mut spec = tiny_spec();
+        // The estimator has statistical error and the model first-order
+        // bias; with both allowances zeroed the cells must fail — the
+        // negative control proving the harness *can* fail.
+        spec.ci_slack = 0.0;
+        spec.bias_allowance = 0.0;
+        let report = run_conformance(&spec).unwrap();
+        assert!(report.failed > 0);
+        let failures = report.failures();
+        assert_eq!(failures.len(), report.failed);
+        assert!(
+            failures[0].contains("MTBF=3600s")
+                && failures[0].contains("alpha=10")
+                && failures[0].contains("phi/R="),
+            "{}",
+            failures[0]
+        );
+    }
+
+    #[test]
+    fn degenerate_cells_are_not_failures() {
+        let mut spec = tiny_spec();
+        // MTBF close to the period: most replications die fatally.
+        spec.mtbfs = vec![90.0];
+        spec.phi_ratios = vec![1.0];
+        spec.replications = 8;
+        spec.work_in_mtbfs = 200.0;
+        match run_conformance(&spec) {
+            Ok(report) => {
+                report.check_consistent().unwrap();
+                for c in &report.cells {
+                    if c.status == CellStatus::Degenerate {
+                        assert!(c.tolerance.is_none());
+                    }
+                }
+            }
+            // The operating point may be infeasible outright — equally
+            // explicit.
+            Err(ModelError::Infeasible { .. }) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn repro_script_compiles_to_the_cell_operating_point() {
+        let spec = tiny_spec();
+        let report = run_conformance(&spec).unwrap();
+        let cell = &report.cells[0];
+        let script = cell_repro_script(cell, &spec);
+        let compiled = script.compile().unwrap();
+        assert!((compiled.period - cell.period).abs() < 1e-12);
+        let out = compiled.execute().unwrap();
+        script.expect.check(&out.outcome).unwrap();
+    }
+
+    #[test]
+    fn planes_use_decorrelated_seeds() {
+        let mut spec = tiny_spec();
+        spec.protocols = vec![Protocol::DoubleNbl, Protocol::DoubleBof];
+        let report = run_conformance(&spec).unwrap();
+        // Same (mtbf, α, φ) coordinates across protocols must not share
+        // identical estimates (they would under a seed collision only
+        // if waste were protocol-independent — it is not, but the seeds
+        // differ regardless).
+        let a = report.cells[0].sim_waste;
+        let b = report.cells[2].sim_waste;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Structural timeline comparison.
+//!
+//! Golden-trace checks must not be byte-wise: a harmless change in
+//! float formatting or serde layout would fail every golden file at
+//! once and say nothing useful. Instead timelines are compared event
+//! by event — same variant, same discrete fields, floats within an
+//! absolute tolerance — and a regression names the *first* diverging
+//! event with both sides printed.
+
+use dck_sim::TimelineEvent;
+use std::fmt;
+
+/// Default absolute tolerance for timestamp/duration comparisons. The
+/// simulator is pure f64 arithmetic over exact script inputs, so real
+/// divergence is orders of magnitude larger; this only absorbs
+/// last-bit noise from reformatting through JSON.
+pub const FLOAT_TOLERANCE: f64 = 1e-9;
+
+/// The first structural difference between two timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the first differing event (0-based).
+    pub index: usize,
+    /// The expected (golden) event, `None` if the golden timeline is
+    /// shorter.
+    pub expected: Option<TimelineEvent>,
+    /// The actual event, `None` if the replay ended early.
+    pub actual: Option<TimelineEvent>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |e: &Option<TimelineEvent>| match e {
+            Some(ev) => format!("{ev:?}"),
+            None => "<end of timeline>".to_string(),
+        };
+        write!(
+            f,
+            "first divergence at event {}: expected {}, got {}",
+            self.index,
+            side(&self.expected),
+            side(&self.actual)
+        )
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol || (a.is_infinite() && b.is_infinite() && a == b)
+}
+
+/// Structural equality of single events under a float tolerance.
+pub fn events_match(a: &TimelineEvent, b: &TimelineEvent, tol: f64) -> bool {
+    use TimelineEvent::{Failure, Finished, OutageEnd};
+    match (a, b) {
+        (
+            Failure {
+                at: a_at,
+                node: a_node,
+                offset: a_off,
+                outage: a_out,
+                fatal: a_fatal,
+                during_outage: a_during,
+            },
+            Failure {
+                at: b_at,
+                node: b_node,
+                offset: b_off,
+                outage: b_out,
+                fatal: b_fatal,
+                during_outage: b_during,
+            },
+        ) => {
+            a_node == b_node
+                && a_fatal == b_fatal
+                && a_during == b_during
+                && close(*a_at, *b_at, tol)
+                && close(*a_off, *b_off, tol)
+                && close(*a_out, *b_out, tol)
+        }
+        (OutageEnd { at: a_at }, OutageEnd { at: b_at }) => close(*a_at, *b_at, tol),
+        (
+            Finished {
+                at: a_at,
+                reason: a_r,
+            },
+            Finished {
+                at: b_at,
+                reason: b_r,
+            },
+        ) => a_r == b_r && close(*a_at, *b_at, tol),
+        _ => false,
+    }
+}
+
+/// Compares two timelines structurally; `None` means they agree.
+/// Length mismatches diverge at the first missing index, so an
+/// appended or dropped tail event is reported just like a changed one.
+pub fn diff_timelines(
+    expected: &[TimelineEvent],
+    actual: &[TimelineEvent],
+    tol: f64,
+) -> Option<Divergence> {
+    let n = expected.len().max(actual.len());
+    for i in 0..n {
+        match (expected.get(i), actual.get(i)) {
+            (Some(e), Some(a)) if events_match(e, a, tol) => {}
+            (e, a) => {
+                return Some(Divergence {
+                    index: i,
+                    expected: e.copied(),
+                    actual: a.copied(),
+                })
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dck_sim::StopReason;
+
+    fn failure(at: f64, node: u64) -> TimelineEvent {
+        TimelineEvent::Failure {
+            at,
+            node,
+            offset: at % 100.0,
+            outage: 52.0,
+            fatal: false,
+            during_outage: false,
+        }
+    }
+
+    #[test]
+    fn identical_timelines_agree() {
+        let t = vec![
+            failure(250.0, 0),
+            TimelineEvent::OutageEnd { at: 302.0 },
+            TimelineEvent::Finished {
+                at: 1052.0,
+                reason: StopReason::WorkComplete,
+            },
+        ];
+        assert_eq!(diff_timelines(&t, &t, FLOAT_TOLERANCE), None);
+    }
+
+    #[test]
+    fn float_noise_is_absorbed_but_real_drift_is_not() {
+        let a = vec![failure(250.0, 0)];
+        let b = vec![failure(250.0 + 1e-12, 0)];
+        assert_eq!(diff_timelines(&a, &b, FLOAT_TOLERANCE), None);
+        let c = vec![failure(250.1, 0)];
+        let d = diff_timelines(&a, &c, FLOAT_TOLERANCE).unwrap();
+        assert_eq!(d.index, 0);
+    }
+
+    #[test]
+    fn discrete_field_changes_diverge() {
+        let a = vec![failure(250.0, 0)];
+        let mut wrong_node = a.clone();
+        wrong_node[0] = failure(250.0, 1);
+        assert!(diff_timelines(&a, &wrong_node, FLOAT_TOLERANCE).is_some());
+        let fatal = vec![TimelineEvent::Failure {
+            at: 250.0,
+            node: 0,
+            offset: 50.0,
+            outage: 52.0,
+            fatal: true,
+            during_outage: false,
+        }];
+        assert!(diff_timelines(&a, &fatal, FLOAT_TOLERANCE).is_some());
+    }
+
+    #[test]
+    fn names_first_divergence_not_last() {
+        let a = vec![failure(100.0, 0), failure(200.0, 2), failure(300.0, 4)];
+        let mut b = a.clone();
+        b[1] = failure(201.0, 2);
+        b[2] = failure(301.0, 4);
+        let d = diff_timelines(&a, &b, FLOAT_TOLERANCE).unwrap();
+        assert_eq!(d.index, 1);
+        let msg = d.to_string();
+        assert!(msg.contains("event 1"), "{msg}");
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_missing_index() {
+        let a = vec![failure(100.0, 0), failure(200.0, 2)];
+        let b = vec![failure(100.0, 0)];
+        let d = diff_timelines(&a, &b, FLOAT_TOLERANCE).unwrap();
+        assert_eq!(d.index, 1);
+        assert!(d.actual.is_none());
+        assert!(d.to_string().contains("<end of timeline>"));
+        let d = diff_timelines(&b, &a, FLOAT_TOLERANCE).unwrap();
+        assert!(d.expected.is_none());
+    }
+
+    #[test]
+    fn variant_mismatch_diverges() {
+        let a = vec![failure(100.0, 0)];
+        let b = vec![TimelineEvent::OutageEnd { at: 100.0 }];
+        assert!(diff_timelines(&a, &b, FLOAT_TOLERANCE).is_some());
+    }
+}

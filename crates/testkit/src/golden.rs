@@ -1,0 +1,296 @@
+//! Golden-trace corpus: load, replay, diff, regenerate.
+//!
+//! Layout (repo-root `tests/golden/` by convention):
+//!
+//! ```text
+//! tests/golden/
+//!   scripts/<name>.json    # one FaultScript per file
+//!   traces/<name>.jsonl    # its golden timeline, one event per line
+//! ```
+//!
+//! [`replay_case`] executes a script, checks its embedded expectation,
+//! and diffs the produced timeline structurally against the stored
+//! golden. Setting `DCK_UPDATE_GOLDEN=1` rewrites the golden instead —
+//! the one sanctioned way to bless a behaviour change, and the diff in
+//! review then shows exactly which events moved.
+
+use crate::diff::{diff_timelines, FLOAT_TOLERANCE};
+use crate::script::FaultScript;
+use dck_sim::TimelineEvent;
+use std::path::{Path, PathBuf};
+
+/// Environment variable that switches the harness from *compare* to
+/// *regenerate*.
+pub const UPDATE_ENV: &str = "DCK_UPDATE_GOLDEN";
+
+/// True when the harness should rewrite goldens instead of diffing.
+pub fn update_mode() -> bool {
+    matches!(std::env::var(UPDATE_ENV), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// The workspace corpus directory (`tests/golden/` at the repo root).
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// One corpus entry: a script and where its golden trace lives.
+#[derive(Debug, Clone)]
+pub struct GoldenCase {
+    /// The script's `name` field (must match the file stem).
+    pub name: String,
+    /// Path of the script JSON.
+    pub script_path: PathBuf,
+    /// Path of the golden timeline JSONL.
+    pub trace_path: PathBuf,
+    /// The parsed script.
+    pub script: FaultScript,
+}
+
+/// Loads every script under `dir/scripts/*.json`, sorted by filename
+/// so corpus order (and with it failure output) is stable.
+///
+/// # Errors
+/// I/O, parse, or a script whose `name` differs from its file stem.
+pub fn load_cases(dir: &Path) -> Result<Vec<GoldenCase>, String> {
+    let scripts_dir = dir.join("scripts");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&scripts_dir)
+        .map_err(|e| format!("cannot read {}: {e}", scripts_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let script =
+            FaultScript::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if script.name != stem {
+            return Err(format!(
+                "{}: script name `{}` does not match file stem `{stem}`",
+                path.display(),
+                script.name
+            ));
+        }
+        cases.push(GoldenCase {
+            trace_path: dir.join("traces").join(format!("{stem}.jsonl")),
+            name: stem,
+            script_path: path,
+            script,
+        });
+    }
+    Ok(cases)
+}
+
+/// Serializes a timeline to JSONL (one event per line).
+pub fn timeline_to_jsonl(timeline: &[TimelineEvent]) -> String {
+    let mut out = String::new();
+    for ev in timeline {
+        out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a timeline from JSONL, naming the offending line on error.
+///
+/// # Errors
+/// A `line N: ...` message.
+pub fn timeline_from_jsonl(text: &str) -> Result<Vec<TimelineEvent>, String> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid event: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// What replaying one golden case produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// The case name.
+    pub name: String,
+    /// Timeline length.
+    pub events: usize,
+    /// True when the golden file was (re)written rather than compared.
+    pub updated: bool,
+}
+
+/// Replays one case: run the script, check its expectation, then diff
+/// against (or, in [`update_mode`], rewrite) the golden trace.
+///
+/// # Errors
+/// A message naming the case and either the expectation mismatch or
+/// the first diverging timeline event.
+pub fn replay_case(case: &GoldenCase) -> Result<ReplayReport, String> {
+    replay_case_mode(case, update_mode())
+}
+
+/// [`replay_case`] with the update/compare decision made explicit, so
+/// callers (and tests) are independent of the ambient environment.
+///
+/// # Errors
+/// Same contract as [`replay_case`].
+pub fn replay_case_mode(case: &GoldenCase, update: bool) -> Result<ReplayReport, String> {
+    let out = case
+        .script
+        .run()
+        .map_err(|e| format!("golden `{}`: {e}", case.name))?;
+    case.script
+        .expect
+        .check(&out.outcome)
+        .map_err(|e| format!("golden `{}`: expectation failed: {e}", case.name))?;
+
+    if update {
+        if let Some(parent) = case.trace_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline))
+            .map_err(|e| format!("cannot write {}: {e}", case.trace_path.display()))?;
+        return Ok(ReplayReport {
+            name: case.name.clone(),
+            events: out.timeline.len(),
+            updated: true,
+        });
+    }
+
+    let text = std::fs::read_to_string(&case.trace_path).map_err(|e| {
+        format!(
+            "golden `{}`: cannot read {} ({e}); run with {UPDATE_ENV}=1 to generate it",
+            case.name,
+            case.trace_path.display()
+        )
+    })?;
+    let golden = timeline_from_jsonl(&text)
+        .map_err(|e| format!("golden `{}`: {}: {e}", case.name, case.trace_path.display()))?;
+    if let Some(divergence) = diff_timelines(&golden, &out.timeline, FLOAT_TOLERANCE) {
+        return Err(format!("golden `{}`: {divergence}", case.name));
+    }
+    Ok(ReplayReport {
+        name: case.name.clone(),
+        events: out.timeline.len(),
+        updated: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Expectation, Fault, WorkSpec};
+    use dck_core::{PlatformParams, Protocol};
+    use dck_sim::{PeriodChoice, StopReason};
+
+    fn script(name: &str) -> FaultScript {
+        FaultScript {
+            name: name.into(),
+            description: "golden unit-test scenario".into(),
+            protocol: Protocol::DoubleNbl,
+            platform: PlatformParams::new(0.0, 2.0, 4.0, 10.0, 8).unwrap(),
+            phi_ratio: 0.25,
+            mtbf: 3_600.0,
+            period: PeriodChoice::Explicit(100.0),
+            work: WorkSpec::Periods(10.0),
+            faults: vec![Fault::on_node(250.0, 0), Fault::on_node(300.0, 2)],
+            expect: Expectation {
+                reason: Some(StopReason::WorkComplete),
+                failures: Some(2),
+                survives: Some(true),
+            },
+        }
+    }
+
+    fn temp_corpus(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dck-golden-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(dir.join("scripts")).unwrap();
+        std::fs::create_dir_all(dir.join("traces")).unwrap();
+        dir
+    }
+
+    fn case_in(dir: &Path, s: &FaultScript) -> GoldenCase {
+        let script_path = dir.join("scripts").join(format!("{}.json", s.name));
+        std::fs::write(&script_path, s.to_json()).unwrap();
+        GoldenCase {
+            name: s.name.clone(),
+            trace_path: dir.join("traces").join(format!("{}.jsonl", s.name)),
+            script_path,
+            script: s.clone(),
+        }
+    }
+
+    #[test]
+    fn timeline_jsonl_roundtrip() {
+        let out = script("rt").run().unwrap();
+        assert!(!out.timeline.is_empty());
+        let jsonl = timeline_to_jsonl(&out.timeline);
+        let back = timeline_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, out.timeline);
+        assert!(timeline_from_jsonl("garbage\n")
+            .unwrap_err()
+            .contains("line 1"));
+    }
+
+    #[test]
+    fn replay_detects_divergence_and_missing_golden() {
+        let dir = temp_corpus("diverge");
+        let s = script("case_a");
+        let case = case_in(&dir, &s);
+        // No golden yet: the error points at the regeneration knob.
+        let err = replay_case_mode(&case, false).unwrap_err();
+        assert!(err.contains(UPDATE_ENV), "{err}");
+        // Store a golden with a tampered event time: divergence at 0.
+        let mut out = s.run().unwrap();
+        if let Some(TimelineEvent::Failure { at, .. }) = out.timeline.first_mut() {
+            *at += 7.0;
+        }
+        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline)).unwrap();
+        let err = replay_case_mode(&case, false).unwrap_err();
+        assert!(err.contains("first divergence at event 0"), "{err}");
+        // Store the true golden: replay passes.
+        let out = s.run().unwrap();
+        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline)).unwrap();
+        let report = replay_case_mode(&case, false).unwrap();
+        assert_eq!(report.events, out.timeline.len());
+        assert!(!report.updated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_fails_on_expectation_mismatch() {
+        let dir = temp_corpus("expect");
+        let mut s = script("case_b");
+        s.expect.failures = Some(99);
+        let case = case_in(&dir, &s);
+        let err = replay_case(&case).unwrap_err();
+        assert!(err.contains("expectation failed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_cases_sorts_and_validates_names() {
+        let dir = temp_corpus("load");
+        for name in ["zeta", "alpha"] {
+            case_in(&dir, &script(name));
+        }
+        let cases = load_cases(&dir).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "alpha");
+        assert_eq!(cases[1].name, "zeta");
+        // A name/stem mismatch is rejected.
+        let mut bad = script("claims_to_be_x");
+        bad.name = "actually_y".into();
+        std::fs::write(
+            dir.join("scripts").join("claims_to_be_x.json"),
+            bad.to_json(),
+        )
+        .unwrap();
+        let err = load_cases(&dir).unwrap_err();
+        assert!(err.contains("does not match file stem"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,39 @@
+//! # dck-testkit — deterministic fault-injection and conformance
+//!
+//! Testing as a subsystem, in three layers:
+//!
+//! * [`script`] — the `FaultScript` DSL: a serde-loadable JSON document
+//!   that replaces the stochastic failure stream with exact failure
+//!   times per node (or per `(group, member)`), so any paper scenario —
+//!   double failure inside the risk window, buddy failure mid-re-send,
+//!   triple failure in one triple — is a ~10-line script executed
+//!   through the same `sim::run` machinery as a Monte-Carlo sample.
+//! * [`diff`] + [`golden`] — the golden-trace corpus harness: replay a
+//!   script, compare the resulting event timeline *structurally*
+//!   (variant by variant, floats within tolerance) against a stored
+//!   JSONL trace, and name the first diverging event on regression.
+//!   `DCK_UPDATE_GOLDEN=1` regenerates the corpus.
+//! * [`conformance`] — the differential driver: sweep an
+//!   `(MTBF, α, φ)` grid per protocol, run the closed-form waste
+//!   (`core::waste`/`core::period`) against the Monte-Carlo estimate
+//!   (`sim::sweep`), assert agreement within CI95, and emit a
+//!   `conformance.json` report consumable by `dck validate`.
+//!
+//! The crate is a *library of harness parts*: its own integration tests
+//! (and the root tier-1 suite, the protocols property tests and the
+//! `dck inject` CLI) are the consumers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod diff;
+pub mod golden;
+pub mod script;
+
+pub use conformance::{
+    run_conformance, ConformanceCell, ConformanceReport, ConformanceSpec, GridSummary,
+};
+pub use diff::{diff_timelines, Divergence};
+pub use golden::{load_cases, replay_case, GoldenCase, ReplayReport};
+pub use script::{CompiledScript, Expectation, Fault, FaultScript, ScriptOutcome, WorkSpec};

@@ -1,0 +1,59 @@
+//! Differential conformance: the closed-form waste model vs Monte-Carlo
+//! simulation over the coarse (MTBF, alpha, phi) grid. The resulting
+//! report is written to `target/conformance.json` (override the path via
+//! `DCK_CONFORMANCE_OUT`) so `dck validate --conformance` and CI can
+//! consume it.
+
+use std::path::PathBuf;
+
+use dck_testkit::conformance::{run_conformance, ConformanceReport, ConformanceSpec};
+
+fn output_path() -> PathBuf {
+    match std::env::var("DCK_CONFORMANCE_OUT") {
+        Ok(path) if !path.is_empty() => PathBuf::from(path),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/conformance.json"),
+    }
+}
+
+#[test]
+fn coarse_grid_model_matches_simulation() {
+    let spec = ConformanceSpec::coarse();
+    assert!(
+        spec.cell_count() >= 27,
+        "coarse grid must cover at least 27 (MTBF, alpha, phi) cells, got {}",
+        spec.cell_count()
+    );
+
+    let report = run_conformance(&spec).expect("conformance sweep must run");
+
+    // Persist before asserting so a failing grid still leaves the report
+    // behind for inspection.
+    let path = output_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, report.to_json()).expect("write conformance.json");
+    eprintln!("conformance report written to {}", path.display());
+
+    assert_eq!(
+        report.degenerate, 0,
+        "grid contains degenerate cells (too few completed replications)"
+    );
+    assert!(
+        report.all_pass(),
+        "{} conformance cell(s) out of tolerance:\n{}",
+        report.failed,
+        report.failures().join("\n")
+    );
+    assert!(
+        report.passed >= 27,
+        "expected >= 27 passing cells, got {}",
+        report.passed
+    );
+
+    // The emitted artifact must survive a parse + consistency check, since
+    // `dck validate --conformance` consumes exactly this file.
+    let text = std::fs::read_to_string(&path).expect("re-read conformance.json");
+    let parsed = ConformanceReport::from_json(&text).expect("conformance.json must parse");
+    assert_eq!(parsed.cells.len(), report.cells.len());
+}

@@ -1,0 +1,58 @@
+//! Golden-trace replay over the repository corpus in `tests/golden/`.
+//!
+//! Every script is compiled, executed, checked against its `expect` block,
+//! and structurally diffed against its recorded timeline. Run with
+//! `DCK_UPDATE_GOLDEN=1` to regenerate the recorded timelines after an
+//! intentional semantic change.
+
+use std::collections::BTreeMap;
+
+use dck_core::Protocol;
+use dck_testkit::golden::{default_corpus_dir, load_cases, replay_case, update_mode};
+
+#[test]
+fn corpus_covers_every_evaluated_protocol() {
+    let cases = load_cases(&default_corpus_dir()).expect("corpus must load");
+    assert!(!cases.is_empty(), "golden corpus is empty");
+
+    let mut per_protocol: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for case in &cases {
+        *per_protocol.entry(case.script.protocol.id()).or_insert(0) += 1;
+    }
+    for protocol in Protocol::EVALUATED {
+        let count = per_protocol.get(protocol.id()).copied().unwrap_or(0);
+        assert!(
+            count >= 3,
+            "protocol {} has only {count} golden scripts (need >= 3)",
+            protocol.id()
+        );
+    }
+}
+
+#[test]
+fn every_golden_case_replays_exactly() {
+    let cases = load_cases(&default_corpus_dir()).expect("corpus must load");
+    assert!(!cases.is_empty(), "golden corpus is empty");
+
+    let mut failures = Vec::new();
+    let mut updated = 0usize;
+    for case in &cases {
+        match replay_case(case) {
+            Ok(report) => {
+                if report.updated {
+                    updated += 1;
+                }
+            }
+            Err(err) => failures.push(format!("{}: {err}", case.name)),
+        }
+    }
+    if update_mode() {
+        eprintln!("regenerated {updated} golden traces");
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden case(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -58,32 +58,37 @@ fn deterministic_outage_matches_case_analysis() {
     }
 }
 
-/// Monte-Carlo waste at the optimal period matches Eqs. 5/7/8/14 within
-/// (slack-widened) confidence intervals for all three protocols.
+/// Monte-Carlo waste matches Eqs. 5/7/8/14 across a (MTBF, α, φ) grid
+/// for all three protocols, each cell judged against its own
+/// simulator-reported CI95 half-width (not a hard-coded epsilon). A
+/// failure names the offending cell.
 #[test]
 fn monte_carlo_waste_matches_model() {
-    let params = base_params(48);
-    let mtbf = 1_800.0;
-    for protocol in [Protocol::DoubleNbl, Protocol::DoubleBof, Protocol::Triple] {
-        let phi = 2.0;
-        let opt = optimal_period(protocol, &params, phi, mtbf).unwrap();
-        let mut cfg = RunConfig::new(protocol, params, phi, mtbf);
-        cfg.period = PeriodChoice::Explicit(opt.period);
-        let mc = MonteCarloConfig::new(80, 0xFEED);
-        let est = estimate_waste(&cfg, 25.0 * mtbf, &mc).unwrap();
-        let ci = est.ci95.expect("moderate-MTBF runs complete");
-        assert!(
-            ci.contains_with_slack(opt.waste.total, 4.0),
-            "{protocol:?}: model {} vs sim {} ± {}",
-            opt.waste.total,
-            ci.mean,
-            ci.half_width
-        );
-    }
+    let mut spec = dck_testkit::ConformanceSpec::coarse();
+    // A trimmed grid keeps this tier-1 test quick; the full coarse grid
+    // runs in the dedicated conformance suite.
+    spec.mtbfs = vec![1_800.0, 3_600.0];
+    spec.alphas = vec![0.0, 10.0];
+    spec.phi_ratios = vec![0.0, 0.5];
+    spec.replications = 16;
+    spec.seed = 0xFEED;
+    let report = dck_testkit::run_conformance(&spec).unwrap();
+    assert_eq!(
+        report.degenerate, 0,
+        "degenerate cells (too few completed replications) in a benign regime"
+    );
+    assert!(
+        report.all_pass(),
+        "{} cell(s) out of CI95 tolerance:\n{}",
+        report.failed,
+        report.failures().join("\n")
+    );
 }
 
 /// Monte-Carlo success probability matches Eq. 11 for pairs and Eq. 16
-/// for triples in a regime where fatal failures are observable.
+/// for triples in a regime where fatal failures are observable. The
+/// tolerance is one Wilson-interval half-width (the simulator's own
+/// uncertainty), not a hard-coded epsilon.
 #[test]
 fn monte_carlo_risk_matches_model() {
     let params = base_params(10_368);
@@ -99,9 +104,12 @@ fn monte_carlo_risk_matches_model() {
             .unwrap()
             .probability;
         let (lo, hi) = est.wilson95;
+        let slack = (hi - lo) / 2.0;
         assert!(
-            model >= lo - 0.05 && model <= hi + 0.05,
-            "{protocol:?}: model {model} outside [{lo}, {hi}]"
+            model >= lo - slack && model <= hi + slack,
+            "{protocol:?} @ (MTBF={mtbf}s, alpha={}, phi/R=0): model {model} outside \
+             Wilson CI [{lo}, {hi}] widened by its half-width {slack}",
+            params.alpha
         );
     }
 }
