@@ -1,0 +1,348 @@
+//! `analyze.toml`: severity overrides and the justified baseline.
+//!
+//! The build environment has no registry access, so this module
+//! includes a deliberately small TOML-subset parser covering exactly
+//! what the config needs: `[section]` tables, `[[section]]` arrays of
+//! tables, `key = "string" | integer | true | false`, and `#`
+//! comments. Unknown keys and sections are rejected loudly — a typo in
+//! a lint name must not silently disable enforcement.
+
+use crate::diagnostics::{Finding, Severity};
+use std::collections::BTreeMap;
+
+/// One baseline entry: a justified suppression of current findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name the entry applies to.
+    pub lint: String,
+    /// Workspace-relative path; a trailing `*` makes it a prefix match
+    /// (`crates/experiments/*`).
+    pub path: String,
+    /// Restrict the suppression to one line (otherwise whole file).
+    pub line: Option<u32>,
+    /// Why this finding is acceptable. Required: an empty
+    /// justification fails the scan.
+    pub justification: String,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        if self.lint != f.lint {
+            return false;
+        }
+        let path_ok = match self.path.strip_suffix('*') {
+            Some(prefix) => f.path.starts_with(prefix),
+            None => f.path == self.path,
+        };
+        path_ok && self.line.is_none_or(|l| l == f.line)
+    }
+
+    /// Short description for stale/unjustified messages.
+    pub fn describe(&self) -> String {
+        match self.line {
+            Some(l) => format!("[{}] {}:{l}", self.lint, self.path),
+            None => format!("[{}] {}", self.lint, self.path),
+        }
+    }
+}
+
+/// Parsed `analyze.toml`.
+#[derive(Debug, Default)]
+pub struct AnalyzeConfig {
+    /// Per-lint severity overrides from `[severity]`.
+    pub severity: BTreeMap<String, Severity>,
+    /// Baseline entries from `[[allow]]`.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl AnalyzeConfig {
+    /// Parses the config text.
+    ///
+    /// # Errors
+    /// A `line N: ...` message for the first malformed construct.
+    pub fn from_toml(text: &str) -> Result<AnalyzeConfig, String> {
+        let mut cfg = AnalyzeConfig::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                let name = name.trim();
+                if name != "allow" {
+                    return Err(format!("line {n}: unknown array of tables [[{name}]]"));
+                }
+                cfg.allow.push(AllowEntry {
+                    lint: String::new(),
+                    path: String::new(),
+                    line: None,
+                    justification: String::new(),
+                });
+                section = "allow".into();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if name != "severity" {
+                    return Err(format!("line {n}: unknown section [{name}]"));
+                }
+                section = name.into();
+                continue;
+            }
+            let (key, value) = split_key_value(line)
+                .ok_or_else(|| format!("line {n}: expected `key = value`, got `{line}`"))?;
+            match section.as_str() {
+                "severity" => {
+                    let sev = value
+                        .as_str()
+                        .and_then(Severity::parse)
+                        .ok_or_else(|| format!("line {n}: severity must be allow|warn|deny"))?;
+                    cfg.severity.insert(key.to_string(), sev);
+                }
+                "allow" => {
+                    let entry = cfg
+                        .allow
+                        .last_mut()
+                        .ok_or_else(|| format!("line {n}: key outside [[allow]]"))?;
+                    match key {
+                        "lint" => {
+                            entry.lint = value
+                                .as_str()
+                                .ok_or_else(|| format!("line {n}: lint must be a string"))?
+                                .to_string();
+                        }
+                        "path" => {
+                            entry.path = value
+                                .as_str()
+                                .ok_or_else(|| format!("line {n}: path must be a string"))?
+                                .to_string();
+                        }
+                        "line" => {
+                            entry.line = Some(
+                                value
+                                    .as_int()
+                                    .ok_or_else(|| format!("line {n}: line must be an integer"))?,
+                            );
+                        }
+                        "justification" => {
+                            entry.justification = value
+                                .as_str()
+                                .ok_or_else(|| format!("line {n}: justification must be a string"))?
+                                .to_string();
+                        }
+                        other => {
+                            return Err(format!("line {n}: unknown [[allow]] key `{other}`"));
+                        }
+                    }
+                }
+                _ => return Err(format!("line {n}: key `{key}` outside any section")),
+            }
+        }
+        for e in &cfg.allow {
+            if e.lint.is_empty() || e.path.is_empty() {
+                return Err(format!(
+                    "[[allow]] entry needs both `lint` and `path` (got {})",
+                    e.describe()
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders `[[allow]]` entries for `findings` — the starting point
+    /// for a new baseline. Justifications are left empty on purpose:
+    /// the scan refuses them until a human writes the reason down.
+    pub fn baseline_toml(findings: &[Finding]) -> String {
+        let mut out = String::new();
+        for f in findings {
+            out.push_str("[[allow]]\n");
+            out.push_str(&format!("lint = \"{}\"\n", f.lint));
+            out.push_str(&format!("path = \"{}\"\n", f.path));
+            out.push_str(&format!("line = {}\n", f.line));
+            out.push_str("justification = \"\"\n\n");
+        }
+        out
+    }
+}
+
+/// A parsed scalar value.
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(#[allow(dead_code)] bool),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<u32> {
+        match self {
+            Value::Int(i) => u32::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits `key = value`, parsing the value as string/int/bool.
+fn split_key_value(line: &str) -> Option<(&str, Value)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim();
+    let raw = line[eq + 1..].trim();
+    if key.is_empty() || raw.is_empty() {
+        return None;
+    }
+    let value = if let Some(stripped) = raw.strip_prefix('"') {
+        let body = stripped.strip_suffix('"')?;
+        let mut s = String::with_capacity(body.len());
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                s.push(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else {
+                s.push(c);
+            }
+        }
+        Value::Str(s)
+    } else if raw == "true" {
+        Value::Bool(true)
+    } else if raw == "false" {
+        Value::Bool(false)
+    } else {
+        Value::Int(raw.parse().ok()?)
+    };
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# severity overrides
+[severity]
+slice-index = "allow"   # trailing comment
+float-eq = "deny"
+
+[[allow]]
+lint = "panic-safety"
+path = "crates/simcore/src/par.rs"
+justification = "worker panics must propagate"
+
+[[allow]]
+lint = "sentinel-value"
+path = "crates/core/src/opt.rs"
+line = 91
+justification = "minimizer-internal +inf, never escapes"
+"#;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = AnalyzeConfig::from_toml(SAMPLE).unwrap();
+        assert_eq!(cfg.severity["slice-index"], Severity::Allow);
+        assert_eq!(cfg.severity["float-eq"], Severity::Deny);
+        assert_eq!(cfg.allow.len(), 2);
+        assert_eq!(cfg.allow[0].line, None);
+        assert_eq!(cfg.allow[1].line, Some(91));
+        assert!(cfg.allow[1].justification.contains("minimizer"));
+    }
+
+    #[test]
+    fn entry_matching_exact_prefix_and_line() {
+        let f = Finding {
+            lint: "panic-safety".into(),
+            severity: Severity::Deny,
+            path: "crates/experiments/src/validate.rs".into(),
+            line: 10,
+            col: 1,
+            message: String::new(),
+            snippet: String::new(),
+        };
+        let mut e = AllowEntry {
+            lint: "panic-safety".into(),
+            path: "crates/experiments/*".into(),
+            line: None,
+            justification: "x".into(),
+        };
+        assert!(e.matches(&f));
+        e.path = "crates/experiments/src/validate.rs".into();
+        assert!(e.matches(&f));
+        e.line = Some(11);
+        assert!(!e.matches(&f));
+        e.line = Some(10);
+        e.lint = "float-eq".into();
+        assert!(!e.matches(&f));
+    }
+
+    #[test]
+    fn rejects_unknown_constructs() {
+        assert!(AnalyzeConfig::from_toml("[lints]\nx = \"deny\"").is_err());
+        assert!(AnalyzeConfig::from_toml("[severity]\nx = \"fatal\"").is_err());
+        assert!(AnalyzeConfig::from_toml("[[allow]]\nbogus = 1").is_err());
+        assert!(AnalyzeConfig::from_toml("loose = 1").is_err());
+        assert!(
+            AnalyzeConfig::from_toml("[[allow]]\nlint = \"x\"").is_err(),
+            "path required"
+        );
+    }
+
+    #[test]
+    fn baseline_emission_round_trips() {
+        let f = Finding {
+            lint: "panic-safety".into(),
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            col: 2,
+            message: String::new(),
+            snippet: String::new(),
+        };
+        let toml = AnalyzeConfig::baseline_toml(std::slice::from_ref(&f));
+        let cfg = AnalyzeConfig::from_toml(&toml).unwrap();
+        assert_eq!(cfg.allow.len(), 1);
+        assert!(cfg.allow[0].matches(&f));
+        assert!(cfg.allow[0].justification.is_empty(), "human must fill it");
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = AnalyzeConfig::from_toml(
+            "[[allow]]\nlint = \"x\"\npath = \"y\"\njustification = \"uses # inside\"",
+        )
+        .unwrap();
+        assert_eq!(cfg.allow[0].justification, "uses # inside");
+    }
+}

@@ -1,0 +1,87 @@
+//! The scan driver: walk the workspace, run every lint, apply the
+//! config's severity overrides and justified baseline, and produce a
+//! [`Report`].
+
+use crate::config::AnalyzeConfig;
+use crate::diagnostics::{Finding, Report, Severity};
+use crate::lints::registry;
+use crate::walker::walk_workspace;
+use std::path::Path;
+
+/// Scans the workspace under `root` with `config`.
+///
+/// # Errors
+/// An I/O error message naming the path that failed.
+pub fn scan(root: &Path, config: &AnalyzeConfig) -> Result<Report, String> {
+    let ws = walk_workspace(root)?;
+    let lints = registry();
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        for lint in &lints {
+            lint.check(file, &mut findings);
+        }
+    }
+    // Config severity overrides, then drop allow-severity findings.
+    for f in &mut findings {
+        if let Some(&sev) = config.severity.get(&f.lint) {
+            f.severity = sev;
+        }
+    }
+    findings.retain(|f| f.severity != Severity::Allow);
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.lint).cmp(&(&b.path, b.line, b.col, &b.lint)));
+
+    // Baseline: suppress matching findings, track per-entry use.
+    let mut used = vec![false; config.allow.len()];
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let mut hit = false;
+        for (i, entry) in config.allow.iter().enumerate() {
+            if entry.matches(f) {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            suppressed += 1;
+        }
+        !hit
+    });
+    let stale_allows = config
+        .allow
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.describe())
+        .collect();
+    let unjustified_allows = config
+        .allow
+        .iter()
+        .filter(|e| e.justification.trim().is_empty())
+        .map(|e| e.describe())
+        .collect();
+
+    Ok(Report {
+        findings,
+        files_scanned: ws.files.len(),
+        suppressed,
+        stale_allows,
+        unjustified_allows,
+        unresolved_mods: ws.unresolved_mods,
+    })
+}
+
+/// Loads `analyze.toml` from `root` (an absent file is an empty
+/// config) and scans.
+///
+/// # Errors
+/// A config-parse or I/O error message.
+pub fn scan_with_config_file(root: &Path) -> Result<Report, String> {
+    let config_path = root.join("analyze.toml");
+    let config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => AnalyzeConfig::from_toml(&text)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?,
+        Err(_) => AnalyzeConfig::default(),
+    };
+    scan(root, &config)
+}

@@ -1,0 +1,46 @@
+//! # dck-analyze — workspace determinism & panic-safety linter
+//!
+//! The repo's headline guarantees — bit-identical Monte-Carlo sweeps
+//! across engines and worker counts, byte-stable golden traces — are
+//! enforced dynamically by tests. This crate enforces them *at the
+//! source level*, the same shift the paper makes when it bounds the
+//! risk window analytically instead of observing it empirically: a
+//! guarantee is only trustworthy if violations are rejected before
+//! they ship.
+//!
+//! The pipeline is deliberately self-contained (no `syn`, no registry
+//! access):
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (comments, raw strings,
+//!   lifetimes vs chars, float vs int literals, multi-char operators).
+//! * [`walker`] — workspace discovery by convention plus a `mod`
+//!   walker that reaches every file the compiler would, classifying
+//!   each as library/test/bench/example and computing `#[cfg(test)]`
+//!   exempt regions.
+//! * [`lints`] — the registry of seven token-pattern lints:
+//!   `nondeterminism`, `panic-safety`, `slice-index`, `float-eq`,
+//!   `sentinel-value`, `forbid-unsafe`, `todo-markers`.
+//! * [`config`] — `analyze.toml`: per-lint severity overrides and a
+//!   *justified* baseline (`[[allow]]` entries must say why; stale
+//!   entries fail the scan so the baseline can only shrink honestly).
+//! * [`diagnostics`] / [`engine`] — findings with `file:line:col`
+//!   spans, rendered human or JSON, driven by [`engine::scan`].
+//!
+//! The `dck lint` CLI subcommand and the CI `analyze` job are the two
+//! consumers; `crates/analyze/tests/` holds fixture-driven golden
+//! tests and the baseline-exactness test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod walker;
+
+pub use config::{AllowEntry, AnalyzeConfig};
+pub use diagnostics::{Finding, Report, Severity};
+pub use engine::{scan, scan_with_config_file};
+pub use walker::{walk_workspace, Context, SourceFile, Workspace};

@@ -1,0 +1,565 @@
+//! The lint registry: seven domain lints for a codebase whose headline
+//! guarantees are bit-identical replay and bounded failure behavior.
+//!
+//! Every lint is a token-pattern matcher over [`SourceFile`]s — no
+//! syntax tree, no type information. That makes each lint a fast,
+//! transparent heuristic: false negatives are possible (and fine);
+//! false positives are handled by fixing the code or writing a
+//! justified baseline entry in `analyze.toml`.
+
+use crate::diagnostics::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::walker::{Context, SourceFile};
+
+/// A single lint pass.
+pub trait Lint {
+    /// Stable kebab-case name used in config and baselines.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Severity when `analyze.toml` does not override it.
+    fn default_severity(&self) -> Severity;
+    /// Appends findings for `file`. Severity on emitted findings is
+    /// the default; the engine applies config overrides afterwards.
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
+}
+
+/// All lints, in reporting order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(Nondeterminism),
+        Box::new(PanicSafety),
+        Box::new(SliceIndex),
+        Box::new(FloatEq),
+        Box::new(SentinelValue),
+        Box::new(ForbidUnsafe),
+        Box::new(TodoMarkers),
+    ]
+}
+
+/// Indices of live library tokens: non-comment, outside test-exempt
+/// regions. Returns an empty list for non-`Lib` contexts, which is how
+/// most lints exempt tests, benches and examples wholesale.
+fn live_lib_code(file: &SourceFile) -> Vec<usize> {
+    if file.context != Context::Lib {
+        return Vec::new();
+    }
+    file.tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && !file.is_exempt(*i)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn emit(
+    lint: &dyn Lint,
+    file: &SourceFile,
+    tok: &Token,
+    message: String,
+    findings: &mut Vec<Finding>,
+) {
+    findings.push(Finding {
+        lint: lint.name().to_string(),
+        severity: lint.default_severity(),
+        path: file.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: file.snippet(tok.line).to_string(),
+    });
+}
+
+/// (1) Sources of nondeterminism: hash-order iteration, wall-clock
+/// reads, and hand-rolled threading outside `simcore::par`.
+struct Nondeterminism;
+
+/// The one file allowed to spawn threads: the workspace's fork/join
+/// substrate, whose map-fold is bit-identical across worker counts.
+const PAR_SUBSTRATE: &str = "crates/simcore/src/par.rs";
+
+impl Lint for Nondeterminism {
+    fn name(&self) -> &'static str {
+        "nondeterminism"
+    }
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration order, wall-clock reads, threading outside simcore::par"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => emit(
+                    self,
+                    file,
+                    t,
+                    format!(
+                        "`{}` iterates in nondeterministic order; use `BTree{}` (or justify in analyze.toml)",
+                        t.text,
+                        t.text.trim_start_matches("Hash")
+                    ),
+                    findings,
+                ),
+                "Instant" | "SystemTime" => emit(
+                    self,
+                    file,
+                    t,
+                    format!(
+                        "`{}` reads the wall clock; results depending on it are not replayable",
+                        t.text
+                    ),
+                    findings,
+                ),
+                "thread" if file.rel != PAR_SUBSTRATE => {
+                    // `thread::spawn` / `thread::scope`: thread-count
+                    // dependent reductions live in simcore::par only.
+                    let next = code.get(k + 1).map(|&j| &file.tokens[j]);
+                    let after = code.get(k + 2).map(|&j| &file.tokens[j]);
+                    if next.is_some_and(|t| t.is_punct("::"))
+                        && after.is_some_and(|t| t.is_ident("spawn") || t.is_ident("scope"))
+                    {
+                        emit(
+                            self,
+                            file,
+                            t,
+                            "raw threading outside `simcore::par`; reductions must be bit-identical across worker counts".to_string(),
+                            findings,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// (2) Silent panic paths in library code.
+struct PanicSafety;
+
+impl Lint for PanicSafety {
+    fn name(&self) -> &'static str {
+        "panic-safety"
+    }
+    fn description(&self) -> &'static str {
+        "unwrap()/expect()/panic!/unreachable! in library code (tests and benches exempt)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let prev = k.checked_sub(1).map(|p| &file.tokens[code[p]]);
+            let next = code.get(k + 1).map(|&j| &file.tokens[j]);
+            match t.text.as_str() {
+                "unwrap" | "expect"
+                    if prev.is_some_and(|p| p.is_punct("."))
+                        && next.is_some_and(|n| n.is_punct("(")) =>
+                {
+                    emit(
+                        self,
+                        file,
+                        t,
+                        format!(
+                            "`.{}()` panics in library code; return a `Result` (e.g. `ModelError`) instead",
+                            t.text
+                        ),
+                        findings,
+                    );
+                }
+                // Exclude `core::panic::...` paths and the
+                // `#[panic_handler]`-style idents: require `name!`.
+                "panic" | "unreachable"
+                    if next.is_some_and(|n| n.is_punct("!"))
+                        && !prev.is_some_and(|p| p.is_punct("::")) =>
+                {
+                    emit(
+                        self,
+                        file,
+                        t,
+                        format!("`{}!` aborts the process from library code; return an error or restructure the invariant", t.text),
+                        findings,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// (3) Slice/array indexing, which panics out of bounds.
+struct SliceIndex;
+
+impl Lint for SliceIndex {
+    fn name(&self) -> &'static str {
+        "slice-index"
+    }
+    fn description(&self) -> &'static str {
+        "bracket indexing in library code panics out of bounds; prefer get()/first()/iterators"
+    }
+    fn default_severity(&self) -> Severity {
+        // Advisory by default: indexing under a proven invariant is
+        // idiomatic. The lint surfaces the sites for review.
+        Severity::Warn
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if !t.is_punct("[") {
+                continue;
+            }
+            let Some(prev) = k.checked_sub(1).map(|p| &file.tokens[code[p]]) else {
+                continue;
+            };
+            // `xs[...]`, `f()[...]`, `xs[i][j]` — but not attributes
+            // (`#[...]`), macro brackets (`vec![...]`), array types or
+            // literals (`: [u8; 4]`, `= [a, b]`).
+            let indexes = (prev.kind == TokenKind::Ident && !is_keyword(&prev.text))
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if indexes {
+                emit(
+                    self,
+                    file,
+                    t,
+                    "bracket indexing panics out of bounds; prefer `get()` or an iterator"
+                        .to_string(),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without it being indexing
+/// (`return [..]`, `break [..]`, `in [..]`, ...).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "if" | "else" | "match" | "as" | "mut" | "ref" | "move"
+    )
+}
+
+/// (4) `==`/`!=` on floating-point expressions.
+struct FloatEq;
+
+impl Lint for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+    fn description(&self) -> &'static str {
+        "== / != on floating-point expressions; use an epsilon or total_cmp"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            // Heuristic: a float literal or f32/f64 path within two
+            // code tokens of the comparison marks it floating-point.
+            let window = k.saturating_sub(2)..=(k + 2).min(code.len().saturating_sub(1));
+            let floaty = window
+                .map(|w| &file.tokens[code[w]])
+                .any(|n| n.kind == TokenKind::Float || n.is_ident("f32") || n.is_ident("f64"));
+            if floaty {
+                emit(
+                    self,
+                    file,
+                    t,
+                    format!(
+                        "`{}` on floating point is exact-bit comparison; use an epsilon, a range, or `total_cmp`",
+                        t.text
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// (5) `f64::INFINITY` / `f64::NAN` sentinels in the model crate — the
+/// class of bug `waste_at_phi` had before it returned `Result`.
+struct SentinelValue;
+
+impl Lint for SentinelValue {
+    fn name(&self) -> &'static str {
+        "sentinel-value"
+    }
+    fn description(&self) -> &'static str {
+        "f64::INFINITY/NAN sentinels in crates/core; encode failure as Result instead"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.rel.starts_with("crates/core/") {
+            return;
+        }
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if !(t.is_ident("f64") || t.is_ident("f32")) {
+                continue;
+            }
+            let next = code.get(k + 1).map(|&j| &file.tokens[j]);
+            let name = code.get(k + 2).map(|&j| &file.tokens[j]);
+            if next.is_some_and(|n| n.is_punct("::"))
+                && name.is_some_and(|n| {
+                    n.is_ident("INFINITY") || n.is_ident("NEG_INFINITY") || n.is_ident("NAN")
+                })
+            {
+                let name = name.map(|n| n.text.clone()).unwrap_or_default();
+                emit(
+                    self,
+                    file,
+                    t,
+                    format!(
+                        "`{}::{name}` sentinel in model code; prefer `Result`/`ModelError` so errors cannot be mistaken for values",
+                        t.text
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// (6) Every crate root must carry `#![forbid(unsafe_code)]`.
+struct ForbidUnsafe;
+
+impl Lint for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+    fn description(&self) -> &'static str {
+        "every crate root must carry #![forbid(unsafe_code)]"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.is_crate_root {
+            return;
+        }
+        let code: Vec<&Token> = file
+            .tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let has = code.windows(8).any(|w| {
+            w[0].is_punct("#")
+                && w[1].is_punct("!")
+                && w[2].is_punct("[")
+                && w[3].is_ident("forbid")
+                && w[4].is_punct("(")
+                && w[5].is_ident("unsafe_code")
+                && w[6].is_punct(")")
+                && w[7].is_punct("]")
+        });
+        if !has {
+            findings.push(Finding {
+                lint: self.name().to_string(),
+                severity: self.default_severity(),
+                path: file.rel.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{}` root lacks `#![forbid(unsafe_code)]`",
+                    file.crate_name
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+/// (7) Unfinished-work markers: `todo!`/`unimplemented!` macros and
+/// deferred-work comment tags in library code.
+struct TodoMarkers;
+
+impl Lint for TodoMarkers {
+    fn name(&self) -> &'static str {
+        "todo-markers"
+    }
+    fn description(&self) -> &'static str {
+        "todo!/unimplemented! and TODO/FIXME/XXX comments in library code"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let code = live_lib_code(file);
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if (t.is_ident("todo") || t.is_ident("unimplemented"))
+                && code
+                    .get(k + 1)
+                    .is_some_and(|&j| file.tokens[j].is_punct("!"))
+            {
+                emit(
+                    self,
+                    file,
+                    t,
+                    format!("`{}!` placeholder in library code", t.text),
+                    findings,
+                );
+            }
+        }
+        if file.context != Context::Lib {
+            return;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                || file.is_exempt(i)
+            {
+                continue;
+            }
+            for marker in ["TODO", "FIXME", "XXX"] {
+                if t.text.contains(marker) {
+                    emit(
+                        self,
+                        file,
+                        t,
+                        format!("`{marker}` comment marks unfinished work; finish it or file it"),
+                        findings,
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::test_file;
+
+    fn run_lint(name: &str, src: &str, ctx: Context) -> Vec<Finding> {
+        let file = test_file(src, ctx, false);
+        let mut out = Vec::new();
+        for lint in registry() {
+            if lint.name() == name {
+                lint.check(&file, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn nondeterminism_flags_hash_and_clock_but_not_tests() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }";
+        let hits = run_lint("nondeterminism", src, Context::Lib);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("BTreeMap"));
+        assert!(run_lint("nondeterminism", src, Context::Test).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_flags_thread_spawn_and_scope() {
+        let hits = run_lint(
+            "nondeterminism",
+            "fn f() { std::thread::spawn(|| {}); thread::scope(|s| {}); }",
+            Context::Lib,
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn panic_safety_patterns() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); unreachable!(); }";
+        let hits = run_lint("panic-safety", src, Context::Lib);
+        assert_eq!(hits.len(), 4);
+        // unwrap_or / expect_err are different methods; a comment or
+        // string mentioning unwrap() is not code.
+        let clean = "fn f() { x.unwrap_or(0); x.unwrap_or_else(f); /* x.unwrap() */ let s = \"panic!(no)\"; }";
+        assert!(run_lint("panic-safety", clean, Context::Lib).is_empty());
+        assert!(run_lint("panic-safety", src, Context::Bench).is_empty());
+    }
+
+    #[test]
+    fn slice_index_heuristics() {
+        let hits = run_lint(
+            "slice-index",
+            "fn f() { let a = xs[i]; let b = f()[0]; }",
+            Context::Lib,
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].severity, Severity::Warn);
+        let clean = "#[derive(Debug)]\nfn g() { let t: [u8; 4] = [0; 4]; let v = vec![1, 2]; }";
+        assert!(run_lint("slice-index", clean, Context::Lib).is_empty());
+    }
+
+    #[test]
+    fn float_eq_window() {
+        let hits = run_lint(
+            "float-eq",
+            "fn f(a: f64) { if a == 0.0 {} if 1.5 != a {} if n == 3 {} }",
+            Context::Lib,
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn sentinel_only_in_core() {
+        let src = "fn f() -> f64 { f64::INFINITY }";
+        let mut file = test_file(src, Context::Lib, false);
+        file.rel = "crates/core/src/waste.rs".into();
+        let mut out = Vec::new();
+        if let Some(l) = registry().iter().find(|l| l.name() == "sentinel-value") {
+            l.check(&file, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        // Same code outside crates/core is not this lint's business.
+        assert!(run_lint("sentinel-value", src, Context::Lib).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_roots_only() {
+        let with = "#![forbid(unsafe_code)]\npub fn x() {}";
+        let without = "//! docs\npub fn x() {}";
+        let root_ok = test_file(with, Context::Lib, true);
+        let root_bad = test_file(without, Context::Lib, true);
+        let non_root = test_file(without, Context::Lib, false);
+        let lint = registry().into_iter().find(|l| l.name() == "forbid-unsafe");
+        let lint = lint.as_deref().expect("registered");
+        let mut out = Vec::new();
+        lint.check(&root_ok, &mut out);
+        assert!(out.is_empty());
+        lint.check(&root_bad, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        lint.check(&non_root, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn todo_markers_in_macros_and_comments() {
+        let hits = run_lint(
+            "todo-markers",
+            "fn f() { todo!() }\n// TODO: finish\nfn g() { unimplemented!() }",
+            Context::Lib,
+        );
+        assert_eq!(hits.len(), 3);
+    }
+}

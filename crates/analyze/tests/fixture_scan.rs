@@ -1,0 +1,154 @@
+//! Fixture-driven golden tests for the full scan pipeline: workspace
+//! walking, every lint, config severity overrides, and the justified
+//! baseline — pinned against checked-in golden renderings.
+//!
+//! Regenerate the goldens with `UPDATE_GOLDEN=1 cargo test -p
+//! dck-analyze --test fixture_scan` after an intentional change, and
+//! review the diff like any other code change.
+
+use dck_analyze::{scan, AnalyzeConfig, Severity};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn human_rendering_matches_golden() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    check_golden("mini.human.txt", &report.to_human());
+}
+
+#[test]
+fn json_rendering_matches_golden() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    check_golden("mini.json", &report.to_json().unwrap());
+}
+
+#[test]
+fn fixture_violation_inventory() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    assert_eq!(report.files_scanned, 4, "lib, util, integration test, core");
+    assert!(
+        report.unresolved_mods.is_empty(),
+        "{:?}",
+        report.unresolved_mods
+    );
+    assert!(!report.is_clean());
+
+    let by_lint = |lint: &str| {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.lint == lint)
+            .collect::<Vec<_>>()
+    };
+    // `use HashMap` + the `count` signature.
+    assert_eq!(by_lint("nondeterminism").len(), 2);
+    // The live `unwrap()`; the `#[cfg(test)]` module's is exempt.
+    assert_eq!(by_lint("panic-safety").len(), 1);
+    assert_eq!(by_lint("slice-index").len(), 1);
+    assert_eq!(by_lint("float-eq").len(), 1);
+    assert_eq!(by_lint("sentinel-value").len(), 1);
+    // `bad` lacks the attribute; `core` carries it.
+    let fu = by_lint("forbid-unsafe");
+    assert_eq!(fu.len(), 1);
+    assert!(fu[0].path.ends_with("bad/src/lib.rs"));
+    assert_eq!(by_lint("todo-markers").len(), 1);
+    // Nothing leaked out of the test-context file.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.path.contains("tests/integration.rs")));
+}
+
+#[test]
+fn severity_overrides_apply() {
+    let cfg = AnalyzeConfig::from_toml(
+        "[severity]\nslice-index = \"deny\"\nnondeterminism = \"allow\"\n",
+    )
+    .unwrap();
+    let report = scan(&fixture_root(), &cfg).unwrap();
+    assert!(report.findings.iter().all(|f| f.lint != "nondeterminism"));
+    let idx = report
+        .findings
+        .iter()
+        .find(|f| f.lint == "slice-index")
+        .unwrap();
+    assert_eq!(idx.severity, Severity::Deny);
+}
+
+#[test]
+fn justified_baseline_suppresses_and_polices_itself() {
+    let base = "[[allow]]\nlint = \"panic-safety\"\npath = \"crates/bad/src/lib.rs\"\n";
+    // A justified entry suppresses its finding.
+    let cfg =
+        AnalyzeConfig::from_toml(&format!("{base}justification = \"fixture exercises it\"\n"))
+            .unwrap();
+    let report = scan(&fixture_root(), &cfg).unwrap();
+    assert_eq!(report.suppressed, 1);
+    assert!(report.findings.iter().all(|f| f.lint != "panic-safety"));
+    assert!(report.stale_allows.is_empty());
+    assert!(report.unjustified_allows.is_empty());
+
+    // The same entry without a justification fails the scan.
+    let cfg = AnalyzeConfig::from_toml(base).unwrap();
+    let report = scan(&fixture_root(), &cfg).unwrap();
+    assert_eq!(report.unjustified_allows.len(), 1);
+    assert!(!report.is_clean());
+
+    // An entry matching nothing is stale and fails the scan.
+    let cfg = AnalyzeConfig::from_toml(
+        "[[allow]]\nlint = \"panic-safety\"\npath = \"crates/gone/src/lib.rs\"\njustification = \"was fixed\"\n",
+    )
+    .unwrap();
+    let report = scan(&fixture_root(), &cfg).unwrap();
+    assert_eq!(report.stale_allows.len(), 1);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn emitted_baseline_covers_every_deny() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    let denies: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .cloned()
+        .collect();
+    assert!(!denies.is_empty());
+    let toml = AnalyzeConfig::baseline_toml(&denies);
+    // Emitted entries have empty justifications; fill them in.
+    let toml = toml.replace("justification = \"\"", "justification = \"fixture\"");
+    let cfg = AnalyzeConfig::from_toml(&toml).unwrap();
+    let report = scan(&fixture_root(), &cfg).unwrap();
+    assert_eq!(report.deny_count(), 0);
+    assert!(report.stale_allows.is_empty());
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, denies.len());
+}

@@ -1,0 +1,27 @@
+//! Fixture crate: one deliberate violation per applicable lint. The
+//! golden tests pin the exact diagnostics this file produces, so keep
+//! every line where it is.
+
+use std::collections::HashMap;
+
+mod util;
+
+/// Takes the first element, the panicking way.
+pub fn first(xs: &[u64]) -> u64 {
+    let head = xs.first().copied().unwrap();
+    head + xs[0]
+}
+
+/// Counts distinct keys through a hash-ordered map.
+pub fn count(m: &HashMap<u64, u64>) -> usize {
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region_can_panic() {
+        assert_eq!(super::first(&[7]), 14);
+        let _ = Option::<u8>::None.is_none().then(|| ()).unwrap();
+    }
+}

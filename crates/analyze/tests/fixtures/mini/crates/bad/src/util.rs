@@ -1,0 +1,8 @@
+//! Module reached through `mod util;` — proves the walker follows
+//! module declarations, not just compilation roots.
+
+// TODO: handle NaN inputs
+/// Exact float comparison, the wrong way.
+pub fn is_zero(a: f64) -> bool {
+    a == 0.0
+}

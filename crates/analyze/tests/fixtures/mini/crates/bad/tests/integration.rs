@@ -1,0 +1,8 @@
+//! Test-context file: panicking assertions here are idiomatic and must
+//! produce no findings.
+
+#[test]
+fn unwrap_in_tests_is_fine() {
+    let xs = [1u64, 2, 3];
+    assert_eq!(*xs.first().unwrap(), 1);
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture model crate: the `sentinel-value` lint applies only under
+//! `crates/core/`, so the sentinel lives here.
+
+/// Returns the waste of an infeasible period the sentinel way.
+pub fn infeasible_waste() -> f64 {
+    f64::INFINITY
+}

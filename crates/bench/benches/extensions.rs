@@ -1,5 +1,8 @@
 //! E3/E4/E5 — extension experiments as bench targets.
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::{
     optimal_operating_point, refined_waste, GlobalStore, HierarchicalModel, Protocol, Scenario,
@@ -9,7 +12,7 @@ use std::hint::black_box;
 
 fn bench_extensions(c: &mut Criterion) {
     // Print the φ* headline once.
-    let report = phi_choice::run(9);
+    let report = phi_choice::run(9).unwrap();
     println!(
         "\nphi-choice: {} rows; max gain of tuning phi over the better fixed policy: {:.1}%",
         report.rows.len(),
@@ -26,7 +29,7 @@ fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/phi_choice_sweep");
     group.sample_size(10);
     group.bench_function("9_mtbf_points", |b| {
-        b.iter(|| black_box(phi_choice::run(9)))
+        b.iter(|| black_box(phi_choice::run(9).unwrap()))
     });
     group.finish();
 

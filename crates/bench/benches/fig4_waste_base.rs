@@ -1,5 +1,8 @@
 //! F4 — waste surface on the Base scenario (Figure 4a–c).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dck_core::Scenario;
 use dck_experiments::waste_surface::{self, Resolution};
@@ -10,7 +13,7 @@ fn bench_fig4(c: &mut Criterion) {
 
     // Regenerate at paper resolution once and report the corner values
     // the paper describes in prose.
-    let fig = waste_surface::run(&scenario, Resolution::default());
+    let fig = waste_surface::run(&scenario, Resolution::default()).unwrap();
     println!("\nFigure 4 (Base): waste at optimal period");
     for s in &fig.surfaces {
         let z = fig.matrix(s);
@@ -37,7 +40,7 @@ fn bench_fig4(c: &mut Criterion) {
         ("paper", Resolution::default()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &res, |b, &res| {
-            b.iter(|| black_box(waste_surface::run(&scenario, res)))
+            b.iter(|| black_box(waste_surface::run(&scenario, res).unwrap()))
         });
     }
     group.finish();

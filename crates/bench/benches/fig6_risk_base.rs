@@ -1,5 +1,8 @@
 //! F6 — success-probability ratios, Base scenario (Figure 6a–b).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::Scenario;
 use dck_experiments::risk_surface::{self, Resolution, RiskPoint};
@@ -7,7 +10,7 @@ use std::hint::black_box;
 
 fn bench_fig6(c: &mut Criterion) {
     let scenario = Scenario::base();
-    let fig = risk_surface::run(&scenario, Resolution::default());
+    let fig = risk_surface::run(&scenario, Resolution::default()).unwrap();
     // Report the harsh corner the paper highlights: M = 60 s, T = 30 d.
     let harsh = fig
         .points
@@ -27,7 +30,7 @@ fn bench_fig6(c: &mut Criterion) {
     let _ = RiskPoint::nbl_over_bof; // series accessors exercised above
 
     c.bench_function("fig6_risk_base/30x30_grid", |b| {
-        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default())))
+        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default()).unwrap()))
     });
 }
 

@@ -1,5 +1,8 @@
 //! F7 — waste surface on the Exa scenario (Figure 7a–c).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::Scenario;
 use dck_experiments::waste_surface::{self, Resolution};
@@ -7,7 +10,7 @@ use std::hint::black_box;
 
 fn bench_fig7(c: &mut Criterion) {
     let scenario = Scenario::exa();
-    let fig = waste_surface::run(&scenario, Resolution::default());
+    let fig = waste_surface::run(&scenario, Resolution::default()).unwrap();
     println!("\nFigure 7 (Exa): waste at optimal period");
     for s in &fig.surfaces {
         let z = fig.matrix(s);
@@ -21,7 +24,7 @@ fn bench_fig7(c: &mut Criterion) {
     }
 
     c.bench_function("fig7_waste_exa/paper_resolution", |b| {
-        b.iter(|| black_box(waste_surface::run(&scenario, Resolution::default())))
+        b.iter(|| black_box(waste_surface::run(&scenario, Resolution::default()).unwrap()))
     });
 }
 

@@ -1,5 +1,8 @@
 //! F8 — waste ratios at M = 7 h, Exa scenario (Figure 8).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::Scenario;
 use dck_experiments::waste_ratio;
@@ -7,7 +10,7 @@ use std::hint::black_box;
 
 fn bench_fig8(c: &mut Criterion) {
     let scenario = Scenario::exa();
-    let fig = waste_ratio::run(&scenario, 41);
+    let fig = waste_ratio::run(&scenario, 41).unwrap();
     println!("\nFigure 8 (Exa, M = 7h): waste relative to DOUBLENBL");
     println!("  phi/R | BoF/NBL | Triple/NBL");
     for p in fig.points.iter().step_by(5) {
@@ -18,7 +21,7 @@ fn bench_fig8(c: &mut Criterion) {
     }
 
     c.bench_function("fig8_ratio_exa/41_points", |b| {
-        b.iter(|| black_box(waste_ratio::run(&scenario, 41)))
+        b.iter(|| black_box(waste_ratio::run(&scenario, 41).unwrap()))
     });
 }
 

@@ -1,5 +1,8 @@
 //! F9 — success-probability ratios, Exa scenario (Figure 9a–b).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::Scenario;
 use dck_experiments::risk_surface::{self, Resolution};
@@ -7,7 +10,7 @@ use std::hint::black_box;
 
 fn bench_fig9(c: &mut Criterion) {
     let scenario = Scenario::exa();
-    let fig = risk_surface::run(&scenario, Resolution::default());
+    let fig = risk_surface::run(&scenario, Resolution::default()).unwrap();
     let harsh = fig
         .points
         .iter()
@@ -24,7 +27,7 @@ fn bench_fig9(c: &mut Criterion) {
     );
 
     c.bench_function("fig9_risk_exa/30x30_grid", |b| {
-        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default())))
+        b.iter(|| black_box(risk_surface::run(&scenario, Resolution::default()).unwrap()))
     });
 }
 

@@ -8,6 +8,9 @@
 //!   platform time);
 //! * parallel Monte-Carlo scaling across worker counts.
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dck_core::{PlatformParams, Protocol};
 use dck_failures::{

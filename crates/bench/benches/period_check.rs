@@ -1,12 +1,15 @@
 //! V2 — closed-form vs numeric optimal period cross-check.
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::{numeric_optimal_period, optimal_period, Protocol, Scenario};
 use dck_experiments::period_check;
 use std::hint::black_box;
 
 fn bench_period_check(c: &mut Criterion) {
-    let report = period_check::run();
+    let report = period_check::run().unwrap();
     println!(
         "\nPeriod check: {} rows; max interior closed-form vs numeric rel. err = {:.2e}",
         report.rows.len(),

@@ -6,6 +6,9 @@
 //! global pool with early stopping. The acceptance target for this
 //! workspace is ≥ 2× for the global pool at 8 workers on this grid.
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dck_core::{Protocol, Scenario};
 use dck_sim::{run_sweep, EarlyStop, SweepEngine, SweepSpec};

@@ -3,6 +3,9 @@
 //! Prints the validation verdict once, then times a representative
 //! Monte-Carlo waste estimation (the dominant cost of the experiment).
 
+// criterion_group! expands to undocumented public items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dck_core::{PlatformParams, Protocol};
 use dck_experiments::validate::{self, ValidateConfig};
@@ -11,7 +14,7 @@ use std::hint::black_box;
 
 fn bench_validate(c: &mut Criterion) {
     let cfg = ValidateConfig::fast();
-    let rows = validate::run_waste(&cfg);
+    let rows = validate::run_waste(&cfg).unwrap();
     let ok = rows.iter().filter(|r| r.within).count();
     println!(
         "\nValidation (fast): {}/{} waste points within tolerance; max |z| = {:.2}",

@@ -19,3 +19,5 @@
 //!
 //! This library target is intentionally empty — it exists so the bench
 //! targets have a crate to attach to.
+
+#![forbid(unsafe_code)]

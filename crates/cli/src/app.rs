@@ -38,6 +38,7 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "inject" => cmd_inject(&args)?,
         "sweep" => cmd_sweep(&args)?,
         "trace" => cmd_trace(&args)?,
+        "lint" => cmd_lint(&args)?,
         "validate" => cmd_validate(&args)?,
         "help" | "-h" | "--help" => usage(),
         other => return Err(format!("unknown command `{other}`\n{}", usage())),
@@ -69,6 +70,9 @@ pub fn usage() -> String {
      \x20          --engine global|per-cell  --target-hw X [--min-reps N --batch N]\n\
      \x20          --format ascii|csv|json  --metrics FILE (counters + summary table)\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
+     \x20 lint     [baseline]                      static determinism/panic-safety lints\n\
+     \x20          --root DIR (workspace root)  --config FILE (analyze.toml)\n\
+     \x20          --format human|json  --out FILE (JSON report, written even on failure)\n\
      \x20 validate --trace F | --metrics F | --sweep F | --conformance F\n\
      \x20                                          schema-check emitted files\n\
      \n\
@@ -575,7 +579,7 @@ fn cmd_inject(args: &Args) -> Result<String, String> {
         Err(e) => return Err(format!("script `{}`: expectation failed: {e}", script.name)),
     }
     if let Some(path) = &trace_path {
-        let jsonl = dck_testkit::golden::timeline_to_jsonl(&result.timeline);
+        let jsonl = dck_testkit::golden::timeline_to_jsonl(&result.timeline)?;
         std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(
             out,
@@ -603,6 +607,81 @@ fn cmd_inject(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Upward search for the workspace root: the nearest ancestor with an
+/// `analyze.toml`, else the nearest with a `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Result<std::path::PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    for dir in start.ancestors() {
+        if dir.join("analyze.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Ok(dir.to_path_buf());
+                }
+            }
+        }
+    }
+    Err(format!(
+        "no workspace root found above {} (looked for analyze.toml or a [workspace] manifest); pass --root DIR",
+        start.display()
+    ))
+}
+
+fn cmd_lint(args: &Args) -> Result<String, String> {
+    let root = match args.get("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => find_workspace_root()?,
+    };
+    if !root.is_dir() {
+        return Err(format!("--root {} is not a directory", root.display()));
+    }
+    let config_path = match args.get("config") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("analyze.toml"),
+    };
+    let config = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+        dck_analyze::AnalyzeConfig::from_toml(&text)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else {
+        dck_analyze::AnalyzeConfig::default()
+    };
+    let format = args.get("format").unwrap_or("human").to_string();
+    let out_path = args.get("out").map(str::to_string);
+    let report = dck_analyze::scan(&root, &config)?;
+
+    if args.positional(1) == Some("baseline") {
+        // Starting point for a new baseline: justifications are left
+        // empty on purpose — the scan rejects them until written.
+        let deny: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == dck_analyze::Severity::Deny)
+            .cloned()
+            .collect();
+        return Ok(dck_analyze::AnalyzeConfig::baseline_toml(&deny));
+    }
+    // The JSON artifact is written even when the scan fails, so CI can
+    // upload it from a failing job.
+    if let Some(path) = &out_path {
+        std::fs::write(path, report.to_json()?).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if report.is_clean() {
+        match format.as_str() {
+            "json" => report.to_json(),
+            "human" => Ok(report.to_human()),
+            other => Err(format!("unknown --format `{other}` (human|json)")),
+        }
+    } else {
+        Err(report.to_human())
+    }
+}
+
 fn cmd_validate(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let mut checked = 0u32;
@@ -626,6 +705,11 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
             }
             last_at = at;
             events += 1;
+        }
+        if events == 0 {
+            return Err(format!(
+                "{path}: trace contains no events — an empty artifact is a failed run, not a valid one"
+            ));
         }
         let _ = writeln!(
             out,
@@ -864,7 +948,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
             };
             let mut source = AggregatedExponential::new(spec, RngFactory::new(seed).stream(0));
             let trace = FailureTrace::record(&mut source, SimTime::seconds(horizon));
-            std::fs::write(&out_path, trace.to_json())
+            std::fs::write(&out_path, trace.to_json()?)
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             Ok(format!(
                 "wrote {} failures over {} ({} nodes) to {out_path}\n",
@@ -1135,7 +1219,7 @@ mod tests {
         assert!(out.contains("observability metrics:"), "{out}");
         assert!(out.contains("sweep.cells"), "{out}");
         let json = std::fs::read_to_string(&metrics).unwrap();
-        let snap: dck_obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        let snap: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap.counter("sweep.cells"), 2);
         assert!(snap.counter("sweep.replications") >= 16);
         let out = run_ok(&["validate", "--metrics", mp]);
@@ -1244,7 +1328,7 @@ mod tests {
         spec.phi_ratios = vec![0.5];
         spec.replications = 8;
         let report = run_conformance(&spec).unwrap();
-        std::fs::write(&path, report.to_json()).unwrap();
+        std::fs::write(&path, report.to_json().unwrap()).unwrap();
         let out = run_ok(&["validate", "--conformance", p]);
         assert!(out.contains("cells"), "{out}");
 
@@ -1253,7 +1337,7 @@ mod tests {
         spec.bias_allowance = 0.0;
         let failing = run_conformance(&spec).unwrap();
         if failing.failed > 0 {
-            std::fs::write(&path, failing.to_json()).unwrap();
+            std::fs::write(&path, failing.to_json().unwrap()).unwrap();
             let err = run_err(&["validate", "--conformance", p]);
             assert!(err.contains("out of tolerance"), "{err}");
         }
@@ -1267,6 +1351,36 @@ mod tests {
         std::fs::write(&path, "{\"NotAnEvent\":{}}\n").unwrap();
         let err = run_err(&["validate", "--trace", path.to_str().unwrap()]);
         assert!(err.contains("invalid TimelineEvent"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_empty_trace() {
+        let path = std::env::temp_dir().join(format!("dck-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        let err = run_err(&["validate", "--trace", path.to_str().unwrap()]);
+        assert!(err.contains("no events"), "{err}");
+        assert!(
+            err.contains(path.to_str().unwrap()),
+            "names the path: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_errors_name_the_failing_path() {
+        // Every arm must name the artifact it rejected so a CI log
+        // pinpoints the broken file without re-running locally.
+        for flag in ["--trace", "--metrics", "--sweep", "--conformance"] {
+            let err = run_err(&["validate", flag, "/nonexistent/artifact.json"]);
+            assert!(err.contains("/nonexistent/artifact.json"), "{flag}: {err}");
+        }
+        // A structurally-invalid artifact is named too.
+        let path = std::env::temp_dir().join(format!("dck-badsnap-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"not\": \"a snapshot\"}").unwrap();
+        let err = run_err(&["validate", "--metrics", path.to_str().unwrap()]);
+        assert!(err.contains(path.to_str().unwrap()), "{err}");
+        assert!(err.contains("invalid MetricsSnapshot"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

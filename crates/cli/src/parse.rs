@@ -1,7 +1,7 @@
 //! Argument parsing helpers: durations, flags, platform overrides.
 
 use dck_core::{PlatformParams, Protocol, Scenario};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parses a human duration into seconds: `45`, `45s`, `30min`, `7h`,
 /// `1d`, `2w`. A bare number means seconds.
@@ -56,7 +56,7 @@ pub fn format_duration(secs: f64) -> String {
 /// Flag-style arguments: `--key value` pairs plus positional arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
     positional: Vec<String>,
     consumed: std::cell::RefCell<Vec<String>>,
 }
@@ -64,7 +64,7 @@ pub struct Args {
 impl Args {
     /// Splits raw arguments into `--key value` flags and positionals.
     pub fn parse(raw: &[String]) -> Result<Args, String> {
-        let mut flags = HashMap::new();
+        let mut flags = BTreeMap::new();
         let mut positional = Vec::new();
         let mut it = raw.iter();
         while let Some(a) = it.next() {

@@ -200,7 +200,7 @@ impl HierarchicalModel {
                 best = Some(pt);
             }
         }
-        Ok(best.expect("candidate set is non-empty"))
+        best.ok_or_else(|| ModelError::invalid("k_max", "candidate set is empty"))
     }
 
     /// Expected wall time of one resumable global write under failures

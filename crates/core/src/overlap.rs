@@ -92,8 +92,9 @@ impl OverlapModel {
                 format!("must be >= θmin = {}, got {theta}", self.theta_min),
             ));
         }
-        if self.alpha == 0.0 {
-            // No overlap capability: any transfer is fully blocking.
+        if self.alpha <= 0.0 {
+            // No overlap capability (α is validated ≥ 0, so this is the
+            // exact α = 0 case): any transfer is fully blocking.
             return Ok(self.theta_min);
         }
         let phi = self.theta_min - (theta - self.theta_min) / self.alpha;

@@ -133,16 +133,14 @@ impl RiskModel {
         let n = self.params.nodes as f64;
         let lambda = self.params.lambda(m);
         let risk = self.risk_window();
-        let probability = match self.protocol.group_size() {
-            2 => {
-                let inner = (1.0 - 2.0 * lambda * lambda * t * risk).max(0.0);
-                inner.powf(n / 2.0)
-            }
-            3 => {
-                let inner = (1.0 - 6.0 * lambda.powi(3) * t * risk * risk).max(0.0);
-                inner.powf(n / 3.0)
-            }
-            _ => unreachable!("group sizes are 2 or 3"),
+        // Group sizes are 2 or 3 by construction (`Protocol::group_size`),
+        // so a plain branch covers both without a panicking catch-all.
+        let probability = if self.protocol.group_size() == 2 {
+            let inner = (1.0 - 2.0 * lambda * lambda * t * risk).max(0.0);
+            inner.powf(n / 2.0)
+        } else {
+            let inner = (1.0 - 6.0 * lambda.powi(3) * t * risk * risk).max(0.0);
+            inner.powf(n / 3.0)
         };
         Ok(SuccessProbability {
             probability,
@@ -159,10 +157,10 @@ impl RiskModel {
     pub fn fatal_rate_per_group(&self, m: f64, t: f64) -> f64 {
         let lambda = self.params.lambda(m);
         let risk = self.risk_window();
-        match self.protocol.group_size() {
-            2 => 2.0 * lambda * lambda * t * risk,
-            3 => 6.0 * lambda.powi(3) * t * risk * risk,
-            _ => unreachable!(),
+        if self.protocol.group_size() == 2 {
+            2.0 * lambda * lambda * t * risk
+        } else {
+            6.0 * lambda.powi(3) * t * risk * risk
         }
     }
 }

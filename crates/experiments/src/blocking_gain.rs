@@ -11,7 +11,7 @@
 //! navigate.
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{optimal_period, Protocol, RiskModel, Scenario};
+use dck_core::{optimal_period, ModelError, Protocol, RiskModel, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// One sweep row.
@@ -43,25 +43,25 @@ pub struct BlockingGainReport {
 }
 
 /// Runs the sweep over both scenarios.
-pub fn run(mtbf_points: usize) -> BlockingGainReport {
+///
+/// # Errors
+/// Propagates model errors from any swept operating point.
+pub fn run(mtbf_points: usize) -> Result<BlockingGainReport, ModelError> {
     let mut rows = Vec::new();
     for scenario in Scenario::all() {
         let grid = Scenario::mtbf_sweep(60.0, 86_400.0, mtbf_points);
         for &m in &grid {
-            let waste = |protocol: Protocol, phi: f64| {
-                optimal_period(protocol, &scenario.params, phi, m)
-                    .expect("valid sweep point")
+            let waste = |protocol: Protocol, phi: f64| -> Result<f64, ModelError> {
+                Ok(optimal_period(protocol, &scenario.params, phi, m)?
                     .waste
-                    .total
+                    .total)
             };
-            let risk = |protocol: Protocol, phi: f64| {
-                RiskModel::new(protocol, &scenario.params, phi)
-                    .expect("valid")
-                    .risk_window()
+            let risk = |protocol: Protocol, phi: f64| -> Result<f64, ModelError> {
+                Ok(RiskModel::new(protocol, &scenario.params, phi)?.risk_window())
             };
             let r = scenario.params.theta_min;
-            let waste_blocking = waste(Protocol::DoubleBlocking, r);
-            let waste_nbl_full = waste(Protocol::DoubleNbl, 0.0);
+            let waste_blocking = waste(Protocol::DoubleBlocking, r)?;
+            let waste_nbl_full = waste(Protocol::DoubleNbl, 0.0)?;
             let gain = if waste_blocking > 0.0 && waste_blocking < 1.0 {
                 1.0 - waste_nbl_full / waste_blocking
             } else {
@@ -71,15 +71,15 @@ pub fn run(mtbf_points: usize) -> BlockingGainReport {
                 scenario: scenario.name.clone(),
                 mtbf: m,
                 waste_blocking,
-                waste_nbl_half: waste(Protocol::DoubleNbl, 0.5 * r),
+                waste_nbl_half: waste(Protocol::DoubleNbl, 0.5 * r)?,
                 waste_nbl_full,
                 gain_full_overlap: gain,
-                risk_blocking: risk(Protocol::DoubleBlocking, r),
-                risk_nbl_full: risk(Protocol::DoubleNbl, 0.0),
+                risk_blocking: risk(Protocol::DoubleBlocking, r)?,
+                risk_nbl_full: risk(Protocol::DoubleNbl, 0.0)?,
             });
         }
     }
-    BlockingGainReport { rows }
+    Ok(BlockingGainReport { rows })
 }
 
 impl BlockingGainReport {
@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn non_blocking_wins_except_in_the_saturation_regime() {
-        let report = run(10);
+        let report = run(10).unwrap();
         assert_eq!(report.rows.len(), 20);
         for r in &report.rows {
             // The risk price of full overlap always applies: the window
@@ -213,7 +213,7 @@ mod tests {
     fn gain_grows_with_mtbf_on_base() {
         // At large MTBF the fault-free δ+φ term dominates: eliminating φ
         // entirely is worth the most there.
-        let report = run(12);
+        let report = run(12).unwrap();
         let base_rows: Vec<_> = report
             .rows
             .iter()

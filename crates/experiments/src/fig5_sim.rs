@@ -11,7 +11,7 @@
 
 use crate::output::{fmt_f64, to_csv, OutputDir};
 use crate::waste_ratio::M_7H;
-use dck_core::{optimal_period, Protocol, Scenario};
+use dck_core::{optimal_period, ModelError, Protocol, Scenario};
 use dck_sim::{estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
 use serde::{Deserialize, Serialize};
 
@@ -84,13 +84,17 @@ pub struct Fig5SimFigure {
 
 /// Runs the simulated Figure 5 on a 96-node Base-shaped platform
 /// (waste is node-count independent; 96 nodes keeps runs cheap).
-pub fn run(cfg: &Fig5SimConfig) -> Fig5SimFigure {
+///
+/// # Errors
+/// Propagates model/configuration errors; an operating point where no
+/// replication completes is reported as a degenerate-estimate error.
+pub fn run(cfg: &Fig5SimConfig) -> Result<Fig5SimFigure, ModelError> {
     let mut params = Scenario::base().params;
     params.nodes = 96;
     let work = cfg.work_in_mtbfs * M_7H;
 
-    let sim_waste = |protocol: Protocol, phi: f64, salt: u64| -> f64 {
-        let opt = optimal_period(protocol, &params, phi, M_7H).expect("valid point");
+    let sim_waste = |protocol: Protocol, phi: f64, salt: u64| -> Result<f64, ModelError> {
+        let opt = optimal_period(protocol, &params, phi, M_7H)?;
         let mut run_cfg = RunConfig::new(protocol, params, phi, M_7H);
         run_cfg.period = PeriodChoice::Explicit(opt.period);
         let mc = MonteCarloConfig {
@@ -99,17 +103,13 @@ pub fn run(cfg: &Fig5SimConfig) -> Fig5SimFigure {
             workers: cfg.workers,
             source: dck_sim::montecarlo::SourceKind::Exponential,
         };
-        estimate_waste(&run_cfg, work, &mc)
-            .expect("valid configuration")
-            .ci95
-            .expect("F5 operating points always complete runs")
-            .mean
+        let ci = estimate_waste(&run_cfg, work, &mc)?.ci95.ok_or_else(|| {
+            ModelError::invalid("replications", "no F5 replication completed its work")
+        })?;
+        Ok(ci.mean)
     };
-    let model_waste = |protocol: Protocol, phi: f64| -> f64 {
-        optimal_period(protocol, &params, phi, M_7H)
-            .expect("valid point")
-            .waste
-            .total
+    let model_waste = |protocol: Protocol, phi: f64| -> Result<f64, ModelError> {
+        Ok(optimal_period(protocol, &params, phi, M_7H)?.waste.total)
     };
 
     let mut points = Vec::with_capacity(cfg.points);
@@ -120,9 +120,9 @@ pub fn run(cfg: &Fig5SimConfig) -> Fig5SimFigure {
         // *ratio* estimates share failure streams, cancelling most of
         // the Monte-Carlo noise.
         let salt = i as u64;
-        let sim_nbl = sim_waste(Protocol::DoubleNbl, phi, salt);
-        let sim_bof = sim_waste(Protocol::DoubleBof, phi, salt);
-        let sim_triple = sim_waste(Protocol::Triple, phi, salt);
+        let sim_nbl = sim_waste(Protocol::DoubleNbl, phi, salt)?;
+        let sim_bof = sim_waste(Protocol::DoubleBof, phi, salt)?;
+        let sim_triple = sim_waste(Protocol::Triple, phi, salt)?;
         points.push(SimRatioPoint {
             phi_ratio: ratio,
             sim_nbl,
@@ -130,13 +130,13 @@ pub fn run(cfg: &Fig5SimConfig) -> Fig5SimFigure {
             sim_triple,
             sim_bof_over_nbl: sim_bof / sim_nbl,
             sim_triple_over_nbl: sim_triple / sim_nbl,
-            model_bof_over_nbl: model_waste(Protocol::DoubleBof, phi)
-                / model_waste(Protocol::DoubleNbl, phi),
-            model_triple_over_nbl: model_waste(Protocol::Triple, phi)
-                / model_waste(Protocol::DoubleNbl, phi),
+            model_bof_over_nbl: model_waste(Protocol::DoubleBof, phi)?
+                / model_waste(Protocol::DoubleNbl, phi)?,
+            model_triple_over_nbl: model_waste(Protocol::Triple, phi)?
+                / model_waste(Protocol::DoubleNbl, phi)?,
         });
     }
-    Fig5SimFigure { points }
+    Ok(Fig5SimFigure { points })
 }
 
 impl Fig5SimFigure {
@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn simulated_figure5_reproduces_the_shape() {
-        let fig = run(&Fig5SimConfig::fast());
+        let fig = run(&Fig5SimConfig::fast()).unwrap();
         assert_eq!(fig.points.len(), 5);
 
         // Shape assertions on the *simulated* curves alone:

@@ -9,7 +9,9 @@
 //! spot-check of the two-level waste model.
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{optimal_period, GlobalStore, HierarchicalModel, Protocol, RiskModel, Scenario};
+use dck_core::{
+    optimal_period, GlobalStore, HierarchicalModel, ModelError, Protocol, RiskModel, Scenario,
+};
 use dck_sim::hierarchical::{run_hierarchical, HierarchicalRunConfig};
 use dck_sim::{PeriodChoice, RunConfig};
 use dck_simcore::{OnlineStats, RngFactory, SimTime};
@@ -90,24 +92,25 @@ pub struct HierarchicalReport {
 
 /// Runs E4 on the Base scenario at the blocking operating point
 /// (φ = R — the φ-choice optimum in the harsh regime).
-pub fn run(cfg: &HierarchicalConfig) -> HierarchicalReport {
+///
+/// # Errors
+/// Propagates model/configuration errors from any operating point.
+pub fn run(cfg: &HierarchicalConfig) -> Result<HierarchicalReport, ModelError> {
     let scenario = Scenario::base();
     let params = scenario.params;
     let phi = params.theta_min;
-    let store = GlobalStore::new(cfg.write_time, cfg.read_time).expect("valid store");
+    let store = GlobalStore::new(cfg.write_time, cfg.read_time)?;
     let month = 30.0 * 86_400.0;
 
     let mut rows = Vec::new();
     for protocol in Protocol::EVALUATED {
         for mtbf in [60.0, 300.0, 1_800.0] {
-            let level1 = optimal_period(protocol, &params, phi, mtbf).expect("valid point");
-            let success = RiskModel::new(protocol, &params, phi)
-                .expect("valid")
-                .success_probability(mtbf, month)
-                .expect("valid")
+            let level1 = optimal_period(protocol, &params, phi, mtbf)?;
+            let success = RiskModel::new(protocol, &params, phi)?
+                .success_probability(mtbf, month)?
                 .probability;
-            let hm = HierarchicalModel::new(protocol, &params, phi, store).expect("valid");
-            let best = hm.optimal(mtbf, 10_000_000).expect("valid");
+            let hm = HierarchicalModel::new(protocol, &params, phi, store)?;
+            let best = hm.optimal(mtbf, 10_000_000)?;
             rows.push(HierarchicalRow {
                 protocol,
                 mtbf,
@@ -129,12 +132,12 @@ pub fn run(cfg: &HierarchicalConfig) -> HierarchicalReport {
     small.nodes = 96;
     for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
         let mtbf = 300.0;
-        let hm = HierarchicalModel::new(protocol, &small, phi, store).expect("valid");
+        let hm = HierarchicalModel::new(protocol, &small, phi, store)?;
         // Pin a small K so each run spans many segments — the model's
         // per-segment amortization is only comparable when the run
         // contains several of them (K* can exceed the whole run).
         let k = 100;
-        let best = hm.evaluate(k, mtbf).expect("valid");
+        let best = hm.evaluate(k, mtbf)?;
         let run_cfg = HierarchicalRunConfig {
             inner: {
                 let mut c = RunConfig::new(protocol, small, phi, mtbf);
@@ -156,8 +159,7 @@ pub fn run(cfg: &HierarchicalConfig) -> HierarchicalReport {
                 spec,
                 RngFactory::new(cfg.seed).component_stream("hier", i as u64),
             );
-            let out =
-                run_hierarchical(&run_cfg, 300.0 * mtbf, &mut source).expect("valid configuration");
+            let out = run_hierarchical(&run_cfg, 300.0 * mtbf, &mut source)?;
             if out.completed {
                 stats.push(out.waste());
                 rollbacks.push(out.fatal_rollbacks as f64);
@@ -174,7 +176,7 @@ pub fn run(cfg: &HierarchicalConfig) -> HierarchicalReport {
         });
     }
 
-    HierarchicalReport { rows, spot_checks }
+    Ok(HierarchicalReport { rows, spot_checks })
 }
 
 impl HierarchicalReport {
@@ -296,7 +298,7 @@ mod tests {
 
     #[test]
     fn two_level_waste_bounded_and_insurance_cheap_for_triple() {
-        let report = run(&fast());
+        let report = run(&fast()).unwrap();
         assert_eq!(report.rows.len(), 9);
         for r in &report.rows {
             assert!(r.two_level_waste >= r.level1_waste - 1e-12, "{r:?}");
@@ -326,7 +328,7 @@ mod tests {
 
     #[test]
     fn spot_checks_within_tolerance() {
-        let report = run(&fast());
+        let report = run(&fast()).unwrap();
         for s in &report.spot_checks {
             let tol = (4.0 * s.std_error).max(0.05);
             assert!(

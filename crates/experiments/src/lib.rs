@@ -15,7 +15,7 @@
 //! | V1 | model vs Monte-Carlo simulation (waste & risk) | [`validate`] |
 //! | V2 | closed-form vs numeric optimal periods; Young/Daly | [`period_check`] |
 //! | E1 | robustness to non-Exponential failures (Weibull/LogNormal) | [`robustness`] |
-//! | E2 | blocking [1] vs non-blocking [2] double checkpointing | [`blocking_gain`] |
+//! | E2 | blocking \[1\] vs non-blocking \[2\] double checkpointing | [`blocking_gain`] |
 //! | E3 | optimal overhead choice φ* across the MTBF axis | [`phi_choice`] |
 //! | E4 | hierarchical two-level checkpointing (§VIII future work) | [`hierarchical_exp`] |
 //! | E5 | higher-order (Daly-style) model accuracy vs simulation | [`refined_exp`] |

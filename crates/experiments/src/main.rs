@@ -96,7 +96,11 @@ fn risk_resolution(fast: bool) -> risk_surface::Resolution {
     }
 }
 
-fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Result<bool> {
+fn run_command(
+    command: &str,
+    opts: &Options,
+    out: &OutputDir,
+) -> Result<bool, Box<dyn std::error::Error>> {
     let mut ok = true;
     let base = Scenario::base();
     let exa = Scenario::exa();
@@ -108,7 +112,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
         }
         "fig4" | "fig7" => {
             let scenario = if command == "fig4" { &base } else { &exa };
-            let fig = waste_surface::run(scenario, surface_resolution(opts.fast));
+            let fig = waste_surface::run(scenario, surface_resolution(opts.fast))?;
             fig.write(out)?;
             println!(
                 "fig{}: {} surfaces over {}×{} grid written to {}",
@@ -122,20 +126,21 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
         "fig5" | "fig8" => {
             let scenario = if command == "fig5" { &base } else { &exa };
             let points = if opts.fast { 11 } else { 41 };
-            let fig = waste_ratio::run(scenario, points);
+            let fig = waste_ratio::run(scenario, points)?;
             fig.write(out)?;
-            let last = fig.points.last().expect("non-empty sweep");
-            println!(
-                "fig{}: {} points; at phi/R=1: BoF/NBL={:.4}, Triple/NBL={:.4}",
-                fig.figure_number(),
-                fig.points.len(),
-                last.bof_over_nbl,
-                last.triple_over_nbl
-            );
+            if let Some(last) = fig.points.last() {
+                println!(
+                    "fig{}: {} points; at phi/R=1: BoF/NBL={:.4}, Triple/NBL={:.4}",
+                    fig.figure_number(),
+                    fig.points.len(),
+                    last.bof_over_nbl,
+                    last.triple_over_nbl
+                );
+            }
         }
         "fig6" | "fig9" => {
             let scenario = if command == "fig6" { &base } else { &exa };
-            let fig = risk_surface::run(scenario, risk_resolution(opts.fast));
+            let fig = risk_surface::run(scenario, risk_resolution(opts.fast))?;
             fig.write(out)?;
             println!(
                 "fig{}: {} grid points written to {}",
@@ -151,7 +156,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
                 validate::ValidateConfig::default()
             };
             cfg.seed = opts.seed;
-            let report = validate::run(&cfg);
+            let report = validate::run(&cfg)?;
             println!("{}", report.to_ascii());
             report.write(out)?;
             if !report.all_within() {
@@ -165,7 +170,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
             } else {
                 robustness::RobustnessConfig::default()
             };
-            let report = robustness::run(&cfg);
+            let report = robustness::run(&cfg)?;
             println!("{}", report.to_ascii());
             report.write(out)?;
         }
@@ -176,7 +181,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
                 fig5_sim::Fig5SimConfig::default()
             };
             cfg.seed = opts.seed;
-            let fig = fig5_sim::run(&cfg);
+            let fig = fig5_sim::run(&cfg)?;
             fig.write(out)?;
             println!(
                 "fig5-sim: {} points; max |sim − model| ratio deviation: {:.4}",
@@ -191,7 +196,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
                 sweep_engine::SweepEngineConfig::default()
             };
             cfg.seed = opts.seed;
-            let report = sweep_engine::run(&cfg);
+            let report = sweep_engine::run(&cfg)?;
             println!("{}", report.to_ascii());
             report.write(out)?;
             if !report.engines_identical {
@@ -201,7 +206,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
         }
         "blocking-gain" => {
             let points = if opts.fast { 8 } else { 17 };
-            let report = blocking_gain::run(points);
+            let report = blocking_gain::run(points)?;
             println!("{}", report.to_ascii());
             println!(
                 "max gain of full overlap over the blocking protocol: {:.1}%",
@@ -215,7 +220,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
                 cfg.replications = 12;
             }
             cfg.seed = opts.seed;
-            let report = hierarchical_exp::run(&cfg);
+            let report = hierarchical_exp::run(&cfg)?;
             println!("{}", report.to_ascii());
             report.write(out)?;
         }
@@ -226,13 +231,13 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
                 refined_exp::RefinedConfig::default()
             };
             cfg.seed = opts.seed;
-            let report = refined_exp::run(&cfg);
+            let report = refined_exp::run(&cfg)?;
             println!("{}", report.to_ascii());
             report.write(out)?;
         }
         "phi-choice" => {
             let points = if opts.fast { 8 } else { 17 };
-            let report = phi_choice::run(points);
+            let report = phi_choice::run(points)?;
             println!("{}", report.to_ascii());
             println!(
                 "max gain of tuning phi over the better fixed policy: {:.1}%",
@@ -241,7 +246,7 @@ fn run_command(command: &str, opts: &Options, out: &OutputDir) -> std::io::Resul
             report.write(out)?;
         }
         "period-check" => {
-            let report = period_check::run();
+            let report = period_check::run()?;
             println!("{}", report.to_ascii());
             println!(
                 "max interior closed-form vs numeric rel. err: {:.2e}",
@@ -302,7 +307,7 @@ fn main() -> ExitCode {
         match run_command(c, &opts, &out) {
             Ok(this_ok) => ok &= this_ok,
             Err(e) => {
-                eprintln!("{c}: I/O error: {e}");
+                eprintln!("{c}: error: {e}");
                 ok = false;
             }
         }

@@ -41,9 +41,9 @@ impl OutputDir {
     /// Serializes `value` as pretty JSON under the directory.
     ///
     /// # Errors
-    /// I/O errors (serialization of plain data types cannot fail).
+    /// I/O errors, or a serialization failure surfaced as one.
     pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> io::Result<PathBuf> {
-        let json = serde_json::to_string_pretty(value).expect("plain data serializes");
+        let json = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
         self.write_text(name, &json)
     }
 }
@@ -114,7 +114,7 @@ pub fn ascii_heatmap(z: &[Vec<f64>]) -> String {
 /// Formats a float compactly for CSV (enough digits to round-trip the
 /// shapes we plot, without 17-digit noise).
 pub fn fmt_f64(x: f64) -> String {
-    if x == 0.0 {
+    if matches!(x.classify(), std::num::FpCategory::Zero) {
         "0".to_string()
     } else if x.abs() >= 1e-3 && x.abs() < 1e7 {
         let s = format!("{x:.6}");

@@ -11,7 +11,7 @@
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
 use dck_core::{
     daly_period, numeric_optimal_period, optimal_period, young_period, CentralizedModel,
-    PeriodSource, Protocol, Scenario,
+    ModelError, PeriodSource, Protocol, Scenario,
 };
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,10 @@ pub struct PeriodReport {
 }
 
 /// Runs the cross-check over both scenarios.
-pub fn run() -> PeriodReport {
+///
+/// # Errors
+/// Propagates model errors from any checked operating point.
+pub fn run() -> Result<PeriodReport, ModelError> {
     let mut rows = Vec::new();
     let mut baseline = Vec::new();
     for scenario in Scenario::all() {
@@ -75,10 +78,8 @@ pub fn run() -> PeriodReport {
             for phi_ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
                 for mtbf in [600.0, 3_600.0, 7.0 * 3_600.0, 86_400.0] {
                     let phi = phi_ratio * scenario.params.theta_min;
-                    let analytic =
-                        optimal_period(protocol, &scenario.params, phi, mtbf).expect("valid point");
-                    let numeric = numeric_optimal_period(protocol, &scenario.params, phi, mtbf)
-                        .expect("valid point");
+                    let analytic = optimal_period(protocol, &scenario.params, phi, mtbf)?;
+                    let numeric = numeric_optimal_period(protocol, &scenario.params, phi, mtbf)?;
                     let rel_err =
                         (analytic.period - numeric.period).abs() / analytic.period.max(1e-9);
                     rows.push(PeriodRow {
@@ -103,12 +104,10 @@ pub fn run() -> PeriodReport {
         // parallel file system absorbing 1% of the aggregate at node
         // speed) — even this optimistic baseline loses clearly.
         let c = scenario.params.delta * 100.0;
-        let central =
-            CentralizedModel::new(c, scenario.params.downtime, c).expect("valid baseline");
+        let central = CentralizedModel::new(c, scenario.params.downtime, c)?;
         for mtbf in [3_600.0, 7.0 * 3_600.0, 86_400.0] {
             let phi = 0.25 * scenario.params.theta_min;
-            let buddy = optimal_period(Protocol::DoubleNbl, &scenario.params, phi, mtbf)
-                .expect("valid point")
+            let buddy = optimal_period(Protocol::DoubleNbl, &scenario.params, phi, mtbf)?
                 .waste
                 .total;
             baseline.push(BaselineRow {
@@ -117,12 +116,12 @@ pub fn run() -> PeriodReport {
                 centralized_c: c,
                 young: young_period(mtbf, c),
                 daly: daly_period(mtbf, c, scenario.params.downtime, c),
-                centralized_waste: central.waste_at_daly(mtbf).expect("valid"),
+                centralized_waste: central.waste_at_daly(mtbf)?,
                 buddy_waste: buddy,
             });
         }
     }
-    PeriodReport { rows, baseline }
+    Ok(PeriodReport { rows, baseline })
 }
 
 impl PeriodReport {
@@ -245,7 +244,7 @@ mod tests {
 
     #[test]
     fn closed_forms_agree_with_numeric_everywhere() {
-        let report = run();
+        let report = run().unwrap();
         assert!(!report.rows.is_empty());
         let max_err = report.max_interior_rel_err();
         assert!(max_err < 1e-3, "max interior rel err {max_err}");
@@ -268,7 +267,7 @@ mod tests {
 
     #[test]
     fn buddy_always_beats_centralized_baseline() {
-        let report = run();
+        let report = run().unwrap();
         for b in &report.baseline {
             assert!(
                 b.buddy_waste < b.centralized_waste,
@@ -283,7 +282,7 @@ mod tests {
 
     #[test]
     fn daly_period_at_least_young() {
-        let report = run();
+        let report = run().unwrap();
         for b in &report.baseline {
             assert!(b.daly >= b.young);
         }

@@ -9,7 +9,7 @@
 //! original Zheng/Shi/Kalé protocol for doubles).
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{optimal_operating_point, optimal_period, Protocol, Scenario};
+use dck_core::{optimal_operating_point, optimal_period, ModelError, Protocol, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// One tuning row.
@@ -41,19 +41,20 @@ pub struct PhiChoiceReport {
 }
 
 /// Runs the tuning sweep over both scenarios.
-pub fn run(mtbf_points: usize) -> PhiChoiceReport {
+///
+/// # Errors
+/// Propagates model errors from any swept operating point.
+pub fn run(mtbf_points: usize) -> Result<PhiChoiceReport, ModelError> {
     let mut rows = Vec::new();
     for scenario in Scenario::all() {
         let grid = Scenario::mtbf_sweep(60.0, 86_400.0, mtbf_points);
         for protocol in Protocol::EVALUATED {
             for &m in &grid {
-                let op = optimal_operating_point(protocol, &scenario.params, m)
-                    .expect("valid sweep point");
-                let w = |phi: f64| {
-                    optimal_period(protocol, &scenario.params, phi, m)
-                        .expect("valid")
+                let op = optimal_operating_point(protocol, &scenario.params, m)?;
+                let w = |phi: f64| -> Result<f64, ModelError> {
+                    Ok(optimal_period(protocol, &scenario.params, phi, m)?
                         .waste
-                        .total
+                        .total)
                 };
                 rows.push(PhiChoiceRow {
                     scenario: scenario.name.clone(),
@@ -62,13 +63,13 @@ pub fn run(mtbf_points: usize) -> PhiChoiceReport {
                     phi_star: op.phi,
                     phi_ratio: op.phi / scenario.params.theta_min,
                     waste_opt: op.waste.total,
-                    waste_full_overlap: w(0.0),
-                    waste_blocking: w(scenario.params.theta_min),
+                    waste_full_overlap: w(0.0)?,
+                    waste_blocking: w(scenario.params.theta_min)?,
                 });
             }
         }
     }
-    PhiChoiceReport { rows }
+    Ok(PhiChoiceReport { rows })
 }
 
 impl PhiChoiceReport {
@@ -167,7 +168,7 @@ mod tests {
 
     #[test]
     fn tuned_never_worse_than_fixed_policies() {
-        let report = run(8);
+        let report = run(8).unwrap();
         assert_eq!(report.rows.len(), 2 * 3 * 8);
         for r in &report.rows {
             assert!(r.waste_opt <= r.waste_full_overlap + 1e-9, "{r:?}");
@@ -178,7 +179,7 @@ mod tests {
 
     #[test]
     fn full_overlap_wins_at_high_mtbf() {
-        let report = run(8);
+        let report = run(8).unwrap();
         for r in report.rows.iter().filter(|r| r.mtbf > 80_000.0) {
             // At a 1-day MTBF the tuned waste essentially equals the
             // full-overlap waste.
@@ -194,7 +195,7 @@ mod tests {
     fn tuning_gain_exists_somewhere() {
         // In the low-MTBF regime, tuning beats both fixed policies by a
         // measurable margin for the double protocols on Exa.
-        let report = run(12);
+        let report = run(12).unwrap();
         assert!(
             report.max_gain_over_fixed() > 0.01,
             "max gain {}",

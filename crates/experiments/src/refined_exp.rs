@@ -8,7 +8,7 @@
 //! out of it.
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{optimal_period, refined_waste, Protocol, Scenario};
+use dck_core::{optimal_period, refined_waste, ModelError, Protocol, Scenario};
 use dck_sim::{estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
 use serde::{Deserialize, Serialize};
 
@@ -82,16 +82,19 @@ pub struct RefinedReport {
 }
 
 /// Runs E5 on a 96-node Base-shaped platform at the blocking point.
-pub fn run(cfg: &RefinedConfig) -> RefinedReport {
+///
+/// # Errors
+/// Propagates model/configuration errors; an operating point where no
+/// replication completes is reported as a degenerate-estimate error.
+pub fn run(cfg: &RefinedConfig) -> Result<RefinedReport, ModelError> {
     let mut params = Scenario::base().params;
     params.nodes = 96;
     let phi = params.theta_min;
     let mut rows = Vec::new();
     for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
         for mtbf in [60.0, 120.0, 300.0, 1_800.0, 25_200.0] {
-            let opt = optimal_period(protocol, &params, phi, mtbf).expect("valid point");
-            let refined =
-                refined_waste(protocol, &params, phi, opt.period, mtbf).expect("valid point");
+            let opt = optimal_period(protocol, &params, phi, mtbf)?;
+            let refined = refined_waste(protocol, &params, phi, opt.period, mtbf)?;
             let mut run_cfg = RunConfig::new(protocol, params, phi, mtbf);
             run_cfg.period = PeriodChoice::Explicit(opt.period);
             let mc = MonteCarloConfig {
@@ -100,8 +103,10 @@ pub fn run(cfg: &RefinedConfig) -> RefinedReport {
                 workers: cfg.workers,
                 source: dck_sim::montecarlo::SourceKind::Exponential,
             };
-            let est = estimate_waste(&run_cfg, 40.0 * mtbf, &mc).expect("valid configuration");
-            let ci = est.ci95.expect("E5 operating points always complete runs");
+            let est = estimate_waste(&run_cfg, 40.0 * mtbf, &mc)?;
+            let ci = est.ci95.ok_or_else(|| {
+                ModelError::invalid("replications", "no E5 replication completed its work")
+            })?;
             rows.push(RefinedRow {
                 protocol,
                 mtbf,
@@ -113,7 +118,7 @@ pub fn run(cfg: &RefinedConfig) -> RefinedReport {
             });
         }
     }
-    RefinedReport { rows }
+    Ok(RefinedReport { rows })
 }
 
 impl RefinedReport {
@@ -198,7 +203,7 @@ mod tests {
 
     #[test]
     fn refined_never_worse_and_strictly_better_when_harsh() {
-        let report = run(&RefinedConfig::fast());
+        let report = run(&RefinedConfig::fast()).unwrap();
         assert_eq!(report.rows.len(), 10);
         for r in &report.rows {
             // Refined is at least as accurate (up to MC noise).

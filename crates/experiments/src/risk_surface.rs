@@ -14,7 +14,7 @@
 //! reading can be reproduced (see EXPERIMENTS.md).
 
 use crate::output::{ascii_heatmap, fmt_f64, to_csv, OutputDir};
-use dck_core::{Protocol, RiskModel, Scenario};
+use dck_core::{ModelError, Protocol, RiskModel, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// One grid point of the risk-ratio surfaces.
@@ -50,8 +50,11 @@ impl RiskPoint {
 }
 
 fn safe_ratio(a: f64, b: f64) -> f64 {
-    if b == 0.0 {
-        if a == 0.0 {
+    // Probabilities are >= 0, so classify() distinguishes the exact
+    // zero cases without a float `==` comparison.
+    use std::num::FpCategory;
+    if b.classify() == FpCategory::Zero {
+        if a.classify() == FpCategory::Zero {
             1.0
         } else {
             f64::INFINITY
@@ -95,7 +98,10 @@ impl Default for Resolution {
 }
 
 /// Computes the figure for a scenario.
-pub fn run(scenario: &Scenario, res: Resolution) -> RiskSurfaceFigure {
+///
+/// # Errors
+/// Propagates model errors from any sampled grid point.
+pub fn run(scenario: &Scenario, res: Resolution) -> Result<RiskSurfaceFigure, ModelError> {
     let is_base = scenario.name == "Base";
     // Paper axes: Base M ∈ (0, 30] min / T in days 1..30;
     //             Exa  M ∈ (0, 60] min / T in weeks up to 60.
@@ -112,39 +118,35 @@ pub fn run(scenario: &Scenario, res: Resolution) -> RiskSurfaceFigure {
         .collect();
 
     let theta = scenario.params.theta_max();
-    let model = |p: Protocol| {
-        RiskModel::with_theta(p, &scenario.params, theta).expect("θmax is a valid stretch")
-    };
+    let model = |p: Protocol| RiskModel::with_theta(p, &scenario.params, theta);
     let (nbl, bof, tri) = (
-        model(Protocol::DoubleNbl),
-        model(Protocol::DoubleBof),
-        model(Protocol::Triple),
+        model(Protocol::DoubleNbl)?,
+        model(Protocol::DoubleBof)?,
+        model(Protocol::Triple)?,
     );
 
     let mut points = Vec::with_capacity(mtbf_grid.len() * exploitation_grid.len());
     for &m in &mtbf_grid {
         for &t in &exploitation_grid {
-            let p = |rm: &RiskModel| {
-                rm.success_probability(m, t)
-                    .expect("grid points are valid")
-                    .probability
+            let p = |rm: &RiskModel| -> Result<f64, ModelError> {
+                Ok(rm.success_probability(m, t)?.probability)
             };
             points.push(RiskPoint {
                 mtbf: m,
                 exploitation: t,
-                p_nbl: p(&nbl),
-                p_bof: p(&bof),
-                p_triple: p(&tri),
+                p_nbl: p(&nbl)?,
+                p_bof: p(&bof)?,
+                p_triple: p(&tri)?,
             });
         }
     }
-    RiskSurfaceFigure {
+    Ok(RiskSurfaceFigure {
         scenario: scenario.name.clone(),
         mtbf_grid,
         exploitation_grid,
         points,
         theta,
-    }
+    })
 }
 
 impl RiskSurfaceFigure {
@@ -246,7 +248,7 @@ mod tests {
     #[test]
     fn probabilities_and_ratios_in_range() {
         for scenario in [Scenario::base(), Scenario::exa()] {
-            let fig = run(&scenario, small());
+            let fig = run(&scenario, small()).unwrap();
             for p in &fig.points {
                 for v in [p.p_nbl, p.p_bof, p.p_triple] {
                     assert!((0.0..=1.0).contains(&v));
@@ -269,7 +271,8 @@ mod tests {
                 mtbf_points: 30,
                 exploitation_points: 30,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(fig.figure_number(), 6);
         // Mild corner: largest MTBF (30 min), shortest T (1 day).
         let mild = fig
@@ -301,15 +304,15 @@ mod tests {
 
     #[test]
     fn theta_is_pinned_at_max() {
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         assert!((fig.theta - 44.0).abs() < 1e-12);
-        let fig = run(&Scenario::exa(), small());
+        let fig = run(&Scenario::exa(), small()).unwrap();
         assert!((fig.theta - 660.0).abs() < 1e-9);
     }
 
     #[test]
     fn exa_axes_match_paper() {
-        let fig = run(&Scenario::exa(), small());
+        let fig = run(&Scenario::exa(), small()).unwrap();
         assert_eq!(fig.figure_number(), 9);
         assert!((fig.mtbf_grid.last().unwrap() - 3600.0).abs() < 1e-9); // 60 min
         let t_max = *fig.exploitation_grid.last().unwrap();
@@ -318,7 +321,7 @@ mod tests {
 
     #[test]
     fn ratios_degrade_with_longer_exploitation() {
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         // Within the lowest-MTBF row, NBL/TRIPLE falls as T grows.
         let row = fig.matrix(RiskPoint::nbl_over_triple);
         for w in row[0].windows(2) {

@@ -16,7 +16,7 @@
 //!   Eq. 11/16 predicts.
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{PlatformParams, Protocol, RiskModel, Scenario};
+use dck_core::{ModelError, PlatformParams, Protocol, RiskModel, Scenario};
 use dck_failures::DistributionSpec;
 use dck_sim::montecarlo::SourceKind;
 use dck_sim::{estimate_success, estimate_waste, MonteCarloConfig, RunConfig};
@@ -131,7 +131,11 @@ pub struct RobustnessReport {
 
 /// Runs the sweep: waste on a 96-node Base-shaped platform at M = 30
 /// min; risk at the harsh Base corner (full size, M = 60 s, T = 1 day).
-pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
+///
+/// # Errors
+/// Propagates model/configuration errors; an operating point where no
+/// replication completes is reported as a degenerate-estimate error.
+pub fn run(cfg: &RobustnessConfig) -> Result<RobustnessReport, ModelError> {
     let scenario = Scenario::base();
     let mut waste_params = scenario.params;
     waste_params.nodes = 96;
@@ -140,8 +144,7 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
 
     let mut waste = Vec::new();
     for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
-        let model = dck_core::optimal_period(protocol, &waste_params, phi, mtbf)
-            .expect("valid point")
+        let model = dck_core::optimal_period(protocol, &waste_params, phi, mtbf)?
             .waste
             .total;
         for (label, source) in distributions() {
@@ -152,8 +155,10 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
                 workers: cfg.workers,
                 source,
             };
-            let est = estimate_waste(&run_cfg, 25.0 * mtbf, &mc).expect("valid configuration");
-            let ci = est.ci95.expect("V3 operating points always complete runs");
+            let est = estimate_waste(&run_cfg, 25.0 * mtbf, &mc)?;
+            let ci = est.ci95.ok_or_else(|| {
+                ModelError::invalid("replications", "no V3 replication completed its work")
+            })?;
             waste.push(WasteRobustnessRow {
                 distribution: label.to_string(),
                 protocol,
@@ -170,10 +175,8 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
     let horizon = 86_400.0;
     let mut risk = Vec::new();
     for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
-        let model_p = RiskModel::with_theta(protocol, &risk_params, risk_params.theta_max())
-            .expect("valid")
-            .success_probability(mtbf_risk, horizon)
-            .expect("valid")
+        let model_p = RiskModel::with_theta(protocol, &risk_params, risk_params.theta_max())?
+            .success_probability(mtbf_risk, horizon)?
             .probability;
         for (label, source) in distributions() {
             let run_cfg = RunConfig::new(protocol, risk_params, 0.0, mtbf_risk);
@@ -183,7 +186,7 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
                 workers: cfg.workers,
                 source,
             };
-            let est = estimate_success(&run_cfg, horizon, &mc).expect("valid configuration");
+            let est = estimate_success(&run_cfg, horizon, &mc)?;
             risk.push(RiskRobustnessRow {
                 distribution: label.to_string(),
                 protocol,
@@ -193,7 +196,7 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessReport {
             });
         }
     }
-    RobustnessReport { waste, risk }
+    Ok(RobustnessReport { waste, risk })
 }
 
 /// The risk platform: the full Base machine (the heap-based renewal

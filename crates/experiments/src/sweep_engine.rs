@@ -11,7 +11,7 @@
 //! renders.
 
 use crate::output::{fmt_f64, to_csv, OutputDir};
-use dck_core::{Protocol, Scenario};
+use dck_core::{ModelError, Protocol, Scenario};
 use dck_obs::MetricsSnapshot;
 use dck_sim::{run_sweep, EarlyStop, SweepEngine, SweepResult, SweepSpec};
 use serde::{Deserialize, Serialize};
@@ -108,20 +108,30 @@ pub struct SweepEngineReport {
 /// (and the prior enabled state restored after): the counter work is a
 /// handful of relaxed atomic adds per round, far below the timing noise
 /// of the Monte-Carlo work being compared, and never affects results.
-pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
-    let mut spec = cfg.spec();
-
+///
+/// # Errors
+/// Propagates sweep configuration errors from either engine.
+pub fn run(cfg: &SweepEngineConfig) -> Result<SweepEngineReport, ModelError> {
     dck_obs::reset();
     let was_enabled = dck_obs::set_enabled(true);
+    let report = run_enabled(cfg);
+    dck_obs::set_enabled(was_enabled);
+    report
+}
+
+/// The body of [`run`], executed with metric recording switched on so
+/// the caller can restore the prior state on both success and error.
+fn run_enabled(cfg: &SweepEngineConfig) -> Result<SweepEngineReport, ModelError> {
+    let mut spec = cfg.spec();
 
     spec.engine = SweepEngine::PerCell;
     let t0 = Instant::now();
-    let per_cell = run_sweep(&spec).expect("valid sweep");
+    let per_cell = run_sweep(&spec)?;
     let per_cell_seconds = t0.elapsed().as_secs_f64();
 
     spec.engine = SweepEngine::GlobalPool;
     let t0 = Instant::now();
-    let global = run_sweep(&spec).expect("valid sweep");
+    let global = run_sweep(&spec)?;
     let global_pool_seconds = t0.elapsed().as_secs_f64();
 
     let engines_identical = per_cell.cells.iter().zip(&global.cells).all(|(a, b)| {
@@ -133,13 +143,12 @@ pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
 
     spec.early_stop = Some(EarlyStop::at_half_width(cfg.target_half_width));
     let t0 = Instant::now();
-    let adaptive = run_sweep(&spec).expect("valid sweep");
+    let adaptive = run_sweep(&spec)?;
     let adaptive_seconds = t0.elapsed().as_secs_f64();
 
-    dck_obs::set_enabled(was_enabled);
     let metrics = dck_obs::snapshot();
 
-    SweepEngineReport {
+    Ok(SweepEngineReport {
         config: cfg.clone(),
         per_cell_seconds,
         global_pool_seconds,
@@ -149,7 +158,7 @@ pub fn run(cfg: &SweepEngineConfig) -> SweepEngineReport {
         adaptive_replications: adaptive.total_replications_run(),
         metrics,
         result: global,
-    }
+    })
 }
 
 impl SweepEngineReport {
@@ -236,7 +245,7 @@ mod tests {
         // Loose target so early stopping actually bites in a test-sized
         // budget.
         cfg.target_half_width = 0.05;
-        let report = run(&cfg);
+        let report = run(&cfg).unwrap();
         assert!(report.engines_identical);
         assert_eq!(
             report.fixed_replications,

@@ -14,7 +14,7 @@
 //! the analytic model is first-order in the failure rate).
 
 use crate::output::{ascii_table, fmt_f64, to_csv, OutputDir};
-use dck_core::{optimal_period, PlatformParams, Protocol, RiskModel, Scenario};
+use dck_core::{optimal_period, ModelError, PlatformParams, Protocol, RiskModel, Scenario};
 use dck_sim::{estimate_success, estimate_waste, MonteCarloConfig, PeriodChoice, RunConfig};
 use serde::{Deserialize, Serialize};
 
@@ -118,7 +118,10 @@ const WASTE_SLACK: f64 = 4.0;
 const RISK_SLACK: f64 = 0.05;
 
 /// Runs the waste validation sweep on a Base-shaped platform.
-pub fn run_waste(cfg: &ValidateConfig) -> Vec<WasteRow> {
+///
+/// # Errors
+/// Propagates model/configuration errors from any validated point.
+pub fn run_waste(cfg: &ValidateConfig) -> Result<Vec<WasteRow>, ModelError> {
     let scenario = Scenario::base();
     let mut params = scenario.params;
     params.nodes = cfg.waste_nodes;
@@ -126,11 +129,11 @@ pub fn run_waste(cfg: &ValidateConfig) -> Vec<WasteRow> {
     for protocol in Protocol::EVALUATED {
         for phi_ratio in [0.0, 0.5, 1.0] {
             for mtbf in [3_600.0, 7.0 * 3_600.0] {
-                rows.push(waste_point(cfg, &params, protocol, phi_ratio, mtbf));
+                rows.push(waste_point(cfg, &params, protocol, phi_ratio, mtbf)?);
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 fn waste_point(
@@ -139,9 +142,9 @@ fn waste_point(
     protocol: Protocol,
     phi_ratio: f64,
     mtbf: f64,
-) -> WasteRow {
+) -> Result<WasteRow, ModelError> {
     let phi = phi_ratio * params.theta_min;
-    let opt = optimal_period(protocol, params, phi, mtbf).expect("valid point");
+    let opt = optimal_period(protocol, params, phi, mtbf)?;
     let mut run_cfg = RunConfig::new(protocol, *params, phi, mtbf);
     run_cfg.period = PeriodChoice::Explicit(opt.period);
     let mc = MonteCarloConfig {
@@ -151,12 +154,14 @@ fn waste_point(
         source: dck_sim::montecarlo::SourceKind::Exponential,
     };
     let t_base = cfg.work_in_mtbfs * mtbf;
-    let est = estimate_waste(&run_cfg, t_base, &mc).expect("valid configuration");
-    let ci = est.ci95.expect("V1 operating points always complete runs");
+    let est = estimate_waste(&run_cfg, t_base, &mc)?;
+    let ci = est.ci95.ok_or_else(|| {
+        ModelError::invalid("replications", "no V1 replication completed its work")
+    })?;
     let model = opt.waste.total;
     let hw = ci.half_width.max(1e-12);
     let z = (model - ci.mean).abs() / hw;
-    WasteRow {
+    Ok(WasteRow {
         protocol,
         phi_ratio,
         mtbf,
@@ -165,23 +170,26 @@ fn waste_point(
         half_width: ci.half_width,
         z_score: z,
         within: ci.contains_with_slack(model, WASTE_SLACK),
-    }
+    })
 }
 
 /// Runs the risk validation sweep: the paper's harsh corner (Base
 /// platform at full size, minute-level MTBF, day-level exploitation),
 /// where fatal failures are frequent enough to measure.
-pub fn run_risk(cfg: &ValidateConfig) -> Vec<RiskRow> {
+///
+/// # Errors
+/// Propagates model/configuration errors from any validated point.
+pub fn run_risk(cfg: &ValidateConfig) -> Result<Vec<RiskRow>, ModelError> {
     let scenario = Scenario::base();
     let params = scenario.params; // full n = 10368 (divisible by 6)
     let theta = params.theta_max();
     let mut rows = Vec::new();
     for protocol in Protocol::EVALUATED {
         for (mtbf, horizon) in [(60.0, 86_400.0), (120.0, 3.0 * 86_400.0)] {
-            rows.push(risk_point(cfg, &params, protocol, theta, mtbf, horizon));
+            rows.push(risk_point(cfg, &params, protocol, theta, mtbf, horizon)?);
         }
     }
-    rows
+    Ok(rows)
 }
 
 fn risk_point(
@@ -191,7 +199,7 @@ fn risk_point(
     theta: f64,
     mtbf: f64,
     horizon: f64,
-) -> RiskRow {
+) -> Result<RiskRow, ModelError> {
     // Pin θ at its maximum, matching Figures 6/9: run the simulation at
     // φ = 0 so the schedule's θ is also (α+1)R.
     let mut run_cfg = RunConfig::new(protocol, *params, 0.0, mtbf);
@@ -205,14 +213,12 @@ fn risk_point(
         workers: cfg.workers,
         source: dck_sim::montecarlo::SourceKind::Exponential,
     };
-    let est = estimate_success(&run_cfg, horizon, &mc).expect("valid configuration");
-    let model = RiskModel::with_theta(protocol, params, theta)
-        .expect("θmax valid")
-        .success_probability(mtbf, horizon)
-        .expect("valid point")
+    let est = estimate_success(&run_cfg, horizon, &mc)?;
+    let model = RiskModel::with_theta(protocol, params, theta)?
+        .success_probability(mtbf, horizon)?
         .probability;
     let (lo, hi) = est.wilson95;
-    RiskRow {
+    Ok(RiskRow {
         protocol,
         mtbf,
         horizon,
@@ -220,15 +226,18 @@ fn risk_point(
         sim_p: est.p_hat,
         wilson: est.wilson95,
         within: model >= lo - RISK_SLACK && model <= hi + RISK_SLACK,
-    }
+    })
 }
 
 /// Runs the full validation.
-pub fn run(cfg: &ValidateConfig) -> ValidationReport {
-    ValidationReport {
-        waste: run_waste(cfg),
-        risk: run_risk(cfg),
-    }
+///
+/// # Errors
+/// Propagates model/configuration errors from either sweep.
+pub fn run(cfg: &ValidateConfig) -> Result<ValidationReport, ModelError> {
+    Ok(ValidationReport {
+        waste: run_waste(cfg)?,
+        risk: run_risk(cfg)?,
+    })
 }
 
 impl ValidationReport {
@@ -399,7 +408,7 @@ mod tests {
         params.nodes = cfg.waste_nodes;
         // One point per protocol keeps the test quick.
         for protocol in Protocol::EVALUATED {
-            let row = waste_point(&cfg, &params, protocol, 0.5, 7.0 * 3600.0);
+            let row = waste_point(&cfg, &params, protocol, 0.5, 7.0 * 3600.0).unwrap();
             assert!(
                 row.within,
                 "{protocol:?}: model {} vs sim {} ± {}",
@@ -419,7 +428,8 @@ mod tests {
             params.theta_max(),
             60.0,
             86_400.0,
-        );
+        )
+        .unwrap();
         assert!(
             row.within,
             "model {} vs sim {} in {:?}",

@@ -5,7 +5,7 @@
 //! Figure 5, `Exa` for Figure 8.
 
 use crate::output::{fmt_f64, to_csv, OutputDir};
-use dck_core::{Evaluation, Protocol, Scenario};
+use dck_core::{Evaluation, ModelError, Protocol, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// The MTBF pinned by both figures: 7 hours.
@@ -40,36 +40,39 @@ pub struct WasteRatioFigure {
 }
 
 /// Computes the figure with `points` φ/R samples.
-pub fn run(scenario: &Scenario, points: usize) -> WasteRatioFigure {
+///
+/// # Errors
+/// Propagates model errors from any sampled operating point.
+pub fn run(scenario: &Scenario, points: usize) -> Result<WasteRatioFigure, ModelError> {
     assert!(points >= 2);
-    let pts = (0..points)
-        .map(|i| {
-            let ratio = i as f64 / (points - 1) as f64;
-            let phi = ratio * scenario.params.theta_min;
-            let eval = |p: Protocol| {
-                Evaluation::at_optimal_period(p, &scenario.params, phi, M_7H)
-                    .expect("Table I operating points are valid")
+    let mut pts = Vec::with_capacity(points);
+    for i in 0..points {
+        let ratio = i as f64 / (points - 1) as f64;
+        let phi = ratio * scenario.params.theta_min;
+        let eval = |p: Protocol| -> Result<f64, ModelError> {
+            Ok(
+                Evaluation::at_optimal_period(p, &scenario.params, phi, M_7H)?
                     .waste
-                    .total
-            };
-            let nbl = eval(Protocol::DoubleNbl);
-            let bof = eval(Protocol::DoubleBof);
-            let tri = eval(Protocol::Triple);
-            RatioPoint {
-                phi_ratio: ratio,
-                waste_nbl: nbl,
-                waste_bof: bof,
-                waste_triple: tri,
-                bof_over_nbl: bof / nbl,
-                triple_over_nbl: tri / nbl,
-            }
-        })
-        .collect();
-    WasteRatioFigure {
+                    .total,
+            )
+        };
+        let nbl = eval(Protocol::DoubleNbl)?;
+        let bof = eval(Protocol::DoubleBof)?;
+        let tri = eval(Protocol::Triple)?;
+        pts.push(RatioPoint {
+            phi_ratio: ratio,
+            waste_nbl: nbl,
+            waste_bof: bof,
+            waste_triple: tri,
+            bof_over_nbl: bof / nbl,
+            triple_over_nbl: tri / nbl,
+        });
+    }
+    Ok(WasteRatioFigure {
         scenario: scenario.name.clone(),
         mtbf: M_7H,
         points: pts,
-    }
+    })
 }
 
 impl WasteRatioFigure {
@@ -131,7 +134,7 @@ mod tests {
 
     #[test]
     fn base_shape_matches_figure5() {
-        let fig = run(&Scenario::base(), 21);
+        let fig = run(&Scenario::base(), 21).unwrap();
         assert_eq!(fig.figure_number(), 5);
 
         // (i) BoF never beats NBL, and they converge at φ/R = 1.
@@ -163,7 +166,7 @@ mod tests {
 
     #[test]
     fn exa_shape_matches_figure8() {
-        let fig = run(&Scenario::exa(), 21);
+        let fig = run(&Scenario::exa(), 21).unwrap();
         assert_eq!(fig.figure_number(), 8);
         // §VI-B: "the gain of TRIPLE increases up to 25% of that of
         // DOUBLENBL when φ/R = 1/10" — i.e. TRIPLE's waste is about
@@ -191,7 +194,7 @@ mod tests {
     #[test]
     fn ratios_monotone_toward_blocking_end() {
         // TRIPLE's relative position degrades as φ/R grows.
-        let fig = run(&Scenario::base(), 21);
+        let fig = run(&Scenario::base(), 21).unwrap();
         for w in fig.points.windows(2) {
             assert!(w[1].triple_over_nbl >= w[0].triple_over_nbl - 1e-9);
         }

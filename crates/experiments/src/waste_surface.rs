@@ -6,7 +6,7 @@
 //! for Figure 7.
 
 use crate::output::{ascii_heatmap, fmt_f64, to_csv, OutputDir};
-use dck_core::{Evaluation, Protocol, Scenario};
+use dck_core::{Evaluation, ModelError, Protocol, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// One sampled point of the surface.
@@ -63,7 +63,10 @@ impl Default for Resolution {
 }
 
 /// Computes the figure for a scenario.
-pub fn run(scenario: &Scenario, res: Resolution) -> WasteSurfaceFigure {
+///
+/// # Errors
+/// Propagates model errors from any sampled operating point.
+pub fn run(scenario: &Scenario, res: Resolution) -> Result<WasteSurfaceFigure, ModelError> {
     // The paper's axis: "from 15s, where no progress happens for any
     // protocol, up to 1 day, where the waste is almost 0 for all".
     let mtbf_grid = Scenario::mtbf_sweep(15.0, 86_400.0, res.mtbf_points);
@@ -71,33 +74,30 @@ pub fn run(scenario: &Scenario, res: Resolution) -> WasteSurfaceFigure {
         .map(|i| i as f64 / (res.phi_points - 1) as f64)
         .collect();
 
-    let surfaces = Protocol::EVALUATED
-        .iter()
-        .map(|&protocol| {
-            let mut points = Vec::with_capacity(mtbf_grid.len() * phi_grid.len());
-            for &m in &mtbf_grid {
-                for &ratio in &phi_grid {
-                    let phi = ratio * scenario.params.theta_min;
-                    let e = Evaluation::at_optimal_period(protocol, &scenario.params, phi, m)
-                        .expect("Table I operating points are valid");
-                    points.push(SurfacePoint {
-                        mtbf: m,
-                        phi_ratio: ratio,
-                        waste: e.waste.total,
-                        period: e.period,
-                    });
-                }
+    let mut surfaces = Vec::with_capacity(Protocol::EVALUATED.len());
+    for &protocol in Protocol::EVALUATED.iter() {
+        let mut points = Vec::with_capacity(mtbf_grid.len() * phi_grid.len());
+        for &m in &mtbf_grid {
+            for &ratio in &phi_grid {
+                let phi = ratio * scenario.params.theta_min;
+                let e = Evaluation::at_optimal_period(protocol, &scenario.params, phi, m)?;
+                points.push(SurfacePoint {
+                    mtbf: m,
+                    phi_ratio: ratio,
+                    waste: e.waste.total,
+                    period: e.period,
+                });
             }
-            ProtocolSurface { protocol, points }
-        })
-        .collect();
+        }
+        surfaces.push(ProtocolSurface { protocol, points });
+    }
 
-    WasteSurfaceFigure {
+    Ok(WasteSurfaceFigure {
         scenario: scenario.name.clone(),
         mtbf_grid,
         phi_grid,
         surfaces,
-    }
+    })
 }
 
 impl WasteSurfaceFigure {
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn surfaces_cover_grid_for_all_protocols() {
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         assert_eq!(fig.figure_number(), 4);
         assert_eq!(fig.surfaces.len(), 3);
         for s in &fig.surfaces {
@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn no_progress_at_15s_and_tiny_waste_at_1day() {
         // The paper's axis endpoints: waste ≈ 1 at M = 15 s, ≈ 0 at 1 day.
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         for s in &fig.surfaces {
             let z = fig.matrix(s);
             let first_row_max = z[0].iter().cloned().fold(0.0, f64::max);
@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn waste_decreases_with_mtbf() {
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         for s in &fig.surfaces {
             let z = fig.matrix(s);
             // At fixed φ/R, waste is non-increasing in M.
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn triple_benefits_most_from_low_phi() {
         // §VI: "TRIPLE takes a higher benefit of a low value of φ".
-        let fig = run(&Scenario::base(), small());
+        let fig = run(&Scenario::base(), small()).unwrap();
         let z: Vec<Vec<Vec<f64>>> = fig.surfaces.iter().map(|s| fig.matrix(s)).collect();
         // At the largest MTBF row, TRIPLE's φ=0 waste is far below the
         // doubles'.
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn exa_surface_runs() {
-        let fig = run(&Scenario::exa(), small());
+        let fig = run(&Scenario::exa(), small()).unwrap();
         assert_eq!(fig.figure_number(), 7);
         assert_eq!(fig.surfaces.len(), 3);
     }

@@ -119,8 +119,11 @@ impl FailureTrace {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    ///
+    /// # Errors
+    /// A serde message (practically unreachable for this plain struct).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("trace serialization: {e}"))
     }
 
     /// Parses a trace from JSON, re-validating ordering.
@@ -143,15 +146,21 @@ impl FailureTrace {
     /// event object per line. The line-oriented form diffs cleanly,
     /// appends cheaply, and survives partial reads detectably —
     /// [`from_jsonl`](Self::from_jsonl) rejects a file cut mid-line.
-    pub fn to_jsonl(&self) -> String {
-        let mut out =
-            serde_json::to_string(&TraceHeader { nodes: self.nodes }).expect("header serializes");
+    ///
+    /// # Errors
+    /// A serde message (practically unreachable for this plain struct).
+    pub fn to_jsonl(&self) -> Result<String, String> {
+        let mut out = serde_json::to_string(&TraceHeader { nodes: self.nodes })
+            .map_err(|e| format!("trace header serialization: {e}"))?;
         out.push('\n');
         for ev in &self.events {
-            out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+            out.push_str(
+                &serde_json::to_string(ev)
+                    .map_err(|e| format!("trace event serialization: {e}"))?,
+            );
             out.push('\n');
         }
-        out
+        Ok(out)
     }
 
     /// Parses the JSONL form produced by [`to_jsonl`](Self::to_jsonl),
@@ -345,7 +354,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let trace = small_trace();
-        let json = trace.to_json();
+        let json = trace.to_json().unwrap();
         let back = FailureTrace::from_json(&json).unwrap();
         assert_eq!(trace, back);
     }
@@ -409,11 +418,11 @@ mod tests {
     #[test]
     fn jsonl_roundtrip_is_lossless() {
         for trace in [small_trace(), FailureTrace::new(3, vec![])] {
-            let jsonl = trace.to_jsonl();
+            let jsonl = trace.to_jsonl().unwrap();
             let back = FailureTrace::from_jsonl(&jsonl).unwrap();
             assert_eq!(trace, back);
             // And stable under a second round trip.
-            assert_eq!(back.to_jsonl(), jsonl);
+            assert_eq!(back.to_jsonl().unwrap(), jsonl);
         }
     }
 
@@ -426,13 +435,13 @@ mod tests {
         let mut src = AggregatedExponential::new(spec, RngFactory::new(7).stream(0));
         let trace = FailureTrace::record(&mut src, SimTime::hours(20.0));
         assert!(trace.len() > 10);
-        let back = FailureTrace::from_jsonl(&trace.to_jsonl()).unwrap();
+        let back = FailureTrace::from_jsonl(&trace.to_jsonl().unwrap()).unwrap();
         assert_eq!(trace, back);
     }
 
     #[test]
     fn from_jsonl_rejects_truncated_input() {
-        let jsonl = small_trace().to_jsonl();
+        let jsonl = small_trace().to_jsonl().unwrap();
         // Cut the file mid-way through the last event line.
         let cut = &jsonl[..jsonl.len() - 8];
         let err = FailureTrace::from_jsonl(cut).unwrap_err();
@@ -484,7 +493,10 @@ mod tests {
         let none = trace.truncated(SimTime::seconds(0.0));
         assert!(none.is_empty());
         // An empty truncation still round-trips through JSONL.
-        assert_eq!(FailureTrace::from_jsonl(&none.to_jsonl()).unwrap(), none);
+        assert_eq!(
+            FailureTrace::from_jsonl(&none.to_jsonl().unwrap()).unwrap(),
+            none
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
@@ -203,6 +203,14 @@ pub struct Registry {
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
+/// Locks a registry map, recovering from a poisoned mutex: the maps
+/// hold only `Arc` handles and `BTreeMap` insertions are not observable
+/// half-done, so a panic in another thread cannot leave them logically
+/// inconsistent.
+fn lock_registry<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -213,7 +221,7 @@ impl Registry {
     /// Callers in hot loops should look the handle up once and reuse
     /// the `Arc`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("counter registry poisoned");
+        let mut map = lock_registry(&self.counters);
         match map.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -226,7 +234,7 @@ impl Registry {
 
     /// The histogram registered under `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        let mut map = lock_registry(&self.histograms);
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -242,14 +250,14 @@ impl Registry {
         let counters = self
             .counters
             .lock()
-            .expect("counter registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("histogram registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();
@@ -265,7 +273,7 @@ impl Registry {
         for c in self
             .counters
             .lock()
-            .expect("counter registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
         {
             c.reset();
@@ -273,7 +281,7 @@ impl Registry {
         for h in self
             .histograms
             .lock()
-            .expect("histogram registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
         {
             h.reset();

@@ -20,7 +20,7 @@
 
 use crate::groups::{GroupId, GroupLayout, NodeId};
 use dck_core::ModelError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of recording one failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub struct RiskTracker {
     risk_window: f64,
     /// Open windows per group: `(member, open-until)`. Sparse — only
     /// groups with at least one recent failure are present.
-    open: HashMap<GroupId, Vec<(NodeId, f64)>>,
+    open: BTreeMap<GroupId, Vec<(NodeId, f64)>>,
     fatal_seen: u64,
     failures_seen: u64,
 }
@@ -62,7 +62,7 @@ impl RiskTracker {
         Ok(RiskTracker {
             layout,
             risk_window,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             fatal_seen: 0,
             failures_seen: 0,
         })

@@ -185,11 +185,15 @@ pub fn run_hierarchical(
                     });
                 }
                 // Reload from stable storage and re-run the segment.
-                wall += out.fatal_at.expect("fatal runs carry a time")
+                // (Fatal runs carry a time; fall back to the full run
+                // time rather than panicking a sweep worker.)
+                wall += out.fatal_at.unwrap_or(out.total_time)
                     + cfg.inner.params.downtime
                     + cfg.store.read_time;
             }
-            StopReason::FailureCapReached | StopReason::NoProgress => {
+            // HorizonReached cannot occur in completion mode; treat it
+            // like any other truncated run instead of panicking.
+            StopReason::FailureCapReached | StopReason::NoProgress | StopReason::HorizonReached => {
                 return Ok(HierarchicalOutcome {
                     total_time: wall + out.total_time,
                     useful_work: committed + out.useful_work,
@@ -199,7 +203,6 @@ pub fn run_hierarchical(
                     completed: false,
                 });
             }
-            StopReason::HorizonReached => unreachable!("completion mode"),
         }
     }
 

@@ -154,8 +154,11 @@ impl WasteAccum {
                 self.failures.push(outcome.failures as f64);
             }
             StopReason::Fatal => self.fatal += 1,
-            StopReason::FailureCapReached | StopReason::NoProgress => self.truncated += 1,
-            StopReason::HorizonReached => unreachable!("completion mode has no horizon"),
+            // HorizonReached cannot occur in completion mode; count it
+            // as truncated rather than panicking a sweep worker.
+            StopReason::FailureCapReached | StopReason::NoProgress | StopReason::HorizonReached => {
+                self.truncated += 1
+            }
         }
     }
 

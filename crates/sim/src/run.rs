@@ -342,9 +342,9 @@ fn drive_observed(
                 }
                 // A failure strikes during the outage: the platform
                 // rolls back again. The remaining planned outage is
-                // discarded (its elapsed part already counted via t).
-                let (end_old, _) = outage.take().expect("outage present");
-                outage_time -= end_old - next_at; // un-count the unspent tail
+                // discarded (its elapsed part already counted via t)
+                // and `outage` is re-armed below with the new recovery.
+                outage_time -= end - next_at; // un-count the unspent tail
                 t = next_at;
             }
         }

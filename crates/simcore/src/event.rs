@@ -131,11 +131,8 @@ impl<E> EventQueue<E> {
     /// Drains events up to and including time `horizon`, in order.
     pub fn drain_until(&mut self, horizon: SimTime) -> Vec<ScheduledEvent<E>> {
         let mut out = Vec::new();
-        while let Some(e) = self.heap.peek() {
-            if e.at > horizon {
-                break;
-            }
-            out.push(self.heap.pop().expect("peeked"));
+        while self.heap.peek().is_some_and(|e| e.at <= horizon) {
+            out.extend(self.heap.pop());
         }
         out
     }

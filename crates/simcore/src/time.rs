@@ -39,7 +39,9 @@ impl SimTime {
     #[inline]
     pub fn seconds(secs: f64) -> Self {
         assert!(!secs.is_nan(), "SimTime cannot be NaN");
-        SimTime(secs)
+        // `+ 0.0` normalizes -0.0 to +0.0 so the total order used by
+        // `Ord` agrees with the bitwise-derived `PartialEq`.
+        SimTime(secs + 0.0)
     }
 
     /// Constructs from minutes.
@@ -154,10 +156,9 @@ impl PartialOrd for SimTime {
 impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        // NaN is rejected at construction, so partial_cmp cannot fail.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is NaN-free by construction")
+        // NaN is rejected at construction; total_cmp agrees with the
+        // usual `<` ordering on the remaining (NaN-free) values.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -219,7 +220,7 @@ impl Neg for SimTime {
     type Output = SimTime;
     #[inline]
     fn neg(self) -> SimTime {
-        SimTime(-self.0)
+        SimTime::seconds(-self.0)
     }
 }
 

@@ -72,7 +72,15 @@ impl ConformanceSpec {
             mtbfs: vec![1_800.0, 3_600.0, 7.0 * 3_600.0],
             alphas: vec![0.0, 5.0, 10.0],
             phi_ratios: vec![0.0, 0.5, 1.0],
-            base: PlatformParams::new(0.0, 2.0, 4.0, 10.0, 48).expect("base params are valid"),
+            // Compile-time-constant Base-shaped params (validated shape
+            // locked by the params tests), constructed infallibly.
+            base: PlatformParams {
+                downtime: 0.0,
+                delta: 2.0,
+                theta_min: 4.0,
+                alpha: 10.0,
+                nodes: 48,
+            },
             replications: 24,
             work_in_mtbfs: 10.0,
             seed: 0xC0F0,
@@ -225,10 +233,14 @@ impl ConformanceReport {
     }
 
     /// Serializes to pretty JSON (the artifact format).
-    pub fn to_json(&self) -> String {
-        let mut s = serde_json::to_string_pretty(self).expect("report serialization cannot fail");
+    ///
+    /// # Errors
+    /// A serde message (practically unreachable for this plain struct).
+    pub fn to_json(&self) -> Result<String, String> {
+        let mut s =
+            serde_json::to_string_pretty(self).map_err(|e| format!("report serialization: {e}"))?;
         s.push('\n');
-        s
+        Ok(s)
     }
 
     /// Parses and consistency-checks a report.
@@ -414,7 +426,7 @@ mod tests {
     #[test]
     fn report_json_roundtrip() {
         let report = run_conformance(&tiny_spec()).unwrap();
-        let back = ConformanceReport::from_json(&report.to_json()).unwrap();
+        let back = ConformanceReport::from_json(&report.to_json().unwrap()).unwrap();
         assert_eq!(report, back);
     }
 
@@ -423,7 +435,7 @@ mod tests {
         let report = run_conformance(&tiny_spec()).unwrap();
         let mut tampered = report.clone();
         tampered.passed = 99;
-        let err = ConformanceReport::from_json(&tampered.to_json()).unwrap_err();
+        let err = ConformanceReport::from_json(&tampered.to_json().unwrap()).unwrap_err();
         assert!(err.contains("tally"), "{err}");
         let mut short = report;
         short.cells.pop();

@@ -88,13 +88,18 @@ pub fn load_cases(dir: &Path) -> Result<Vec<GoldenCase>, String> {
 }
 
 /// Serializes a timeline to JSONL (one event per line).
-pub fn timeline_to_jsonl(timeline: &[TimelineEvent]) -> String {
+///
+/// # Errors
+/// A serde message (practically unreachable for these plain enums).
+pub fn timeline_to_jsonl(timeline: &[TimelineEvent]) -> Result<String, String> {
     let mut out = String::new();
     for ev in timeline {
-        out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        out.push_str(
+            &serde_json::to_string(ev).map_err(|e| format!("timeline serialization: {e}"))?,
+        );
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Parses a timeline from JSONL, naming the offending line on error.
@@ -151,7 +156,8 @@ pub fn replay_case_mode(case: &GoldenCase, update: bool) -> Result<ReplayReport,
             std::fs::create_dir_all(parent)
                 .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
         }
-        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline))
+        let jsonl = timeline_to_jsonl(&out.timeline)?;
+        std::fs::write(&case.trace_path, jsonl)
             .map_err(|e| format!("cannot write {}: {e}", case.trace_path.display()))?;
         return Ok(ReplayReport {
             name: case.name.clone(),
@@ -214,7 +220,7 @@ mod tests {
 
     fn case_in(dir: &Path, s: &FaultScript) -> GoldenCase {
         let script_path = dir.join("scripts").join(format!("{}.json", s.name));
-        std::fs::write(&script_path, s.to_json()).unwrap();
+        std::fs::write(&script_path, s.to_json().unwrap()).unwrap();
         GoldenCase {
             name: s.name.clone(),
             trace_path: dir.join("traces").join(format!("{}.jsonl", s.name)),
@@ -227,7 +233,7 @@ mod tests {
     fn timeline_jsonl_roundtrip() {
         let out = script("rt").run().unwrap();
         assert!(!out.timeline.is_empty());
-        let jsonl = timeline_to_jsonl(&out.timeline);
+        let jsonl = timeline_to_jsonl(&out.timeline).unwrap();
         let back = timeline_from_jsonl(&jsonl).unwrap();
         assert_eq!(back, out.timeline);
         assert!(timeline_from_jsonl("garbage\n")
@@ -248,12 +254,12 @@ mod tests {
         if let Some(TimelineEvent::Failure { at, .. }) = out.timeline.first_mut() {
             *at += 7.0;
         }
-        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline)).unwrap();
+        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline).unwrap()).unwrap();
         let err = replay_case_mode(&case, false).unwrap_err();
         assert!(err.contains("first divergence at event 0"), "{err}");
         // Store the true golden: replay passes.
         let out = s.run().unwrap();
-        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline)).unwrap();
+        std::fs::write(&case.trace_path, timeline_to_jsonl(&out.timeline).unwrap()).unwrap();
         let report = replay_case_mode(&case, false).unwrap();
         assert_eq!(report.events, out.timeline.len());
         assert!(!report.updated);
@@ -286,7 +292,7 @@ mod tests {
         bad.name = "actually_y".into();
         std::fs::write(
             dir.join("scripts").join("claims_to_be_x.json"),
-            bad.to_json(),
+            bad.to_json().unwrap(),
         )
         .unwrap();
         let err = load_cases(&dir).unwrap_err();

@@ -200,10 +200,14 @@ impl FaultScript {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        let mut s = serde_json::to_string_pretty(self).expect("script serialization cannot fail");
+    ///
+    /// # Errors
+    /// A serde message (practically unreachable for this plain struct).
+    pub fn to_json(&self) -> Result<String, String> {
+        let mut s =
+            serde_json::to_string_pretty(self).map_err(|e| format!("script serialization: {e}"))?;
         s.push('\n');
-        s
+        Ok(s)
     }
 
     /// Resolves the script against the model and simulator: validates
@@ -253,7 +257,7 @@ impl FaultScript {
                 node,
             });
         }
-        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        events.sort_by_key(|e| e.at);
 
         let work = match self.work {
             WorkSpec::Periods(k) => {
@@ -481,7 +485,7 @@ mod tests {
         let mut s = base_script();
         s.faults = vec![Fault::on_node(250.0, 0), Fault::on_member(300.0, 2, 1)];
         s.expect.reason = Some(StopReason::WorkComplete);
-        let back = FaultScript::from_json(&s.to_json()).unwrap();
+        let back = FaultScript::from_json(&s.to_json().unwrap()).unwrap();
         assert_eq!(s, back);
     }
 

@@ -32,7 +32,7 @@ fn coarse_grid_model_matches_simulation() {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(&path, report.to_json()).expect("write conformance.json");
+    std::fs::write(&path, report.to_json().unwrap()).expect("write conformance.json");
     eprintln!("conformance report written to {}", path.display());
 
     assert_eq!(

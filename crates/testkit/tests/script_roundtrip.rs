@@ -10,10 +10,10 @@ use dck_testkit::script::FaultScript;
 fn corpus_scripts_roundtrip_through_json() {
     let cases = load_cases(&default_corpus_dir()).expect("corpus must load");
     for case in &cases {
-        let json = case.script.to_json();
+        let json = case.script.to_json().unwrap();
         let back = FaultScript::from_json(&json)
             .unwrap_or_else(|err| panic!("{}: reparse failed: {err}", case.name));
-        let again = back.to_json();
+        let again = back.to_json().unwrap();
         assert_eq!(json, again, "{}: JSON round-trip is not stable", case.name);
     }
 }
@@ -26,7 +26,7 @@ fn compiled_traces_roundtrip_through_jsonl() {
             .script
             .compile()
             .unwrap_or_else(|err| panic!("{}: compile failed: {err}", case.name));
-        let jsonl = compiled.trace.to_jsonl();
+        let jsonl = compiled.trace.to_jsonl().unwrap();
         let back = FailureTrace::from_jsonl(&jsonl)
             .unwrap_or_else(|err| panic!("{}: JSONL reparse failed: {err}", case.name));
         assert_eq!(
@@ -50,7 +50,7 @@ fn truncated_traces_still_roundtrip() {
             .map(|e| e.at + SimTime::seconds(1e-6))
             .unwrap_or(SimTime::seconds(0.0));
         let prefix = compiled.trace.truncated(horizon);
-        let back = FailureTrace::from_jsonl(&prefix.to_jsonl())
+        let back = FailureTrace::from_jsonl(&prefix.to_jsonl().unwrap())
             .unwrap_or_else(|err| panic!("{}: truncated reparse failed: {err}", case.name));
         assert_eq!(
             prefix, back,

@@ -1,7 +1,7 @@
 # Common tasks for the dck workspace (https://github.com/casey/just).
 
 # Run everything CI runs.
-ci: fmt-check clippy test doc
+ci: fmt-check clippy test doc lint
 
 fmt:
     cargo fmt --all
@@ -16,7 +16,17 @@ test:
     cargo test --workspace
 
 doc:
-    cargo doc --workspace --no-deps
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Workspace determinism/panic-safety lint against the justified baseline.
+lint:
+    cargo build --release -p dck-cli
+    ./target/release/dck lint
+
+# Regenerate the analyze.toml skeleton after intentional changes.
+lint-baseline:
+    cargo build --release -p dck-cli
+    ./target/release/dck lint baseline
 
 # Regenerate every table/figure + validations + extensions into results/.
 experiments:

@@ -41,7 +41,7 @@ fn waste_surfaces_write_per_protocol_csvs() {
         mtbf_points: 5,
         phi_points: 4,
     };
-    let fig = waste_surface::run(&Scenario::base(), res);
+    let fig = waste_surface::run(&Scenario::base(), res).unwrap();
     fig.write(&out).unwrap();
     for proto in ["double-bof", "double-nbl", "triple"] {
         let lines = csv_lines(dir.join(format!("fig4_{proto}.csv")));
@@ -62,7 +62,7 @@ fn waste_surfaces_write_per_protocol_csvs() {
 #[test]
 fn waste_ratio_csv_roundtrips() {
     let (out, dir) = temp_out("fig5");
-    let fig = waste_ratio::run(&Scenario::base(), 9);
+    let fig = waste_ratio::run(&Scenario::base(), 9).unwrap();
     fig.write(&out).unwrap();
     let lines = csv_lines(dir.join("fig5_waste_ratio.csv"));
     assert_eq!(lines.len(), 10);
@@ -80,7 +80,7 @@ fn risk_surface_writes_previews() {
         mtbf_points: 4,
         exploitation_points: 4,
     };
-    let fig = risk_surface::run(&Scenario::base(), res);
+    let fig = risk_surface::run(&Scenario::base(), res).unwrap();
     fig.write(&out).unwrap();
     let lines = csv_lines(dir.join("fig6_risk.csv"));
     assert_eq!(lines.len(), 1 + 16);
@@ -100,10 +100,11 @@ fn exa_figures_generate_too() {
             mtbf_points: 4,
             phi_points: 4,
         },
-    );
+    )
+    .unwrap();
     assert_eq!(fig7.figure_number(), 7);
     fig7.write(&out).unwrap();
-    let fig8 = waste_ratio::run(&Scenario::exa(), 5);
+    let fig8 = waste_ratio::run(&Scenario::exa(), 5).unwrap();
     assert_eq!(fig8.figure_number(), 8);
     fig8.write(&out).unwrap();
     let fig9 = risk_surface::run(
@@ -112,7 +113,8 @@ fn exa_figures_generate_too() {
             mtbf_points: 3,
             exploitation_points: 3,
         },
-    );
+    )
+    .unwrap();
     assert_eq!(fig9.figure_number(), 9);
     fig9.write(&out).unwrap();
     for f in ["fig7_triple.csv", "fig8_waste_ratio.csv", "fig9_risk.csv"] {
@@ -124,7 +126,7 @@ fn exa_figures_generate_too() {
 #[test]
 fn period_check_report_writes_and_validates() {
     let (out, dir) = temp_out("period");
-    let report = period_check::run();
+    let report = period_check::run().unwrap();
     assert!(report.max_interior_rel_err() < 1e-3);
     report.write(&out).unwrap();
     let txt = fs::read_to_string(dir.join("period_check.txt")).unwrap();
@@ -134,7 +136,7 @@ fn period_check_report_writes_and_validates() {
 
 #[test]
 fn json_figures_deserialize_back() {
-    let fig = waste_ratio::run(&Scenario::base(), 5);
+    let fig = waste_ratio::run(&Scenario::base(), 5).unwrap();
     let json = serde_json::to_string(&fig).unwrap();
     let back: waste_ratio::WasteRatioFigure = serde_json::from_str(&json).unwrap();
     // serde_json prints the shortest round-trippable decimal, which can

@@ -221,7 +221,7 @@ pub mod collection {
     use super::{Range, RangeInclusive, StdRng, Strategy};
     use rand::Rng;
 
-    /// A length specification for [`vec`].
+    /// A length specification for [`vec()`](fn@vec).
     pub trait SizeRange {
         /// Samples a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -245,7 +245,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
