@@ -10,12 +10,14 @@ use dck_experiments::output::{ascii_table, fmt_f64};
 use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
 use dck_obs::{JsonlSink, MetricsSnapshot};
 use dck_sim::{
-    estimate_waste, replication_source, run_sweep, run_to_completion_sinked, EarlyStop,
-    MonteCarloConfig, PeriodChoice, RunConfig, SweepEngine, SweepResult, SweepSpec, TimelineEvent,
+    estimate_waste, replication_source, run_sweep_with_checkpoint, run_to_completion_sinked,
+    validate_snapshot, EarlyStop, MonteCarloConfig, PeriodChoice, RunConfig, SweepCheckpoint,
+    SweepEngine, SweepResult, SweepSpec, TimelineEvent,
 };
-use dck_simcore::{RngFactory, SimTime};
+use dck_simcore::{fsio, RngFactory, SimTime};
 use std::fmt::Write as _;
 use std::io::BufWriter;
+use std::path::Path;
 
 /// Entry point: dispatches a command line to its implementation and
 /// returns the rendered output.
@@ -24,6 +26,9 @@ use std::io::BufWriter;
 /// A usage or domain error message fit for stderr.
 pub fn run(raw: &[String]) -> Result<String, String> {
     let args = Args::parse(raw)?;
+    if args.get("help").is_some() {
+        return Ok(usage());
+    }
     let command = args.positional(0).unwrap_or("help");
     let out = match command {
         "scenarios" => cmd_scenarios(&args)?,
@@ -69,11 +74,16 @@ pub fn usage() -> String {
      \x20          --phi-ratios A,B,..  --mtbfs D1,D2,..  --reps N  --work-mtbfs X\n\
      \x20          --engine global|per-cell  --target-hw X [--min-reps N --batch N]\n\
      \x20          --format ascii|csv|json  --metrics FILE (counters + summary table)\n\
+     \x20          --out FILE (rendered output, written atomically)\n\
+     \x20          --checkpoint DIR (snapshot between-rounds state; global engine)\n\
+     \x20          --checkpoint-every N (rounds per snapshot, default 1)\n\
+     \x20          --resume (continue from the newest valid snapshot)\n\
+     \x20          --max-rounds N (pause after N rounds; rerun with --resume)\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
      \x20 lint     [baseline]                      static determinism/panic-safety lints\n\
      \x20          --root DIR (workspace root)  --config FILE (analyze.toml)\n\
      \x20          --format human|json  --out FILE (JSON report, written even on failure)\n\
-     \x20 validate --trace F | --metrics F | --sweep F | --conformance F\n\
+     \x20 validate --trace F | --metrics F | --sweep F | --conformance F | --snapshot F\n\
      \x20                                          schema-check emitted files\n\
      \n\
      common options:\n\
@@ -427,10 +437,11 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Writes a pretty-printed metrics snapshot to `path`.
+/// Writes a pretty-printed metrics snapshot to `path` atomically.
 fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> Result<(), String> {
     let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
-    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))
+    fsio::atomic_write(Path::new(path), (json + "\n").as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn cmd_run(args: &Args) -> Result<String, String> {
@@ -461,16 +472,32 @@ fn cmd_run(args: &Args) -> Result<String, String> {
     let mut source = replication_source(&run_cfg, &mc, rep);
     let result = match &trace_path {
         Some(path) => {
+            // Stream into a temp sibling, fsync, then rename into
+            // place: a kill mid-run never leaves a truncated trace
+            // under the final name.
+            let dest = Path::new(path);
+            let tmp = fsio::temp_sibling(dest);
             let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                std::fs::File::create(&tmp).map_err(|e| format!("cannot create {path}: {e}"))?;
             let mut sink = JsonlSink::new(BufWriter::new(file));
             let outcome = run_to_completion_sinked(&run_cfg, work, source.as_mut(), &mut sink)
                 .map_err(|e| e.to_string());
-            outcome.and_then(|o| {
-                sink.finish()
-                    .map(|lines| (o, Some(lines)))
+            let committed = outcome.and_then(|o| {
+                sink.finish_with_writer()
+                    .and_then(|(lines, writer)| {
+                        let file = writer
+                            .into_inner()
+                            .map_err(|e| std::io::Error::other(e.to_string()))?;
+                        file.sync_all()?;
+                        fsio::commit(&tmp, dest)?;
+                        Ok((o, Some(lines)))
+                    })
                     .map_err(|e| format!("cannot write {path}: {e}"))
-            })
+            });
+            if committed.is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+            committed
         }
         None => dck_sim::run_to_completion(&run_cfg, work, source.as_mut())
             .map(|o| (o, None))
@@ -580,7 +607,8 @@ fn cmd_inject(args: &Args) -> Result<String, String> {
     }
     if let Some(path) = &trace_path {
         let jsonl = dck_testkit::golden::timeline_to_jsonl(&result.timeline)?;
-        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        fsio::atomic_write(Path::new(path), jsonl.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(
             out,
             "  timeline: {} events -> {path}",
@@ -669,7 +697,8 @@ fn cmd_lint(args: &Args) -> Result<String, String> {
     // The JSON artifact is written even when the scan fails, so CI can
     // upload it from a failing job.
     if let Some(path) = &out_path {
-        std::fs::write(path, report.to_json()?).map_err(|e| format!("cannot write {path}: {e}"))?;
+        fsio::atomic_write(Path::new(path), report.to_json()?.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if report.is_clean() {
         match format.as_str() {
@@ -768,9 +797,32 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
         );
         checked += 1;
     }
+    if let Some(path) = args.get("snapshot") {
+        let info = validate_snapshot(Path::new(path)).map_err(|e| {
+            // The read error already names the path; format errors
+            // from a successfully-read file need it prepended.
+            if e.contains(path) {
+                e
+            } else {
+                format!("{path}: {e}")
+            }
+        })?;
+        let _ = writeln!(
+            out,
+            "snapshot {path}: v{}, {} rounds, {}/{} cells active, {} replications done, spec {}",
+            info.version,
+            info.rounds_done,
+            info.active_cells,
+            info.cells,
+            info.replications_done,
+            info.spec_fingerprint
+        );
+        checked += 1;
+    }
     if checked == 0 {
         return Err(
-            "usage: dck validate --trace FILE | --metrics FILE | --sweep FILE | --conformance FILE"
+            "usage: dck validate --trace FILE | --metrics FILE | --sweep FILE \
+             | --conformance FILE | --snapshot FILE"
                 .to_string(),
         );
     }
@@ -819,13 +871,37 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         es.batch = args.get_parsed("batch", es.batch)?;
         spec.early_stop = Some(es);
     }
+    let checkpoint = match args.get("checkpoint") {
+        Some(dir) => {
+            let mut ck = SweepCheckpoint::new(dir);
+            ck.every_rounds = args.get_parsed("checkpoint-every", ck.every_rounds)?;
+            ck.resume = args.get_parsed("resume", false)?;
+            ck.max_rounds = match args.get("max-rounds") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("cannot parse --max-rounds value `{v}`"))?,
+                ),
+            };
+            Some(ck)
+        }
+        None => {
+            for dependent in ["resume", "checkpoint-every", "max-rounds"] {
+                if args.get(dependent).is_some() {
+                    return Err(format!("--{dependent} requires --checkpoint DIR"));
+                }
+            }
+            None
+        }
+    };
 
+    let out_path = args.get("out").map(str::to_string);
     let metrics_path = args.get("metrics").map(str::to_string);
     let was_enabled = metrics_path.as_ref().map(|_| {
         dck_obs::reset();
         dck_obs::set_enabled(true)
     });
-    let result = run_sweep(&spec);
+    let result = run_sweep_with_checkpoint(&spec, checkpoint.as_ref());
     let snapshot = was_enabled.map(|was| {
         dck_obs::set_enabled(was);
         dck_obs::snapshot()
@@ -928,7 +1004,14 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
             rendered.push_str(&snapshot.to_table());
         }
     }
-    Ok(rendered)
+    match &out_path {
+        Some(path) => {
+            fsio::atomic_write(Path::new(path), rendered.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("sweep: {} cells -> {path}\n", result.cells.len()))
+        }
+        None => Ok(rendered),
+    }
 }
 
 fn cmd_trace(args: &Args) -> Result<String, String> {
@@ -948,7 +1031,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
             };
             let mut source = AggregatedExponential::new(spec, RngFactory::new(seed).stream(0));
             let trace = FailureTrace::record(&mut source, SimTime::seconds(horizon));
-            std::fs::write(&out_path, trace.to_json()?)
+            fsio::atomic_write(Path::new(&out_path), trace.to_json()?.as_bytes())
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             Ok(format!(
                 "wrote {} failures over {} ({} nodes) to {out_path}\n",
@@ -1371,7 +1454,13 @@ mod tests {
     fn validate_errors_name_the_failing_path() {
         // Every arm must name the artifact it rejected so a CI log
         // pinpoints the broken file without re-running locally.
-        for flag in ["--trace", "--metrics", "--sweep", "--conformance"] {
+        for flag in [
+            "--trace",
+            "--metrics",
+            "--sweep",
+            "--conformance",
+            "--snapshot",
+        ] {
             let err = run_err(&["validate", flag, "/nonexistent/artifact.json"]);
             assert!(err.contains("/nonexistent/artifact.json"), "{flag}: {err}");
         }
@@ -1381,6 +1470,99 @@ mod tests {
         let err = run_err(&["validate", "--metrics", path.to_str().unwrap()]);
         assert!(err.contains(path.to_str().unwrap()), "{err}");
         assert!(err.contains("invalid MetricsSnapshot"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The common grid for checkpoint tests: 2 cells × 24 replications
+    /// with batch 8 and an unreachable precision target, so the global
+    /// pool runs exactly 3 rounds per cell.
+    fn ckpt_sweep_args<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+        let mut v = vec![
+            "sweep",
+            "--protocol",
+            "double-nbl",
+            "--phi-ratios",
+            "0.0,0.5",
+            "--mtbfs",
+            "30min",
+            "--reps",
+            "24",
+            "--work-mtbfs",
+            "5",
+            "--nodes",
+            "16",
+            "--target-hw",
+            "0.0",
+            "--min-reps",
+            "8",
+            "--batch",
+            "8",
+            "--format",
+            "json",
+        ];
+        v.extend_from_slice(extra);
+        v
+    }
+
+    #[test]
+    fn sweep_pause_and_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("dck-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap();
+
+        let baseline = run_ok(&ckpt_sweep_args(&[]));
+        // Pause after one round: the error points the operator at --resume.
+        let err = run_err(&ckpt_sweep_args(&["--checkpoint", d, "--max-rounds", "1"]));
+        assert!(err.contains("--resume"), "{err}");
+        assert!(err.contains("paused"), "{err}");
+        // Resuming finishes the grid with byte-identical rendered output.
+        let resumed = run_ok(&ckpt_sweep_args(&["--checkpoint", d, "--resume"]));
+        assert_eq!(resumed, baseline);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_checkpoint_flags_require_a_directory() {
+        for flag in ["--resume", "--checkpoint-every", "--max-rounds"] {
+            let err = run_err(&ckpt_sweep_args(&[flag, "2"]));
+            assert!(err.contains("requires --checkpoint"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_snapshot_reports_and_rejects() {
+        let dir = std::env::temp_dir().join(format!("dck-cli-snapval-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap();
+        let _ = run_err(&ckpt_sweep_args(&["--checkpoint", d, "--max-rounds", "1"]));
+        let mut snapshots: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snapshots.sort();
+        let snap = snapshots.last().unwrap().to_str().unwrap().to_string();
+        let out = run_ok(&["validate", "--snapshot", &snap]);
+        assert!(out.contains("rounds"), "{out}");
+        assert!(out.contains("cells active"), "{out}");
+
+        // A corrupted snapshot is rejected, naming the file.
+        let garbage = dir.join("sweep-r99999999.dckpt");
+        std::fs::write(&garbage, "not a snapshot\n").unwrap();
+        let err = run_err(&["validate", "--snapshot", garbage.to_str().unwrap()]);
+        assert!(err.contains(garbage.to_str().unwrap()), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_out_writes_valid_artifact_atomically() {
+        let path = std::env::temp_dir().join(format!("dck-sweep-out-{}.json", std::process::id()));
+        let p = path.to_str().unwrap();
+        let out = run_ok(&ckpt_sweep_args(&["--out", p]));
+        assert!(out.contains(p), "{out}");
+        // The file passes schema validation and no temp sibling lingers.
+        let report = run_ok(&["validate", "--sweep", p]);
+        assert!(report.contains("grid consistent"), "{report}");
+        assert!(!Path::new(&format!("{p}.tmp")).exists());
         std::fs::remove_file(&path).ok();
     }
 
@@ -1398,6 +1580,12 @@ mod tests {
         let out = run_ok(&["help"]);
         assert!(out.contains("commands:"));
         let out = run_ok(&[]);
+        assert!(out.contains("commands:"));
+        // `--help` parses as a boolean flag and still reaches usage,
+        // even when tacked onto another command.
+        let out = run_ok(&["--help"]);
+        assert!(out.contains("commands:"));
+        let out = run_ok(&["sweep", "--help"]);
         assert!(out.contains("commands:"));
     }
 

@@ -63,16 +63,20 @@ pub struct Args {
 
 impl Args {
     /// Splits raw arguments into `--key value` flags and positionals.
+    /// A flag followed by another flag (or by nothing) consumes no
+    /// value and reads as `true` — e.g. `--resume` and `--resume true`
+    /// are equivalent.
     pub fn parse(raw: &[String]) -> Result<Args, String> {
         let mut flags = BTreeMap::new();
         let mut positional = Vec::new();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                if flags.insert(key.to_string(), value.clone()).is_some() {
+                let value = match it.next_if(|next| !next.starts_with("--")) {
+                    Some(v) => v.clone(),
+                    None => "true".to_string(),
+                };
+                if flags.insert(key.to_string(), value).is_some() {
                     return Err(format!("flag --{key} given twice"));
                 }
             } else {
@@ -219,6 +223,19 @@ mod tests {
         assert_eq!(a.get("mtbf"), Some("7h"));
         assert_eq!(a.get("protocol"), Some("triple"));
         assert!(a.ensure_all_consumed().is_ok());
+    }
+
+    #[test]
+    fn boolean_flags_read_as_true() {
+        // Trailing flag and flag-before-flag both consume no value.
+        let a = args(&["sweep", "--resume", "--checkpoint", "dir", "--dry-run"]);
+        assert_eq!(a.get("resume"), Some("true"));
+        assert_eq!(a.get("checkpoint"), Some("dir"));
+        assert_eq!(a.get("dry-run"), Some("true"));
+        assert_eq!(a.get_parsed("resume", false), Ok(true));
+        // An explicit value still wins.
+        let b = args(&["sweep", "--resume", "false"]);
+        assert_eq!(b.get_parsed("resume", true), Ok(false));
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! End-to-end crash safety: SIGKILL the `dck` binary mid-sweep at
+//! seeded pseudo-random points, resume from its checkpoints, and
+//! require the final artifact to be byte-identical to an uninterrupted
+//! baseline. Between crashes, every snapshot and artifact that reached
+//! its final name must validate — a kill at any instant may leave a
+//! `.tmp` sibling behind, but never a torn file under the real name.
+
+use dck_testkit::{run_with_random_kills, KillSchedule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_dck");
+
+/// Grid sized so the sweep runs long enough for kills to land mid-run
+/// in the active profile (the binary under test is built in the same
+/// profile as this test).
+fn sweep_reps() -> &'static str {
+    if cfg!(debug_assertions) {
+        "2048"
+    } else {
+        "16384"
+    }
+}
+
+fn max_kill_delay_ms() -> u64 {
+    if cfg!(debug_assertions) {
+        60
+    } else {
+        300
+    }
+}
+
+fn sweep_cmd(out: &Path) -> Command {
+    let mut c = Command::new(BIN);
+    c.args([
+        "sweep",
+        "--protocol",
+        "double-nbl",
+        "--phi-ratios",
+        "0.0,0.5",
+        "--mtbfs",
+        "30min,1h",
+        "--reps",
+        sweep_reps(),
+        "--work-mtbfs",
+        "20",
+        "--nodes",
+        "64",
+        "--target-hw",
+        "0.0",
+        "--min-reps",
+        "8",
+        "--batch",
+        "64",
+        "--format",
+        "json",
+        "--out",
+    ]);
+    c.arg(out);
+    c
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dck-resume-kill-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `dck validate` on an artifact and panics with its stderr on
+/// rejection.
+fn assert_validates(flag: &str, path: &Path) {
+    let out = Command::new(BIN)
+        .args(["validate", flag])
+        .arg(path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{flag} {} rejected after a kill: {}",
+        path.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Every artifact in the checkpoint dir that reached its final name
+/// must be a valid snapshot, no matter where the previous kill landed.
+fn assert_surviving_snapshots_valid(ckpt_dir: &Path) -> usize {
+    let mut seen = 0;
+    if let Ok(entries) = std::fs::read_dir(ckpt_dir) {
+        for entry in entries {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "dckpt") {
+                assert_validates("--snapshot", &path);
+                seen += 1;
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn killed_and_resumed_sweep_matches_uninterrupted_baseline() {
+    let dir = scratch("sweep");
+    let ckpt = dir.join("ckpt");
+    let baseline = dir.join("baseline.json");
+    let resumed = dir.join("resumed.json");
+
+    let status = sweep_cmd(&baseline).status().unwrap();
+    assert!(status.success(), "baseline sweep failed");
+
+    let mut schedule = KillSchedule::new(0xD0C5_EED5);
+    let outcome = run_with_random_kills(
+        |attempt| {
+            if attempt > 0 {
+                // Anything that survived the previous SIGKILL under a
+                // final name must be intact (S1: atomic writes).
+                assert_surviving_snapshots_valid(&ckpt);
+                if resumed.exists() {
+                    assert_validates("--sweep", &resumed);
+                }
+            }
+            let mut c = sweep_cmd(&resumed);
+            c.args(["--checkpoint"]);
+            c.arg(&ckpt);
+            c.args(["--resume"]);
+            c
+        },
+        &mut schedule,
+        max_kill_delay_ms(),
+        10,
+    )
+    .unwrap();
+
+    assert_eq!(
+        std::fs::read(&baseline).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed sweep (after {} kills) diverged from the uninterrupted baseline",
+        outcome.kills
+    );
+    // The completing attempt leaves valid terminal snapshots behind.
+    assert!(assert_surviving_snapshots_valid(&ckpt) >= 1);
+    assert_validates("--sweep", &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}

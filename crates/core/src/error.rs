@@ -19,6 +19,14 @@ pub enum ModelError {
         /// condition.
         reason: String,
     },
+    /// A valid computation failed while executing — a worker panicked
+    /// past containment, a checkpoint could not be written, or a run
+    /// was deliberately paused mid-flight. Distinct from the two domain
+    /// errors above: the inputs were fine, the machinery was not.
+    Execution {
+        /// Human-readable description of the runtime failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -28,6 +36,7 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             ModelError::Infeasible { reason } => write!(f, "infeasible operating point: {reason}"),
+            ModelError::Execution { reason } => write!(f, "execution failed: {reason}"),
         }
     }
 }
@@ -49,6 +58,13 @@ impl ModelError {
             reason: reason.into(),
         }
     }
+
+    /// Convenience constructor for runtime failures.
+    pub fn execution(reason: impl Into<String>) -> Self {
+        ModelError::Execution {
+            reason: reason.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +80,7 @@ mod tests {
         );
         let e = ModelError::infeasible("M <= D + R");
         assert!(e.to_string().contains("M <= D + R"));
+        let e = ModelError::execution("worker panicked twice");
+        assert_eq!(e.to_string(), "execution failed: worker panicked twice");
     }
 }

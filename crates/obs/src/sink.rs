@@ -130,12 +130,22 @@ impl<W: Write> JsonlSink<W> {
     ///
     /// # Errors
     /// The first error encountered while writing or flushing.
-    pub fn finish(mut self) -> io::Result<u64> {
+    pub fn finish(self) -> io::Result<u64> {
+        self.finish_with_writer().map(|(lines, _)| lines)
+    }
+
+    /// Like [`JsonlSink::finish`], but hands the flushed writer back so
+    /// the caller can finalize the underlying file (fsync, atomic
+    /// rename into place) after the last line is out.
+    ///
+    /// # Errors
+    /// The first error encountered while writing or flushing.
+    pub fn finish_with_writer(mut self) -> io::Result<(u64, W)> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
         self.writer.flush()?;
-        Ok(self.lines)
+        Ok((self.lines, self.writer))
     }
 }
 
@@ -239,6 +249,15 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(parsed, vec![sample(1.5), sample(2.0)]);
+    }
+
+    #[test]
+    fn jsonl_sink_hands_back_its_writer() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(&sample(1.0));
+        let (lines, buf) = s.finish_with_writer().unwrap();
+        assert_eq!(lines, 1);
+        assert!(String::from_utf8(buf).unwrap().ends_with('\n'));
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Sweep checkpoint snapshots: versioned, checksummed, bit-exact.
+//!
+//! The `GlobalPool` sweep engine advances in deterministic rounds, so
+//! its complete execution state at a round boundary is tiny: per-cell
+//! `WasteAccum`s, the `next[]` replication cursors, the `active[]`
+//! flags, and the round counter. This module persists that state so a
+//! killed sweep resumes **bit-identically** — the simulator practicing
+//! the paper's own discipline of surviving failures via checkpoints.
+//!
+//! # On-disk format (version 1)
+//!
+//! A snapshot is a two-line UTF-8 file named
+//! `sweep-r{round:08}.dckpt`:
+//!
+//! ```text
+//! {"magic":"dck-sweep-snapshot","version":1,"checksum":"<fnv1a64 hex>"}
+//! {"spec_fingerprint":"<hex>","rounds_done":N,"cells":[...]}
+//! ```
+//!
+//! The header's checksum is FNV-1a 64 over the payload line's bytes,
+//! so truncation or corruption anywhere in the payload is detected
+//! before any field is trusted. Every `f64` in the payload is encoded
+//! as the 16-hex-digit big-endian form of [`f64::to_bits`] — **not**
+//! as a decimal literal — for two reasons: decimal round-trips are not
+//! guaranteed bit-exact by every writer/parser pair, and an empty
+//! [`OnlineStats`] carries infinite extrema, which JSON number syntax
+//! cannot represent at all (the vendored serializer emits `null`).
+//!
+//! Following the paper's own double-checkpointing discipline, the two
+//! newest snapshots are kept: if a kill lands mid-rename of the newest
+//! (impossible with POSIX rename, but disks lie) or the newest is
+//! corrupt, resume falls back to its buddy one round earlier.
+//! Snapshots are written via [`dck_simcore::fsio::atomic_write`], so a
+//! kill mid-write never leaves a truncated file under the final name.
+//!
+//! # Resume safety
+//!
+//! A payload stores a fingerprint of the producing [`SweepSpec`]
+//! (worker count normalized to zero — results are worker-independent,
+//! so resuming on different parallelism is legal). Loading a valid
+//! snapshot whose fingerprint differs from the resuming spec is a hard
+//! error: silently continuing someone else's sweep would produce
+//! plausible-looking garbage.
+
+use crate::montecarlo::WasteAccum;
+use crate::sweep::SweepSpec;
+use dck_core::ModelError;
+use dck_simcore::fsio::atomic_write;
+use dck_simcore::OnlineStats;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Snapshot format version; bump on any payload change.
+pub const SNAPSHOT_VERSION: u64 = 1;
+/// Magic tag identifying sweep snapshot files.
+pub const SNAPSHOT_MAGIC: &str = "dck-sweep-snapshot";
+/// Snapshot file extension.
+pub const SNAPSHOT_EXT: &str = "dckpt";
+/// How many snapshot generations to keep — the newest plus one buddy,
+/// mirroring the paper's double-checkpoint discipline.
+const SNAPSHOT_KEEP: usize = 2;
+
+/// The `GlobalPool` engine's complete between-rounds execution state.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolState {
+    /// Per-cell merged accumulators.
+    pub accs: Vec<WasteAccum>,
+    /// Per-cell next replication index.
+    pub next: Vec<usize>,
+    /// Per-cell still-running flags.
+    pub active: Vec<bool>,
+    /// Rounds fully merged into `accs`.
+    pub rounds_done: u64,
+}
+
+impl PoolState {
+    /// Fresh state for `cells` cells with a per-cell budget.
+    pub fn fresh(cells: usize, budget: usize) -> Self {
+        PoolState {
+            accs: vec![WasteAccum::default(); cells],
+            next: vec![0; cells],
+            active: vec![budget > 0; cells],
+            rounds_done: 0,
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct HeaderDoc {
+    magic: String,
+    version: u64,
+    checksum: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PayloadDoc {
+    spec_fingerprint: String,
+    rounds_done: u64,
+    cells: Vec<CellDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CellDoc {
+    waste: StatsDoc,
+    failures: StatsDoc,
+    completed: u64,
+    fatal: u64,
+    truncated: u64,
+    next: u64,
+    active: bool,
+}
+
+/// Raw Welford state with floats as hex bit-strings (see module docs
+/// for why decimal is not an option).
+#[derive(Serialize, Deserialize)]
+struct StatsDoc {
+    n: u64,
+    mean: String,
+    m2: String,
+    min: String,
+    max: String,
+}
+
+fn hex_bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_bits(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad float bit-string {s:?}: {e}"))
+}
+
+impl StatsDoc {
+    fn encode(s: &OnlineStats) -> StatsDoc {
+        let (n, mean, m2, min, max) = s.to_parts();
+        StatsDoc {
+            n,
+            mean: hex_bits(mean),
+            m2: hex_bits(m2),
+            min: hex_bits(min),
+            max: hex_bits(max),
+        }
+    }
+
+    fn decode(&self) -> Result<OnlineStats, String> {
+        Ok(OnlineStats::from_parts(
+            self.n,
+            parse_bits(&self.mean)?,
+            parse_bits(&self.m2)?,
+            parse_bits(&self.min)?,
+            parse_bits(&self.max)?,
+        ))
+    }
+}
+
+/// FNV-1a 64-bit hash: tiny, dependency-free, and plenty for
+/// detecting torn or bit-rotted snapshot payloads (not a defense
+/// against adversarial tampering).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the spec that produced a snapshot. Workers are
+/// normalized to 0 before hashing: results are bit-identical across
+/// worker counts, so resuming with different parallelism is fine.
+pub(crate) fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    let mut normalized = spec.clone();
+    normalized.workers = 0;
+    match serde_json::to_string(&normalized) {
+        Ok(json) => fnv64(json.as_bytes()),
+        // Serialization of a plain struct cannot fail with the vendored
+        // serializer; treat the impossible as a distinct sentinel
+        // rather than panicking a worker.
+        Err(_) => u64::MAX,
+    }
+}
+
+fn encode(state: &PoolState, fingerprint: u64) -> io::Result<Vec<u8>> {
+    let cells = state
+        .accs
+        .iter()
+        .zip(&state.next)
+        .zip(&state.active)
+        .map(|((acc, &next), &active)| CellDoc {
+            waste: StatsDoc::encode(&acc.waste),
+            failures: StatsDoc::encode(&acc.failures),
+            completed: acc.completed as u64,
+            fatal: acc.fatal as u64,
+            truncated: acc.truncated as u64,
+            next: next as u64,
+            active,
+        })
+        .collect();
+    let payload = serde_json::to_string(&PayloadDoc {
+        spec_fingerprint: format!("{fingerprint:016x}"),
+        rounds_done: state.rounds_done,
+        cells,
+    })
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let header = serde_json::to_string(&HeaderDoc {
+        magic: SNAPSHOT_MAGIC.to_string(),
+        version: SNAPSHOT_VERSION,
+        checksum: format!("{:016x}", fnv64(payload.as_bytes())),
+    })
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(format!("{header}\n{payload}\n").into_bytes())
+}
+
+/// Parses and integrity-checks a snapshot's bytes, returning the
+/// payload. Every failure mode is a distinct message so `dck validate
+/// --snapshot` can tell a user exactly what is wrong.
+fn decode(bytes: &[u8]) -> Result<PayloadDoc, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("not UTF-8: {e}"))?;
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty file")?;
+    let payload_line = lines.next().ok_or("missing payload line")?;
+    let header: HeaderDoc =
+        serde_json::from_str(header_line).map_err(|e| format!("bad header: {e}"))?;
+    if header.magic != SNAPSHOT_MAGIC {
+        return Err(format!("bad magic {:?}", header.magic));
+    }
+    if header.version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "unsupported snapshot version {} (supported: {SNAPSHOT_VERSION})",
+            header.version
+        ));
+    }
+    let computed = format!("{:016x}", fnv64(payload_line.as_bytes()));
+    if header.checksum != computed {
+        return Err(format!(
+            "checksum mismatch: header says {}, payload hashes to {computed}",
+            header.checksum
+        ));
+    }
+    serde_json::from_str(payload_line).map_err(|e| format!("bad payload: {e}"))
+}
+
+fn state_from_payload(payload: &PayloadDoc) -> Result<PoolState, String> {
+    let mut accs = Vec::with_capacity(payload.cells.len());
+    let mut next = Vec::with_capacity(payload.cells.len());
+    let mut active = Vec::with_capacity(payload.cells.len());
+    for cell in &payload.cells {
+        accs.push(WasteAccum {
+            waste: cell.waste.decode()?,
+            failures: cell.failures.decode()?,
+            completed: cell.completed as usize,
+            fatal: cell.fatal as usize,
+            truncated: cell.truncated as usize,
+        });
+        next.push(cell.next as usize);
+        active.push(cell.active);
+    }
+    Ok(PoolState {
+        accs,
+        next,
+        active,
+        rounds_done: payload.rounds_done,
+    })
+}
+
+fn snapshot_path(dir: &Path, rounds_done: u64) -> PathBuf {
+    dir.join(format!("sweep-r{rounds_done:08}.{SNAPSHOT_EXT}"))
+}
+
+/// Lists the directory's snapshot files, sorted oldest → newest by
+/// file name (round numbers are zero-padded, so lexicographic order is
+/// round order).
+fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT) {
+            found.push(path);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Writes the state as a new snapshot in `dir` (created if absent) and
+/// prunes generations beyond [`SNAPSHOT_KEEP`]. Returns the snapshot
+/// path.
+///
+/// # Errors
+/// Any I/O error from directory creation or the atomic write; pruning
+/// failures are ignored (stale snapshots are harmless).
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    state: &PoolState,
+    fingerprint: u64,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = snapshot_path(dir, state.rounds_done);
+    atomic_write(&path, &encode(state, fingerprint)?)?;
+    if let Ok(all) = list_snapshots(dir) {
+        for stale in all.iter().rev().skip(SNAPSHOT_KEEP) {
+            let _ = fs::remove_file(stale);
+        }
+    }
+    Ok(path)
+}
+
+/// Loads the newest valid snapshot in `dir`, skipping corrupt files
+/// (the buddy discipline: fall back to the previous generation).
+/// Returns `Ok(None)` when the directory is absent, empty, or holds no
+/// readable snapshot — the caller then starts fresh.
+///
+/// # Errors
+/// A *valid* snapshot whose spec fingerprint differs from
+/// `fingerprint` — resuming a different sweep's state would silently
+/// produce wrong results, so this never falls through to fresh-start.
+pub(crate) fn load_latest(dir: &Path, fingerprint: u64) -> Result<Option<PoolState>, ModelError> {
+    let snapshots = match list_snapshots(dir) {
+        Ok(s) => s,
+        Err(_) => return Ok(None),
+    };
+    for path in snapshots.iter().rev() {
+        let Ok(bytes) = fs::read(path) else { continue };
+        let Ok(payload) = decode(&bytes) else {
+            continue;
+        };
+        let expect = format!("{fingerprint:016x}");
+        if payload.spec_fingerprint != expect {
+            return Err(ModelError::execution(format!(
+                "snapshot {} was produced by a different sweep spec \
+                 (fingerprint {} vs this spec's {expect}); refusing to resume",
+                path.display(),
+                payload.spec_fingerprint,
+            )));
+        }
+        let state = state_from_payload(&payload)
+            .map_err(|e| ModelError::execution(format!("snapshot {}: {e}", path.display())))?;
+        return Ok(Some(state));
+    }
+    Ok(None)
+}
+
+/// Summary of a validated snapshot, for `dck validate --snapshot`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u64,
+    /// Rounds merged into the snapshot.
+    pub rounds_done: u64,
+    /// Grid cells tracked.
+    pub cells: usize,
+    /// Cells still consuming budget.
+    pub active_cells: usize,
+    /// Total replications already executed across the grid.
+    pub replications_done: u64,
+    /// Fingerprint (hex) of the producing sweep spec.
+    pub spec_fingerprint: String,
+}
+
+/// Integrity-checks one snapshot file: header, magic, version,
+/// checksum, payload schema, and float decodability.
+///
+/// # Errors
+/// A human-readable description of the first problem found.
+pub fn validate_snapshot(path: &Path) -> Result<SnapshotInfo, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let payload = decode(&bytes)?;
+    let state = state_from_payload(&payload)?;
+    Ok(SnapshotInfo {
+        version: SNAPSHOT_VERSION,
+        rounds_done: payload.rounds_done,
+        cells: state.accs.len(),
+        active_cells: state.active.iter().filter(|&&a| a).count(),
+        replications_done: state.next.iter().map(|&n| n as u64).sum(),
+        spec_fingerprint: payload.spec_fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dck_core::{PlatformParams, Protocol};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dck-ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state() -> PoolState {
+        let mut s = PoolState::fresh(3, 10);
+        s.accs[0].waste.push(0.25);
+        s.accs[0].waste.push(0.5);
+        s.accs[0].failures.push(3.0);
+        s.accs[0].completed = 2;
+        s.accs[1].fatal = 1;
+        s.next = vec![8, 8, 0];
+        s.active = vec![true, false, true];
+        s.rounds_done = 1;
+        s
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(
+            Protocol::DoubleNbl,
+            PlatformParams::new(0.0, 2.0, 4.0, 10.0, 48).unwrap(),
+            vec![0.5],
+            vec![3_600.0],
+        )
+    }
+
+    #[test]
+    fn fnv64_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let dir = scratch("roundtrip");
+        let state = sample_state();
+        let path = write_snapshot(&dir, &state, 42).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("r00000001"));
+        let restored = load_latest(&dir, 42).unwrap().expect("snapshot present");
+        assert_eq!(restored.rounds_done, 1);
+        assert_eq!(restored.next, state.next);
+        assert_eq!(restored.active, state.active);
+        for (a, b) in restored.accs.iter().zip(&state.accs) {
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.fatal, b.fatal);
+            assert_eq!(a.truncated, b.truncated);
+            assert_eq!(a.waste.mean().to_bits(), b.waste.mean().to_bits());
+            assert_eq!(a.waste.variance().to_bits(), b.waste.variance().to_bits());
+            // Empty accumulators: infinite extrema must survive.
+            assert_eq!(a.waste.min().to_bits(), b.waste.min().to_bits());
+            assert_eq!(a.waste.max().to_bits(), b.waste.max().to_bits());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_buddy() {
+        let dir = scratch("buddy");
+        let mut state = sample_state();
+        write_snapshot(&dir, &state, 7).unwrap();
+        state.rounds_done = 2;
+        state.next = vec![16, 8, 8];
+        let newest = write_snapshot(&dir, &state, 7).unwrap();
+        // Torn write under the final name (cannot happen through
+        // atomic_write, but disks lie): flip payload bytes.
+        let mut bytes = fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let restored = load_latest(&dir, 7).unwrap().expect("buddy survives");
+        assert_eq!(restored.rounds_done, 1, "fell back one generation");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_two_generations() {
+        let dir = scratch("prune");
+        let mut state = sample_state();
+        for r in 1..=5 {
+            state.rounds_done = r;
+            write_snapshot(&dir, &state, 1).unwrap();
+        }
+        let files = list_snapshots(&dir).unwrap();
+        assert_eq!(files.len(), 2);
+        assert!(files[1].to_str().unwrap().contains("r00000005"));
+        assert!(files[0].to_str().unwrap().contains("r00000004"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_hard_error() {
+        let dir = scratch("fp");
+        write_snapshot(&dir, &sample_state(), 1).unwrap();
+        let err = load_latest(&dir, 2).unwrap_err();
+        assert!(matches!(err, ModelError::Execution { .. }));
+        assert!(err.to_string().contains("different sweep spec"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_and_empty_dir_mean_fresh_start() {
+        let dir = scratch("empty");
+        assert!(load_latest(&dir.join("nope"), 1).unwrap().is_none());
+        assert!(load_latest(&dir, 1).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_reports_and_rejects() {
+        let dir = scratch("validate");
+        let path = write_snapshot(&dir, &sample_state(), 9).unwrap();
+        let info = validate_snapshot(&path).unwrap();
+        assert_eq!(info.version, SNAPSHOT_VERSION);
+        assert_eq!(info.rounds_done, 1);
+        assert_eq!(info.cells, 3);
+        assert_eq!(info.active_cells, 2);
+        assert_eq!(info.replications_done, 16);
+        assert_eq!(info.spec_fingerprint, format!("{:016x}", 9u64));
+
+        // Truncation: drop the payload's tail — checksum must catch it.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        let err = validate_snapshot(&path).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // Wrong version.
+        let payload = r#"{"spec_fingerprint":"0","rounds_done":0,"cells":[]}"#;
+        let header = format!(
+            r#"{{"magic":"dck-sweep-snapshot","version":99,"checksum":"{:016x}"}}"#,
+            fnv64(payload.as_bytes())
+        );
+        fs::write(&path, format!("{header}\n{payload}\n")).unwrap();
+        let err = validate_snapshot(&path).unwrap_err();
+        assert!(err.contains("unsupported snapshot version"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_workers_but_not_grid() {
+        let a = spec();
+        let mut b = spec();
+        b.workers = 7;
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&b));
+        let mut c = spec();
+        c.mtbfs.push(7_200.0);
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&c));
+        let mut d = spec();
+        d.seed ^= 1;
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&d));
+    }
+}

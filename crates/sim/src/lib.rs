@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod hierarchical;
 pub mod montecarlo;
 pub mod run;
 pub mod sweep;
 
+pub use checkpoint::{validate_snapshot, SnapshotInfo};
 pub use config::{PeriodChoice, RunConfig};
 pub use hierarchical::{run_hierarchical, HierarchicalOutcome, HierarchicalRunConfig};
 pub use montecarlo::{
@@ -49,4 +51,7 @@ pub use run::{
     run_to_completion, run_to_completion_sinked, run_to_completion_traced,
     run_to_completion_with_pending, run_until, RunOutcome, StopReason, TimelineEvent,
 };
-pub use sweep::{run_sweep, EarlyStop, SweepCell, SweepEngine, SweepResult, SweepSpec};
+pub use sweep::{
+    run_sweep, run_sweep_with_checkpoint, EarlyStop, SweepCell, SweepCheckpoint, SweepEngine,
+    SweepResult, SweepSpec,
+};

@@ -247,7 +247,8 @@ pub fn estimate_waste(
         WasteAccum::default,
         |acc, i| acc.absorb(&run_replication(run_cfg, mc, t_base, i as u64)),
         WasteAccum::merge,
-    );
+    )
+    .map_err(|e| ModelError::execution(e.to_string()))?;
     Ok(acc.into_estimate())
 }
 
@@ -273,7 +274,8 @@ pub fn estimate_success(
             *acc += usize::from(outcome.survived());
         },
         |a, b| a + b,
-    );
+    )
+    .map_err(|e| ModelError::execution(e.to_string()))?;
     let runs = mc.replications;
     let p_hat = if runs == 0 {
         0.0

@@ -37,7 +37,19 @@
 //! schedule is deterministic: stop decisions depend only on the
 //! (worker-independent) accumulated statistics at fixed round
 //! boundaries, never on thread timing.
+//!
+//! # Checkpoint/resume
+//!
+//! The `GlobalPool` engine's entire between-rounds state is the
+//! per-cell accumulators plus the `next[]`/`active[]` vectors, so
+//! [`run_sweep_with_checkpoint`] can snapshot it at round boundaries
+//! (see [`crate::checkpoint`]) and a killed sweep resumes
+//! bit-identically from the newest valid snapshot. Worker panics are
+//! contained per chunk by `simcore::par`; one that persists past its
+//! retry checkpoints the last consistent state and surfaces as
+//! [`ModelError::Execution`] instead of aborting the process.
 
+use crate::checkpoint::{self, PoolState};
 use crate::config::{PeriodChoice, RunConfig};
 use crate::montecarlo::{run_replication, MonteCarloConfig, SourceKind, WasteAccum, REP_CHUNK};
 use dck_core::{optimal_period, ModelError, PlatformParams, Protocol};
@@ -45,6 +57,8 @@ use dck_obs::Counter;
 use dck_simcore::par::{default_workers, parallel_map_indexed};
 use dck_simcore::ConfidenceInterval;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How the sweep distributes work across threads.
@@ -263,11 +277,60 @@ fn build_plans(spec: &SweepSpec) -> Result<Vec<CellPlan>, ModelError> {
     Ok(plans)
 }
 
-/// Folds replications `[start, end)` of one cell sequentially — the
+/// Fault injection for tests and the kill-and-resume e2e: with
+/// `DCK_SWEEP_PANIC_UNIT="ci:rep"` in the environment, the matching
+/// `(cell, replication)` panics inside the worker pool, exercising the
+/// containment/requeue/checkpoint-on-error path end to end. The
+/// `"ci:rep:once"` form panics only on the first execution, so the
+/// requeue retry succeeds. Parsed once per engine invocation; absent
+/// (the normal case) it costs one env lookup per sweep.
+struct PanicInjection {
+    cell: usize,
+    rep: usize,
+    once: bool,
+    fired: AtomicBool,
+}
+
+impl PanicInjection {
+    fn from_env() -> Option<PanicInjection> {
+        let v = std::env::var("DCK_SWEEP_PANIC_UNIT").ok()?;
+        let mut parts = v.split(':');
+        let cell = parts.next()?.parse().ok()?;
+        let rep = parts.next()?.parse().ok()?;
+        let once = parts.next() == Some("once");
+        Some(PanicInjection {
+            cell,
+            rep,
+            once,
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    fn trip(&self, ci: usize, rep: usize) {
+        if ci != self.cell || rep != self.rep {
+            return;
+        }
+        if self.once && self.fired.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        panic!("injected sweep panic at cell {ci} replication {rep} (DCK_SWEEP_PANIC_UNIT)");
+    }
+}
+
+/// Folds replications `[start, end)` of cell `ci` sequentially — the
 /// shared work unit of both engines.
-fn chunk_accum(plan: &CellPlan, start: usize, end: usize) -> WasteAccum {
+fn chunk_accum(
+    plan: &CellPlan,
+    ci: usize,
+    start: usize,
+    end: usize,
+    injection: Option<&PanicInjection>,
+) -> WasteAccum {
     let mut acc = WasteAccum::default();
     for i in start..end {
+        if let Some(inj) = injection {
+            inj.trip(ci, i);
+        }
         acc.absorb(&run_replication(
             &plan.run_cfg,
             &plan.mc,
@@ -325,6 +388,9 @@ struct SweepCounters {
     units: Arc<Counter>,
     replications: Arc<Counter>,
     early_stopped: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    resumes: Arc<Counter>,
+    rounds_restored: Arc<Counter>,
 }
 
 impl SweepCounters {
@@ -334,18 +400,23 @@ impl SweepCounters {
             units: dck_obs::counter("sweep.units"),
             replications: dck_obs::counter("sweep.replications"),
             early_stopped: dck_obs::counter("sweep.cells_early_stopped"),
+            checkpoints: dck_obs::counter("sweep.checkpoints_written"),
+            resumes: dck_obs::counter("sweep.resumes"),
+            rounds_restored: dck_obs::counter("sweep.rounds_restored"),
         })
     }
 }
 
-fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
+fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Result<Vec<SweepCell>, ModelError> {
     let workers = spec.resolved_workers();
     let budget = spec.replications;
     let round = spec.round_len();
     let counters = SweepCounters::capture();
+    let injection = PanicInjection::from_env();
     plans
         .iter()
-        .map(|plan| {
+        .enumerate()
+        .map(|(ci, plan)| {
             let mut acc = WasteAccum::default();
             let mut next = 0usize;
             while next < budget {
@@ -359,8 +430,11 @@ fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
                 // Fresh fan-out per cell per round — the engine's
                 // defining (and costly) property.
                 let unit_accs = parallel_map_indexed(ranges.len(), workers, |u| {
-                    chunk_accum(plan, ranges[u].0, ranges[u].1)
-                });
+                    chunk_accum(plan, ci, ranges[u].0, ranges[u].1, injection.as_ref())
+                })
+                .map_err(|e| {
+                    ModelError::execution(format!("sweep cell {ci} failed past containment: {e}"))
+                })?;
                 for ua in &unit_accs {
                     acc.merge_in_place(ua);
                 }
@@ -374,35 +448,78 @@ fn run_per_cell(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
                     }
                 }
             }
-            finish_cell(plan, acc, next)
+            Ok(finish_cell(plan, acc, next))
         })
         .collect()
 }
 
-fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
+fn run_global_pool(
+    spec: &SweepSpec,
+    plans: &[CellPlan],
+    ckpt: Option<&SweepCheckpoint>,
+) -> Result<Vec<SweepCell>, ModelError> {
     let workers = spec.resolved_workers();
     let budget = spec.replications;
     let round = spec.round_len();
     let counters = SweepCounters::capture();
-    let mut accs: Vec<WasteAccum> = plans.iter().map(|_| WasteAccum::default()).collect();
-    let mut next = vec![0usize; plans.len()];
-    let mut active: Vec<bool> = plans.iter().map(|_| budget > 0).collect();
+    let injection = PanicInjection::from_env();
+    let fingerprint = checkpoint::spec_fingerprint(spec);
+    let mut state = PoolState::fresh(plans.len(), budget);
+    if let Some(ck) = ckpt.filter(|ck| ck.resume) {
+        if let Some(restored) = checkpoint::load_latest(&ck.dir, fingerprint)? {
+            if restored.accs.len() != plans.len() {
+                return Err(ModelError::execution(format!(
+                    "snapshot tracks {} cells but this spec builds {}",
+                    restored.accs.len(),
+                    plans.len()
+                )));
+            }
+            if let Some(c) = &counters {
+                c.resumes.incr();
+                c.rounds_restored.add(restored.rounds_done);
+            }
+            state = restored;
+        }
+    }
+    let mut last_written: Option<u64> = None;
 
     loop {
         // Flatten this round's work: cell-major, chunk-ascending, so
         // the later merge reproduces each cell's fixed fold order.
+        // Built purely from (next, active, budget, round) — the state a
+        // snapshot captures — so a resumed run schedules exactly the
+        // rounds an uninterrupted run would have.
         let mut units: Vec<(usize, usize, usize)> = Vec::new();
-        for (ci, _) in plans.iter().enumerate() {
-            if !active[ci] {
+        for ci in 0..plans.len() {
+            if !state.active[ci] {
                 continue;
             }
-            let round_end = (next[ci] + round).min(budget);
-            for (s, e) in chunk_ranges(next[ci], round_end) {
+            let round_end = (state.next[ci] + round).min(budget);
+            for (s, e) in chunk_ranges(state.next[ci], round_end) {
                 units.push((ci, s, e));
             }
         }
         if units.is_empty() {
             break;
+        }
+        if let Some(ck) = ckpt {
+            if ck.max_rounds.is_some_and(|max| state.rounds_done >= max) {
+                // Deterministic pause: snapshot and surface a typed
+                // error while work remains. Used by the resume tests
+                // to interrupt at exact round boundaries.
+                let path =
+                    checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
+                        ModelError::execution(format!("cannot write pause snapshot: {e}"))
+                    })?;
+                if let Some(c) = &counters {
+                    c.checkpoints.incr();
+                }
+                return Err(ModelError::execution(format!(
+                    "sweep paused after {} rounds with work remaining; snapshot {} — rerun with --resume to continue",
+                    state.rounds_done,
+                    path.display()
+                )));
+            }
         }
         if let Some(c) = &counters {
             c.rounds.incr();
@@ -413,37 +530,124 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
         // One pool over every unit of every cell: workers are spawned
         // once for the whole round, and work-stealing overlaps slow
         // cells with fast ones.
-        let unit_accs = parallel_map_indexed(units.len(), workers, |u| {
+        let pool_result = parallel_map_indexed(units.len(), workers, |u| {
             let (ci, s, e) = units[u];
-            chunk_accum(&plans[ci], s, e)
+            chunk_accum(&plans[ci], ci, s, e, injection.as_ref())
         });
+        let unit_accs = match pool_result {
+            Ok(accs) => accs,
+            Err(pool_err) => {
+                // Checkpoint the last consistent (pre-round) state
+                // before surfacing the failure: the budget already
+                // spent survives, and a later --resume re-runs only
+                // the failed round.
+                let mut reason =
+                    format!("sweep round {} failed: {pool_err}", state.rounds_done + 1);
+                match ckpt.map(|ck| checkpoint::write_snapshot(&ck.dir, &state, fingerprint)) {
+                    Some(Ok(path)) => {
+                        if let Some(c) = &counters {
+                            c.checkpoints.incr();
+                        }
+                        reason.push_str(&format!("; state checkpointed to {}", path.display()));
+                    }
+                    Some(Err(e)) => {
+                        reason.push_str(&format!(
+                            "; checkpointing the partial state also failed: {e}"
+                        ));
+                    }
+                    None => {}
+                }
+                return Err(ModelError::execution(reason));
+            }
+        };
         for (&(ci, _, e), ua) in units.iter().zip(&unit_accs) {
-            accs[ci].merge_in_place(ua);
-            next[ci] = next[ci].max(e);
+            state.accs[ci].merge_in_place(ua);
+            state.next[ci] = state.next[ci].max(e);
         }
         for ci in 0..plans.len() {
-            if !active[ci] {
+            if !state.active[ci] {
                 continue;
             }
-            if next[ci] >= budget {
-                active[ci] = false;
+            if state.next[ci] >= budget {
+                state.active[ci] = false;
             } else if let Some(es) = spec.early_stop {
-                if cell_converged(&accs[ci], &es, next[ci]) {
-                    active[ci] = false;
+                if cell_converged(&state.accs[ci], &es, state.next[ci]) {
+                    state.active[ci] = false;
                     if let Some(c) = &counters {
                         c.early_stopped.incr();
                     }
                 }
             }
         }
+        state.rounds_done += 1;
+        if let Some(ck) = ckpt {
+            if state.rounds_done.is_multiple_of(ck.every_rounds.max(1)) {
+                checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
+                    ModelError::execution(format!("cannot write sweep snapshot: {e}"))
+                })?;
+                last_written = Some(state.rounds_done);
+                if let Some(c) = &counters {
+                    c.checkpoints.incr();
+                }
+            }
+        }
     }
 
-    plans
+    // Terminal snapshot (unless the cadence just wrote one): resuming
+    // a finished sweep then reloads the complete state and exits the
+    // round loop immediately.
+    if let Some(ck) = ckpt {
+        if last_written != Some(state.rounds_done) {
+            checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
+                ModelError::execution(format!("cannot write final sweep snapshot: {e}"))
+            })?;
+            if let Some(c) = &counters {
+                c.checkpoints.incr();
+            }
+        }
+    }
+
+    Ok(plans
         .iter()
-        .zip(accs)
-        .zip(next)
+        .zip(state.accs)
+        .zip(state.next)
         .map(|((plan, acc), executed)| finish_cell(plan, acc, executed))
-        .collect()
+        .collect())
+}
+
+/// Checkpoint/resume policy for the [`SweepEngine::GlobalPool`]
+/// engine. The engine's complete between-rounds state (per-cell
+/// accumulators, cursors, active flags) is snapshotted into `dir`, and
+/// a resumed run continues from the newest valid snapshot with results
+/// **bit-identical** to an uninterrupted run — see
+/// [`crate::checkpoint`] for the format and the determinism argument.
+#[derive(Debug, Clone)]
+pub struct SweepCheckpoint {
+    /// Directory holding snapshot generations (created on first write;
+    /// the newest two are kept, buddy-style).
+    pub dir: PathBuf,
+    /// Snapshot cadence in rounds; 0 behaves as 1 (every round).
+    pub every_rounds: u64,
+    /// Load the newest valid snapshot in `dir` before running (fresh
+    /// start when none exists; hard error when a valid snapshot
+    /// belongs to a different spec).
+    pub resume: bool,
+    /// Pause — snapshot plus a typed [`ModelError::Execution`] — once
+    /// this many rounds are done while work remains. Deterministic
+    /// mid-sweep interruption for tests and budgeted execution.
+    pub max_rounds: Option<u64>,
+}
+
+impl SweepCheckpoint {
+    /// Checkpoints into `dir` after every round; no resume, no pause.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SweepCheckpoint {
+            dir: dir.into(),
+            every_rounds: 1,
+            resume: false,
+            max_rounds: None,
+        }
+    }
 }
 
 /// Runs the sweep with the engine selected in the spec. Cells where no
@@ -452,15 +656,39 @@ fn run_global_pool(spec: &SweepSpec, plans: &[CellPlan]) -> Vec<SweepCell> {
 /// # Errors
 /// Rejects invalid platform parameters and out-of-range `phi_ratios`
 /// (each must lie in `[0, 1]`); propagates infeasible operating
-/// points.
+/// points. A worker panic that survives containment and its requeue
+/// retry surfaces as [`ModelError::Execution`] instead of aborting the
+/// process.
 pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, ModelError> {
+    run_sweep_with_checkpoint(spec, None)
+}
+
+/// [`run_sweep`] with an optional checkpoint/resume policy (GlobalPool
+/// engine only — PerCell holds no resumable state between cells).
+///
+/// # Errors
+/// Everything [`run_sweep`] rejects, plus: a checkpoint policy with
+/// the PerCell engine, snapshot I/O failures, resuming a snapshot from
+/// a different spec, and the deliberate pause when
+/// [`SweepCheckpoint::max_rounds`] is hit with work remaining.
+pub fn run_sweep_with_checkpoint(
+    spec: &SweepSpec,
+    ckpt: Option<&SweepCheckpoint>,
+) -> Result<SweepResult, ModelError> {
+    if ckpt.is_some() && spec.engine != SweepEngine::GlobalPool {
+        return Err(ModelError::invalid(
+            "engine",
+            "checkpoint/resume requires the GlobalPool engine \
+             (PerCell holds no resumable state)",
+        ));
+    }
     let plans = build_plans(spec)?;
     if dck_obs::enabled() {
         dck_obs::add("sweep.cells", plans.len() as u64);
     }
     let cells = match spec.engine {
-        SweepEngine::PerCell => run_per_cell(spec, &plans),
-        SweepEngine::GlobalPool => run_global_pool(spec, &plans),
+        SweepEngine::PerCell => run_per_cell(spec, &plans)?,
+        SweepEngine::GlobalPool => run_global_pool(spec, &plans, ckpt)?,
     };
     Ok(SweepResult {
         spec: spec.clone(),
@@ -626,6 +854,196 @@ mod tests {
         assert_eq!(snap.counter("sweep.units"), 4);
         assert_eq!(snap.counter("sweep.replications"), 32);
         assert_eq!(snap.counter("sweep.cells_early_stopped"), 0);
+    }
+
+    fn ckpt_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dck-sweep-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_cells_bit_identical(a: &SweepResult, b: &SweepResult) {
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.sim_waste.map(f64::to_bits), y.sim_waste.map(f64::to_bits));
+            assert_eq!(
+                x.half_width.map(f64::to_bits),
+                y.half_width.map(f64::to_bits)
+            );
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.fatal, y.fatal);
+            assert_eq!(x.truncated, y.truncated);
+            assert_eq!(x.replications_run, y.replications_run);
+        }
+    }
+
+    /// Multi-round spec: a never-satisfied early-stop target forces
+    /// `replications / batch` rounds, giving the pause/resume tests
+    /// real mid-sweep boundaries to interrupt at.
+    fn multi_round_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            Protocol::DoubleNbl,
+            params(),
+            vec![0.0, 0.6],
+            vec![1_800.0, 3_600.0],
+        );
+        spec.replications = 48;
+        spec.work_in_mtbfs = 6.0;
+        spec.early_stop = Some(EarlyStop {
+            target_half_width: 0.0,
+            min_replications: 16,
+            batch: 16,
+        });
+        spec
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_every_pause_point() {
+        let spec = multi_round_spec();
+        let baseline = run_sweep(&spec).unwrap();
+        // 48 replications in rounds of 16 → 3 rounds; interrupt after
+        // each boundary in turn and resume to completion.
+        for pause_after in 1..=2u64 {
+            let dir = ckpt_dir(&format!("pause{pause_after}"));
+            let mut ck = SweepCheckpoint::new(&dir);
+            ck.max_rounds = Some(pause_after);
+            let err = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap_err();
+            assert!(
+                matches!(err, ModelError::Execution { .. }),
+                "pause must be typed, got {err:?}"
+            );
+            assert!(err.to_string().contains("paused"), "{err}");
+            let mut resume = SweepCheckpoint::new(&dir);
+            resume.resume = true;
+            let resumed = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap();
+            assert_cells_bit_identical(&baseline, &resumed);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_after_completion_reloads_terminal_snapshot() {
+        let spec = multi_round_spec();
+        let dir = ckpt_dir("terminal");
+        let ck = SweepCheckpoint::new(&dir);
+        let first = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap();
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        let again = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap();
+        assert_cells_bit_identical(&first, &again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_empty_dir_is_a_fresh_run() {
+        let spec = multi_round_spec();
+        let baseline = run_sweep(&spec).unwrap();
+        let dir = ckpt_dir("fresh");
+        let mut ck = SweepCheckpoint::new(&dir);
+        ck.resume = true;
+        let fresh = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap();
+        assert_cells_bit_identical(&baseline, &fresh);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointing_rejects_per_cell_engine() {
+        let mut spec = multi_round_spec();
+        spec.engine = SweepEngine::PerCell;
+        let dir = ckpt_dir("percell");
+        let ck = SweepCheckpoint::new(&dir);
+        let err = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::InvalidParameter { name: "engine", .. }
+        ));
+    }
+
+    #[test]
+    fn resuming_a_different_spec_is_rejected() {
+        let spec = multi_round_spec();
+        let dir = ckpt_dir("wrongspec");
+        let mut ck = SweepCheckpoint::new(&dir);
+        ck.max_rounds = Some(1);
+        let _ = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap_err();
+        let mut other = spec.clone();
+        other.seed ^= 0xBAD;
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        let err = run_sweep_with_checkpoint(&other, Some(&resume)).unwrap_err();
+        assert!(err.to_string().contains("different sweep spec"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// End-to-end containment: replication (3, 7) panics once inside
+    /// the pool; the requeue retry recovers it and the result is
+    /// bit-identical to an injection-free run. The env hook is
+    /// process-global, but a `:once` injection is harmless even if a
+    /// concurrently-starting sweep test consumes it first — contained
+    /// panics never perturb results — and this run then simply
+    /// verifies plain bit-identity.
+    #[test]
+    fn contained_panic_preserves_bit_identical_results() {
+        let spec = multi_round_spec();
+        let baseline = run_sweep(&spec).unwrap();
+        std::env::set_var("DCK_SWEEP_PANIC_UNIT", "3:7:once");
+        let injected = run_sweep(&spec);
+        std::env::remove_var("DCK_SWEEP_PANIC_UNIT");
+        let injected = injected.unwrap();
+        assert_cells_bit_identical(&baseline, &injected);
+    }
+
+    /// A panic that persists past the requeue retry must checkpoint
+    /// the pre-round state and surface as a typed error — the
+    /// acceptance criterion for worker-panic containment. Injected at
+    /// `(cell 3, replication 32)`: no other test in this binary runs
+    /// cell 3 past replication 29, so the process-global env hook
+    /// cannot fail a concurrently-starting sweep.
+    #[test]
+    fn persistent_panic_checkpoints_then_errors() {
+        let spec = multi_round_spec();
+        let dir = ckpt_dir("panic");
+        let ck = SweepCheckpoint::new(&dir);
+        std::env::set_var("DCK_SWEEP_PANIC_UNIT", "3:32");
+        let outcome = run_sweep_with_checkpoint(&spec, Some(&ck));
+        std::env::remove_var("DCK_SWEEP_PANIC_UNIT");
+        let err = outcome.unwrap_err();
+        assert!(matches!(err, ModelError::Execution { .. }), "{err:?}");
+        assert!(err.to_string().contains("injected sweep panic"), "{err}");
+        assert!(err.to_string().contains("checkpointed"), "{err}");
+        // Replication 32 lives in round 3 (reps 32..48), so the
+        // snapshot holds rounds 1–2; resuming without the fault
+        // completes bit-identically to an undisturbed run.
+        let baseline = run_sweep(&spec).unwrap();
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        let resumed = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap();
+        assert_cells_bit_identical(&baseline, &resumed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_counters_track_writes_and_resumes() {
+        let _guard = dck_obs::exclusive_session();
+        let spec = multi_round_spec();
+        let dir = ckpt_dir("counters");
+        dck_obs::reset();
+        let was = dck_obs::set_enabled(true);
+        let mut ck = SweepCheckpoint::new(&dir);
+        ck.max_rounds = Some(1);
+        let _ = run_sweep_with_checkpoint(&spec, Some(&ck));
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        let _ = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap();
+        dck_obs::set_enabled(was);
+        let snap = dck_obs::snapshot();
+        assert_eq!(snap.counter("sweep.resumes"), 1);
+        assert_eq!(snap.counter("sweep.rounds_restored"), 1);
+        // Paused run: round 1's cadence write plus the pause write.
+        // Resumed run: rounds 2 and 3 each write once; the terminal
+        // round's cadence write doubles as the final snapshot.
+        assert_eq!(snap.counter("sweep.checkpoints_written"), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -307,3 +307,54 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sweep accounting invariant: however early stopping lands
+    /// relative to round boundaries, every executed replication is
+    /// counted exactly once. Outcome counts sum to `replications_run`,
+    /// which is a whole number of rounds (or the exact budget), and
+    /// both engines agree on every count and every bit.
+    #[test]
+    fn sweep_accounting_is_exact(
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        replications in 8usize..48,
+        batch in 8usize..24,
+        target in 0.0f64..0.1,
+        seed in 0u64..1000,
+    ) {
+        let mut spec = SweepSpec::new(protocol, params(), vec![ratio], vec![1_800.0, 3_600.0]);
+        spec.replications = replications;
+        spec.work_in_mtbfs = 4.0;
+        spec.seed = seed;
+        spec.early_stop = Some(EarlyStop {
+            target_half_width: target,
+            min_replications: 8,
+            batch,
+        });
+        // Rounds are the batch rounded up to the REP_CHUNK (8) multiple.
+        let round = batch.div_ceil(8) * 8;
+        let global = run_sweep(&spec).unwrap();
+        for c in &global.cells {
+            prop_assert_eq!(c.completed + c.fatal + c.truncated, c.replications_run,
+                "outcome counts must partition the executed replications: {:?}", c);
+            prop_assert!(c.replications_run <= replications);
+            prop_assert!(
+                c.replications_run == replications || c.replications_run % round == 0,
+                "ran {} (round {}, budget {})", c.replications_run, round, replications
+            );
+        }
+        spec.engine = SweepEngine::PerCell;
+        let per_cell = run_sweep(&spec).unwrap();
+        for (a, b) in global.cells.iter().zip(&per_cell.cells) {
+            prop_assert_eq!(a.replications_run, b.replications_run);
+            prop_assert_eq!(a.completed, b.completed);
+            prop_assert_eq!(a.fatal, b.fatal);
+            prop_assert_eq!(a.truncated, b.truncated);
+            prop_assert_eq!(a.sim_waste.map(f64::to_bits), b.sim_waste.map(f64::to_bits));
+            prop_assert_eq!(a.half_width.map(f64::to_bits), b.half_width.map(f64::to_bits));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Crash-safe file writes: write-temp → fsync → rename.
+//!
+//! Every artifact the workspace persists (sweep tables, metrics
+//! snapshots, trace JSONL, sweep checkpoints) goes through this module
+//! so a kill at any instant leaves either the old file or the new file
+//! on disk — never a truncated hybrid. The discipline is the standard
+//! POSIX one:
+//!
+//! 1. write the payload to a temporary sibling in the *same directory*
+//!    (rename is only atomic within a filesystem);
+//! 2. `fsync` the temporary so its bytes are durable before it becomes
+//!    reachable under the final name;
+//! 3. `rename` over the destination — atomic replacement;
+//! 4. `fsync` the parent directory so the rename itself survives a
+//!    power cut (best-effort on platforms where directories cannot be
+//!    opened).
+//!
+//! Callers that stream (e.g. JSONL traces) can open the temp path
+//! themselves via [`temp_sibling`], sync their writer, and finish with
+//! [`commit`]; one-shot writers use [`atomic_write`].
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Returns the temporary sibling path used while writing `dest`
+/// atomically: same directory, `.tmp` appended to the file name so the
+/// rename stays within one filesystem.
+pub fn temp_sibling(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    dest.with_file_name(name)
+}
+
+/// Atomically replaces `dest` with `bytes`: temp sibling → fsync →
+/// rename → directory fsync. On error the temporary is removed
+/// (best-effort) and `dest` is untouched.
+///
+/// # Errors
+/// Any I/O error from creating, writing, syncing, or renaming the
+/// temporary file.
+pub fn atomic_write(dest: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_sibling(dest);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    commit(&tmp, dest)
+}
+
+/// Promotes an already-written-and-synced temporary file to `dest` via
+/// rename, then fsyncs the parent directory (best-effort) so the
+/// rename is durable.
+///
+/// # Errors
+/// Any I/O error from the rename; directory-sync failures are ignored
+/// (some platforms refuse to open directories).
+pub fn commit(tmp: &Path, dest: &Path) -> io::Result<()> {
+    if let Err(e) = fs::rename(tmp, dest) {
+        let _ = fs::remove_file(tmp);
+        return Err(e);
+    }
+    if let Some(dir) = dest.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dck-fsio-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file() {
+        let dir = scratch("new");
+        let dest = dir.join("out.json");
+        atomic_write(&dest, b"{\"ok\":true}").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"{\"ok\":true}");
+        assert!(!temp_sibling(&dest).exists(), "temp must not linger");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replaces_existing_file_atomically() {
+        let dir = scratch("replace");
+        let dest = dir.join("out.csv");
+        atomic_write(&dest, b"old").unwrap();
+        atomic_write(&dest, b"new contents").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"new contents");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = scratch("fail");
+        let dest = dir.join("keep.txt");
+        atomic_write(&dest, b"precious").unwrap();
+        // Writing into a path whose parent is a *file* must fail
+        // without disturbing anything else.
+        let bad = dest.join("child.txt");
+        assert!(atomic_write(&bad, b"x").is_err());
+        assert_eq!(fs::read(&dest).unwrap(), b"precious");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_sibling_shares_directory() {
+        let tmp = temp_sibling(Path::new("/a/b/c.json"));
+        assert_eq!(tmp, Path::new("/a/b/c.json.tmp"));
+    }
+
+    #[test]
+    fn streaming_commit_promotes_temp() {
+        let dir = scratch("stream");
+        let dest = dir.join("trace.jsonl");
+        let tmp = temp_sibling(&dest);
+        let mut f = File::create(&tmp).unwrap();
+        f.write_all(b"line1\nline2\n").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        commit(&tmp, &dest).unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"line1\nline2\n");
+        assert!(!tmp.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`par`] — small scoped-thread fork/join utilities (built on
 //!   `std::thread::scope`) used to run Monte-Carlo replications in
 //!   parallel, including a streaming chunked map-fold whose results
-//!   are bit-identical across worker counts.
+//!   are bit-identical across worker counts. Worker panics are
+//!   contained per chunk, retried once, and surfaced as a typed
+//!   [`par::PoolError`].
+//! * [`fsio`] — crash-safe artifact writes (write-temp → fsync →
+//!   rename) so a kill mid-write never leaves a truncated file.
 //!
 //! The kernel is deliberately allocation-light: event queues reserve
 //! capacity up front, statistics are O(1) per observation, and the
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fsio;
 pub mod par;
 pub mod rng;
 pub mod stats;

@@ -114,6 +114,28 @@ impl OnlineStats {
         }
     }
 
+    /// Decomposes the accumulator into its raw state
+    /// `(n, mean, m2, min, max)` for bit-exact persistence (sweep
+    /// checkpoints). The floats must be stored losslessly (e.g. via
+    /// [`f64::to_bits`]) — an empty accumulator's extrema are infinite,
+    /// which lossy text encodings cannot round-trip.
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::to_parts`] output.
+    /// The inverse is exact: `from_parts(s.to_parts())` observes and
+    /// merges identically to `s`, bit for bit.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Smallest observation (`+inf` if empty).
     pub fn min(&self) -> f64 {
         self.min
@@ -194,6 +216,37 @@ mod tests {
         one.push(42.0);
         assert_eq!(one.mean(), 42.0);
         assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_exact() {
+        let mut s = OnlineStats::new();
+        s.extend((0..257).map(|i| (i as f64).sqrt().sin()));
+        let (n, mean, m2, min, max) = s.to_parts();
+        let r = OnlineStats::from_parts(n, mean, m2, min, max);
+        assert_eq!(r.count(), s.count());
+        assert_eq!(r.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(r.variance().to_bits(), s.variance().to_bits());
+        assert_eq!(r.min().to_bits(), s.min().to_bits());
+        assert_eq!(r.max().to_bits(), s.max().to_bits());
+
+        // Empty accumulators carry infinite extrema; the round-trip
+        // must preserve them (this is why checkpoints store raw bits).
+        let (n, mean, m2, min, max) = OnlineStats::new().to_parts();
+        let e = OnlineStats::from_parts(n, mean, m2, min, max);
+        assert_eq!(e.count(), 0);
+        assert!(e.min().is_infinite() && e.min() > 0.0);
+        assert!(e.max().is_infinite() && e.max() < 0.0);
+
+        // A restored accumulator keeps observing identically.
+        let mut a = OnlineStats::new();
+        a.extend([1.0, 2.0]);
+        let (n, mean, m2, min, max) = a.to_parts();
+        let mut b = OnlineStats::from_parts(n, mean, m2, min, max);
+        a.push(3.5);
+        b.push(3.5);
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Kill-and-resume crash harness for end-to-end checkpoint tests.
+//!
+//! Spawns a command, SIGKILLs it after a seeded pseudo-random delay,
+//! and loops — re-invoking the command (the caller adds `--resume` or
+//! equivalent) — until one attempt runs to completion. The delays come
+//! from a [`KillSchedule`] so a failing seed reproduces the exact same
+//! kill points; once the kill budget is spent the final attempt runs
+//! uninterrupted, so the loop always terminates.
+//!
+//! Elapsed time is tracked by accumulating the poll sleeps rather than
+//! reading a clock: the delays are *injected* test inputs, not
+//! measurements, and keeping wall-clock reads out of the harness keeps
+//! it deterministic enough to reason about.
+
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+/// Milliseconds between `try_wait` polls while a kill is pending.
+const POLL_MS: u64 = 2;
+
+/// Deterministic kill-delay generator (SplitMix64): the same seed
+/// yields the same sequence of kill points on every run.
+#[derive(Debug, Clone)]
+pub struct KillSchedule {
+    state: u64,
+}
+
+impl KillSchedule {
+    /// Creates a schedule from a seed.
+    pub fn new(seed: u64) -> Self {
+        KillSchedule { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next kill delay, uniform in `[0, max_ms)` (0 when `max_ms`
+    /// is 0 — kill immediately).
+    pub fn next_delay_ms(&mut self, max_ms: u64) -> u64 {
+        if max_ms == 0 {
+            0
+        } else {
+            self.next_u64() % max_ms
+        }
+    }
+}
+
+/// What a crash loop produced once an attempt ran to completion.
+#[derive(Debug)]
+pub struct CrashLoopOutcome {
+    /// Attempts SIGKILLed before one completed.
+    pub kills: u32,
+    /// Stdout of the completing attempt.
+    pub stdout: String,
+}
+
+/// Runs `make_command(attempt)` repeatedly, killing each attempt after
+/// the schedule's next delay, until an attempt exits on its own. The
+/// attempt counter passed to `make_command` is the number of kills so
+/// far, so the caller can inspect on-disk state between crashes.
+/// Attempts past `max_kills` run uninterrupted, guaranteeing
+/// termination.
+///
+/// # Errors
+/// Spawn failures, wait failures, and any attempt that exits with a
+/// non-success status (its stderr is included in the message).
+pub fn run_with_random_kills<F>(
+    mut make_command: F,
+    schedule: &mut KillSchedule,
+    max_kill_delay_ms: u64,
+    max_kills: u32,
+) -> Result<CrashLoopOutcome, String>
+where
+    F: FnMut(u32) -> Command,
+{
+    let mut kills = 0u32;
+    loop {
+        let mut cmd = make_command(kills);
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("attempt {kills}: cannot spawn: {e}"))?;
+        let deadline_ms = if kills < max_kills {
+            Some(schedule.next_delay_ms(max_kill_delay_ms))
+        } else {
+            None
+        };
+        if wait_or_kill(&mut child, deadline_ms)? {
+            let out = child
+                .wait_with_output()
+                .map_err(|e| format!("attempt {kills}: cannot collect output: {e}"))?;
+            if !out.status.success() {
+                return Err(format!(
+                    "attempt {kills}: exited with {}: {}",
+                    out.status,
+                    String::from_utf8_lossy(&out.stderr)
+                ));
+            }
+            return Ok(CrashLoopOutcome {
+                kills,
+                stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+            });
+        }
+        kills += 1;
+    }
+}
+
+/// Waits for the child, killing it once `deadline_ms` of accumulated
+/// poll sleep has passed (`None` waits indefinitely). Returns `true`
+/// when the child exited on its own, `false` when it was killed.
+fn wait_or_kill(child: &mut Child, deadline_ms: Option<u64>) -> Result<bool, String> {
+    let mut slept = 0u64;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return Ok(true),
+            Ok(None) => {}
+            Err(e) => return Err(format!("wait failed: {e}")),
+        }
+        if let Some(d) = deadline_ms {
+            if slept >= d {
+                child.kill().map_err(|e| format!("kill failed: {e}"))?;
+                let _ = child.wait();
+                return Ok(false);
+            }
+        }
+        thread::sleep(Duration::from_millis(POLL_MS));
+        slept += POLL_MS;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut c = Command::new("sh");
+        c.arg("-c").arg(script);
+        c
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let mut a = KillSchedule::new(7);
+        let mut b = KillSchedule::new(7);
+        for _ in 0..64 {
+            let d = a.next_delay_ms(50);
+            assert_eq!(d, b.next_delay_ms(50));
+            assert!(d < 50);
+        }
+        assert_eq!(KillSchedule::new(1).next_delay_ms(0), 0);
+        // Different seeds diverge somewhere in the first few draws.
+        let mut c = KillSchedule::new(8);
+        let mut d = KillSchedule::new(9);
+        assert!((0..8).any(|_| c.next_delay_ms(1000) != d.next_delay_ms(1000)));
+    }
+
+    #[test]
+    fn completing_command_needs_no_kills() {
+        let mut sched = KillSchedule::new(1);
+        let out = run_with_random_kills(|_| sh("echo done"), &mut sched, 50, 0).unwrap();
+        assert_eq!(out.kills, 0);
+        assert_eq!(out.stdout.trim(), "done");
+    }
+
+    #[test]
+    fn slow_attempts_are_killed_then_the_loop_converges() {
+        // The first two attempts hang far past the kill window; the
+        // third "resumes" instantly — mimicking a crash-recovery loop.
+        let mut sched = KillSchedule::new(42);
+        let out = run_with_random_kills(
+            |attempt| {
+                if attempt < 2 {
+                    sh("sleep 30")
+                } else {
+                    sh("echo resumed")
+                }
+            },
+            &mut sched,
+            40,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.kills, 2);
+        assert_eq!(out.stdout.trim(), "resumed");
+    }
+
+    #[test]
+    fn failing_attempt_surfaces_its_stderr() {
+        let mut sched = KillSchedule::new(3);
+        let err =
+            run_with_random_kills(|_| sh("echo boom >&2; exit 3"), &mut sched, 50, 0).unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+        assert!(err.contains("attempt 0"), "{err}");
+    }
+}

@@ -18,6 +18,9 @@
 //!   (`core::waste`/`core::period`) against the Monte-Carlo estimate
 //!   (`sim::sweep`), assert agreement within CI95, and emit a
 //!   `conformance.json` report consumable by `dck validate`.
+//! * [`killresume`] — the crash harness: SIGKILL a checkpointing
+//!   command at seeded pseudo-random points and re-invoke it until one
+//!   attempt completes, for kill-and-resume end-to-end tests.
 //!
 //! The crate is a *library of harness parts*: its own integration tests
 //! (and the root tier-1 suite, the protocols property tests and the
@@ -29,6 +32,7 @@
 pub mod conformance;
 pub mod diff;
 pub mod golden;
+pub mod killresume;
 pub mod script;
 
 pub use conformance::{
@@ -36,4 +40,5 @@ pub use conformance::{
 };
 pub use diff::{diff_timelines, Divergence};
 pub use golden::{load_cases, replay_case, GoldenCase, ReplayReport};
+pub use killresume::{run_with_random_kills, CrashLoopOutcome, KillSchedule};
 pub use script::{CompiledScript, Expectation, Fault, FaultScript, ScriptOutcome, WorkSpec};

@@ -36,6 +36,10 @@ experiments:
 experiments-fast:
     cargo run -p dck-experiments --release -- all --fast --out results
 
+# Kill-and-resume crash-safety e2e against the release binary.
+resume-kill:
+    cargo test --release -p dck-cli --test resume_kill -- --nocapture
+
 # Criterion benches: one per paper artifact + kernel ablations.
 bench:
     cargo bench --workspace
