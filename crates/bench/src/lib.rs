@@ -17,7 +17,14 @@
 //! Each figure bench prints its headline series once, so `cargo bench`
 //! output doubles as a quick reproduction record.
 //!
-//! This library target is intentionally empty — it exists so the bench
-//! targets have a crate to attach to.
+//! Besides the Criterion targets, the crate ships the `dck-bench`
+//! binary — the tracked perf-trajectory harness. It writes
+//! `BENCH_reps.json` / `BENCH_sweep.json` artifacts conforming to the
+//! schema in [`report`], validated by `dck validate --bench` and
+//! uploaded by the `bench-smoke` CI job.
 
 #![forbid(unsafe_code)]
+
+pub mod report;
+
+pub use report::{BenchConfig, BenchKind, BenchReport, BenchSeries, BenchSummary, SCHEMA};

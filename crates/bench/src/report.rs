@@ -1,0 +1,280 @@
+//! `BENCH_*.json` report schema for the `dck-bench` harness.
+//!
+//! Every harness run writes two artifacts — `BENCH_reps.json`
+//! (replications/sec of the Monte-Carlo inner loop, fast path vs the
+//! boxed reference path, across worker counts) and `BENCH_sweep.json`
+//! (sweep wall-clock and throughput across worker counts) — so the
+//! perf trajectory of the hot path is tracked by CI rather than
+//! anecdote. `dck validate --bench` checks files against this schema.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag carried by every report (`BenchReport::SCHEMA`).
+pub const SCHEMA: &str = "dck-bench/v1";
+
+/// Which workload a report measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchKind {
+    /// Monte-Carlo replication throughput of one operating point.
+    Replications,
+    /// Wall-clock of a full parameter sweep.
+    Sweep,
+}
+
+/// The workload configuration a report was measured on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Protocol name (display form).
+    pub protocol: String,
+    /// Platform node count.
+    pub nodes: u64,
+    /// Node MTBF in seconds (reps) / MTBF grid (sweep uses the list).
+    pub mtbf_s: Vec<f64>,
+    /// Checkpoint-cost ratio grid `phi / theta_min`.
+    pub phi_ratio: Vec<f64>,
+    /// Work per run, in multiples of the MTBF.
+    pub work_in_mtbfs: f64,
+    /// Replications per measurement (per cell for sweeps).
+    pub replications: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// True when the harness ran with `--quick` (CI smoke grid).
+    pub quick: bool,
+}
+
+/// One measured series: a labelled implementation at one worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSeries {
+    /// Implementation label (`"fast"`, `"reference"`, `"sweep"`).
+    pub label: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Replications executed.
+    pub replications: usize,
+    /// Median wall-clock of the measured repeats, seconds.
+    pub elapsed_s: f64,
+    /// Throughput, replications per second.
+    pub reps_per_sec: f64,
+}
+
+/// Headline numbers derived from the series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Largest worker count measured.
+    pub max_workers: usize,
+    /// `fast` throughput over `reference` throughput at `max_workers`
+    /// (replication reports only).
+    pub speedup_fast_vs_reference_at_max_workers: Option<f64>,
+    /// `fast` (or sweep) throughput at `max_workers` over one worker.
+    pub scaling_max_vs_one_worker: Option<f64>,
+    /// Whether the fast and reference paths produced bit-identical
+    /// estimates (replication reports only; must never be `false`).
+    pub estimates_bit_identical: Option<bool>,
+}
+
+/// A complete `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag; always [`SCHEMA`].
+    pub schema: String,
+    /// Workload kind.
+    pub kind: BenchKind,
+    /// Workload configuration.
+    pub config: BenchConfig,
+    /// Measured series, one per (label, workers) pair.
+    pub series: Vec<BenchSeries>,
+    /// Derived headline numbers.
+    pub summary: BenchSummary,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty JSON with a trailing newline.
+    ///
+    /// # Errors
+    /// Propagates serializer errors (unbounded floats would be the only
+    /// realistic cause; [`BenchReport::validate`] rejects them first).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self).map(|mut s| {
+            s.push('\n');
+            s
+        })
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    /// Propagates parse errors.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Checks the report for internal consistency: schema tag, at
+    /// least one series, positive finite timings and throughputs,
+    /// summary agreeing with the series, and — for replication
+    /// reports — fast/reference estimate parity.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!(
+                "schema {:?} is not the expected {SCHEMA:?}",
+                self.schema
+            ));
+        }
+        if self.series.is_empty() {
+            return Err("report contains no series".to_string());
+        }
+        for s in &self.series {
+            if s.workers == 0 {
+                return Err(format!("series {:?}: zero workers", s.label));
+            }
+            if s.replications == 0 {
+                return Err(format!("series {:?}: zero replications", s.label));
+            }
+            if !(s.elapsed_s.is_finite() && s.elapsed_s > 0.0) {
+                return Err(format!(
+                    "series {:?} @ {} workers: elapsed {} not a positive finite time",
+                    s.label, s.workers, s.elapsed_s
+                ));
+            }
+            if !(s.reps_per_sec.is_finite() && s.reps_per_sec > 0.0) {
+                return Err(format!(
+                    "series {:?} @ {} workers: throughput {} not positive finite",
+                    s.label, s.workers, s.reps_per_sec
+                ));
+            }
+        }
+        let max_workers = self.series.iter().map(|s| s.workers).max().unwrap_or(0);
+        if self.summary.max_workers != max_workers {
+            return Err(format!(
+                "summary.max_workers {} disagrees with series maximum {max_workers}",
+                self.summary.max_workers
+            ));
+        }
+        for (name, v) in [
+            (
+                "speedup_fast_vs_reference_at_max_workers",
+                self.summary.speedup_fast_vs_reference_at_max_workers,
+            ),
+            (
+                "scaling_max_vs_one_worker",
+                self.summary.scaling_max_vs_one_worker,
+            ),
+        ] {
+            if let Some(x) = v {
+                if !(x.is_finite() && x > 0.0) {
+                    return Err(format!("summary.{name} {x} not positive finite"));
+                }
+            }
+        }
+        if self.kind == BenchKind::Replications {
+            if self.summary.estimates_bit_identical == Some(false) {
+                return Err(
+                    "fast and reference estimator paths disagree (estimates_bit_identical = false)"
+                        .to_string(),
+                );
+            }
+            if self
+                .summary
+                .speedup_fast_vs_reference_at_max_workers
+                .is_none()
+            {
+                return Err("replication report is missing its fast-vs-reference speedup".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            kind: BenchKind::Replications,
+            config: BenchConfig {
+                protocol: "double-nbl".to_string(),
+                nodes: 64,
+                mtbf_s: vec![1800.0],
+                phi_ratio: vec![0.5],
+                work_in_mtbfs: 4.0,
+                replications: 1024,
+                seed: 7,
+                quick: true,
+            },
+            series: vec![
+                BenchSeries {
+                    label: "fast".to_string(),
+                    workers: 1,
+                    replications: 1024,
+                    elapsed_s: 0.5,
+                    reps_per_sec: 2048.0,
+                },
+                BenchSeries {
+                    label: "reference".to_string(),
+                    workers: 8,
+                    replications: 1024,
+                    elapsed_s: 1.0,
+                    reps_per_sec: 1024.0,
+                },
+            ],
+            summary: BenchSummary {
+                max_workers: 8,
+                speedup_fast_vs_reference_at_max_workers: Some(2.0),
+                scaling_max_vs_one_worker: Some(1.5),
+                estimates_bit_identical: Some(true),
+            },
+        }
+    }
+
+    #[test]
+    fn valid_report_round_trips() {
+        let r = sample();
+        r.validate().unwrap();
+        let json = r.to_json().unwrap();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_defects() {
+        let mut r = sample();
+        r.schema = "dck-bench/v0".to_string();
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.series.clear();
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.series[0].elapsed_s = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.series[0].reps_per_sec = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.summary.max_workers = 4;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.summary.estimates_bit_identical = Some(false);
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.summary.speedup_fast_vs_reference_at_max_workers = None;
+        assert!(r.validate().is_err());
+
+        // Sweep reports need no speedup entry.
+        let mut r = sample();
+        r.kind = BenchKind::Sweep;
+        r.summary.speedup_fast_vs_reference_at_max_workers = None;
+        r.summary.estimates_bit_identical = None;
+        r.validate().unwrap();
+    }
+}

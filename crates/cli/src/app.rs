@@ -83,7 +83,7 @@ pub fn usage() -> String {
      \x20 lint     [baseline]                      static determinism/panic-safety lints\n\
      \x20          --root DIR (workspace root)  --config FILE (analyze.toml)\n\
      \x20          --format human|json  --out FILE (JSON report, written even on failure)\n\
-     \x20 validate --trace F | --metrics F | --sweep F | --conformance F | --snapshot F\n\
+     \x20 validate --trace F | --metrics F | --sweep F | --conformance F | --snapshot F | --bench F\n\
      \x20                                          schema-check emitted files\n\
      \n\
      common options:\n\
@@ -797,6 +797,20 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
         );
         checked += 1;
     }
+    if let Some(path) = args.get("bench") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = dck_bench::BenchReport::from_json(&text)
+            .map_err(|e| format!("{path}: invalid BenchReport: {e}"))?;
+        report.validate().map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "bench {path}: {:?}, {} series, max workers {}",
+            report.kind,
+            report.series.len(),
+            report.summary.max_workers
+        );
+        checked += 1;
+    }
     if let Some(path) = args.get("snapshot") {
         let info = validate_snapshot(Path::new(path)).map_err(|e| {
             // The read error already names the path; format errors
@@ -822,7 +836,7 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
     if checked == 0 {
         return Err(
             "usage: dck validate --trace FILE | --metrics FILE | --sweep FILE \
-             | --conformance FILE | --snapshot FILE"
+             | --conformance FILE | --snapshot FILE | --bench FILE"
                 .to_string(),
         );
     }
@@ -1268,6 +1282,122 @@ mod tests {
     }
 
     #[test]
+    fn all_stop_reason_traces_validate() {
+        // Acceptance: traced runs for every StopReason end in Finished
+        // and round-trip through `dck validate --trace`.
+        use dck_sim::{PeriodChoice, RunConfig};
+        let params = dck_core::PlatformParams::new(0.0, 2.0, 4.0, 10.0, 8).unwrap();
+        let mk_trace = |events: &[(f64, u64)]| {
+            FailureTrace::new(
+                8,
+                events
+                    .iter()
+                    .map(|&(at, node)| dck_failures::FailureEvent {
+                        at: SimTime::seconds(at),
+                        node,
+                    })
+                    .collect(),
+            )
+        };
+        let mut cfg = RunConfig::new(Protocol::DoubleNbl, params, 1.0, 7.0 * 3600.0);
+        cfg.period = PeriodChoice::Explicit(100.0);
+        let mut stuck = RunConfig::new(Protocol::DoubleBlocking, params, 0.0, 3600.0);
+        stuck.period = PeriodChoice::Explicit(6.0);
+        let mut capped = cfg;
+        capped.max_failures = 1;
+
+        let timelines = [
+            // WorkComplete
+            dck_sim::run_to_completion_traced(&cfg, 970.0, &mut mk_trace(&[]).replay())
+                .unwrap()
+                .1,
+            // Fatal (buddy inside the risk window)
+            dck_sim::run_to_completion_traced(
+                &cfg,
+                970.0,
+                &mut mk_trace(&[(250.0, 0), (260.0, 1)]).replay(),
+            )
+            .unwrap()
+            .1,
+            // HorizonReached
+            dck_sim::run_until_traced(&cfg, 500.0, &mut mk_trace(&[]).replay())
+                .unwrap()
+                .1,
+            // FailureCapReached
+            dck_sim::run_to_completion_traced(
+                &capped,
+                1e9,
+                &mut mk_trace(&[(1000.0, 0), (2000.0, 2)]).replay(),
+            )
+            .unwrap()
+            .1,
+            // NoProgress
+            dck_sim::run_to_completion_traced(&stuck, 100.0, &mut mk_trace(&[]).replay())
+                .unwrap()
+                .1,
+        ];
+        for (i, timeline) in timelines.iter().enumerate() {
+            assert!(
+                matches!(timeline.last(), Some(TimelineEvent::Finished { .. })),
+                "timeline {i} missing Finished: {timeline:?}"
+            );
+            let path =
+                std::env::temp_dir().join(format!("dck-reason-{}-{i}.jsonl", std::process::id()));
+            let lines: String = timeline
+                .iter()
+                .map(|e| serde_json::to_string(e).unwrap() + "\n")
+                .collect();
+            std::fs::write(&path, lines).unwrap();
+            let out = run_ok(&["validate", "--trace", path.to_str().unwrap()]);
+            assert!(out.contains("timestamps ordered"), "timeline {i}: {out}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn validate_checks_bench_reports() {
+        let report = dck_bench::BenchReport {
+            schema: dck_bench::SCHEMA.to_string(),
+            kind: dck_bench::BenchKind::Sweep,
+            config: dck_bench::BenchConfig {
+                protocol: "double-nbl".to_string(),
+                nodes: 64,
+                mtbf_s: vec![1800.0],
+                phi_ratio: vec![0.5],
+                work_in_mtbfs: 4.0,
+                replications: 64,
+                seed: 1,
+                quick: true,
+            },
+            series: vec![dck_bench::BenchSeries {
+                label: "sweep".to_string(),
+                workers: 2,
+                replications: 64,
+                elapsed_s: 0.25,
+                reps_per_sec: 256.0,
+            }],
+            summary: dck_bench::BenchSummary {
+                max_workers: 2,
+                speedup_fast_vs_reference_at_max_workers: None,
+                scaling_max_vs_one_worker: None,
+                estimates_bit_identical: None,
+            },
+        };
+        let path = std::env::temp_dir().join(format!("dck-bench-{}.json", std::process::id()));
+        std::fs::write(&path, report.to_json().unwrap()).unwrap();
+        let out = run_ok(&["validate", "--bench", path.to_str().unwrap()]);
+        assert!(out.contains("Sweep"), "{out}");
+
+        // A corrupted report is rejected with the defect named.
+        let mut bad = report;
+        bad.series[0].elapsed_s = -1.0;
+        std::fs::write(&path, bad.to_json().unwrap()).unwrap();
+        let err = run_err(&["validate", "--bench", path.to_str().unwrap()]);
+        assert!(err.contains("elapsed"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn run_is_reproducible_per_replication() {
         let a = run_ok(&["run", "--protocol", "triple", "--nodes", "9", "--rep", "2"]);
         let b = run_ok(&["run", "--protocol", "triple", "--nodes", "9", "--rep", "2"]);
@@ -1460,6 +1590,7 @@ mod tests {
             "--sweep",
             "--conformance",
             "--snapshot",
+            "--bench",
         ] {
             let err = run_err(&["validate", flag, "/nonexistent/artifact.json"]);
             assert!(err.contains("/nonexistent/artifact.json"), "{flag}: {err}");

@@ -18,9 +18,8 @@
 //! that is precisely the approximation Eqs. 11/16 make, and matching it
 //! is what lets the simulator validate those formulas.
 
-use crate::groups::{GroupId, GroupLayout, NodeId};
+use crate::groups::{GroupLayout, NodeId};
 use dck_core::ModelError;
-use std::collections::BTreeMap;
 
 /// Outcome of recording one failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,14 +31,31 @@ pub struct FailureOutcome {
     pub members_at_risk: u32,
 }
 
+/// A node's most recent risk window, stamped with the generation it
+/// was opened in so [`RiskTracker::reset`] is O(1): windows from an
+/// older generation are treated as never opened.
+#[derive(Debug, Clone, Copy)]
+struct NodeWindow {
+    gen: u32,
+    until: f64,
+}
+
 /// Tracks open risk windows per group and detects fatal failures.
+///
+/// Storage is one dense slot per node (the Monte-Carlo hot path
+/// records millions of failures, so the per-event work is a handful
+/// of reads within the victim's group — no ordered-map lookups and no
+/// allocation after construction).
 #[derive(Debug, Clone)]
 pub struct RiskTracker {
     layout: GroupLayout,
     risk_window: f64,
-    /// Open windows per group: `(member, open-until)`. Sparse — only
-    /// groups with at least one recent failure are present.
-    open: BTreeMap<GroupId, Vec<(NodeId, f64)>>,
+    /// Current generation; slots stamped with an older one are closed.
+    gen: u32,
+    /// Latest window per node, dense by node id. All-zero initial
+    /// state (generation 0 never matches `gen >= 1`) keeps the
+    /// allocation a cheap `calloc` even for very large platforms.
+    windows: Vec<NodeWindow>,
     fatal_seen: u64,
     failures_seen: u64,
 }
@@ -62,10 +78,17 @@ impl RiskTracker {
         Ok(RiskTracker {
             layout,
             risk_window,
-            open: BTreeMap::new(),
+            gen: 1,
+            windows: vec![NodeWindow { gen: 0, until: 0.0 }; layout.nodes() as usize],
             fatal_seen: 0,
             failures_seen: 0,
         })
+    }
+
+    /// Whether `node`'s window is still open at time `t`.
+    fn open(&self, node: NodeId, t: f64) -> bool {
+        let w = self.windows[node as usize];
+        w.gen == self.gen && w.until > t
     }
 
     /// The window length in use.
@@ -84,25 +107,23 @@ impl RiskTracker {
     }
 
     /// Records a failure of `node` at time `t` and reports whether it
-    /// is fatal. Windows that ended at or before `t` are pruned first.
-    ///
-    /// # Panics
-    /// Debug-panics if `t` moves backwards within a group (callers feed
-    /// time-ordered failures).
+    /// is fatal. Expired windows need no pruning — they are simply not
+    /// open at `t`.
     pub fn record_failure(&mut self, node: NodeId, t: f64) -> FailureOutcome {
         self.failures_seen += 1;
         let group = self.layout.group_of(node);
-        let windows = self.open.entry(group).or_default();
-        windows.retain(|&(_, until)| until > t);
-
-        let others_at_risk = windows.iter().filter(|&&(m, _)| m != node).count() as u32;
+        let others_at_risk = self
+            .layout
+            .members(group)
+            .filter(|&m| m != node && self.open(m, t))
+            .count() as u32;
         let fatal = u64::from(others_at_risk) + 1 >= self.layout.group_size();
 
         // Restart (or open) this node's window.
-        match windows.iter_mut().find(|(m, _)| *m == node) {
-            Some(w) => w.1 = t + self.risk_window,
-            None => windows.push((node, t + self.risk_window)),
-        }
+        self.windows[node as usize] = NodeWindow {
+            gen: self.gen,
+            until: t + self.risk_window,
+        };
 
         if fatal {
             self.fatal_seen += 1;
@@ -114,17 +135,26 @@ impl RiskTracker {
     }
 
     /// Number of groups with at least one window open at time `t`
-    /// (diagnostic; prunes nothing).
+    /// (diagnostic; scans the platform).
     pub fn groups_at_risk(&self, t: f64) -> usize {
-        self.open
-            .values()
-            .filter(|ws| ws.iter().any(|&(_, until)| until > t))
+        (0..self.layout.groups())
+            .filter(|&g| self.layout.members(g).any(|m| self.open(m, t)))
             .count()
     }
 
-    /// Drops all state (e.g. after an application restart).
+    /// Drops all state (e.g. after an application restart). O(1):
+    /// bumps the generation so every open window goes stale.
     pub fn reset(&mut self) {
-        self.open.clear();
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // u32 generations exhausted: physically clear once and
+                // restart the stamping. (4 billion resets per tracker —
+                // unreachable in practice, handled for correctness.)
+                self.windows.fill(NodeWindow { gen: 0, until: 0.0 });
+                1
+            }
+        };
     }
 }
 

@@ -44,12 +44,13 @@ pub use checkpoint::{validate_snapshot, SnapshotInfo};
 pub use config::{PeriodChoice, RunConfig};
 pub use hierarchical::{run_hierarchical, HierarchicalOutcome, HierarchicalRunConfig};
 pub use montecarlo::{
-    estimate_success, estimate_waste, replication_source, MonteCarloConfig, SuccessEstimate,
-    WasteEstimate,
+    estimate_success, estimate_waste, estimate_waste_reference, replication_source,
+    MonteCarloConfig, SuccessEstimate, WasteEstimate,
 };
 pub use run::{
     run_to_completion, run_to_completion_sinked, run_to_completion_traced,
-    run_to_completion_with_pending, run_until, RunOutcome, StopReason, TimelineEvent,
+    run_to_completion_with_pending, run_until, run_until_sinked, run_until_traced, RunOutcome,
+    StopReason, TimelineEvent,
 };
 pub use sweep::{
     run_sweep, run_sweep_with_checkpoint, EarlyStop, SweepCell, SweepCheckpoint, SweepEngine,

@@ -6,7 +6,7 @@
 //! across worker counts.
 
 use crate::config::RunConfig;
-use crate::run::{run_to_completion, run_until, RunOutcome, StopReason};
+use crate::run::{run_to_completion, RunMachine, RunOutcome, Stop, StopReason};
 use dck_core::ModelError;
 use dck_failures::{AggregatedExponential, DistributionSpec, MtbfSpec, PerNodeRenewal};
 use dck_simcore::par::{default_workers, parallel_map_fold};
@@ -197,9 +197,16 @@ impl WasteAccum {
     }
 }
 
-/// Runs one replication of `run_cfg` to completion of `t_base` work.
-/// Replication `i` derives its RNG stream from `(mc.seed, i)` only, so
-/// the outcome is independent of which thread executes it.
+/// Runs one replication of `run_cfg` to completion of `t_base` work
+/// through the boxed [`replication_source`] path. Replication `i`
+/// derives its RNG stream from `(mc.seed, i)` only, so the outcome is
+/// independent of which thread executes it.
+///
+/// This is the *reference* path: it rebuilds the configuration and
+/// boxes the source per replication. The hot Monte-Carlo loops use
+/// [`ChunkRunner`] instead, which amortizes the build and monomorphizes
+/// the source; [`estimate_waste_reference`] and the parity tests keep
+/// the two pinned to identical streams.
 pub(crate) fn run_replication(
     run_cfg: &RunConfig,
     mc: &MonteCarloConfig,
@@ -209,6 +216,165 @@ pub(crate) fn run_replication(
     let mut source = replication_source(run_cfg, mc, replication);
     run_to_completion(run_cfg, t_base, source.as_mut())
         .expect("validated configuration cannot fail")
+}
+
+/// Reusable per-chunk replication driver: one [`RunMachine`] (the
+/// resolved schedule, failure response and risk tracker) plus the RNG
+/// factory, constructed once per work unit and driven for every
+/// replication in it. The failure source is built on the stack per
+/// replication — for the Exponential source the whole inner loop is
+/// monomorphized, with no `Box<dyn FailureSource>` allocation and no
+/// per-event dyn dispatch.
+///
+/// Stream identity: replication `i` consumes exactly the RNG stream of
+/// [`replication_source`]`(run_cfg, mc, i)`, so results are
+/// bit-identical to the boxed reference path (and `dck run --rep i`
+/// replays precisely what the estimator simulated).
+pub(crate) struct ChunkRunner {
+    machine: RunMachine,
+    factory: RngFactory,
+    source: SourceKind,
+    usable: u64,
+    individual: SimTime,
+}
+
+impl ChunkRunner {
+    /// Builds the machinery for one chunk of replications.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub(crate) fn new(run_cfg: &RunConfig, mc: &MonteCarloConfig) -> Result<Self, ModelError> {
+        let usable = run_cfg.usable_nodes();
+        // Per-node MTBF is n·M; keep it fixed under rounding (same
+        // calibration as `replication_source`).
+        let individual = SimTime::seconds(run_cfg.mtbf * run_cfg.params.nodes as f64);
+        Ok(ChunkRunner {
+            machine: RunMachine::new(run_cfg)?,
+            factory: RngFactory::new(mc.seed),
+            source: mc.source,
+            usable,
+            individual,
+        })
+    }
+
+    fn drive(&mut self, stop: Stop, replication: u64) -> RunOutcome {
+        let rng = self.factory.component_stream("failures", replication);
+        let result = match self.source {
+            SourceKind::Exponential => {
+                let mtbf = MtbfSpec::Individual {
+                    mtbf: self.individual,
+                    nodes: self.usable,
+                };
+                let mut src = AggregatedExponential::new(mtbf, rng);
+                self.machine.drive(stop, &mut src, |_| {})
+            }
+            SourceKind::Renewal(spec) => {
+                let mut src =
+                    PerNodeRenewal::new(spec.with_mean(self.individual), self.usable, rng);
+                self.machine.drive(stop, &mut src, |_| {})
+            }
+            SourceKind::RenewalWarmed(spec) => {
+                let mut src = PerNodeRenewal::with_warmup(
+                    spec.with_mean(self.individual),
+                    self.usable,
+                    rng,
+                    self.individual * 10.0,
+                );
+                self.machine.drive(stop, &mut src, |_| {})
+            }
+        };
+        result.expect("validated configuration cannot fail").0
+    }
+
+    /// Runs replication `replication` to completion of `t_base` work.
+    pub(crate) fn run_waste(&mut self, t_base: f64, replication: u64) -> RunOutcome {
+        self.drive(Stop::Work(t_base), replication)
+    }
+
+    /// Runs replication `replication` over a fixed horizon; true if it
+    /// survived (no fatal failure).
+    pub(crate) fn run_success(&mut self, horizon: f64, replication: u64) -> bool {
+        self.drive(Stop::Horizon(horizon), replication).survived()
+    }
+}
+
+/// Structure-of-arrays staging for one chunk of run outcomes: the
+/// per-replication scalars land in flat arrays and are folded into the
+/// Welford accumulators once per chunk, keeping the hot loop free of
+/// accumulator bookkeeping. Folding happens in index order into an
+/// empty [`WasteAccum`], so the result is bit-identical to absorbing
+/// each outcome as it happened.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChunkOutcomes {
+    wastes: [f64; REP_CHUNK],
+    failure_counts: [f64; REP_CHUNK],
+    completed: usize,
+    fatal: usize,
+    truncated: usize,
+}
+
+impl ChunkOutcomes {
+    /// Stages one run outcome. At most [`REP_CHUNK`] completed runs fit
+    /// (callers cut work into `REP_CHUNK`-sized chunks).
+    pub(crate) fn record(&mut self, outcome: &RunOutcome) {
+        match outcome.reason {
+            StopReason::WorkComplete => {
+                debug_assert!(self.completed < REP_CHUNK, "chunk overflow");
+                self.wastes[self.completed] = outcome.waste();
+                self.failure_counts[self.completed] = outcome.failures as f64;
+                self.completed += 1;
+            }
+            StopReason::Fatal => self.fatal += 1,
+            // HorizonReached cannot occur in completion mode; count it
+            // as truncated rather than panicking a sweep worker.
+            StopReason::FailureCapReached | StopReason::NoProgress | StopReason::HorizonReached => {
+                self.truncated += 1
+            }
+        }
+    }
+
+    /// Folds the staged outcomes into `acc` in recorded order.
+    pub(crate) fn fold_into(&self, acc: &mut WasteAccum) {
+        for i in 0..self.completed {
+            acc.waste.push(self.wastes[i]);
+            acc.failures.push(self.failure_counts[i]);
+        }
+        acc.completed += self.completed;
+        acc.fatal += self.fatal;
+        acc.truncated += self.truncated;
+    }
+}
+
+/// Per-work-unit state for the waste estimator: the lazily built chunk
+/// machinery, the SoA staging area and the running accumulator for
+/// already-flushed chunks.
+struct WasteChunkState {
+    runner: Option<ChunkRunner>,
+    staged: ChunkOutcomes,
+    acc: WasteAccum,
+}
+
+impl WasteChunkState {
+    fn empty() -> Self {
+        WasteChunkState {
+            runner: None,
+            staged: ChunkOutcomes::default(),
+            acc: WasteAccum::default(),
+        }
+    }
+
+    fn flush(&mut self) {
+        let staged = std::mem::take(&mut self.staged);
+        staged.fold_into(&mut self.acc);
+    }
+
+    fn merge(mut self, mut other: WasteChunkState) -> WasteChunkState {
+        self.flush();
+        other.flush();
+        self.acc.merge_in_place(&other.acc);
+        self.runner = None;
+        self
+    }
 }
 
 /// Aggregated success-probability estimate across replications.
@@ -236,10 +402,47 @@ pub fn estimate_waste(
 ) -> Result<WasteEstimate, ModelError> {
     // Validate once up front so worker panics can't hide config errors.
     run_cfg.build()?;
-    // Stream outcomes into per-chunk accumulators instead of
-    // materializing a Vec<RunOutcome>: memory is O(replications /
-    // REP_CHUNK) accumulators, and the fixed chunk-order merge keeps
-    // the floats bit-identical across worker counts.
+    // Each REP_CHUNK-sized work unit lazily builds one ChunkRunner —
+    // the schedule resolution and risk-tracker allocation are paid once
+    // per chunk instead of once per replication — and stages outcomes
+    // in structure-of-arrays form, folded into a per-chunk accumulator
+    // at merge time. Merging in fixed ascending chunk order keeps the
+    // floats bit-identical across worker counts (and identical to the
+    // boxed per-replication reference path).
+    let state = parallel_map_fold(
+        mc.replications,
+        mc.resolved_workers(),
+        REP_CHUNK,
+        WasteChunkState::empty,
+        |state, i| {
+            let runner = state.runner.get_or_insert_with(|| {
+                ChunkRunner::new(run_cfg, mc).expect("validated configuration cannot fail")
+            });
+            state.staged.record(&runner.run_waste(t_base, i as u64));
+        },
+        WasteChunkState::merge,
+    )
+    .map_err(|e| ModelError::execution(e.to_string()))?;
+    let mut state = state;
+    state.flush();
+    Ok(state.acc.into_estimate())
+}
+
+/// Reference implementation of [`estimate_waste`] over the boxed
+/// per-replication path (`run_replication`): rebuilds the
+/// configuration and allocates a `Box<dyn FailureSource>` for every
+/// replication. Bit-identical to [`estimate_waste`] by construction —
+/// the parity tests enforce it — and kept as the baseline the
+/// `dck-bench` harness measures the monomorphized fast path against.
+///
+/// # Errors
+/// Propagates configuration errors.
+pub fn estimate_waste_reference(
+    run_cfg: &RunConfig,
+    t_base: f64,
+    mc: &MonteCarloConfig,
+) -> Result<WasteEstimate, ModelError> {
+    run_cfg.build()?;
     let acc = parallel_map_fold(
         mc.replications,
         mc.resolved_workers(),
@@ -266,16 +469,17 @@ pub fn estimate_success(
         mc.replications,
         mc.resolved_workers(),
         REP_CHUNK,
-        || 0usize,
-        |acc, i| {
-            let mut source = replication_source(run_cfg, mc, i as u64);
-            let outcome = run_until(run_cfg, horizon, source.as_mut())
-                .expect("validated configuration cannot fail");
-            *acc += usize::from(outcome.survived());
+        || (None::<ChunkRunner>, 0usize),
+        |state, i| {
+            let runner = state.0.get_or_insert_with(|| {
+                ChunkRunner::new(run_cfg, mc).expect("validated configuration cannot fail")
+            });
+            state.1 += usize::from(runner.run_success(horizon, i as u64));
         },
-        |a, b| a + b,
+        |a, b| (None, a.1 + b.1),
     )
-    .map_err(|e| ModelError::execution(e.to_string()))?;
+    .map_err(|e| ModelError::execution(e.to_string()))?
+    .1;
     let runs = mc.replications;
     let p_hat = if runs == 0 {
         0.0
@@ -442,6 +646,65 @@ mod tests {
             .unwrap()
             .fault_free;
         assert!((est.waste.mean() - wff).abs() < 1e-9);
+    }
+
+    fn assert_estimates_bit_identical(a: &WasteEstimate, b: &WasteEstimate) {
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.fatal, b.fatal);
+        assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.waste.count(), b.waste.count());
+        assert_eq!(a.waste.mean().to_bits(), b.waste.mean().to_bits());
+        assert_eq!(a.waste.variance().to_bits(), b.waste.variance().to_bits());
+        assert_eq!(a.failures.mean().to_bits(), b.failures.mean().to_bits());
+    }
+
+    #[test]
+    fn fast_path_matches_boxed_reference_bitwise() {
+        // The monomorphized ChunkRunner path must reproduce the boxed
+        // per-replication reference exactly — same streams, same
+        // outcomes, same accumulation order — for every source kind.
+        let exp_cfg = RunConfig::new(Protocol::DoubleNbl, params(64), 1.0, 3600.0);
+        let mut mc = MonteCarloConfig::new(24, 0xFA57);
+        mc.workers = 2;
+        let t_base = 20.0 * 3600.0;
+        assert_estimates_bit_identical(
+            &estimate_waste(&exp_cfg, t_base, &mc).unwrap(),
+            &estimate_waste_reference(&exp_cfg, t_base, &mc).unwrap(),
+        );
+
+        let ren_cfg = RunConfig::new(Protocol::DoubleNbl, params(8), 1.0, 1800.0);
+        let spec = DistributionSpec::Weibull {
+            mean: SimTime::seconds(1.0), // retargeted internally
+            shape: 0.7,
+        };
+        for source in [SourceKind::Renewal(spec), SourceKind::RenewalWarmed(spec)] {
+            let mut mc = MonteCarloConfig::new(8, 3);
+            mc.source = source;
+            assert_estimates_bit_identical(
+                &estimate_waste(&ren_cfg, 10_000.0, &mc).unwrap(),
+                &estimate_waste_reference(&ren_cfg, 10_000.0, &mc).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn success_fast_path_matches_boxed_loop() {
+        // The horizon-mode fast path must agree with driving the boxed
+        // replication_source through run_until one replication at a
+        // time.
+        let m = 60.0;
+        let mut run_cfg = RunConfig::new(Protocol::DoubleNbl, params(64), 0.0, m);
+        run_cfg.period = PeriodChoice::Explicit(200.0);
+        let horizon = 6.0 * 3600.0;
+        let mc = MonteCarloConfig::new(64, 77);
+        let est = estimate_success(&run_cfg, horizon, &mc).unwrap();
+        let mut survived = 0usize;
+        for i in 0..mc.replications {
+            let mut source = replication_source(&run_cfg, &mc, i as u64);
+            let out = crate::run::run_until(&run_cfg, horizon, source.as_mut()).unwrap();
+            survived += usize::from(out.survived());
+        }
+        assert_eq!(est.survived, survived);
     }
 
     #[test]

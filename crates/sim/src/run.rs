@@ -91,7 +91,10 @@ impl RunOutcome {
     }
 }
 
-enum Stop {
+/// When a run stops: after a fixed amount of useful work (waste mode)
+/// or at a wall-clock horizon (risk mode). Crate-internal; the public
+/// entry points pick the variant.
+pub(crate) enum Stop {
     Work(f64),
     Horizon(f64),
 }
@@ -121,7 +124,9 @@ pub enum TimelineEvent {
         /// Wall-clock time.
         at: f64,
     },
-    /// The run ended.
+    /// The run ended. Emitted on **every** stop path — a traced
+    /// timeline always carries exactly one terminal `Finished` event,
+    /// whose `reason` equals [`RunOutcome::reason`].
     Finished {
         /// Wall-clock time.
         at: f64,
@@ -134,8 +139,8 @@ pub enum TimelineEvent {
 /// measurement mode).
 ///
 /// # Errors
-/// Propagates configuration errors. The failure `source` must cover
-/// exactly [`RunConfig::usable_nodes`] nodes.
+/// Propagates configuration errors, and fails when the failure
+/// `source` does not cover exactly [`RunConfig::usable_nodes`] nodes.
 pub fn run_to_completion(
     cfg: &RunConfig,
     t_base: f64,
@@ -203,7 +208,40 @@ pub fn run_to_completion_sinked(
     source: &mut dyn FailureSource,
     sink: &mut dyn dck_obs::EventSink<TimelineEvent>,
 ) -> Result<RunOutcome, ModelError> {
-    let (out, _) = drive_observed(cfg, Stop::Work(t_base), source, &mut |e| sink.emit(&e))?;
+    let (out, _) = RunMachine::new(cfg)?.drive(Stop::Work(t_base), source, |e| sink.emit(&e))?;
+    sink.flush();
+    Ok(out)
+}
+
+/// Like [`run_until`], but records the full timeline (see
+/// [`run_to_completion_traced`]).
+///
+/// # Errors
+/// Propagates configuration errors.
+pub fn run_until_traced(
+    cfg: &RunConfig,
+    horizon: f64,
+    source: &mut dyn FailureSource,
+) -> Result<(RunOutcome, Vec<TimelineEvent>), ModelError> {
+    let mut sink = dck_obs::VecSink::new();
+    let out = run_until_sinked(cfg, horizon, source, &mut sink)?;
+    Ok((out, sink.into_events()))
+}
+
+/// Like [`run_until`], but streams every [`TimelineEvent`] into an
+/// [`EventSink`](dck_obs::EventSink) as it happens. The sink is flushed
+/// before returning.
+///
+/// # Errors
+/// Propagates configuration errors.
+pub fn run_until_sinked(
+    cfg: &RunConfig,
+    horizon: f64,
+    source: &mut dyn FailureSource,
+    sink: &mut dyn dck_obs::EventSink<TimelineEvent>,
+) -> Result<RunOutcome, ModelError> {
+    let (out, _) =
+        RunMachine::new(cfg)?.drive(Stop::Horizon(horizon), source, |e| sink.emit(&e))?;
     sink.flush();
     Ok(out)
 }
@@ -211,86 +249,163 @@ pub fn run_to_completion_sinked(
 type DriveResult = Result<(RunOutcome, Option<dck_failures::FailureEvent>), ModelError>;
 
 fn drive(cfg: &RunConfig, stop: Stop, source: &mut dyn FailureSource) -> DriveResult {
-    drive_observed(cfg, stop, source, &mut |_| {})
+    RunMachine::new(cfg)?.drive(stop, source, |_| {})
 }
 
-fn drive_observed(
-    cfg: &RunConfig,
-    stop: Stop,
-    source: &mut dyn FailureSource,
-    observe: &mut dyn FnMut(TimelineEvent),
-) -> DriveResult {
-    let (sched, resp, mut tracker) = cfg.build()?;
-    let usable = cfg.usable_nodes();
-    assert_eq!(
-        source.nodes(),
-        usable,
-        "failure source must cover exactly the usable nodes"
-    );
+/// Reusable simulation machinery for one run configuration.
+///
+/// Building a [`RunConfig`] resolves the checkpoint period (possibly
+/// solving for the optimal one), derives the failure response and
+/// allocates a risk tracker — work identical for every replication of
+/// a Monte-Carlo estimate. `RunMachine` performs it once and drives
+/// many runs against the same machinery: [`RunMachine::drive`] resets
+/// the risk tracker on entry and is generic over the failure source,
+/// so the Monte-Carlo fast path is monomorphized over the concrete
+/// source type (no per-event dyn dispatch) while the public single-run
+/// entry points keep their `&mut dyn FailureSource` signatures.
+pub(crate) struct RunMachine {
+    sched: dck_protocols::PeriodSchedule,
+    resp: dck_protocols::FailureResponse,
+    tracker: dck_protocols::RiskTracker,
+    usable: u64,
+    max_failures: u64,
+}
 
-    if sched.work_per_period() <= 0.0 {
-        // The operating point makes no progress; report immediately
-        // (waste = 1 by convention — total_time 0 with zero work).
-        let total_time = match stop {
+impl RunMachine {
+    /// Builds the machinery for `cfg`, resolving the period once.
+    ///
+    /// # Errors
+    /// Propagates configuration errors.
+    pub(crate) fn new(cfg: &RunConfig) -> Result<Self, ModelError> {
+        let (sched, resp, tracker) = cfg.build()?;
+        Ok(RunMachine {
+            sched,
+            resp,
+            tracker,
+            usable: cfg.usable_nodes(),
+            max_failures: cfg.max_failures,
+        })
+    }
+
+    /// Drives one run to its stop condition. Every return path emits a
+    /// terminal [`TimelineEvent::Finished`] before building the
+    /// outcome, so traced timelines are never missing their end marker.
+    ///
+    /// # Errors
+    /// Fails when the failure source does not cover exactly the
+    /// configuration's usable nodes.
+    pub(crate) fn drive<S, O>(&mut self, stop: Stop, source: &mut S, mut observe: O) -> DriveResult
+    where
+        S: FailureSource + ?Sized,
+        O: FnMut(TimelineEvent),
+    {
+        if source.nodes() != self.usable {
+            return Err(ModelError::invalid(
+                "failure_source",
+                format!(
+                    "failure source covers {} nodes but the configuration simulates {} usable nodes",
+                    source.nodes(),
+                    self.usable
+                ),
+            ));
+        }
+        self.tracker.reset();
+        let sched = &self.sched;
+        let resp = &self.resp;
+        let tracker = &mut self.tracker;
+
+        if sched.work_per_period() <= 0.0 {
+            // The operating point makes no progress: zero work ever
+            // completes, so waste() = 1 by convention. In work mode the
+            // requested work is unreachable and total_time is +∞; the
+            // terminal event is stamped at 0.0 because no wall-clock
+            // usefully elapsed and JSON cannot carry an infinite
+            // timestamp. In horizon mode the platform idles out the
+            // horizon, so both stamps are the horizon itself.
+            let (total_time, finished_at) = match stop {
+                Stop::Work(_) => (f64::INFINITY, 0.0),
+                Stop::Horizon(h) => (h, h),
+            };
+            observe(TimelineEvent::Finished {
+                at: finished_at,
+                reason: StopReason::NoProgress,
+            });
+            return Ok((
+                RunOutcome {
+                    reason: StopReason::NoProgress,
+                    total_time,
+                    useful_work: 0.0,
+                    failures: 0,
+                    outage_time: 0.0,
+                    fatal_at: None,
+                },
+                None,
+            ));
+        }
+
+        let v_end = match stop {
+            Stop::Work(w) => Some(sched.time_to_reach_work(w)),
+            Stop::Horizon(_) => None,
+        };
+        let horizon = match stop {
             Stop::Work(_) => f64::INFINITY,
             Stop::Horizon(h) => h,
         };
-        return Ok((
-            RunOutcome {
-                reason: StopReason::NoProgress,
-                total_time,
-                useful_work: 0.0,
-                failures: 0,
-                outage_time: 0.0,
-                fatal_at: None,
-            },
-            None,
-        ));
-    }
 
-    let v_end = match stop {
-        Stop::Work(w) => Some(sched.time_to_reach_work(w)),
-        Stop::Horizon(_) => None,
-    };
-    let horizon = match stop {
-        Stop::Work(_) => f64::INFINITY,
-        Stop::Horizon(h) => h,
-    };
+        let mut t = 0.0_f64; // wall clock
+        let mut v = 0.0_f64; // schedule position (frozen during outages)
+        let mut outage: Option<(f64, f64)> = None; // (end time, period offset)
+        let mut failures = 0u64;
+        let mut outage_time = 0.0_f64;
+        let mut next = source.next_failure();
 
-    let mut t = 0.0_f64; // wall clock
-    let mut v = 0.0_f64; // schedule position (frozen during outages)
-    let mut outage: Option<(f64, f64)> = None; // (end time, period offset)
-    let mut failures = 0u64;
-    let mut outage_time = 0.0_f64;
-    let mut next = source.next_failure();
+        let finish = |reason, t: f64, v: f64, failures, outage_time, fatal_at| RunOutcome {
+            reason,
+            total_time: t,
+            useful_work: sched.work_at(v),
+            failures,
+            outage_time,
+            fatal_at,
+        };
 
-    let finish = |reason, t: f64, v: f64, failures, outage_time, fatal_at| RunOutcome {
-        reason,
-        total_time: t,
-        useful_work: sched.work_at(v),
-        failures,
-        outage_time,
-        fatal_at,
-    };
-
-    loop {
-        let next_at = next.at.as_secs();
-        let in_outage_at_event = outage.is_some();
-        match outage {
-            None => {
-                // Completion by work?
-                if let Some(ve) = v_end {
-                    let t_complete = t + (ve - v);
-                    if next_at >= t_complete && t_complete <= horizon {
+        loop {
+            let next_at = next.at.as_secs();
+            let in_outage_at_event = outage.is_some();
+            match outage {
+                None => {
+                    // Completion by work?
+                    if let Some(ve) = v_end {
+                        let t_complete = t + (ve - v);
+                        if next_at >= t_complete && t_complete <= horizon {
+                            observe(TimelineEvent::Finished {
+                                at: t_complete,
+                                reason: StopReason::WorkComplete,
+                            });
+                            return Ok((
+                                finish(
+                                    StopReason::WorkComplete,
+                                    t_complete,
+                                    ve,
+                                    failures,
+                                    outage_time,
+                                    None,
+                                ),
+                                Some(next),
+                            ));
+                        }
+                    }
+                    // Completion by horizon?
+                    if next_at >= horizon {
+                        let dv = horizon - t;
                         observe(TimelineEvent::Finished {
-                            at: t_complete,
-                            reason: StopReason::WorkComplete,
+                            at: horizon,
+                            reason: StopReason::HorizonReached,
                         });
                         return Ok((
                             finish(
-                                StopReason::WorkComplete,
-                                t_complete,
-                                ve,
+                                StopReason::HorizonReached,
+                                horizon,
+                                v + dv,
                                 failures,
                                 outage_time,
                                 None,
@@ -298,96 +413,89 @@ fn drive_observed(
                             Some(next),
                         ));
                     }
+                    // A failure strikes while the schedule is running.
+                    v += next_at - t;
+                    t = next_at;
                 }
-                // Completion by horizon?
-                if next_at >= horizon {
-                    let dv = horizon - t;
-                    return Ok((
-                        finish(
-                            StopReason::HorizonReached,
-                            horizon,
-                            v + dv,
-                            failures,
-                            outage_time,
-                            None,
-                        ),
-                        Some(next),
-                    ));
+                Some((end, _)) => {
+                    if next_at >= end && end <= horizon {
+                        // Outage completes; schedule resumes.
+                        observe(TimelineEvent::OutageEnd { at: end });
+                        t = end;
+                        outage = None;
+                        continue;
+                    }
+                    if next_at >= horizon {
+                        // Horizon falls inside the outage.
+                        observe(TimelineEvent::Finished {
+                            at: horizon,
+                            reason: StopReason::HorizonReached,
+                        });
+                        return Ok((
+                            finish(
+                                StopReason::HorizonReached,
+                                horizon,
+                                v,
+                                failures,
+                                outage_time,
+                                None,
+                            ),
+                            Some(next),
+                        ));
+                    }
+                    // A failure strikes during the outage: the platform
+                    // rolls back again. The remaining planned outage is
+                    // discarded (its elapsed part already counted via t)
+                    // and `outage` is re-armed below with the new recovery.
+                    outage_time -= end - next_at; // un-count the unspent tail
+                    t = next_at;
                 }
-                // A failure strikes while the schedule is running.
-                v += next_at - t;
-                t = next_at;
             }
-            Some((end, _)) => {
-                if next_at >= end && end <= horizon {
-                    // Outage completes; schedule resumes.
-                    observe(TimelineEvent::OutageEnd { at: end });
-                    t = end;
-                    outage = None;
-                    continue;
-                }
-                if next_at >= horizon {
-                    // Horizon falls inside the outage.
-                    return Ok((
-                        finish(
-                            StopReason::HorizonReached,
-                            horizon,
-                            v,
-                            failures,
-                            outage_time,
-                            None,
-                        ),
-                        Some(next),
-                    ));
-                }
-                // A failure strikes during the outage: the platform
-                // rolls back again. The remaining planned outage is
-                // discarded (its elapsed part already counted via t)
-                // and `outage` is re-armed below with the new recovery.
-                outage_time -= end - next_at; // un-count the unspent tail
-                t = next_at;
-            }
-        }
 
-        failures += 1;
-        let outcome = tracker.record_failure(next.node, t);
-        let off = v % sched.period();
-        let o = resp.outage(off);
-        observe(TimelineEvent::Failure {
-            at: t,
-            node: next.node,
-            offset: off,
-            outage: o.total(),
-            fatal: outcome.fatal,
-            during_outage: in_outage_at_event,
-        });
-        if outcome.fatal {
-            observe(TimelineEvent::Finished {
+            failures += 1;
+            let outcome = tracker.record_failure(next.node, t);
+            let off = v % sched.period();
+            let o = resp.outage(off);
+            observe(TimelineEvent::Failure {
                 at: t,
-                reason: StopReason::Fatal,
+                node: next.node,
+                offset: off,
+                outage: o.total(),
+                fatal: outcome.fatal,
+                during_outage: in_outage_at_event,
             });
-            return Ok((
-                finish(StopReason::Fatal, t, v, failures, outage_time, Some(t)),
-                None,
-            ));
-        }
-        outage = Some((t + o.total(), off));
-        outage_time += o.total();
-
-        if failures >= cfg.max_failures {
-            return Ok((
-                finish(
-                    StopReason::FailureCapReached,
-                    t,
-                    v,
-                    failures,
-                    outage_time,
+            if outcome.fatal {
+                observe(TimelineEvent::Finished {
+                    at: t,
+                    reason: StopReason::Fatal,
+                });
+                return Ok((
+                    finish(StopReason::Fatal, t, v, failures, outage_time, Some(t)),
                     None,
-                ),
-                None,
-            ));
+                ));
+            }
+            outage = Some((t + o.total(), off));
+            outage_time += o.total();
+
+            if failures >= self.max_failures {
+                observe(TimelineEvent::Finished {
+                    at: t,
+                    reason: StopReason::FailureCapReached,
+                });
+                return Ok((
+                    finish(
+                        StopReason::FailureCapReached,
+                        t,
+                        v,
+                        failures,
+                        outage_time,
+                        None,
+                    ),
+                    None,
+                ));
+            }
+            next = source.next_failure();
         }
-        next = source.next_failure();
     }
 }
 
@@ -677,6 +785,107 @@ mod tests {
         // The defect counter records it either way — always-on, no
         // enabled() gate.
         assert_eq!(dck_obs::snapshot().counter("run.waste_clamped"), 1);
+    }
+
+    #[test]
+    fn horizon_trace_ends_with_finished() {
+        let c = cfg(Protocol::DoubleNbl, 8, 1.0, 100.0);
+        let tr = trace(8, &[(250.0, 0)]);
+        let (out, timeline) = run_until_traced(&c, 1000.0, &mut tr.replay()).unwrap();
+        assert_eq!(out.reason, StopReason::HorizonReached);
+        assert_eq!(
+            timeline.last(),
+            Some(&TimelineEvent::Finished {
+                at: 1000.0,
+                reason: StopReason::HorizonReached,
+            })
+        );
+        // Horizon landing inside the outage also gets its end marker.
+        let (out, timeline) = run_until_traced(&c, 275.0, &mut tr.replay()).unwrap();
+        assert_eq!(out.reason, StopReason::HorizonReached);
+        assert_eq!(
+            timeline.last(),
+            Some(&TimelineEvent::Finished {
+                at: 275.0,
+                reason: StopReason::HorizonReached,
+            })
+        );
+    }
+
+    #[test]
+    fn failure_cap_trace_ends_with_finished() {
+        let mut c = cfg(Protocol::DoubleNbl, 8, 1.0, 100.0);
+        c.max_failures = 3;
+        let events: Vec<(f64, u64)> = (1..100)
+            .map(|i| (i as f64 * 1000.0, (2 * (i % 4)) as u64))
+            .collect();
+        let tr = trace(8, &events);
+        let (out, timeline) = run_to_completion_traced(&c, 1e9, &mut tr.replay()).unwrap();
+        assert_eq!(out.reason, StopReason::FailureCapReached);
+        assert_eq!(
+            timeline.last(),
+            Some(&TimelineEvent::Finished {
+                at: out.total_time,
+                reason: StopReason::FailureCapReached,
+            })
+        );
+    }
+
+    #[test]
+    fn no_progress_trace_and_waste_convention_work_mode() {
+        // W = 0: the run can never reach the requested work, so
+        // total_time is +∞ and waste() = 1 by convention. The terminal
+        // event is stamped at 0.0 (JSON cannot carry ∞).
+        let c = cfg(Protocol::DoubleBlocking, 8, 0.0, 6.0);
+        let empty = trace(8, &[]);
+        let (out, timeline) = run_to_completion_traced(&c, 100.0, &mut empty.replay()).unwrap();
+        assert_eq!(out.reason, StopReason::NoProgress);
+        assert!(out.total_time.is_infinite());
+        assert_eq!(out.useful_work, 0.0);
+        assert_eq!(out.waste(), 1.0);
+        assert_eq!(
+            timeline,
+            vec![TimelineEvent::Finished {
+                at: 0.0,
+                reason: StopReason::NoProgress,
+            }]
+        );
+        // The lone event must survive a JSON round-trip (the reason the
+        // timestamp is finite).
+        let json = serde_json::to_string(&timeline[0]).unwrap();
+        let back: TimelineEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, timeline[0]);
+    }
+
+    #[test]
+    fn no_progress_waste_convention_horizon_mode() {
+        // Horizon mode: the platform idles out the horizon with zero
+        // work, so total_time = horizon and waste() = 1 as well.
+        let c = cfg(Protocol::DoubleBlocking, 8, 0.0, 6.0);
+        let empty = trace(8, &[]);
+        let (out, timeline) = run_until_traced(&c, 500.0, &mut empty.replay()).unwrap();
+        assert_eq!(out.reason, StopReason::NoProgress);
+        assert_eq!(out.total_time, 500.0);
+        assert_eq!(out.useful_work, 0.0);
+        assert_eq!(out.waste(), 1.0);
+        assert_eq!(
+            timeline,
+            vec![TimelineEvent::Finished {
+                at: 500.0,
+                reason: StopReason::NoProgress,
+            }]
+        );
+    }
+
+    #[test]
+    fn mismatched_source_is_a_typed_error() {
+        // A source covering the wrong node count must surface as a
+        // ModelError, not abort a pool worker.
+        let c = cfg(Protocol::DoubleNbl, 8, 1.0, 100.0);
+        let wrong = trace(4, &[]);
+        let err = run_to_completion(&c, 970.0, &mut wrong.replay()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("4") && msg.contains("8"), "message: {msg}");
     }
 
     #[test]

@@ -51,7 +51,9 @@
 
 use crate::checkpoint::{self, PoolState};
 use crate::config::{PeriodChoice, RunConfig};
-use crate::montecarlo::{run_replication, MonteCarloConfig, SourceKind, WasteAccum, REP_CHUNK};
+use crate::montecarlo::{
+    ChunkOutcomes, ChunkRunner, MonteCarloConfig, SourceKind, WasteAccum, REP_CHUNK,
+};
 use dck_core::{optimal_period, ModelError, PlatformParams, Protocol};
 use dck_obs::Counter;
 use dck_simcore::par::{default_workers, parallel_map_indexed};
@@ -318,7 +320,11 @@ impl PanicInjection {
 }
 
 /// Folds replications `[start, end)` of cell `ci` sequentially — the
-/// shared work unit of both engines.
+/// shared work unit of both engines. Builds one [`ChunkRunner`] for
+/// the whole range (amortizing the config build) and stages outcomes
+/// in structure-of-arrays form; the fold into the returned accumulator
+/// is in replication order, so the result is bit-identical to the old
+/// per-replication absorb loop.
 fn chunk_accum(
     plan: &CellPlan,
     ci: usize,
@@ -326,18 +332,17 @@ fn chunk_accum(
     end: usize,
     injection: Option<&PanicInjection>,
 ) -> WasteAccum {
-    let mut acc = WasteAccum::default();
+    let mut runner =
+        ChunkRunner::new(&plan.run_cfg, &plan.mc).expect("validated configuration cannot fail");
+    let mut staged = ChunkOutcomes::default();
     for i in start..end {
         if let Some(inj) = injection {
             inj.trip(ci, i);
         }
-        acc.absorb(&run_replication(
-            &plan.run_cfg,
-            &plan.mc,
-            plan.t_base,
-            i as u64,
-        ));
+        staged.record(&runner.run_waste(plan.t_base, i as u64));
     }
+    let mut acc = WasteAccum::default();
+    staged.fold_into(&mut acc);
     acc
 }
 

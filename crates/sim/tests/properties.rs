@@ -3,8 +3,9 @@
 use dck_core::{optimal_period, PlatformParams, Protocol};
 use dck_failures::{AggregatedExponential, MtbfSpec};
 use dck_sim::{
-    estimate_waste, run_sweep, run_to_completion, run_to_completion_traced, run_until, EarlyStop,
-    MonteCarloConfig, PeriodChoice, RunConfig, StopReason, SweepEngine, SweepSpec, TimelineEvent,
+    estimate_waste, run_sweep, run_to_completion, run_to_completion_traced, run_until,
+    run_until_traced, EarlyStop, MonteCarloConfig, PeriodChoice, RunConfig, StopReason,
+    SweepEngine, SweepSpec, TimelineEvent,
 };
 use dck_simcore::{RngFactory, SimTime};
 use proptest::prelude::*;
@@ -223,9 +224,9 @@ proptest! {
     /// Timeline invariants for traced runs: timestamps are monotone
     /// non-decreasing, no prefix has more `OutageEnd`s than `Failure`s
     /// (an outage can only end after a failure opened it), and the
-    /// `Finished` marker — emitted for `WorkComplete` and `Fatal`
-    /// terminations — is unique, terminal, and names the outcome's
-    /// stop reason at the outcome's stop time.
+    /// `Finished` marker — emitted on every stop path — is unique,
+    /// terminal, and names the outcome's stop reason at the outcome's
+    /// stop time.
     #[test]
     fn timeline_is_monotone_and_well_formed(
         protocol in protocol_strategy(),
@@ -265,12 +266,82 @@ proptest! {
             );
         }
         prop_assert_eq!(failures, out.failures as usize);
-        if matches!(out.reason, StopReason::WorkComplete | StopReason::Fatal) {
-            prop_assert!(
-                matches!(timeline.last(), Some(TimelineEvent::Finished { .. })),
-                "terminal run missing Finished marker: {:?}",
-                timeline.last()
-            );
+        prop_assert!(
+            matches!(timeline.last(), Some(TimelineEvent::Finished { .. })),
+            "run missing terminal Finished marker: {:?}",
+            timeline.last()
+        );
+    }
+
+    /// Every traced run — whichever of the five `StopReason`s ends it —
+    /// produces a timeline with exactly one `Finished` event, terminal,
+    /// whose reason matches `RunOutcome::reason`; and the whole
+    /// timeline survives the JSONL wire format. The five modes steer
+    /// runs toward every stop reason (mode 3/4 hit `NoProgress`
+    /// deterministically; mode 1's failure cap of 1 cannot be beaten
+    /// to a fatal failure by a first failure).
+    #[test]
+    fn every_traced_run_ends_with_one_finished(
+        protocol in protocol_strategy(),
+        ratio in 0.0f64..1.0,
+        mtbf in 120.0f64..7200.0,
+        seed in 0u64..300,
+        mode in 0usize..5,
+    ) {
+        let phi = ratio * params().theta_min;
+        let (out, timeline) = match mode {
+            // Work mode: WorkComplete or Fatal.
+            0 => {
+                let cfg = RunConfig::new(protocol, params(), phi, mtbf);
+                run_to_completion_traced(&cfg, 4.0 * mtbf, &mut source(&cfg, seed)).unwrap()
+            }
+            // Tiny failure cap with unreachable work: FailureCapReached.
+            1 => {
+                let mut cfg = RunConfig::new(protocol, params(), phi, mtbf);
+                cfg.max_failures = 1 + seed % 3;
+                run_to_completion_traced(&cfg, 1e6 * mtbf, &mut source(&cfg, seed)).unwrap()
+            }
+            // Horizon mode: HorizonReached or Fatal.
+            2 => {
+                let cfg = RunConfig::new(protocol, params(), phi, mtbf);
+                run_until_traced(&cfg, 2.0 * mtbf, &mut source(&cfg, seed)).unwrap()
+            }
+            // No-progress operating point, work mode.
+            3 => {
+                let mut cfg = RunConfig::new(Protocol::DoubleBlocking, params(), 0.0, mtbf);
+                cfg.period = PeriodChoice::Explicit(6.0);
+                run_to_completion_traced(&cfg, 100.0, &mut source(&cfg, seed)).unwrap()
+            }
+            // No-progress operating point, horizon mode.
+            _ => {
+                let mut cfg = RunConfig::new(Protocol::DoubleBlocking, params(), 0.0, mtbf);
+                cfg.period = PeriodChoice::Explicit(6.0);
+                run_until_traced(&cfg, 2.0 * mtbf, &mut source(&cfg, seed)).unwrap()
+            }
+        };
+
+        let finished = timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Finished { .. }))
+            .count();
+        prop_assert_eq!(finished, 1, "expected exactly one Finished: {:?}", timeline);
+        match timeline.last() {
+            Some(TimelineEvent::Finished { at, reason }) => {
+                prop_assert_eq!(*reason, out.reason);
+                if out.total_time.is_finite() {
+                    prop_assert!((at - out.total_time).abs() < 1e-6);
+                } else {
+                    // Work-mode NoProgress: infinite total time, marker
+                    // stamped at 0 so JSON can carry it.
+                    prop_assert_eq!(*at, 0.0);
+                }
+            }
+            other => prop_assert!(false, "terminal event not Finished: {other:?}"),
+        }
+        for e in &timeline {
+            let line = serde_json::to_string(e).unwrap();
+            let back: TimelineEvent = serde_json::from_str(&line).unwrap();
+            prop_assert_eq!(&back, e, "round trip changed {}", line);
         }
     }
 
@@ -357,4 +428,69 @@ proptest! {
             prop_assert_eq!(a.half_width.map(f64::to_bits), b.half_width.map(f64::to_bits));
         }
     }
+}
+
+/// Deterministic coverage companion to
+/// `every_traced_run_ends_with_one_finished`: the property test cannot
+/// guarantee each variant occurs, so this exercises one concrete run
+/// per `StopReason` and checks its terminal `Finished` marker.
+#[test]
+fn all_five_stop_reasons_produce_terminal_finished() {
+    use dck_failures::{FailureEvent, FailureTrace};
+
+    let mk_trace = |events: &[(f64, u64)]| {
+        FailureTrace::new(
+            24,
+            events
+                .iter()
+                .map(|&(at, node)| FailureEvent {
+                    at: SimTime::seconds(at),
+                    node,
+                })
+                .collect(),
+        )
+    };
+    let check = |out: &dck_sim::RunOutcome, timeline: &[TimelineEvent], expect: StopReason| {
+        assert_eq!(out.reason, expect);
+        let finished = timeline
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Finished { .. }))
+            .count();
+        assert_eq!(finished, 1, "{expect:?}: {timeline:?}");
+        match timeline.last() {
+            Some(TimelineEvent::Finished { reason, .. }) => assert_eq!(*reason, expect),
+            other => panic!("{expect:?}: terminal event not Finished: {other:?}"),
+        }
+    };
+    let mut cfg = RunConfig::new(Protocol::DoubleNbl, params(), 1.0, 3600.0);
+    cfg.period = PeriodChoice::Explicit(100.0);
+
+    let tr = mk_trace(&[]);
+    let (out, tl) = run_to_completion_traced(&cfg, 970.0, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::WorkComplete);
+
+    // Buddy failure inside the risk window.
+    let tr = mk_trace(&[(250.0, 0), (260.0, 1)]);
+    let (out, tl) = run_to_completion_traced(&cfg, 970.0, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::Fatal);
+
+    let tr = mk_trace(&[]);
+    let (out, tl) = run_until_traced(&cfg, 500.0, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::HorizonReached);
+
+    // Two survivable failures against a cap of two.
+    let mut capped = cfg;
+    capped.max_failures = 2;
+    let tr = mk_trace(&[(1000.0, 0), (2000.0, 4), (3000.0, 8)]);
+    let (out, tl) = run_to_completion_traced(&capped, 1e9, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::FailureCapReached);
+
+    // Zero work per period in both stop modes.
+    let mut stuck = RunConfig::new(Protocol::DoubleBlocking, params(), 0.0, 3600.0);
+    stuck.period = PeriodChoice::Explicit(6.0);
+    let tr = mk_trace(&[]);
+    let (out, tl) = run_to_completion_traced(&stuck, 100.0, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::NoProgress);
+    let (out, tl) = run_until_traced(&stuck, 500.0, &mut tr.replay()).unwrap();
+    check(&out, &tl, StopReason::NoProgress);
 }

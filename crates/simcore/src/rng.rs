@@ -12,7 +12,7 @@
 //! per-replication / per-component streams.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// SplitMix64: a tiny, high-quality 64-bit PRNG used for seed derivation.
 ///
@@ -112,6 +112,37 @@ impl RngFactory {
     }
 }
 
+/// Fills `gaps` / `victims` with a batch of aggregated-Poisson event
+/// draws: for each slot, one uniform deviate becomes an
+/// `Exponential(mean)` inter-arrival gap, then one bounded draw picks
+/// the victim node — in exactly that per-event order.
+///
+/// Because the generator is consumed event by event (two draws per
+/// slot, gap first), event `k` of a seeded stream has the same value
+/// whether events are drawn one at a time or refilled in batches of
+/// any size — batching changes *when* the RNG is advanced, never *what*
+/// it produces. This is what lets the failure sources buffer draws in
+/// a tight fill loop while keeping every seeded event stream
+/// bit-identical to the scalar implementation.
+///
+/// # Panics
+/// Debug-asserts that the two slices have equal length; `nodes` must be
+/// nonzero (enforced by the bounded draw).
+pub fn fill_exponential_events(
+    rng: &mut StdRng,
+    mean: f64,
+    nodes: u64,
+    gaps: &mut [f64],
+    victims: &mut [u64],
+) {
+    debug_assert_eq!(gaps.len(), victims.len());
+    for (gap, victim) in gaps.iter_mut().zip(victims.iter_mut()) {
+        let u: f64 = rng.gen();
+        *gap = -mean * (1.0 - u).ln();
+        *victim = rng.gen_range(0..nodes);
+    }
+}
+
 /// FNV-1a 64-bit hash (for namespacing strings into seeds; not crypto).
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -189,6 +220,36 @@ mod tests {
         let mut x = f.stream(0);
         let mut y = sub.stream(0);
         assert_ne!(x.gen::<u64>(), y.gen::<u64>());
+    }
+
+    #[test]
+    fn batched_fill_matches_scalar_draw_order() {
+        // Drawing events in batches of any (mixed) size must consume
+        // the generator exactly like drawing them one at a time.
+        let f = RngFactory::new(0xBA7C);
+        let mut scalar_rng = f.stream(0);
+        let mut scalar = Vec::new();
+        for _ in 0..64 {
+            let u: f64 = scalar_rng.gen();
+            let gap = -100.0 * (1.0 - u).ln();
+            let victim = scalar_rng.gen_range(0..16u64);
+            scalar.push((gap, victim));
+        }
+
+        let mut batched_rng = f.stream(0);
+        let mut batched = Vec::new();
+        for batch in [1usize, 7, 8, 16, 32] {
+            let mut gaps = vec![0.0; batch];
+            let mut victims = vec![0u64; batch];
+            fill_exponential_events(&mut batched_rng, 100.0, 16, &mut gaps, &mut victims);
+            batched.extend(gaps.into_iter().zip(victims));
+        }
+
+        assert_eq!(scalar.len(), batched.len());
+        for (i, (s, b)) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.0.to_bits(), b.0.to_bits(), "gap {i}");
+            assert_eq!(s.1, b.1, "victim {i}");
+        }
     }
 
     #[test]

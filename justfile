@@ -40,8 +40,16 @@ experiments-fast:
 resume-kill:
     cargo test --release -p dck-cli --test resume_kill -- --nocapture
 
-# Criterion benches: one per paper artifact + kernel ablations.
+# Perf-trajectory harness: writes BENCH_reps.json / BENCH_sweep.json
+# at the repo root and validates them against the report schema.
 bench:
+    cargo build --release -p dck-bench -p dck-cli
+    ./target/release/dck-bench --out .
+    ./target/release/dck validate --bench BENCH_reps.json
+    ./target/release/dck validate --bench BENCH_sweep.json
+
+# Criterion benches: one per paper artifact + kernel ablations.
+bench-criterion:
     cargo bench --workspace
 
 # Render the figures (requires gnuplot).
