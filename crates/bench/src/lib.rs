@@ -26,5 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod report;
+pub mod serve_report;
 
 pub use report::{BenchConfig, BenchKind, BenchReport, BenchSeries, BenchSummary, SCHEMA};
+pub use serve_report::{ServeBenchConfig, ServeBenchReport, ServeLatency, SERVE_SCHEMA};

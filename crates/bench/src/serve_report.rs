@@ -1,0 +1,232 @@
+//! `BENCH_serve.json` report schema for the `dck loadgen` harness.
+//!
+//! `dck serve` turns the model into a service; `dck loadgen` measures
+//! that service under load and writes one of these artifacts so
+//! serving throughput and tail latency join the perf trajectory that
+//! CI tracks. `dck validate --bench` sniffs the `schema` field to tell
+//! this report apart from the harness [`crate::report`] artifacts.
+//!
+//! Percentiles are computed from the *raw* latency samples (nearest-
+//! rank on the sorted set), not from the `dck-obs` histogram — its
+//! power-of-two buckets are too coarse for a meaningful p999. The
+//! histogram still receives every sample, so an obs snapshot and this
+//! report can be cross-checked.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag carried by every serve report.
+pub const SERVE_SCHEMA: &str = "dck-bench/serve-v1";
+
+/// The load shape a serve report was measured under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchConfig {
+    /// Server address targeted.
+    pub addr: String,
+    /// Client threads.
+    pub threads: usize,
+    /// Connections per thread (total connections = threads × this).
+    pub concurrency: usize,
+    /// Requested run duration, seconds.
+    pub duration_s: f64,
+    /// Seed of the deterministic request mix.
+    pub seed: u64,
+    /// Methods exercised by the mix, in rotation order.
+    pub methods: Vec<String>,
+}
+
+/// Latency percentiles over all successful requests, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeLatency {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Slowest observed request.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+/// A complete `BENCH_serve.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Schema tag; always [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// Load shape.
+    pub config: ServeBenchConfig,
+    /// Wall-clock actually spent driving load, seconds.
+    pub elapsed_s: f64,
+    /// Requests that received an `ok` response.
+    pub ok_requests: u64,
+    /// Requests that received an `err` response or no parseable
+    /// response at all (protocol errors — the smoke test requires 0).
+    pub errors: u64,
+    /// Successful requests per second of elapsed time.
+    pub req_per_sec: f64,
+    /// Latency distribution of successful requests.
+    pub latency: ServeLatency,
+}
+
+impl ServeBenchReport {
+    /// Serializes the report as pretty JSON with a trailing newline.
+    ///
+    /// # Errors
+    /// Propagates serializer errors ([`ServeBenchReport::validate`]
+    /// rejects the non-finite floats that could cause them).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self).map(|mut s| {
+            s.push('\n');
+            s
+        })
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    /// Propagates parse errors.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Checks the report for internal consistency: schema tag, a
+    /// non-empty load shape, at least one successful request, positive
+    /// finite timings/throughput, and monotone percentiles.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SERVE_SCHEMA {
+            return Err(format!(
+                "schema {:?} is not the expected {SERVE_SCHEMA:?}",
+                self.schema
+            ));
+        }
+        if self.config.threads == 0 || self.config.concurrency == 0 {
+            return Err("load shape has zero client connections".to_string());
+        }
+        if self.config.methods.is_empty() {
+            return Err("request mix exercises no methods".to_string());
+        }
+        if !(self.config.duration_s.is_finite() && self.config.duration_s > 0.0) {
+            return Err(format!(
+                "duration {} not a positive finite time",
+                self.config.duration_s
+            ));
+        }
+        if self.ok_requests == 0 {
+            return Err("no request succeeded — the measurement is vacuous".to_string());
+        }
+        if !(self.elapsed_s.is_finite() && self.elapsed_s > 0.0) {
+            return Err(format!(
+                "elapsed {} not a positive finite time",
+                self.elapsed_s
+            ));
+        }
+        if !(self.req_per_sec.is_finite() && self.req_per_sec > 0.0) {
+            return Err(format!(
+                "throughput {} not positive finite",
+                self.req_per_sec
+            ));
+        }
+        let l = &self.latency;
+        let ladder = [
+            ("p50", l.p50_us),
+            ("p90", l.p90_us),
+            ("p99", l.p99_us),
+            ("p999", l.p999_us),
+            ("max", l.max_us),
+        ];
+        for pair in ladder.windows(2) {
+            let (lo_name, lo) = pair[0];
+            let (hi_name, hi) = pair[1];
+            if lo > hi {
+                return Err(format!(
+                    "latency {lo_name} ({lo}us) exceeds {hi_name} ({hi}us) — percentiles must be monotone"
+                ));
+            }
+        }
+        if !(l.mean_us.is_finite() && l.mean_us > 0.0) {
+            return Err(format!("mean latency {} not positive finite", l.mean_us));
+        }
+        if l.mean_us > l.max_us as f64 {
+            return Err(format!(
+                "mean latency {}us exceeds max {}us",
+                l.mean_us, l.max_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeBenchReport {
+        ServeBenchReport {
+            schema: SERVE_SCHEMA.to_string(),
+            config: ServeBenchConfig {
+                addr: "127.0.0.1:4717".to_string(),
+                threads: 2,
+                concurrency: 2,
+                duration_s: 2.0,
+                seed: 0x10ad,
+                methods: vec![
+                    "waste".to_string(),
+                    "risk".to_string(),
+                    "pstar".to_string(),
+                    "sweep_cell".to_string(),
+                ],
+            },
+            elapsed_s: 2.01,
+            ok_requests: 12_345,
+            errors: 0,
+            req_per_sec: 6_141.8,
+            latency: ServeLatency {
+                p50_us: 110,
+                p90_us: 240,
+                p99_us: 900,
+                p999_us: 2_400,
+                max_us: 5_100,
+                mean_us: 151.2,
+            },
+        }
+    }
+
+    #[test]
+    fn sample_round_trips_and_validates() {
+        let r = sample();
+        r.validate().unwrap();
+        let json = r.to_json().unwrap();
+        let back = ServeBenchReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_schema_and_monotonicity_violations() {
+        let mut r = sample();
+        r.schema = "dck-bench/v1".to_string();
+        assert!(r.validate().unwrap_err().contains("schema"));
+
+        let mut r = sample();
+        r.latency.p99_us = r.latency.p90_us - 1;
+        assert!(r.validate().unwrap_err().contains("monotone"));
+
+        let mut r = sample();
+        r.ok_requests = 0;
+        assert!(r.validate().unwrap_err().contains("vacuous"));
+
+        let mut r = sample();
+        r.req_per_sec = -1.0;
+        assert!(r.validate().unwrap_err().contains("throughput"));
+
+        let mut r = sample();
+        r.config.methods.clear();
+        assert!(r.validate().unwrap_err().contains("methods"));
+    }
+}

@@ -42,6 +42,8 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "run" => cmd_run(&args)?,
         "inject" => cmd_inject(&args)?,
         "sweep" => cmd_sweep(&args)?,
+        "serve" => cmd_serve(&args)?,
+        "loadgen" => cmd_loadgen(&args)?,
         "trace" => cmd_trace(&args)?,
         "lint" => cmd_lint(&args)?,
         "validate" => cmd_validate(&args)?,
@@ -79,6 +81,14 @@ pub fn usage() -> String {
      \x20          --checkpoint-every N (rounds per snapshot, default 1)\n\
      \x20          --resume (continue from the newest valid snapshot)\n\
      \x20          --max-rounds N (pause after N rounds; rerun with --resume)\n\
+     \x20 serve    [--addr A] [opts]              waste/risk query service (line-delimited JSON)\n\
+     \x20          --addr HOST:PORT (default 127.0.0.1:0, prints the bound address)\n\
+     \x20          --workers N (0 = auto)  --cache-cells N (sweep-cell LRU, default 256)\n\
+     \x20          stop it with a {\"v\":1,\"method\":\"shutdown\"} request line\n\
+     \x20 loadgen  --addr A [opts]                measured load against a running serve\n\
+     \x20          --threads N --concurrency N (connections = threads x concurrency)\n\
+     \x20          --duration DUR  --seed N  --out FILE (default BENCH_serve.json)\n\
+     \x20          --metrics FILE (client-side histogram snapshot)\n\
      \x20 trace    generate|stats ...             failure-trace tooling\n\
      \x20 lint     [baseline]                      static determinism/panic-safety lints\n\
      \x20          --root DIR (workspace root)  --config FILE (analyze.toml)\n\
@@ -799,16 +809,37 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
     }
     if let Some(path) = args.get("bench") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let report = dck_bench::BenchReport::from_json(&text)
-            .map_err(|e| format!("{path}: invalid BenchReport: {e}"))?;
-        report.validate().map_err(|e| format!("{path}: {e}"))?;
-        let _ = writeln!(
-            out,
-            "bench {path}: {:?}, {} series, max workers {}",
-            report.kind,
-            report.series.len(),
-            report.summary.max_workers
-        );
+        // Two report families share the flag; the `schema` tag says
+        // which one a file claims to be, and it is then held to that
+        // claim (no silent fallback to the other parser).
+        let sniffed: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not JSON: {e}"))?;
+        let schema = sniffed
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .unwrap_or("")
+            .to_string();
+        if schema == dck_bench::SERVE_SCHEMA {
+            let report = dck_bench::ServeBenchReport::from_json(&text)
+                .map_err(|e| format!("{path}: invalid ServeBenchReport: {e}"))?;
+            report.validate().map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "bench {path}: serve load, {} ok requests at {:.0} req/s ({} errors), p99 {}us",
+                report.ok_requests, report.req_per_sec, report.errors, report.latency.p99_us
+            );
+        } else {
+            let report = dck_bench::BenchReport::from_json(&text)
+                .map_err(|e| format!("{path}: invalid BenchReport: {e}"))?;
+            report.validate().map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "bench {path}: {:?}, {} series, max workers {}",
+                report.kind,
+                report.series.len(),
+                report.summary.max_workers
+            );
+        }
         checked += 1;
     }
     if let Some(path) = args.get("snapshot") {
@@ -869,7 +900,14 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
     let mut spec = SweepSpec::new(protocol, params, phi_ratios, mtbfs);
     spec.work_in_mtbfs = args.get_parsed("work-mtbfs", spec.work_in_mtbfs)?;
     spec.replications = args.get_parsed("reps", spec.replications)?;
+    if spec.replications == 0 {
+        return Err(
+            "--reps must be at least 1 (a zero-replication sweep estimates nothing)".into(),
+        );
+    }
     spec.seed = args.get_parsed("seed", spec.seed)?;
+    // --workers 0 is the documented "auto" value (size to the machine);
+    // negatives are already rejected by the usize parse.
     spec.workers = args.get_parsed("workers", 0)?;
     spec.engine = match args.get("engine") {
         None | Some("global") => SweepEngine::GlobalPool,
@@ -889,6 +927,13 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         Some(dir) => {
             let mut ck = SweepCheckpoint::new(dir);
             ck.every_rounds = args.get_parsed("checkpoint-every", ck.every_rounds)?;
+            if ck.every_rounds == 0 {
+                return Err(
+                    "--checkpoint-every must be at least 1 (0 rounds per snapshot is \
+                     not a schedule)"
+                        .into(),
+                );
+            }
             ck.resume = args.get_parsed("resume", false)?;
             ck.max_rounds = match args.get("max-rounds") {
                 None => None,
@@ -897,6 +942,13 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
                         .map_err(|_| format!("cannot parse --max-rounds value `{v}`"))?,
                 ),
             };
+            if ck.max_rounds == Some(0) {
+                return Err(
+                    "--max-rounds must be at least 1 (a zero-round budget would pause \
+                     before doing any work)"
+                        .into(),
+                );
+            }
             Some(ck)
         }
         None => {
@@ -1026,6 +1078,110 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         }
         None => Ok(rendered),
     }
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let workers: usize = args.get_parsed("workers", 0)?; // 0 is documented auto
+    let cache_cells: usize = args.get_parsed("cache-cells", 256)?;
+    let cfg = dck_serve::ServeConfig {
+        addr,
+        workers,
+        cache_cells,
+    };
+    // `run()`'s return value only prints after the server exits, so
+    // the bound address (ephemeral ports especially) goes straight to
+    // stdout the moment the listener is up.
+    let summary = dck_serve::serve(&cfg, |bound| {
+        println!("dck serve listening on {bound}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    })
+    .map_err(|e| format!("serve failed: {e}"))?;
+    Ok(format!(
+        "serve: drained after {} connections, {} requests ({} errors), \
+         sweep-cell cache {} hits / {} misses\n",
+        summary.connections,
+        summary.requests,
+        summary.errors,
+        summary.cache_hits,
+        summary.cache_misses
+    ))
+}
+
+fn cmd_loadgen(args: &Args) -> Result<String, String> {
+    let addr = args
+        .get("addr")
+        .ok_or("--addr HOST:PORT is required (start `dck serve` first; it prints its address)")?
+        .to_string();
+    let threads: usize = args.get_parsed("threads", 2)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1 (zero threads generate no load)".to_string());
+    }
+    let concurrency: usize = args.get_parsed("concurrency", 2)?;
+    if concurrency == 0 {
+        return Err(
+            "--concurrency must be at least 1 (zero connections per thread generate no load)"
+                .to_string(),
+        );
+    }
+    let duration_s = args.get_duration("duration", 2.0)?;
+    if !(duration_s.is_finite() && duration_s > 0.0) {
+        return Err("--duration must be a positive duration".to_string());
+    }
+    let seed: u64 = args.get_parsed("seed", 0x10AD)?;
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let metrics_path = args.get("metrics").map(str::to_string);
+
+    // The obs registry is process-global: serialize against other
+    // metered commands and leave the enable flag as we found it.
+    let _guard = dck_obs::exclusive_session();
+    dck_obs::reset();
+    let was = dck_obs::set_enabled(true);
+    let cfg = dck_serve::LoadgenConfig {
+        addr: addr.clone(),
+        threads,
+        concurrency,
+        duration: std::time::Duration::from_secs_f64(duration_s),
+        seed,
+    };
+    let outcome = dck_serve::run_loadgen(&cfg);
+    let snapshot = dck_obs::snapshot();
+    dck_obs::set_enabled(was);
+    let outcome = outcome?;
+    if let Some(path) = &metrics_path {
+        write_metrics(path, &snapshot)?;
+    }
+    let report = &outcome.report;
+    fsio::atomic_write(
+        Path::new(&out_path),
+        report.to_json().map_err(|e| e.to_string())?.as_bytes(),
+    )
+    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadgen against {addr}: {} threads x {} connections for {}",
+        threads,
+        concurrency,
+        format_duration(duration_s)
+    );
+    let l = &report.latency;
+    let _ = writeln!(
+        out,
+        "  {} ok requests in {:.2}s -> {:.0} req/s ({} errors)",
+        report.ok_requests, report.elapsed_s, report.req_per_sec, report.errors
+    );
+    let _ = writeln!(
+        out,
+        "  latency us: p50 {}  p90 {}  p99 {}  p999 {}  max {}  mean {:.1}",
+        l.p50_us, l.p90_us, l.p99_us, l.p999_us, l.max_us, l.mean_us
+    );
+    let _ = writeln!(out, "  report -> {out_path}");
+    if let Some(path) = &metrics_path {
+        let _ = writeln!(out, "  metrics -> {path}");
+    }
+    Ok(out)
 }
 
 fn cmd_trace(args: &Args) -> Result<String, String> {
@@ -1658,6 +1814,134 @@ mod tests {
             let err = run_err(&ckpt_sweep_args(&[flag, "2"]));
             assert!(err.contains("requires --checkpoint"), "{flag}: {err}");
         }
+    }
+
+    #[test]
+    fn sweep_rejects_zero_valued_numeric_flags() {
+        let dir = std::env::temp_dir().join(format!("dck-cli-zeroflag-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap();
+
+        let err = run_err(&["sweep", "--protocol", "double-nbl", "--reps", "0"]);
+        assert!(err.contains("--reps must be at least 1"), "{err}");
+
+        let err = run_err(&ckpt_sweep_args(&["--checkpoint", d, "--max-rounds", "0"]));
+        assert!(err.contains("--max-rounds must be at least 1"), "{err}");
+        assert!(
+            !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "a rejected budget must not have written a snapshot"
+        );
+
+        let err = run_err(&ckpt_sweep_args(&[
+            "--checkpoint",
+            d,
+            "--checkpoint-every",
+            "0",
+        ]));
+        assert!(
+            err.contains("--checkpoint-every must be at least 1"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_negative_numeric_flags() {
+        // usize flags: the parse itself produces the typed error.
+        for flag in ["reps", "workers"] {
+            let err = run_err(&[
+                "sweep",
+                "--protocol",
+                "double-nbl",
+                &format!("--{flag}"),
+                "-3",
+            ]);
+            assert!(
+                err.contains(&format!("cannot parse --{flag} value `-3`")),
+                "{flag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_sweep_accepts_degenerate_null_cells() {
+        // A cell where every replication died keeps explicit nulls in
+        // the artifact; `validate --sweep` must accept the round-trip,
+        // not choke on them.
+        let mut spec = SweepSpec::new(
+            Protocol::DoubleNbl,
+            dck_core::PlatformParams::new(0.0, 2.0, 4.0, 10.0, 48).unwrap(),
+            vec![0.0],
+            vec![3600.0],
+        );
+        spec.replications = 4;
+        let result = SweepResult {
+            spec,
+            cells: vec![dck_sim::SweepCell {
+                phi_ratio: 0.0,
+                mtbf: 3600.0,
+                period: 120.0,
+                model_waste: 0.9,
+                sim_waste: None,
+                half_width: None,
+                completed: 0,
+                fatal: 4,
+                truncated: 0,
+                replications_run: 4,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        assert!(json.contains("\"sim_waste\": null"), "{json}");
+        assert!(json.contains("\"half_width\": null"), "{json}");
+
+        let path =
+            std::env::temp_dir().join(format!("dck-degen-sweep-{}.json", std::process::id()));
+        std::fs::write(&path, &json).unwrap();
+        let out = run_ok(&["validate", "--sweep", path.to_str().unwrap()]);
+        assert!(out.contains("1 cells"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_bench_sniffs_the_serve_schema() {
+        let report = dck_bench::ServeBenchReport {
+            schema: dck_bench::SERVE_SCHEMA.to_string(),
+            config: dck_bench::ServeBenchConfig {
+                addr: "127.0.0.1:4717".to_string(),
+                threads: 2,
+                concurrency: 2,
+                duration_s: 1.0,
+                seed: 7,
+                methods: vec!["waste".to_string(), "sweep_cell".to_string()],
+            },
+            elapsed_s: 1.01,
+            ok_requests: 100,
+            errors: 0,
+            req_per_sec: 99.0,
+            latency: dck_bench::ServeLatency {
+                p50_us: 100,
+                p90_us: 200,
+                p99_us: 400,
+                p999_us: 900,
+                max_us: 1000,
+                mean_us: 130.0,
+            },
+        };
+        let path =
+            std::env::temp_dir().join(format!("dck-serve-bench-{}.json", std::process::id()));
+        std::fs::write(&path, report.to_json().unwrap()).unwrap();
+        let out = run_ok(&["validate", "--bench", path.to_str().unwrap()]);
+        assert!(out.contains("serve load"), "{out}");
+        assert!(out.contains("99 req/s"), "{out}");
+
+        // A serve-schema file is held to the serve validator: break a
+        // percentile and the same command must reject it.
+        let mut broken = report;
+        broken.latency.p99_us = 150;
+        std::fs::write(&path, broken.to_json().unwrap()).unwrap();
+        let err = run_err(&["validate", "--bench", path.to_str().unwrap()]);
+        assert!(err.contains("monotone"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

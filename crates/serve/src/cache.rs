@@ -1,0 +1,166 @@
+//! LRU cache for sweep-cell answers.
+//!
+//! Keyed by the worker-normalized spec fingerprint
+//! ([`dck_sim::sweep_spec_fingerprint`]) plus cell coordinates. Two
+//! specs that differ only in `workers` hash identically *and* produce
+//! bit-identical cells (the sweep's determinism contract), so sharing
+//! a cache line between them is sound. The cache only ever changes
+//! *latency*, never *bytes*: a hit returns the same bits a fresh
+//! [`dck_sim::run_sweep_cell`] call would produce.
+//!
+//! Built on `BTreeMap` rather than `HashMap` — the workspace
+//! nondeterminism lint bans hash maps in live code, and at serving
+//! cache sizes (hundreds of entries) ordered maps are plenty.
+
+use dck_sim::SweepCell;
+use std::collections::BTreeMap;
+
+/// Identity of one cached cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Worker-normalized spec fingerprint.
+    pub fingerprint: u64,
+    /// MTBF (row) index.
+    pub mtbf_idx: usize,
+    /// φ (column) index.
+    pub phi_idx: usize,
+}
+
+/// A least-recently-used cell cache with a fixed capacity.
+///
+/// Recency is tracked with a monotonic tick: `entries` maps key →
+/// `(last_use_tick, cell)` and `order` maps tick → key, so eviction
+/// pops the smallest tick. Capacity 0 disables caching entirely.
+#[derive(Debug)]
+pub struct CellCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<CellKey, (u64, SweepCell)>,
+    order: BTreeMap<u64, CellKey>,
+}
+
+impl CellCache {
+    /// An empty cache holding at most `capacity` cells.
+    pub fn new(capacity: usize) -> Self {
+        CellCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a cell, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &CellKey) -> Option<SweepCell> {
+        let entry = self.entries.get_mut(key)?;
+        let old_tick = entry.0;
+        self.tick += 1;
+        entry.0 = self.tick;
+        let cell = entry.1;
+        self.order.remove(&old_tick);
+        self.order.insert(self.tick, *key);
+        Some(cell)
+    }
+
+    /// Inserts (or refreshes) a cell, evicting the least-recently-used
+    /// entries if the cache is over capacity.
+    pub fn insert(&mut self, key: CellKey, cell: SweepCell) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old_tick, _)) = self.entries.insert(key, (self.tick, cell)) {
+            self.order.remove(&old_tick);
+        }
+        self.order.insert(self.tick, key);
+        while self.entries.len() > self.capacity {
+            if let Some((_, victim)) = self.order.pop_first() {
+                self.entries.remove(&victim);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CellKey {
+        CellKey {
+            fingerprint: i,
+            mtbf_idx: 0,
+            phi_idx: 0,
+        }
+    }
+
+    fn cell(tag: f64) -> SweepCell {
+        SweepCell {
+            phi_ratio: tag,
+            mtbf: 1.0,
+            period: 1.0,
+            model_waste: 0.0,
+            sim_waste: Some(tag),
+            half_width: Some(0.0),
+            completed: 1,
+            fatal: 0,
+            truncated: 0,
+            replications_run: 1,
+        }
+    }
+
+    #[test]
+    fn hit_returns_identical_bits() {
+        let mut c = CellCache::new(4);
+        c.insert(key(1), cell(0.25));
+        let got = c.get(&key(1)).unwrap();
+        assert_eq!(got.sim_waste.unwrap().to_bits(), 0.25f64.to_bits());
+        assert!(c.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = CellCache::new(2);
+        c.insert(key(1), cell(1.0));
+        c.insert(key(2), cell(2.0));
+        assert!(c.get(&key(1)).is_some(), "touch 1 so 2 is now LRU");
+        c.insert(key(3), cell(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "2 was evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let mut c = CellCache::new(2);
+        c.insert(key(1), cell(1.0));
+        c.insert(key(1), cell(1.5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)).unwrap().sim_waste, Some(1.5));
+        c.insert(key(2), cell(2.0));
+        c.insert(key(1), cell(1.75));
+        c.insert(key(3), cell(3.0));
+        assert!(c.get(&key(2)).is_none(), "2 was the stalest");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = CellCache::new(0);
+        c.insert(key(1), cell(1.0));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+}

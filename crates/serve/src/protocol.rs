@@ -1,0 +1,236 @@
+//! Wire protocol v1: line-delimited JSON over TCP.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are objects `{"v": 1, "id": "...", "method": "...",
+//! "params": {...}}`; `params` may be omitted for parameterless
+//! methods. Responses echo the id: `{"v": 1, "id": "...", "ok": {...}}`
+//! on success, `{"v": 1, "id": "...", "err": {"code": "...",
+//! "message": "..."}}` on failure. The envelope is versioned from day
+//! one so a future v2 can coexist on the same port: a request whose
+//! `v` is not [`PROTOCOL_VERSION`] is answered with a typed
+//! `unsupported_version` error rather than dropped.
+//!
+//! A single request line is capped at [`MAX_LINE_BYTES`]; longer lines
+//! are answered with an `oversized` error and the connection is closed
+//! (the stream can no longer be framed reliably). Malformed JSON and
+//! non-object requests get `bad_request` with a `null` id.
+
+use serde::Value;
+use serde_json::to_string;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Maximum accepted request-line length in bytes (including the
+/// terminating newline). Generous for a full `sweep_cell` spec, small
+/// enough to bound per-connection memory.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Error codes a response's `err.code` field can carry.
+pub mod codes {
+    /// The line was not a JSON object.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The `v` field is present but not [`super::PROTOCOL_VERSION`].
+    pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
+    /// The `method` is not one this server knows.
+    pub const UNKNOWN_METHOD: &str = "unknown_method";
+    /// `params` is missing, ill-typed, or violates model constraints.
+    pub const BAD_PARAMS: &str = "bad_params";
+    /// The request line exceeded [`super::MAX_LINE_BYTES`].
+    pub const OVERSIZED: &str = "oversized";
+    /// The server failed while computing a valid request.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A typed protocol-level error: a stable machine-readable code plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// Human-readable detail; never needed to dispatch on.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from a code constant and message.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`codes::BAD_PARAMS`] error.
+    pub fn bad_params(message: impl Into<String>) -> Self {
+        WireError::new(codes::BAD_PARAMS, message)
+    }
+}
+
+/// A parsed, envelope-validated request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Value,
+    /// Method name.
+    pub method: String,
+    /// Method parameters (`Value::Null` when omitted).
+    pub params: Value,
+}
+
+/// Parses one request line into a [`Request`], validating the envelope
+/// (object shape, protocol version, string method).
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| WireError::new(codes::BAD_REQUEST, format!("request is not JSON: {e}")))?;
+    if value.get("v").is_none() && value.get("method").is_none() {
+        return Err(WireError::new(
+            codes::BAD_REQUEST,
+            "request must be an object with `v` and `method` fields",
+        ));
+    }
+    match value.get("v") {
+        Some(n) if n.as_u64() == Some(PROTOCOL_VERSION) => {}
+        Some(_) => {
+            return Err(WireError::new(
+                codes::UNSUPPORTED_VERSION,
+                format!(
+                    "this server speaks v{PROTOCOL_VERSION}; re-send with \"v\":{PROTOCOL_VERSION}"
+                ),
+            ));
+        }
+        None => {
+            return Err(WireError::new(
+                codes::BAD_REQUEST,
+                "request is missing the protocol version field `v`",
+            ));
+        }
+    }
+    let method = match value.get("method") {
+        Some(Value::String(m)) => m.clone(),
+        Some(_) => {
+            return Err(WireError::new(
+                codes::BAD_REQUEST,
+                "`method` must be a string",
+            ));
+        }
+        None => {
+            return Err(WireError::new(
+                codes::BAD_REQUEST,
+                "request is missing `method`",
+            ));
+        }
+    };
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let params = value.get("params").cloned().unwrap_or(Value::Null);
+    Ok(Request { id, method, params })
+}
+
+fn envelope(id: &Value) -> serde::Map {
+    let mut map = serde::Map::new();
+    map.insert("v", Value::U64(PROTOCOL_VERSION));
+    map.insert("id", id.clone());
+    map
+}
+
+/// Serializes a success response line (no trailing newline).
+pub fn ok_line(id: &Value, payload: Value) -> String {
+    let mut map = envelope(id);
+    map.insert("ok", payload);
+    render(Value::Object(map))
+}
+
+/// Serializes an error response line (no trailing newline). `id` is
+/// `None` when the request could not be parsed far enough to learn it.
+pub fn err_line(id: Option<&Value>, err: &WireError) -> String {
+    let mut map = envelope(id.unwrap_or(&Value::Null));
+    let mut body = serde::Map::new();
+    body.insert("code", Value::String(err.code.to_string()));
+    body.insert("message", Value::String(err.message.clone()));
+    map.insert("err", Value::Object(body));
+    render(Value::Object(map))
+}
+
+/// Renders a value to one line; serialization of an in-memory tree
+/// cannot fail, but the panic-safety policy forbids `unwrap`, so fall
+/// back to a hand-written internal error rather than aborting a worker.
+fn render(value: Value) -> String {
+    to_string(&value).unwrap_or_else(|_| {
+        format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"id\":null,\"err\":{{\"code\":\"{}\",\
+             \"message\":\"response serialization failed\"}}}}",
+            codes::INTERNAL
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_request() {
+        let r = parse_request(r#"{"v":1,"id":"a1","method":"ping","params":{"x":2}}"#).unwrap();
+        assert_eq!(r.method, "ping");
+        assert_eq!(r.id, Value::String("a1".into()));
+        assert_eq!(r.params.get("x").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn params_and_id_are_optional() {
+        let r = parse_request(r#"{"v":1,"method":"ping"}"#).unwrap();
+        assert_eq!(r.id, Value::Null);
+        assert_eq!(r.params, Value::Null);
+    }
+
+    #[test]
+    fn rejects_non_json_and_missing_fields() {
+        assert_eq!(
+            parse_request("not json").unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            parse_request(r#"{"method":"ping"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"v":1,"method":7}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version_with_typed_code() {
+        let e = parse_request(r#"{"v":2,"method":"ping"}"#).unwrap_err();
+        assert_eq!(e.code, codes::UNSUPPORTED_VERSION);
+        assert!(
+            e.message.contains("v1"),
+            "message names the spoken version: {e:?}"
+        );
+    }
+
+    #[test]
+    fn response_lines_round_trip_and_echo_id() {
+        let id = Value::String("q-7".into());
+        let ok = ok_line(&id, Value::Bool(true));
+        let v: Value = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v.get("id"), Some(&id));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert!(v.get("err").is_none());
+
+        let err = err_line(None, &WireError::bad_params("phi out of range"));
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("id"), Some(&Value::Null));
+        let body = v.get("err").unwrap();
+        assert_eq!(
+            body.get("code"),
+            Some(&Value::String(codes::BAD_PARAMS.into()))
+        );
+        assert!(!ok.contains('\n') && !err.contains('\n'), "one line each");
+    }
+}

@@ -168,6 +168,16 @@ pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Stable fingerprint of a [`SweepSpec`], with the worker count
+/// normalized to 0 before hashing — results are bit-identical across
+/// worker counts, so two specs differing only in parallelism share a
+/// fingerprint. Keys both checkpoint-snapshot ownership (resume
+/// refuses a foreign fingerprint) and the serving layer's sweep-cell
+/// cache (`dck serve` keys cached cells by fingerprint + coordinates).
+pub fn sweep_spec_fingerprint(spec: &SweepSpec) -> u64 {
+    spec_fingerprint(spec)
+}
+
 /// Fingerprint of the spec that produced a snapshot. Workers are
 /// normalized to 0 before hashing: results are bit-identical across
 /// worker counts, so resuming with different parallelism is fine.
@@ -270,9 +280,21 @@ fn snapshot_path(dir: &Path, rounds_done: u64) -> PathBuf {
     dir.join(format!("sweep-r{rounds_done:08}.{SNAPSHOT_EXT}"))
 }
 
-/// Lists the directory's snapshot files, sorted oldest → newest by
-/// file name (round numbers are zero-padded, so lexicographic order is
-/// round order).
+/// Parses the round number out of a `sweep-r{N}.dckpt` file name.
+/// Returns `None` for `.dckpt` files that don't follow the naming
+/// scheme (they sort as oldest and are never preferred on resume).
+fn snapshot_round(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    stem.strip_prefix("sweep-r")?.parse::<u64>().ok()
+}
+
+/// Lists the directory's snapshot files, sorted oldest → newest by the
+/// **numeric** round component of the file name. Zero-padding makes
+/// lexicographic order agree with round order up to 8 digits, but past
+/// `r99999999` the padding overflows (`"r100000000" < "r99999999"`
+/// lexicographically), so sorting by the parsed number is the only
+/// ordering that is correct for every round count. Ties (and files
+/// without a parseable round) fall back to path order for determinism.
 fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut found = Vec::new();
     for entry in fs::read_dir(dir)? {
@@ -281,7 +303,7 @@ fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
             found.push(path);
         }
     }
-    found.sort();
+    found.sort_by(|a, b| (snapshot_round(a), a.as_path()).cmp(&(snapshot_round(b), b.as_path())));
     Ok(found)
 }
 
@@ -480,6 +502,59 @@ mod tests {
         assert_eq!(files.len(), 2);
         assert!(files[1].to_str().unwrap().contains("r00000005"));
         assert!(files[0].to_str().unwrap().contains("r00000004"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_picks_numerically_newest_across_digit_boundary() {
+        // Round 9 → 10: the first place a naive unpadded name would
+        // mis-sort. Zero-padding covers this one, but the test pins the
+        // user-visible contract, not the mechanism.
+        let dir = scratch("digit-boundary");
+        let mut state = sample_state();
+        state.rounds_done = 9;
+        write_snapshot(&dir, &state, 3).unwrap();
+        state.rounds_done = 10;
+        state.next = vec![80, 80, 80];
+        write_snapshot(&dir, &state, 3).unwrap();
+        let restored = load_latest(&dir, 3).unwrap().expect("snapshot present");
+        assert_eq!(restored.rounds_done, 10, "resumed from round 9, not 10");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_picks_numerically_newest_past_padding_overflow() {
+        // Round 99_999_999 → 100_000_000 overflows the 8-digit padding:
+        // lexicographically "sweep-r100000000" < "sweep-r99999999", so
+        // a plain `sort()` would resume from the OLDER snapshot and
+        // prune the newer one. Numeric ordering must win.
+        let dir = scratch("padding-overflow");
+        let mut state = sample_state();
+        state.rounds_done = 99_999_999;
+        write_snapshot(&dir, &state, 4).unwrap();
+        state.rounds_done = 100_000_000;
+        state.next = vec![800, 800, 800];
+        write_snapshot(&dir, &state, 4).unwrap();
+
+        let files = list_snapshots(&dir).unwrap();
+        assert_eq!(files.len(), 2, "both generations kept");
+        assert!(
+            files[1].to_str().unwrap().contains("r100000000"),
+            "numerically newest sorts last: {files:?}"
+        );
+
+        let restored = load_latest(&dir, 4).unwrap().expect("snapshot present");
+        assert_eq!(restored.rounds_done, 100_000_000);
+        assert_eq!(restored.next, vec![800, 800, 800]);
+
+        // One more write must prune the numerically oldest generation,
+        // not the lexicographically smallest.
+        state.rounds_done = 100_000_001;
+        write_snapshot(&dir, &state, 4).unwrap();
+        let files = list_snapshots(&dir).unwrap();
+        assert_eq!(files.len(), 2);
+        assert!(files[0].to_str().unwrap().contains("r100000000"));
+        assert!(files[1].to_str().unwrap().contains("r100000001"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

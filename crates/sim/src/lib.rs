@@ -40,7 +40,7 @@ pub mod montecarlo;
 pub mod run;
 pub mod sweep;
 
-pub use checkpoint::{validate_snapshot, SnapshotInfo};
+pub use checkpoint::{sweep_spec_fingerprint, validate_snapshot, SnapshotInfo};
 pub use config::{PeriodChoice, RunConfig};
 pub use hierarchical::{run_hierarchical, HierarchicalOutcome, HierarchicalRunConfig};
 pub use montecarlo::{
@@ -53,6 +53,6 @@ pub use run::{
     StopReason, TimelineEvent,
 };
 pub use sweep::{
-    run_sweep, run_sweep_with_checkpoint, EarlyStop, SweepCell, SweepCheckpoint, SweepEngine,
-    SweepResult, SweepSpec,
+    run_sweep, run_sweep_cell, run_sweep_with_checkpoint, EarlyStop, SweepCell, SweepCheckpoint,
+    SweepEngine, SweepResult, SweepSpec,
 };

@@ -236,7 +236,9 @@ struct CellPlan {
     t_base: f64,
 }
 
-fn build_plans(spec: &SweepSpec) -> Result<Vec<CellPlan>, ModelError> {
+/// Validates the grid-level invariants shared by every entry point:
+/// platform parameters and the φ/R ratio range.
+fn validate_grid(spec: &SweepSpec) -> Result<(), ModelError> {
     spec.params.validate()?;
     for &ratio in &spec.phi_ratios {
         // NaN fails the containment test, so it is rejected too.
@@ -247,33 +249,48 @@ fn build_plans(spec: &SweepSpec) -> Result<Vec<CellPlan>, ModelError> {
             });
         }
     }
+    Ok(())
+}
+
+/// Resolves one `(mtbf_idx, phi_idx)` grid coordinate into a runnable
+/// plan. The cell seed depends only on the master seed and the
+/// coordinates, never on the rest of the grid — the property that lets
+/// a single cell be recomputed in isolation bit-identically.
+fn build_plan(spec: &SweepSpec, mi: usize, pi: usize) -> Result<CellPlan, ModelError> {
+    let mtbf = spec.mtbfs[mi];
+    let ratio = spec.phi_ratios[pi];
+    let phi = ratio * spec.params.theta_min;
+    let opt = optimal_period(spec.protocol, &spec.params, phi, mtbf)?;
+    let mut run_cfg = RunConfig::new(spec.protocol, spec.params, phi, mtbf);
+    run_cfg.period = PeriodChoice::Explicit(opt.period);
+    run_cfg.build()?;
+    let mc = MonteCarloConfig {
+        replications: spec.replications,
+        // Independent stream space per cell.
+        seed: spec
+            .seed
+            .wrapping_add((mi as u64) << 32)
+            .wrapping_add(pi as u64),
+        workers: spec.workers,
+        source: spec.source,
+    };
+    Ok(CellPlan {
+        phi_ratio: ratio,
+        mtbf,
+        period: opt.period,
+        model_waste: opt.waste.total,
+        run_cfg,
+        mc,
+        t_base: spec.work_in_mtbfs * mtbf,
+    })
+}
+
+fn build_plans(spec: &SweepSpec) -> Result<Vec<CellPlan>, ModelError> {
+    validate_grid(spec)?;
     let mut plans = Vec::with_capacity(spec.mtbfs.len() * spec.phi_ratios.len());
-    for (mi, &mtbf) in spec.mtbfs.iter().enumerate() {
-        for (pi, &ratio) in spec.phi_ratios.iter().enumerate() {
-            let phi = ratio * spec.params.theta_min;
-            let opt = optimal_period(spec.protocol, &spec.params, phi, mtbf)?;
-            let mut run_cfg = RunConfig::new(spec.protocol, spec.params, phi, mtbf);
-            run_cfg.period = PeriodChoice::Explicit(opt.period);
-            run_cfg.build()?;
-            let mc = MonteCarloConfig {
-                replications: spec.replications,
-                // Independent stream space per cell.
-                seed: spec
-                    .seed
-                    .wrapping_add((mi as u64) << 32)
-                    .wrapping_add(pi as u64),
-                workers: spec.workers,
-                source: spec.source,
-            };
-            plans.push(CellPlan {
-                phi_ratio: ratio,
-                mtbf,
-                period: opt.period,
-                model_waste: opt.waste.total,
-                run_cfg,
-                mc,
-                t_base: spec.work_in_mtbfs * mtbf,
-            });
+    for mi in 0..spec.mtbfs.len() {
+        for pi in 0..spec.phi_ratios.len() {
+            plans.push(build_plan(spec, mi, pi)?);
         }
     }
     Ok(plans)
@@ -334,12 +351,28 @@ fn chunk_accum(
 ) -> WasteAccum {
     let mut runner =
         ChunkRunner::new(&plan.run_cfg, &plan.mc).expect("validated configuration cannot fail");
+    chunk_accum_with(&mut runner, plan.t_base, ci, start, end, injection)
+}
+
+/// [`chunk_accum`] with a caller-owned runner: replication `i`'s RNG
+/// stream derives from `(seed, i)` alone, so reusing one runner across
+/// chunks is bit-identical to building a fresh one per chunk — the
+/// serving path leans on this to answer a whole cell without
+/// re-building a `RunMachine` per chunk.
+fn chunk_accum_with(
+    runner: &mut ChunkRunner,
+    t_base: f64,
+    ci: usize,
+    start: usize,
+    end: usize,
+    injection: Option<&PanicInjection>,
+) -> WasteAccum {
     let mut staged = ChunkOutcomes::default();
     for i in start..end {
         if let Some(inj) = injection {
             inj.trip(ci, i);
         }
-        staged.record(&runner.run_waste(plan.t_base, i as u64));
+        staged.record(&runner.run_waste(t_base, i as u64));
     }
     let mut acc = WasteAccum::default();
     staged.fold_into(&mut acc);
@@ -699,6 +732,71 @@ pub fn run_sweep_with_checkpoint(
         spec: spec.clone(),
         cells,
     })
+}
+
+/// Computes a single grid cell of `spec` — **bit-identical** to the
+/// same cell of [`run_sweep`] over the full grid — without touching
+/// any other cell.
+///
+/// Three properties make the isolation exact:
+///
+/// * the cell's RNG seed derives only from the master seed and the
+///   `(mtbf_idx, phi_idx)` coordinates, never from the grid shape;
+/// * replications fold in ascending `REP_CHUNK`-aligned chunk order,
+///   exactly the order both sweep engines merge per-cell units;
+/// * early stopping re-checks convergence at the same fixed round
+///   boundaries, and the decision depends only on this cell's own
+///   accumulated statistics.
+///
+/// One `ChunkRunner` is built per call and reused across every
+/// chunk, so a serving layer answers repeated point lookups without
+/// re-building a `RunMachine` per replication.
+///
+/// # Errors
+/// Out-of-range coordinates, plus everything [`run_sweep`] rejects for
+/// this cell's operating point (invalid parameters, infeasible period).
+pub fn run_sweep_cell(
+    spec: &SweepSpec,
+    mtbf_idx: usize,
+    phi_idx: usize,
+) -> Result<SweepCell, ModelError> {
+    validate_grid(spec)?;
+    if mtbf_idx >= spec.mtbfs.len() {
+        return Err(ModelError::InvalidParameter {
+            name: "mtbf_idx",
+            reason: format!("index {mtbf_idx} out of range ({} MTBFs)", spec.mtbfs.len()),
+        });
+    }
+    if phi_idx >= spec.phi_ratios.len() {
+        return Err(ModelError::InvalidParameter {
+            name: "phi_idx",
+            reason: format!(
+                "index {phi_idx} out of range ({} phi ratios)",
+                spec.phi_ratios.len()
+            ),
+        });
+    }
+    let plan = build_plan(spec, mtbf_idx, phi_idx)?;
+    let ci = mtbf_idx * spec.phi_ratios.len() + phi_idx;
+    let budget = spec.replications;
+    let round = spec.round_len();
+    let mut runner = ChunkRunner::new(&plan.run_cfg, &plan.mc)?;
+    let mut acc = WasteAccum::default();
+    let mut next = 0usize;
+    while next < budget {
+        let round_end = (next + round).min(budget);
+        for (s, e) in chunk_ranges(next, round_end) {
+            let ua = chunk_accum_with(&mut runner, plan.t_base, ci, s, e, None);
+            acc.merge_in_place(&ua);
+        }
+        next = round_end;
+        if let Some(es) = spec.early_stop {
+            if cell_converged(&acc, &es, next) {
+                break;
+            }
+        }
+    }
+    Ok(finish_cell(&plan, acc, next))
 }
 
 #[cfg(test)]
@@ -1071,6 +1169,114 @@ mod tests {
             // model — also an acceptable, explicit outcome.
             Err(ModelError::Infeasible { .. }) => {}
             Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    /// The serving contract: a cell computed in isolation is
+    /// bit-identical to the same cell of the full grid, on both
+    /// engines, with and without early stopping.
+    #[test]
+    fn single_cell_query_matches_full_sweep_bit_exactly() {
+        let mut spec = SweepSpec::new(
+            Protocol::DoubleNbl,
+            params(),
+            vec![0.0, 0.5, 1.0],
+            vec![1_800.0, 3_600.0],
+        );
+        spec.replications = 48;
+        spec.work_in_mtbfs = 10.0;
+        for early_stop in [
+            None,
+            Some(EarlyStop {
+                target_half_width: 0.02,
+                min_replications: 16,
+                batch: 16,
+            }),
+        ] {
+            spec.early_stop = early_stop;
+            for engine in [SweepEngine::GlobalPool, SweepEngine::PerCell] {
+                spec.engine = engine;
+                let full = run_sweep(&spec).unwrap();
+                for (mi, _) in spec.mtbfs.iter().enumerate() {
+                    for (pi, _) in spec.phi_ratios.iter().enumerate() {
+                        let ci = mi * spec.phi_ratios.len() + pi;
+                        let grid = &full.cells[ci];
+                        let solo = run_sweep_cell(&spec, mi, pi).unwrap();
+                        assert_eq!(
+                            solo.sim_waste.map(f64::to_bits),
+                            grid.sim_waste.map(f64::to_bits),
+                            "cell ({mi},{pi}) on {engine:?} es={early_stop:?}"
+                        );
+                        assert_eq!(
+                            solo.half_width.map(f64::to_bits),
+                            grid.half_width.map(f64::to_bits),
+                            "cell ({mi},{pi}) on {engine:?}"
+                        );
+                        assert_eq!(solo.period.to_bits(), grid.period.to_bits());
+                        assert_eq!(solo.model_waste.to_bits(), grid.model_waste.to_bits());
+                        assert_eq!(solo.completed, grid.completed);
+                        assert_eq!(solo.fatal, grid.fatal);
+                        assert_eq!(solo.truncated, grid.truncated);
+                        assert_eq!(solo.replications_run, grid.replications_run);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_query_rejects_bad_coordinates() {
+        let spec = SweepSpec::new(Protocol::Triple, params(), vec![0.5], vec![3_600.0]);
+        assert!(matches!(
+            run_sweep_cell(&spec, 1, 0),
+            Err(ModelError::InvalidParameter {
+                name: "mtbf_idx",
+                ..
+            })
+        ));
+        assert!(matches!(
+            run_sweep_cell(&spec, 0, 1),
+            Err(ModelError::InvalidParameter {
+                name: "phi_idx",
+                ..
+            })
+        ));
+    }
+
+    /// Degenerate cells (no completed replication) must serialize with
+    /// explicit `null`s — never `NaN` tokens or missing keys — and
+    /// round-trip back to `None`.
+    #[test]
+    fn degenerate_cell_json_is_explicit_null_and_round_trips() {
+        let spec = SweepSpec::new(Protocol::DoubleNbl, params(), vec![0.0], vec![40.0]);
+        let result = SweepResult {
+            spec,
+            cells: vec![SweepCell {
+                phi_ratio: 0.0,
+                mtbf: 40.0,
+                period: 50.0,
+                model_waste: 0.9,
+                sim_waste: None,
+                half_width: None,
+                completed: 0,
+                fatal: 4,
+                truncated: 0,
+                replications_run: 4,
+            }],
+        };
+        for json in [
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string_pretty(&result).unwrap(),
+        ] {
+            // Explicit nulls, present keys, no NaN/Infinity leakage.
+            let normalized = json.replace(": ", ":");
+            assert!(normalized.contains("\"sim_waste\":null"), "{json}");
+            assert!(normalized.contains("\"half_width\":null"), "{json}");
+            assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+            let back: SweepResult = serde_json::from_str(&json).unwrap();
+            assert!(back.cells[0].sim_waste.is_none());
+            assert!(back.cells[0].half_width.is_none());
+            assert_eq!(back.cells[0].fatal, 4);
         }
     }
 }

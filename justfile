@@ -48,6 +48,20 @@ bench:
     ./target/release/dck validate --bench BENCH_reps.json
     ./target/release/dck validate --bench BENCH_sweep.json
 
+# Long-running waste/risk/sweep-cell service on a fixed local port.
+# Send {"v":1,"method":"shutdown"} (or `just loadgen` then that) to stop.
+serve:
+    cargo run --release -p dck-cli --bin dck -- serve --addr 127.0.0.1:4817
+
+# Measured load against `just serve`: writes BENCH_serve.json at the
+# repo root and validates it against the serve report schema.
+loadgen:
+    cargo build --release -p dck-cli
+    ./target/release/dck loadgen --addr 127.0.0.1:4817 \
+        --threads 4 --concurrency 4 --duration 5s \
+        --out BENCH_serve.json --metrics serve-metrics.json
+    ./target/release/dck validate --bench BENCH_serve.json
+
 # Criterion benches: one per paper artifact + kernel ablations.
 bench-criterion:
     cargo bench --workspace
