@@ -186,7 +186,7 @@ fn cmd_period(args: &Args) -> Result<String, String> {
     let (params, scenario) = resolve_params(args)?;
     let phi = resolve_phi(args, &params)?;
     let mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
-    let rows: Vec<Vec<String>> = Protocol::ALL
+    let rows: Vec<Vec<String>> = Protocol::registry()
         .iter()
         .map(|&p| {
             let opt = optimal_period(p, &params, phi, mtbf).map_err(|e| e.to_string())?;
@@ -233,7 +233,7 @@ fn cmd_risk(args: &Args) -> Result<String, String> {
         None => params.theta_max(),
     };
     let mut rows = Vec::new();
-    for p in Protocol::ALL {
+    for p in Protocol::registry() {
         let rm = RiskModel::with_theta(p, &params, theta).map_err(|e| e.to_string())?;
         let s = rm
             .success_probability(mtbf, life)
@@ -799,8 +799,10 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
         }
         let _ = writeln!(
             out,
-            "conformance {path}: {} cells ({} passed, {} degenerate), max |model - sim| = {:.4}",
+            "conformance {path}: {} waste + {} prediction cells ({} passed, {} degenerate), \
+             max |model - sim| = {:.4}",
             report.cells.len(),
+            report.prediction_cells.len(),
             report.passed,
             report.degenerate,
             report.max_abs_deviation
@@ -1281,8 +1283,8 @@ mod tests {
     #[test]
     fn period_lists_all_protocols() {
         let out = run_ok(&["period", "--mtbf", "1h", "--phi-ratio", "0.5"]);
-        for p in Protocol::ALL {
-            assert!(out.contains(p.paper_name()), "{p:?} missing");
+        for p in Protocol::registry() {
+            assert!(out.contains(&p.paper_name()), "{p:?} missing");
         }
     }
 

@@ -165,8 +165,8 @@ pub fn resolve_protocol(args: &Args, default: Option<Protocol>) -> Result<Protoc
     match args.get("protocol") {
         Some(v) => Protocol::parse(v).ok_or_else(|| {
             format!(
-                "unknown protocol `{v}` (expected one of: {})",
-                Protocol::ALL
+                "unknown protocol `{v}` (expected one of: {}, or buddy:K[:bof] with K in 2..=8)",
+                Protocol::registry()
                     .iter()
                     .map(|p| p.id())
                     .collect::<Vec<_>>()

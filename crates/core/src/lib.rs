@@ -57,6 +57,7 @@ pub mod opt;
 pub mod overlap;
 pub mod params;
 pub mod period;
+pub mod predict;
 pub mod protocol;
 pub mod refined;
 pub mod risk;
@@ -76,7 +77,10 @@ pub mod prelude {
     pub use crate::period::{
         golden_section_min, numeric_optimal_period, optimal_period, OptimalPeriod, PeriodSource,
     };
-    pub use crate::protocol::Protocol;
+    pub use crate::predict::{
+        predicted_optimal_period, predicted_waste, proactive_cost, PredictedWaste, PredictorSpec,
+    };
+    pub use crate::protocol::{GroupPolicy, Protocol, ResendPolicy, Rotation, MAX_GROUP_SIZE};
     pub use crate::refined::{refined_optimal_period, refined_waste, RefinedWaste};
     pub use crate::risk::{base_success_probability, RiskModel, SuccessProbability};
     pub use crate::scenario::Scenario;

@@ -1,7 +1,63 @@
 //! The checkpointing protocols under study.
+//!
+//! The paper hand-derives two group sizes — buddy pairs (DOUBLE) and
+//! triples (TRIPLE) — but its waste/risk machinery is really a family
+//! indexed by the group size `k`, the buddy rotation, and the resend
+//! policy after a failure. [`GroupPolicy`] captures those coordinates;
+//! every [`Protocol`] variant maps onto one via [`Protocol::policy`],
+//! and the paper's protocols fall out as the `k = 2` and `k = 3`
+//! instances. Larger groups (`k = 4, 5, …`) are first-class through
+//! [`Protocol::buddy`]: `k − 1` exchange phases per period, each member
+//! storing an image of every other member, and a fatal failure needs
+//! all `k` members down inside overlapping risk windows.
 
+use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Largest supported buddy-group size. The closed forms stay exact for
+/// any `k`, but a group this large already pushes the fatal-failure
+/// probability far below anything observable — bigger `k` only buys
+/// fault-free overhead.
+pub const MAX_GROUP_SIZE: u64 = 8;
+
+/// How buddy images are re-sent to a replacement node after a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResendPolicy {
+    /// Non-blocking: buddy files re-sent at overlapped speed `θ(φ)`
+    /// while re-execution proceeds (slowed by `φ` per window).
+    Nbl,
+    /// Blocking-on-failure: buddy files re-sent at maximum speed `R`,
+    /// the application stopped — longer blocked time, shorter risk
+    /// window.
+    Bof,
+}
+
+/// How buddies rotate within a group.
+///
+/// The paper's triple rotation (`p → p′ → p″ → p`) generalizes to the
+/// cyclic rotation: in exchange phase `j` every node sends its image
+/// `j` places forward in its group. That is the only rotation with the
+/// paper's two properties — every node sends and receives exactly one
+/// image per phase, and after `k − 1` phases each member holds an image
+/// of every other member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rotation {
+    /// Send to the member `j` places forward in phase `j` (the paper's
+    /// rotation for `k = 3`; the unique pairing for `k = 2`).
+    Cyclic,
+}
+
+/// The coordinates of a protocol instance in the buddy-protocol family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupPolicy {
+    /// Processors per buddy group (`≥ 2`).
+    pub k: u64,
+    /// Buddy rotation within the group.
+    pub rotation: Rotation,
+    /// Resend policy after a failure.
+    pub resend: ResendPolicy,
+}
 
 /// A buddy-checkpointing protocol variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -26,10 +82,23 @@ pub enum Protocol {
     /// shrinking the risk window to `D + 3R` (§IV mentions this
     /// variant; §V.C gives its risk window).
     TripleBof,
+    /// The `k ≥ 4` extrapolation of the non-blocking family: `k − 1`
+    /// overlapped exchange phases per period, buddy images re-sent at
+    /// overlapped speed after a failure.
+    BuddyNbl {
+        /// Group size (canonical instances use `4 ..= MAX_GROUP_SIZE`;
+        /// `k = 2, 3` normalize to the paper's named variants).
+        k: u64,
+    },
+    /// The `k ≥ 4` extrapolation of the blocking-on-failure family.
+    BuddyBof {
+        /// Group size (see [`Protocol::BuddyNbl::k`]).
+        k: u64,
+    },
 }
 
 impl Protocol {
-    /// All protocol variants, in presentation order.
+    /// The paper's five protocol variants, in presentation order.
     pub const ALL: [Protocol; 5] = [
         Protocol::DoubleBlocking,
         Protocol::DoubleNbl,
@@ -42,12 +111,94 @@ impl Protocol {
     pub const EVALUATED: [Protocol; 3] =
         [Protocol::DoubleBof, Protocol::DoubleNbl, Protocol::Triple];
 
-    /// Number of processors per buddy group (2 for double, 3 for triple).
-    pub fn group_size(&self) -> u64 {
-        match self {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => 2,
-            Protocol::Triple | Protocol::TripleBof => 3,
+    /// Every registered protocol instance: the paper's five plus the
+    /// `k = 4` and `k = 5` extrapolations of both resend policies.
+    /// Registry-wide tests iterate this so a newly instantiated `k`
+    /// cannot silently skip validation.
+    pub fn registry() -> Vec<Protocol> {
+        let mut all = Protocol::ALL.to_vec();
+        for k in 4..=5 {
+            all.push(Protocol::BuddyNbl { k });
+            all.push(Protocol::BuddyBof { k });
         }
+        all
+    }
+
+    /// The canonical protocol for a `(k, resend)` pair: `k = 2` and
+    /// `k = 3` normalize to the paper's named variants so each instance
+    /// has exactly one representation.
+    ///
+    /// # Errors
+    /// `k` must lie in `2 ..= MAX_GROUP_SIZE`.
+    pub fn buddy(k: u64, resend: ResendPolicy) -> Result<Protocol, ModelError> {
+        match (k, resend) {
+            (2, ResendPolicy::Nbl) => Ok(Protocol::DoubleNbl),
+            (2, ResendPolicy::Bof) => Ok(Protocol::DoubleBof),
+            (3, ResendPolicy::Nbl) => Ok(Protocol::Triple),
+            (3, ResendPolicy::Bof) => Ok(Protocol::TripleBof),
+            (k, _) if (4..=MAX_GROUP_SIZE).contains(&k) => Ok(match resend {
+                ResendPolicy::Nbl => Protocol::BuddyNbl { k },
+                ResendPolicy::Bof => Protocol::BuddyBof { k },
+            }),
+            _ => Err(ModelError::invalid(
+                "k",
+                format!("group size must be in 2..={MAX_GROUP_SIZE}, got {k}"),
+            )),
+        }
+    }
+
+    /// The `(k, rotation, resend)` coordinates of this protocol.
+    ///
+    /// `DoubleBlocking` maps to the BoF coordinates: its wire behaviour
+    /// re-sends the buddy file at blocking speed (`θ = φ = R` leaves
+    /// nothing to overlap), which is what the blocked-time and
+    /// risk-window formulas group it with. Its per-failure loss keeps
+    /// the historical NBL-shaped accounting — see
+    /// `WasteModel::failure_loss_constant`.
+    pub fn policy(&self) -> GroupPolicy {
+        let (k, resend) = match *self {
+            Protocol::DoubleBlocking => (2, ResendPolicy::Bof),
+            Protocol::DoubleNbl => (2, ResendPolicy::Nbl),
+            Protocol::DoubleBof => (2, ResendPolicy::Bof),
+            Protocol::Triple => (3, ResendPolicy::Nbl),
+            Protocol::TripleBof => (3, ResendPolicy::Bof),
+            Protocol::BuddyNbl { k } => (k, ResendPolicy::Nbl),
+            Protocol::BuddyBof { k } => (k, ResendPolicy::Bof),
+        };
+        GroupPolicy {
+            k,
+            rotation: Rotation::Cyclic,
+            resend,
+        }
+    }
+
+    /// Checks that a buddy variant carries a canonical, in-range `k`
+    /// (deserialized configs can smuggle in `BuddyNbl { k: 2 }` or an
+    /// absurd group size; model constructors call this).
+    ///
+    /// # Errors
+    /// `BuddyNbl`/`BuddyBof` require `k ∈ 4 ..= MAX_GROUP_SIZE`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            Protocol::BuddyNbl { k } | Protocol::BuddyBof { k }
+                if !(4..=MAX_GROUP_SIZE).contains(&k) =>
+            {
+                Err(ModelError::invalid(
+                    "k",
+                    format!(
+                        "buddy group size must be in 4..={MAX_GROUP_SIZE} \
+                         (2 and 3 are the named double/triple variants), got {k}"
+                    ),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Number of processors per buddy group (2 for double, 3 for
+    /// triple, `k` for the generalized variants).
+    pub fn group_size(&self) -> u64 {
+        self.policy().k
     }
 
     /// Number of failures within one group's risk window needed for a
@@ -62,39 +213,61 @@ impl Protocol {
     }
 
     /// Canonical lowercase identifier (stable; used in CSV headers and
-    /// CLI arguments).
-    pub fn id(&self) -> &'static str {
-        match self {
-            Protocol::DoubleBlocking => "double-blocking",
-            Protocol::DoubleNbl => "double-nbl",
-            Protocol::DoubleBof => "double-bof",
-            Protocol::Triple => "triple",
-            Protocol::TripleBof => "triple-bof",
+    /// CLI arguments). Buddy variants render as `buddy<k>-nbl` /
+    /// `buddy<k>-bof`.
+    pub fn id(&self) -> String {
+        match *self {
+            Protocol::DoubleBlocking => "double-blocking".into(),
+            Protocol::DoubleNbl => "double-nbl".into(),
+            Protocol::DoubleBof => "double-bof".into(),
+            Protocol::Triple => "triple".into(),
+            Protocol::TripleBof => "triple-bof".into(),
+            Protocol::BuddyNbl { k } => format!("buddy{k}-nbl"),
+            Protocol::BuddyBof { k } => format!("buddy{k}-bof"),
         }
     }
 
     /// Parses the canonical identifier (case-insensitive, `_`/`-`
-    /// agnostic).
+    /// agnostic). Buddy groups additionally accept the CLI form
+    /// `buddy:k` (NBL by default) and `buddy:k:bof` / `buddy:k:nbl`.
     pub fn parse(s: &str) -> Option<Protocol> {
         let norm = s.to_ascii_lowercase().replace('_', "-");
-        Protocol::ALL.into_iter().find(|p| p.id() == norm)
+        if let Some(p) = Protocol::ALL.into_iter().find(|p| p.id() == norm) {
+            return Some(p);
+        }
+        let rest = norm.strip_prefix("buddy")?;
+        let rest = rest
+            .strip_prefix(':')
+            .or_else(|| rest.strip_prefix('-'))
+            .unwrap_or(rest);
+        let (knum, resend) = match rest.split_once([':', '-']) {
+            Some((k, "bof")) => (k, ResendPolicy::Bof),
+            Some((k, "nbl")) => (k, ResendPolicy::Nbl),
+            Some(_) => return None,
+            None => (rest, ResendPolicy::Nbl),
+        };
+        let k: u64 = knum.parse().ok()?;
+        Protocol::buddy(k, resend).ok()
     }
 
-    /// The paper's display name (e.g. `DOUBLENBL`).
-    pub fn paper_name(&self) -> &'static str {
-        match self {
-            Protocol::DoubleBlocking => "DOUBLE (blocking)",
-            Protocol::DoubleNbl => "DOUBLENBL",
-            Protocol::DoubleBof => "DOUBLEBOF",
-            Protocol::Triple => "TRIPLE",
-            Protocol::TripleBof => "TRIPLE (BoF)",
+    /// The paper's display name (e.g. `DOUBLENBL`); extrapolated
+    /// variants follow the same convention (`BUDDY4NBL`).
+    pub fn paper_name(&self) -> String {
+        match *self {
+            Protocol::DoubleBlocking => "DOUBLE (blocking)".into(),
+            Protocol::DoubleNbl => "DOUBLENBL".into(),
+            Protocol::DoubleBof => "DOUBLEBOF".into(),
+            Protocol::Triple => "TRIPLE".into(),
+            Protocol::TripleBof => "TRIPLE (BoF)".into(),
+            Protocol::BuddyNbl { k } => format!("BUDDY{k}NBL"),
+            Protocol::BuddyBof { k } => format!("BUDDY{k}BOF"),
         }
     }
 }
 
 impl fmt::Display for Protocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.paper_name())
+        f.write_str(&self.paper_name())
     }
 }
 
@@ -108,21 +281,24 @@ mod tests {
         assert_eq!(Protocol::DoubleBof.group_size(), 2);
         assert_eq!(Protocol::Triple.group_size(), 3);
         assert_eq!(Protocol::TripleBof.group_size(), 3);
+        assert_eq!(Protocol::BuddyNbl { k: 4 }.group_size(), 4);
+        assert_eq!(Protocol::BuddyBof { k: 5 }.group_size(), 5);
         assert!(!Protocol::DoubleBlocking.is_triple());
         assert!(Protocol::Triple.is_triple());
+        assert!(!Protocol::BuddyNbl { k: 4 }.is_triple());
     }
 
     #[test]
     fn fatal_depth_equals_group_size() {
-        for p in Protocol::ALL {
+        for p in Protocol::registry() {
             assert_eq!(p.fatal_failure_depth() as u64, p.group_size());
         }
     }
 
     #[test]
     fn ids_roundtrip() {
-        for p in Protocol::ALL {
-            assert_eq!(Protocol::parse(p.id()), Some(p));
+        for p in Protocol::registry() {
+            assert_eq!(Protocol::parse(&p.id()), Some(p));
         }
         assert_eq!(Protocol::parse("DOUBLE_NBL"), Some(Protocol::DoubleNbl));
         assert_eq!(Protocol::parse("Triple"), Some(Protocol::Triple));
@@ -130,9 +306,96 @@ mod tests {
     }
 
     #[test]
+    fn buddy_cli_forms_parse() {
+        assert_eq!(
+            Protocol::parse("buddy:4"),
+            Some(Protocol::BuddyNbl { k: 4 })
+        );
+        assert_eq!(
+            Protocol::parse("buddy:5:bof"),
+            Some(Protocol::BuddyBof { k: 5 })
+        );
+        assert_eq!(
+            Protocol::parse("buddy:4:nbl"),
+            Some(Protocol::BuddyNbl { k: 4 })
+        );
+        // k = 2, 3 normalize to the paper's named variants.
+        assert_eq!(Protocol::parse("buddy:2"), Some(Protocol::DoubleNbl));
+        assert_eq!(Protocol::parse("buddy:3:bof"), Some(Protocol::TripleBof));
+        // Out-of-range and malformed forms are rejected.
+        assert_eq!(Protocol::parse("buddy:1"), None);
+        assert_eq!(Protocol::parse("buddy:9"), None);
+        assert_eq!(Protocol::parse("buddy:four"), None);
+        assert_eq!(Protocol::parse("buddy:4:bogus"), None);
+    }
+
+    #[test]
+    fn buddy_constructor_normalizes() {
+        assert_eq!(
+            Protocol::buddy(2, ResendPolicy::Nbl).unwrap(),
+            Protocol::DoubleNbl
+        );
+        assert_eq!(
+            Protocol::buddy(3, ResendPolicy::Bof).unwrap(),
+            Protocol::TripleBof
+        );
+        assert_eq!(
+            Protocol::buddy(4, ResendPolicy::Nbl).unwrap(),
+            Protocol::BuddyNbl { k: 4 }
+        );
+        assert!(Protocol::buddy(1, ResendPolicy::Nbl).is_err());
+        assert!(Protocol::buddy(MAX_GROUP_SIZE + 1, ResendPolicy::Bof).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_canonical_k() {
+        assert!(Protocol::BuddyNbl { k: 2 }.validate().is_err());
+        assert!(Protocol::BuddyBof { k: 3 }.validate().is_err());
+        assert!(Protocol::BuddyNbl { k: 99 }.validate().is_err());
+        for p in Protocol::registry() {
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn policy_coordinates() {
+        for p in Protocol::registry() {
+            let pol = p.policy();
+            assert_eq!(pol.k, p.group_size());
+            assert_eq!(pol.rotation, Rotation::Cyclic);
+        }
+        assert_eq!(Protocol::DoubleNbl.policy().resend, ResendPolicy::Nbl);
+        assert_eq!(Protocol::DoubleBof.policy().resend, ResendPolicy::Bof);
+        // The original blocking protocol re-sends at blocking speed.
+        assert_eq!(Protocol::DoubleBlocking.policy().resend, ResendPolicy::Bof);
+        assert_eq!(Protocol::Triple.policy().resend, ResendPolicy::Nbl);
+        assert_eq!(
+            Protocol::BuddyBof { k: 5 }.policy().resend,
+            ResendPolicy::Bof
+        );
+    }
+
+    #[test]
     fn display_matches_paper() {
         assert_eq!(Protocol::DoubleNbl.to_string(), "DOUBLENBL");
         assert_eq!(Protocol::DoubleBof.to_string(), "DOUBLEBOF");
         assert_eq!(Protocol::Triple.to_string(), "TRIPLE");
+        assert_eq!(Protocol::BuddyNbl { k: 4 }.to_string(), "BUDDY4NBL");
+        assert_eq!(Protocol::BuddyBof { k: 5 }.to_string(), "BUDDY5BOF");
+    }
+
+    #[test]
+    fn serde_forms_are_stable() {
+        // Unit variants keep their bare-string external tag (golden
+        // scripts and conformance artifacts depend on it) …
+        assert_eq!(
+            serde_json::to_string(&Protocol::DoubleNbl).unwrap(),
+            "\"DoubleNbl\""
+        );
+        // … and buddy variants carry k as a struct payload.
+        let json = serde_json::to_string(&Protocol::BuddyNbl { k: 4 }).unwrap();
+        assert_eq!(json, "{\"BuddyNbl\":{\"k\":4}}");
+        let back: Protocol = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Protocol::BuddyNbl { k: 4 });
     }
 }

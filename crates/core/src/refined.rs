@@ -35,7 +35,7 @@
 use crate::error::ModelError;
 use crate::params::PlatformParams;
 use crate::period::golden_section_min;
-use crate::protocol::Protocol;
+use crate::protocol::{Protocol, ResendPolicy};
 use crate::waste::WasteModel;
 use serde::{Deserialize, Serialize};
 
@@ -72,49 +72,36 @@ pub fn realized_failure_loss(
     let p = params;
     let (d, r) = (p.downtime, p.recovery());
     let (delta, theta, phi_eff) = (p.delta, model.theta(), model.phi());
-    let sig = match protocol {
-        Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
-            period - delta - theta
-        }
-        Protocol::Triple | Protocol::TripleBof => period - 2.0 * theta,
+    let pol = protocol.policy();
+    let k = pol.k;
+    let sig = match k {
+        2 => period - delta - theta,
+        k => period - (k - 1) as f64 * theta,
     };
-    let blocked = match protocol {
-        Protocol::DoubleNbl | Protocol::Triple => d + r,
-        Protocol::DoubleBof | Protocol::DoubleBlocking => d + 2.0 * r,
-        Protocol::TripleBof => d + 3.0 * r,
+    let blocked = match pol.resend {
+        ResendPolicy::Nbl => d + r,
+        ResendPolicy::Bof => d + k as f64 * r,
     };
+    // Generalized RE case analysis (same shape as
+    // `FailureResponse::reexec`): before the first snapshot commits the
+    // whole previous period is lost; afterwards only the offset (minus
+    // the pair protocols' blocking δ). BoF suppresses the (k−1)·φ of
+    // slowed re-execution.
     let reexec = |off: f64| -> f64 {
-        let raw = match protocol {
-            Protocol::DoubleNbl => {
-                if off < delta + theta {
-                    theta + sig + off
-                } else {
-                    off - delta
-                }
+        let nbl = if k == 2 {
+            if off < delta + theta {
+                theta + sig + off
+            } else {
+                off - delta
             }
-            Protocol::DoubleBof | Protocol::DoubleBlocking => {
-                let nbl = if off < delta + theta {
-                    theta + sig + off
-                } else {
-                    off - delta
-                };
-                nbl - phi_eff
-            }
-            Protocol::Triple => {
-                if off < theta {
-                    2.0 * theta + sig + off
-                } else {
-                    off
-                }
-            }
-            Protocol::TripleBof => {
-                let tri = if off < theta {
-                    2.0 * theta + sig + off
-                } else {
-                    off
-                };
-                tri - 2.0 * phi_eff
-            }
+        } else if off < theta {
+            (k - 1) as f64 * theta + sig + off
+        } else {
+            off
+        };
+        let raw = match pol.resend {
+            ResendPolicy::Nbl => nbl,
+            ResendPolicy::Bof => nbl - (k - 1) as f64 * phi_eff,
         };
         raw.max(0.0)
     };

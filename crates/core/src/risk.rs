@@ -6,17 +6,24 @@
 //! that window is fatal (unrecoverable — the job must restart from
 //! scratch). The window length per protocol:
 //!
-//! | Protocol | Risk window |
+//! For a group of size `k` (the paper's `k = 2, 3` plus the
+//! generalized instances):
+//!
+//! | Policy | Risk window |
 //! |---|---|
-//! | DOUBLENBL | `D + R + θ` (buddy file re-sent at overlapped speed) |
-//! | DOUBLEBOF | `D + 2R` (both files re-sent at blocking speed) |
-//! | TRIPLE    | `D + R + 2θ` |
-//! | TRIPLE-BoF| `D + 3R` |
+//! | NBL | `D + R + (k−1)·θ` (the `k−1` buddy files re-sent at overlapped speed) |
+//! | BoF | `D + k·R` (all files re-sent at blocking speed) |
+//!
+//! which reduces to the paper's table: DOUBLENBL `D + R + θ`,
+//! DOUBLEBOF `D + 2R`, TRIPLE `D + R + 2θ`, TRIPLE-BoF `D + 3R`.
 //!
 //! Success probabilities over an exploitation time `T` with per-node
 //! rate `λ = 1/(nM)` (first-order, as in the paper — including its
-//! correction of \[1\]'s missing factor 2):
+//! correction of \[1\]'s missing factor 2): a fatal failure needs all
+//! `k` members down inside overlapping windows, giving the per-group
+//! rate `k!·λᵏ·T·Risk^(k−1)` and
 //!
+//! * `P = (1 − k!·λᵏ·T·Risk^(k−1))^(n/k)`
 //! * pairs (Eq. 11):   `Pdouble = (1 − 2λ²·T·Risk)^(n/2)`
 //! * triples (Eq. 16): `Ptriple = (1 − 6λ³·T·Risk²)^(n/3)`
 //! * no checkpointing (Eq. 12): `Pbase = (1 − λ·Tbase)^n`
@@ -24,8 +31,13 @@
 use crate::error::ModelError;
 use crate::overlap::OverlapModel;
 use crate::params::PlatformParams;
-use crate::protocol::Protocol;
+use crate::protocol::{Protocol, ResendPolicy};
 use serde::{Deserialize, Serialize};
+
+/// `k!` as a float (exact for the supported group sizes).
+fn factorial(k: u64) -> f64 {
+    (2..=k).map(|i| i as f64).product()
+}
 
 /// Success-probability result with the ingredients that produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +65,7 @@ impl RiskModel {
     /// Builds the model, deriving `θ = θ(φ)` from the overlap model.
     pub fn new(protocol: Protocol, params: &PlatformParams, phi: f64) -> Result<Self, ModelError> {
         params.validate()?;
+        protocol.validate()?;
         let phi = match protocol {
             Protocol::DoubleBlocking => params.theta_min,
             _ => phi,
@@ -74,6 +87,7 @@ impl RiskModel {
         theta: f64,
     ) -> Result<Self, ModelError> {
         params.validate()?;
+        protocol.validate()?;
         if !(theta.is_finite() && theta >= params.theta_min - 1e-12) {
             return Err(ModelError::invalid(
                 "theta",
@@ -97,17 +111,17 @@ impl RiskModel {
         self.theta
     }
 
-    /// Length of the risk window after a failure (§III-C, §V-C).
+    /// Length of the risk window after a failure (§III-C, §V-C):
+    /// `D + R + (k−1)·θ` under NBL, `D + k·R` under BoF. (The original
+    /// blocking protocol re-sends at blocking speed by construction:
+    /// its policy maps to BoF.)
     pub fn risk_window(&self) -> f64 {
         let d = self.params.downtime;
         let r = self.params.recovery();
-        match self.protocol {
-            Protocol::DoubleNbl => d + r + self.theta,
-            // The original blocking protocol re-sends at blocking speed
-            // by construction: same window as BoF.
-            Protocol::DoubleBof | Protocol::DoubleBlocking => d + 2.0 * r,
-            Protocol::Triple => d + r + 2.0 * self.theta,
-            Protocol::TripleBof => d + 3.0 * r,
+        let pol = self.protocol.policy();
+        match pol.resend {
+            ResendPolicy::Nbl => d + r + (pol.k - 1) as f64 * self.theta,
+            ResendPolicy::Bof => d + pol.k as f64 * r,
         }
     }
 
@@ -131,17 +145,12 @@ impl RiskModel {
             ));
         }
         let n = self.params.nodes as f64;
+        let k = self.protocol.group_size();
+        let rate = self.fatal_rate_per_group(m, t);
+        let inner = (1.0 - rate).max(0.0);
+        let probability = inner.powf(n / k as f64);
         let lambda = self.params.lambda(m);
         let risk = self.risk_window();
-        // Group sizes are 2 or 3 by construction (`Protocol::group_size`),
-        // so a plain branch covers both without a panicking catch-all.
-        let probability = if self.protocol.group_size() == 2 {
-            let inner = (1.0 - 2.0 * lambda * lambda * t * risk).max(0.0);
-            inner.powf(n / 2.0)
-        } else {
-            let inner = (1.0 - 6.0 * lambda.powi(3) * t * risk * risk).max(0.0);
-            inner.powf(n / 3.0)
-        };
         Ok(SuccessProbability {
             probability,
             risk_window: risk,
@@ -151,17 +160,21 @@ impl RiskModel {
     }
 
     /// Expected number of fatal failures per group over `t` — the
-    /// quantity inside the first-order bracket (`2λ²T·Risk` for pairs,
-    /// `6λ³T·Risk²` for triples). Useful when probabilities are so
-    /// close to 1 that ratios lose precision.
+    /// quantity inside the first-order bracket: `k!·λᵏ·T·Risk^(k−1)`
+    /// (`2λ²T·Risk` for pairs, `6λ³T·Risk²` for triples). Useful when
+    /// probabilities are so close to 1 that ratios lose precision.
     pub fn fatal_rate_per_group(&self, m: f64, t: f64) -> f64 {
         let lambda = self.params.lambda(m);
         let risk = self.risk_window();
-        if self.protocol.group_size() == 2 {
-            2.0 * lambda * lambda * t * risk
-        } else {
-            6.0 * lambda.powi(3) * t * risk * risk
+        let k = self.protocol.group_size();
+        // λᵏ first, then left-multiplied factors in the paper's order:
+        // for k = 2, 3 this is the exact operation sequence of
+        // Eqs. 11/16 (×2 is exact; powi expands to repeated products).
+        let mut rate = factorial(k) * lambda.powi(k as i32) * t;
+        for _ in 1..k {
+            rate *= risk;
         }
+        rate
     }
 }
 

@@ -22,7 +22,7 @@
 use crate::error::ModelError;
 use crate::overlap::OverlapModel;
 use crate::params::PlatformParams;
-use crate::protocol::Protocol;
+use crate::protocol::{Protocol, ResendPolicy};
 use serde::{Deserialize, Serialize};
 
 /// How one checkpointing period of length `P` is carved up (Figs. 1, 3).
@@ -92,6 +92,7 @@ impl WasteModel {
     /// Propagates parameter validation and `φ ∉ [0, θmin]`.
     pub fn new(protocol: Protocol, params: &PlatformParams, phi: f64) -> Result<Self, ModelError> {
         params.validate()?;
+        protocol.validate()?;
         let overlap = OverlapModel::new(params);
         let phi = match protocol {
             Protocol::DoubleBlocking => params.theta_min,
@@ -128,35 +129,41 @@ impl WasteModel {
 
     /// Fault-free overhead per period `Cff`:
     /// `δ + φ` for the double protocols (Eq. 4's `WASTEff = (δ+φ)/P`),
-    /// `2φ` for the triple protocols (§V-A).
+    /// `(k−1)·φ` for the `k ≥ 3` groups (§V-A for `k = 3`: the blocking
+    /// local checkpoint is replaced by overlapped exchanges, one `φ`
+    /// charge per exchange phase).
     pub fn fault_free_overhead(&self) -> f64 {
-        match self.protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
-                self.params.delta + self.phi
-            }
-            Protocol::Triple | Protocol::TripleBof => 2.0 * self.phi,
+        match self.protocol.policy().k {
+            2 => self.params.delta + self.phi,
+            k => (k - 1) as f64 * self.phi,
         }
     }
 
     /// The constant part `A` of the per-failure loss `F = A + P/2`:
     ///
-    /// * DOUBLENBL (Eq. 7):  `A = D + R + θ`
-    /// * DOUBLEBOF (Eq. 8):  `A = D + 2R + θ − φ`
-    /// * TRIPLE    (Eq. 14): `A = D + R + θ` (the paper notes
-    ///   `Fnbl = Ftri`)
-    /// * TRIPLE-BoF (our extension, by the same transformation that
-    ///   takes Eq. 7 to Eq. 8: each of the two buddy images re-sent in
-    ///   blocking mode adds `R` and suppresses `φ` of slowed
-    ///   re-execution): `A = D + 3R + θ − 2φ`
+    /// * NBL family (Eqs. 7, 14): `A = D + R + θ` for every `k` — the
+    ///   paper notes `Fnbl = Ftri`, and the uniform-offset integration
+    ///   generalizing Eq. 14 gives the same constant for all `k ≥ 2`
+    ///   (the extra exchange phases shift work within the period but
+    ///   not the mean loss).
+    /// * BoF family (Eq. 8 and its extension): each of the `k − 1`
+    ///   buddy images re-sent in blocking mode adds `R` and suppresses
+    ///   `φ` of slowed re-execution, `A = D + kR + θ − (k−1)φ`.
+    /// * `DoubleBlocking` keeps the historical NBL-shaped accounting of
+    ///   \[1\] (`θ = φ = R` makes the value coincide with the BoF form,
+    ///   but not the floating-point expression).
     pub fn failure_loss_constant(&self) -> f64 {
         let p = &self.params;
         let r = p.recovery();
-        match self.protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::Triple => {
-                p.downtime + r + self.theta
+        if self.protocol == Protocol::DoubleBlocking {
+            return p.downtime + r + self.theta;
+        }
+        let pol = self.protocol.policy();
+        match pol.resend {
+            ResendPolicy::Nbl => p.downtime + r + self.theta,
+            ResendPolicy::Bof => {
+                p.downtime + pol.k as f64 * r + self.theta - (pol.k - 1) as f64 * self.phi
             }
-            Protocol::DoubleBof => p.downtime + 2.0 * r + self.theta - self.phi,
-            Protocol::TripleBof => p.downtime + 3.0 * r + self.theta - 2.0 * self.phi,
         }
     }
 
@@ -166,13 +173,11 @@ impl WasteModel {
     }
 
     /// The smallest physically meaningful period (σ ≥ 0):
-    /// `δ + θ` for double, `2θ` for triple.
+    /// `δ + θ` for double, `(k−1)·θ` for the `k ≥ 3` groups.
     pub fn min_period(&self) -> f64 {
-        match self.protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
-                self.params.delta + self.theta
-            }
-            Protocol::Triple | Protocol::TripleBof => 2.0 * self.theta,
+        match self.protocol.policy().k {
+            2 => self.params.delta + self.theta,
+            k => (k - 1) as f64 * self.theta,
         }
     }
 
@@ -188,11 +193,12 @@ impl WasteModel {
                 format!("must be >= min period {min}, got {period}"),
             ));
         }
-        let (first, exchange) = match self.protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
-                (self.params.delta, self.theta)
-            }
-            Protocol::Triple | Protocol::TripleBof => (self.theta, self.theta),
+        // k ≥ 3: the first exchange phase, then the remaining k − 2
+        // phases folded into the `exchange` slot (all run at the same
+        // overlapped speed, so the 3-part structure stays exact).
+        let (first, exchange) = match self.protocol.policy().k {
+            2 => (self.params.delta, self.theta),
+            k => (self.theta, (k - 2) as f64 * self.theta),
         };
         let sigma = (period - first - exchange).max(0.0);
         let work = period - self.fault_free_overhead();

@@ -252,7 +252,7 @@ impl HierarchicalReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.level1_waste),
                     fmt_f64(r.level1_success_30d),

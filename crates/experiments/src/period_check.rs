@@ -204,7 +204,7 @@ impl PeriodReport {
             .map(|r| {
                 vec![
                     r.scenario.clone(),
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.phi_ratio),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.closed_form),

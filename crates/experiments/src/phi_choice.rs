@@ -130,7 +130,7 @@ impl PhiChoiceReport {
             .map(|r| {
                 vec![
                     r.scenario.clone(),
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.phi_star),
                     fmt_f64(r.phi_ratio),

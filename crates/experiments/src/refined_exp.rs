@@ -166,7 +166,7 @@ impl RefinedReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.period),
                     fmt_f64(r.first_order),

@@ -257,7 +257,7 @@ impl RobustnessReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     r.distribution.clone(),
                     fmt_f64(r.model_waste),
                     fmt_f64(r.sim_waste),
@@ -285,7 +285,7 @@ impl RobustnessReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     r.distribution.clone(),
                     fmt_f64(r.model_p),
                     fmt_f64(r.sim_p),

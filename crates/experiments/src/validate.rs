@@ -321,7 +321,7 @@ impl ValidationReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.phi_ratio),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.model_waste),
@@ -353,7 +353,7 @@ impl ValidationReport {
             .iter()
             .map(|r| {
                 vec![
-                    r.protocol.id().into(),
+                    r.protocol.id(),
                     fmt_f64(r.mtbf),
                     fmt_f64(r.horizon),
                     fmt_f64(r.model_p),

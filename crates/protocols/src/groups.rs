@@ -32,6 +32,7 @@ impl GroupLayout {
     /// assumes exact pairing; use [`GroupLayout::usable_nodes`] to round
     /// a raw machine size down first).
     pub fn new(protocol: Protocol, nodes: u64) -> Result<Self, ModelError> {
+        protocol.validate()?;
         let group_size = protocol.group_size();
         if nodes == 0 || !nodes.is_multiple_of(group_size) {
             return Err(ModelError::invalid(
@@ -99,6 +100,28 @@ impl GroupLayout {
         // Inverse of preferred_buddy within the group.
         self.secondary_buddy(node)
     }
+
+    /// The buddy `node` *sends its image to* in exchange phase
+    /// `j ∈ 1..k` of the cyclic rotation: the member `j` places forward
+    /// in the group. `nth_buddy(n, 1)` is the preferred buddy;
+    /// `nth_buddy(n, k−1)` the last one (the secondary buddy for
+    /// triples).
+    pub fn nth_buddy(&self, node: NodeId, phase: u64) -> NodeId {
+        debug_assert!(phase >= 1 && phase < self.group_size);
+        let g = self.group_of(node);
+        let base = g * self.group_size;
+        base + (node - base + phase) % self.group_size
+    }
+
+    /// The member whose image `node` *receives* in exchange phase
+    /// `j ∈ 1..k`: the member `j` places backward (the inverse of
+    /// [`Self::nth_buddy`] per phase).
+    pub fn nth_source(&self, node: NodeId, phase: u64) -> NodeId {
+        debug_assert!(phase >= 1 && phase < self.group_size);
+        let g = self.group_of(node);
+        let base = g * self.group_size;
+        base + (node - base + self.group_size - phase) % self.group_size
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +184,45 @@ mod tests {
         for n in 0..9 {
             assert_eq!(l.preferred_buddy(l.preferred_by(n)), n);
         }
+    }
+
+    #[test]
+    fn nth_buddy_generalizes_the_rotation() {
+        // For triples, phases 1 and 2 are the preferred/secondary pair.
+        let l = GroupLayout::new(Protocol::Triple, 9).unwrap();
+        for n in 0..9 {
+            assert_eq!(l.nth_buddy(n, 1), l.preferred_buddy(n));
+            assert_eq!(l.nth_buddy(n, 2), l.secondary_buddy(n));
+            assert_eq!(l.nth_source(n, 1), l.preferred_by(n));
+        }
+        // k = 4: each phase is a bijection, sources invert buddies, and
+        // the k − 1 phases cover every other member exactly once.
+        let l = GroupLayout::new(Protocol::BuddyNbl { k: 4 }, 12).unwrap();
+        for n in 0..12u64 {
+            let mut seen: Vec<NodeId> = (1..4).map(|j| l.nth_buddy(n, j)).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 3);
+            assert!(!seen.contains(&n));
+            for j in 1..4 {
+                assert_eq!(l.group_of(l.nth_buddy(n, j)), l.group_of(n));
+                assert_eq!(l.nth_buddy(l.nth_source(n, j), j), n);
+            }
+        }
+    }
+
+    #[test]
+    fn buddy_k_layouts() {
+        let l = GroupLayout::new(Protocol::BuddyNbl { k: 5 }, 15).unwrap();
+        assert_eq!(l.groups(), 3);
+        assert_eq!(l.members(1).collect::<Vec<_>>(), vec![5, 6, 7, 8, 9]);
+        assert!(GroupLayout::new(Protocol::BuddyNbl { k: 5 }, 12).is_err());
+        assert_eq!(
+            GroupLayout::usable_nodes(Protocol::BuddyNbl { k: 5 }, 23),
+            20
+        );
+        // Non-canonical k is rejected at construction.
+        assert!(GroupLayout::new(Protocol::BuddyNbl { k: 2 }, 8).is_err());
     }
 
     #[test]

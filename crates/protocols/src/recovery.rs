@@ -17,7 +17,7 @@
 //! `dck_protocols::response` (tested below), so those tables are not
 //! free-floating constants but consequences of the message sequence.
 
-use dck_core::{ModelError, OverlapModel, PlatformParams, Protocol};
+use dck_core::{ModelError, OverlapModel, PlatformParams, Protocol, ResendPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Who re-sends a file to the replacement node.
@@ -25,10 +25,13 @@ use serde::{Deserialize, Serialize};
 pub enum TransferSource {
     /// The unique buddy (pair protocols).
     Buddy,
-    /// The preferred buddy of the failed node (triples).
+    /// The preferred buddy of the failed node (`k ≥ 3`).
     PreferredBuddy,
     /// The secondary buddy of the failed node (triples).
     SecondaryBuddy,
+    /// The group member at cyclic offset `j ≥ 2` from the failed node
+    /// (`k ≥ 4` groups; offsets 1 and `k − 1` keep their named forms).
+    GroupMember(u64),
 }
 
 /// What the file contains.
@@ -83,6 +86,7 @@ impl RecoveryPlan {
         phi: f64,
     ) -> Result<RecoveryPlan, ModelError> {
         params.validate()?;
+        protocol.validate()?;
         let overlap = OverlapModel::new(params);
         let phi = match protocol {
             Protocol::DoubleBlocking => params.theta_min,
@@ -107,29 +111,28 @@ impl RecoveryPlan {
             },
         };
 
-        let transfers = match protocol {
-            Protocol::DoubleNbl => vec![
-                own(TransferSource::Buddy),
-                image(TransferSource::Buddy, TransferMode::Overlapped),
-            ],
-            // The original blocking protocol cannot overlap anything;
-            // with φ pinned at θmin its "overlapped" re-send already
-            // takes θ = R, but the wire mode is blocking.
-            Protocol::DoubleBof | Protocol::DoubleBlocking => vec![
-                own(TransferSource::Buddy),
-                image(TransferSource::Buddy, TransferMode::Blocking),
-            ],
-            Protocol::Triple => vec![
-                own(TransferSource::PreferredBuddy),
-                image(TransferSource::PreferredBuddy, TransferMode::Overlapped),
-                image(TransferSource::SecondaryBuddy, TransferMode::Overlapped),
-            ],
-            Protocol::TripleBof => vec![
-                own(TransferSource::PreferredBuddy),
-                image(TransferSource::PreferredBuddy, TransferMode::Blocking),
-                image(TransferSource::SecondaryBuddy, TransferMode::Blocking),
-            ],
+        // The original blocking protocol cannot overlap anything; with
+        // φ pinned at θmin its "overlapped" re-send already takes
+        // θ = R, but the wire mode is blocking — its policy maps to
+        // BoF, which is exactly that.
+        let pol = protocol.policy();
+        let mode = match pol.resend {
+            ResendPolicy::Nbl => TransferMode::Overlapped,
+            ResendPolicy::Bof => TransferMode::Blocking,
         };
+        // After the replacement's own checkpoint arrives, it
+        // re-collects the k − 1 images it was storing, one per other
+        // group member (cyclic offsets 1..k).
+        let source = |offset: u64| match (pol.k, offset) {
+            (2, _) => TransferSource::Buddy,
+            (_, 1) => TransferSource::PreferredBuddy,
+            (k, o) if o == k - 1 => TransferSource::SecondaryBuddy,
+            (_, o) => TransferSource::GroupMember(o),
+        };
+        let mut transfers = vec![own(source(1))];
+        for offset in 1..pol.k {
+            transfers.push(image(source(offset), mode));
+        }
         Ok(RecoveryPlan {
             downtime: params.downtime,
             transfers,

@@ -25,7 +25,7 @@
 //!    (Eqs. 7, 8, 14) exactly — tested below by numeric integration.
 
 use crate::schedule::PeriodSchedule;
-use dck_core::{ModelError, PlatformParams, Protocol, WasteModel};
+use dck_core::{ModelError, PlatformParams, Protocol, ResendPolicy, WasteModel};
 use serde::{Deserialize, Serialize};
 
 /// The outage caused by one failure.
@@ -104,10 +104,10 @@ impl FailureResponse {
     pub fn blocked(&self) -> f64 {
         let d = self.downtime;
         let r = self.recovery;
-        match self.protocol {
-            Protocol::DoubleNbl | Protocol::Triple => d + r,
-            Protocol::DoubleBof | Protocol::DoubleBlocking => d + 2.0 * r,
-            Protocol::TripleBof => d + 3.0 * r,
+        let pol = self.protocol.policy();
+        match pol.resend {
+            ResendPolicy::Nbl => d + r,
+            ResendPolicy::Bof => d + pol.k as f64 * r,
         }
     }
 
@@ -118,45 +118,30 @@ impl FailureResponse {
             "offset {off} outside period {}",
             self.period
         );
-        let raw = match self.protocol {
-            Protocol::DoubleNbl => {
-                if off < self.delta + self.theta {
-                    // Failure before the remote exchange completed: the
-                    // whole previous period's work is lost (RE1/RE2).
-                    self.theta + self.sigma + off
-                } else {
-                    // Failure in the compute part (RE3).
-                    off - self.delta
-                }
+        let pol = self.protocol.policy();
+        let k = pol.k;
+        let nbl = if k == 2 {
+            if off < self.delta + self.theta {
+                // Failure before the remote exchange completed: the
+                // whole previous period's work is lost (RE1/RE2).
+                self.theta + self.sigma + off
+            } else {
+                // Failure in the compute part (RE3).
+                off - self.delta
             }
-            Protocol::DoubleBof | Protocol::DoubleBlocking => {
-                // Same lost work, but the buddy file was already re-sent
-                // in blocking mode: suppress the φ slowdown.
-                let nbl = if off < self.delta + self.theta {
-                    self.theta + self.sigma + off
-                } else {
-                    off - self.delta
-                };
-                nbl - self.phi
-            }
-            Protocol::Triple => {
-                if off < self.theta {
-                    // The image never reached the preferred buddy: roll
-                    // back to the previous period's snapshot (RE1).
-                    2.0 * self.theta + self.sigma + off
-                } else {
-                    // Current-period snapshot usable (RE2/RE3).
-                    off
-                }
-            }
-            Protocol::TripleBof => {
-                let tri = if off < self.theta {
-                    2.0 * self.theta + self.sigma + off
-                } else {
-                    off
-                };
-                tri - 2.0 * self.phi
-            }
+        } else if off < self.theta {
+            // k ≥ 3: the image never reached the preferred buddy —
+            // roll back to the previous period's snapshot (RE1).
+            (k - 1) as f64 * self.theta + self.sigma + off
+        } else {
+            // Current-period snapshot usable (RE2/RE3).
+            off
+        };
+        let raw = match pol.resend {
+            ResendPolicy::Nbl => nbl,
+            // The buddy files were already re-sent in blocking mode:
+            // suppress the (k−1)·φ slowdown of re-execution.
+            ResendPolicy::Bof => nbl - (k - 1) as f64 * self.phi,
         };
         raw.max(0.0)
     }

@@ -59,10 +59,16 @@ impl PeriodSchedule {
     ) -> Result<Self, ModelError> {
         let model = WasteModel::new(protocol, params, phi)?;
         let s = model.structure(period)?;
-        let first_work = match protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => 0.0,
-            // Triple's first part is itself an overlapped exchange.
-            Protocol::Triple | Protocol::TripleBof => s.exchange - model.phi(),
+        let k = protocol.policy().k;
+        let (first_work, exchange_work) = if k == 2 {
+            // Blocking local checkpoint first, then one exchange.
+            (0.0, s.exchange - model.phi())
+        } else {
+            // k ≥ 3: the first part is itself an overlapped exchange;
+            // the `exchange` slot folds the remaining k − 2 phases, each
+            // delivering θ − φ of work at the same speed.
+            let per_phase = s.first - model.phi();
+            (per_phase, (k - 2) as f64 * per_phase)
         };
         Ok(PeriodSchedule {
             protocol,
@@ -71,7 +77,7 @@ impl PeriodSchedule {
             exchange: s.exchange,
             sigma: s.sigma,
             first_work,
-            exchange_work: s.exchange - model.phi(),
+            exchange_work,
             phi: model.phi(),
             theta: model.theta(),
         })

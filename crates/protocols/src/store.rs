@@ -192,32 +192,32 @@ impl StorageDriver {
     /// Runs one full checkpointing period (stage everything, commit).
     ///
     /// Double: each node stages its own local image plus its buddy's
-    /// remote image. Triple: each node stages the two images it
-    /// receives (one per exchange part); no local image is kept.
+    /// remote image. `k ≥ 3`: each node stages the `k − 1` images it
+    /// receives (one per exchange phase of the cyclic rotation); no
+    /// local image is kept.
     pub fn run_period(&mut self) -> Result<(), ModelError> {
         self.epoch += 1;
         let epoch = self.epoch;
         for node in 0..self.layout.nodes() {
             self.stores[node as usize].begin_epoch(epoch)?;
         }
-        match self.protocol {
-            Protocol::DoubleBlocking | Protocol::DoubleNbl | Protocol::DoubleBof => {
-                for node in 0..self.layout.nodes() {
-                    let buddy = self.layout.preferred_buddy(node);
-                    let store = &mut self.stores[node as usize];
-                    store.stage(ImageKind::Local)?;
-                    store.stage(ImageKind::Remote { owner: buddy })?;
-                }
+        let k = self.protocol.group_size();
+        if k == 2 {
+            for node in 0..self.layout.nodes() {
+                let buddy = self.layout.preferred_buddy(node);
+                let store = &mut self.stores[node as usize];
+                store.stage(ImageKind::Local)?;
+                store.stage(ImageKind::Remote { owner: buddy })?;
             }
-            Protocol::Triple | Protocol::TripleBof => {
-                for node in 0..self.layout.nodes() {
-                    // Part 1: receive from the node that prefers us.
-                    let from1 = self.layout.preferred_by(node);
-                    // Part 2: receive from the node whose secondary we are.
-                    let from2 = self.layout.preferred_buddy(node);
-                    let store = &mut self.stores[node as usize];
-                    store.stage(ImageKind::Remote { owner: from1 })?;
-                    store.stage(ImageKind::Remote { owner: from2 })?;
+        } else {
+            for node in 0..self.layout.nodes() {
+                let store = &mut self.stores[node as usize];
+                // Phase j: receive from the member j places backward
+                // (for triples: phase 1 from `preferred_by`, phase 2
+                // from `preferred_buddy`).
+                for phase in 1..k {
+                    let from = self.layout.nth_source(node, phase);
+                    store.stage(ImageKind::Remote { owner: from })?;
                 }
             }
         }

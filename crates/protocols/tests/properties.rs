@@ -165,7 +165,9 @@ proptest! {
     /// the protocol's risk window can never produce a fatal outcome:
     /// at every failure instant, every other window is already closed,
     /// so at most one group member is ever at risk. Exercises the full
-    /// script → trace → simulator pipeline for all three protocols.
+    /// script → trace → simulator pipeline for **every registered
+    /// protocol** — group sizes 2 through 5 under both resend policies
+    /// (60 nodes: every group size divides evenly).
     #[test]
     fn spaced_fault_scripts_never_fatal(
         params in (
@@ -175,9 +177,9 @@ proptest! {
             0.0f64..15.0, // alpha
         )
             .prop_map(|(d, delta, theta_min, alpha)| {
-                PlatformParams::new(d, delta, theta_min, alpha, 12).expect("valid ranges")
+                PlatformParams::new(d, delta, theta_min, alpha, 60).expect("valid ranges")
             }),
-        protocol in prop::sample::select(Protocol::EVALUATED.to_vec()),
+        protocol in prop::sample::select(Protocol::registry()),
         ratio in 0.0f64..1.0,
         victims in prop::collection::vec(0u64..12, 1..8),
         gaps in prop::collection::vec(0.0f64..50.0, 8),
@@ -216,6 +218,140 @@ proptest! {
         prop_assert!(out.outcome.fatal_at.is_none());
     }
 
+    /// The `GroupPolicy`-parameterized formulas at `k = 2` and `k = 3`
+    /// are **bit-for-bit identical** to the paper's hand-written
+    /// legacy closed forms (Eqs. 4/7/8/14 and the §III-C/§V-C risk
+    /// windows), written out explicitly here as the oracle with the
+    /// original operation order. A refactor of the generalized paths
+    /// that changes even the floating-point expression shape at the
+    /// legacy group sizes fails this test — which is exactly what
+    /// keeps the golden corpus byte-stable.
+    #[test]
+    fn k2_k3_formulas_match_legacy_bit_for_bit(
+        params in params_strategy(),
+        ratio in 0.0f64..1.0,
+        period_mult in 1.01f64..20.0,
+        off_frac in 0.0f64..1.0,
+    ) {
+        use dck_core::RiskModel;
+        let d = params.downtime;
+        let r = params.recovery();
+        let delta = params.delta;
+        let phi = ratio * params.theta_min;
+        let theta = params.theta_min + params.alpha * (params.theta_min - phi);
+        // (protocol, legacy Cff, legacy A, legacy min period, legacy
+        // risk window), exactly as the pre-generalization code spelled
+        // them.
+        let legacy = [
+            (Protocol::DoubleNbl, delta + phi, d + r + theta, delta + theta, d + r + theta),
+            (Protocol::DoubleBof, delta + phi, d + 2.0 * r + theta - phi, delta + theta, d + 2.0 * r),
+            (Protocol::Triple, 2.0 * phi, d + r + theta, 2.0 * theta, d + r + 2.0 * theta),
+            (Protocol::TripleBof, 2.0 * phi, d + 3.0 * r + theta - 2.0 * phi, 2.0 * theta, d + 3.0 * r),
+        ];
+        for (protocol, cff, a, min_p, risk) in legacy {
+            let model = WasteModel::new(protocol, &params, phi).unwrap();
+            prop_assert_eq!(model.theta().to_bits(), theta.to_bits());
+            prop_assert_eq!(model.fault_free_overhead().to_bits(), cff.to_bits());
+            prop_assert_eq!(model.failure_loss_constant().to_bits(), a.to_bits());
+            prop_assert_eq!(model.min_period().to_bits(), min_p.to_bits());
+            let rm = RiskModel::with_theta(protocol, &params, theta).unwrap();
+            prop_assert_eq!(rm.risk_window().to_bits(), risk.to_bits());
+
+            // Schedule: the legacy three-part composition, in the
+            // legacy accumulation order.
+            let period = model.min_period() * period_mult;
+            let sched = PeriodSchedule::new(protocol, &params, phi, period).unwrap();
+            let pair = protocol.group_size() == 2;
+            let sigma = if pair {
+                (period - delta - theta).max(0.0)
+            } else {
+                (period - theta - theta).max(0.0)
+            };
+            let work = if pair {
+                (theta - phi) + sigma
+            } else {
+                ((theta - phi) + (theta - phi)) + sigma
+            };
+            prop_assert_eq!(sched.sigma().to_bits(), sigma.to_bits());
+            prop_assert_eq!(sched.work_per_period().to_bits(), work.to_bits());
+
+            // Response: legacy blocked time and the legacy RE1/RE2/RE3
+            // case analysis at a sampled offset.
+            let resp = FailureResponse::new(protocol, &params, phi, period).unwrap();
+            let bof = matches!(
+                protocol,
+                Protocol::DoubleBof | Protocol::TripleBof
+            );
+            let blocked = match (pair, bof) {
+                (_, false) => d + r,
+                (true, true) => d + 2.0 * r,
+                (false, true) => d + 3.0 * r,
+            };
+            prop_assert_eq!(resp.blocked().to_bits(), blocked.to_bits());
+            let off = off_frac * period * 0.999;
+            let nbl_re = if pair {
+                if off < delta + theta { theta + sigma + off } else { off - delta }
+            } else if off < theta {
+                2.0 * theta + sigma + off
+            } else {
+                off
+            };
+            let re = if bof {
+                let sub = if pair { phi } else { 2.0 * phi };
+                (nbl_re - sub).max(0.0)
+            } else {
+                nbl_re
+            };
+            prop_assert_eq!(resp.reexec(off).to_bits(), re.to_bits());
+        }
+    }
+
+    /// The *true* monotonicities in `k` under NBL (the issue's literal
+    /// "waste is monotone non-increasing in k at any fixed φ" is false
+    /// — see `waste_is_not_monotone_in_k_at_positive_phi` below and
+    /// CHANGES.md): at `φ = 0` the fault-free overhead is `δ` for
+    /// pairs and 0 for every `k ≥ 3` while the failure loss is
+    /// `k`-independent, so the waste is non-increasing in `k`; and in
+    /// the model's validity regime (`λ·Risk ≪ 1`, guaranteed by the
+    /// MTBF floor below) the per-group fatal rate `k!·λᵏ·T·Risk^(k−1)`
+    /// is non-increasing in `k`.
+    #[test]
+    fn k_monotonicities_where_true(
+        params in params_strategy(),
+        period_mult in 1.01f64..20.0,
+        mtbf in 50_000.0f64..1e8,
+        horizon in 1.0f64..1e6,
+    ) {
+        use dck_core::{ResendPolicy, RiskModel};
+        let model5 = WasteModel::new(Protocol::BuddyNbl { k: 5 }, &params, 0.0).unwrap();
+        let theta = model5.theta();
+        // Feasible for every k in 2..=5: P ≥ max(δ + θ, 4θ).
+        let period = (params.delta + theta).max(4.0 * theta) * period_mult;
+        let mut last_waste = f64::INFINITY;
+        let mut last_rate = f64::INFINITY;
+        for k in 2..=5u64 {
+            let protocol = Protocol::buddy(k, ResendPolicy::Nbl).unwrap();
+            let w = WasteModel::new(protocol, &params, 0.0)
+                .unwrap()
+                .waste(period, mtbf)
+                .unwrap();
+            prop_assert!(
+                w.total <= last_waste * (1.0 + 1e-12) + 1e-15,
+                "waste increased 'k-1' -> {k}: {last_waste} -> {}",
+                w.total
+            );
+            last_waste = w.total;
+            let rate = RiskModel::with_theta(protocol, &params, theta)
+                .unwrap()
+                .fatal_rate_per_group(mtbf, horizon);
+            prop_assert!(
+                rate <= last_rate * (1.0 + 1e-12),
+                "fatal rate increased at k = {k}: {last_rate} -> {rate}"
+            );
+            last_rate = rate;
+        }
+    }
+
     /// Re-execution is always non-negative and no larger than the
     /// worst case `2θ + σ + P` (previous period + current offset +
     /// slowdown windows).
@@ -236,4 +372,33 @@ proptest! {
         prop_assert!(re >= 0.0);
         prop_assert!(re <= 2.0 * model.theta() + period + period, "re {re} too large");
     }
+}
+
+/// The issue's literal claim — waste non-increasing in `k` at *any*
+/// fixed `φ` — is false: under NBL the failure loss is `k`-independent
+/// but `Cff = (k−1)·φ` grows with `k` for `k ≥ 3`, so at `φ > 0` and a
+/// benign MTBF the ordering reverses between `k = 3` and `k = 4`.
+/// Pinned as a concrete counterexample so the amended property above
+/// (`k_monotonicities_where_true`) is not "fixed" back to the false
+/// claim.
+#[test]
+fn waste_is_not_monotone_in_k_at_positive_phi() {
+    let params = PlatformParams::new(0.0, 2.0, 4.0, 10.0, 60).unwrap();
+    let phi = 4.0; // blocking: θ = θmin = 4
+    let period = 400.0;
+    let mtbf = 1e9; // failure term negligible; Cff dominates
+    let w3 = WasteModel::new(Protocol::Triple, &params, phi)
+        .unwrap()
+        .waste(period, mtbf)
+        .unwrap();
+    let w4 = WasteModel::new(Protocol::BuddyNbl { k: 4 }, &params, phi)
+        .unwrap()
+        .waste(period, mtbf)
+        .unwrap();
+    assert!(
+        w4.total > w3.total,
+        "expected Cff growth to dominate: k=4 {} vs k=3 {}",
+        w4.total,
+        w3.total
+    );
 }

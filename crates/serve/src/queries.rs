@@ -80,7 +80,7 @@ fn require_protocol(params: &Value) -> Result<Protocol, WireError> {
         .ok_or_else(|| WireError::bad_params("param `protocol` must be a string"))?
         .to_string();
     Protocol::parse(&name).ok_or_else(|| {
-        let known: Vec<&str> = Protocol::ALL.iter().map(|p| p.id()).collect();
+        let known: Vec<String> = Protocol::registry().iter().map(|p| p.id()).collect();
         WireError::bad_params(format!(
             "unknown protocol `{name}` (known: {})",
             known.join(", ")
@@ -323,7 +323,7 @@ mod tests {
         assert_eq!(period.to_bits(), direct.period.to_bits());
         assert_eq!(
             out.get("protocol").unwrap().as_str(),
-            Some(Protocol::DoubleNbl.id())
+            Some(Protocol::DoubleNbl.id().as_str())
         );
     }
 

@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod hierarchical;
 pub mod montecarlo;
+pub mod predict;
 pub mod run;
 pub mod sweep;
 
@@ -47,6 +48,7 @@ pub use montecarlo::{
     estimate_success, estimate_waste, estimate_waste_reference, replication_source,
     MonteCarloConfig, SuccessEstimate, WasteEstimate,
 };
+pub use predict::{estimate_predicted_waste, run_predicted_to_completion, PredictedOutcome};
 pub use run::{
     run_to_completion, run_to_completion_sinked, run_to_completion_traced,
     run_to_completion_with_pending, run_until, run_until_sinked, run_until_traced, RunOutcome,

@@ -1,0 +1,477 @@
+//! Mechanistic simulation of the fault-prediction scenario.
+//!
+//! Independent re-implementation of the physics behind
+//! [`dck_core::predict`]: failures stream from the usual aggregated
+//! Poisson source; each is flagged *predicted* with probability `r`
+//! (the predictor's recall) and announces itself `w` seconds early;
+//! false alarms arrive as their own Poisson process at rate
+//! `r(1 − p)/(pM)`. Every alarm freezes the platform for a proactive
+//! checkpoint `C_p = δ + R`; a predicted failure then rolls back only
+//! to that fresh image (outage `D + R` plus re-execution of the short
+//! stretch since the proactive checkpoint), while an unpredicted one
+//! pays the full §III/§V case-analysis outage.
+//!
+//! The loop keeps the base simulator's accounting convention: the
+//! schedule position `v` only moves forward, and all loss — downtime,
+//! blocking transfers, re-execution — is charged to the outage clock.
+//! Double events (an alarm or failure landing inside an outage) are
+//! serialized rather than restarted; at the benign operating points the
+//! conformance grid probes (`M` far above every outage) the difference
+//! is far below the CI95 tolerance.
+
+use crate::config::RunConfig;
+use crate::montecarlo::{replication_source, MonteCarloConfig, WasteEstimate};
+use crate::run::{RunOutcome, StopReason};
+use dck_core::{predict::proactive_cost, ModelError, PredictorSpec};
+use dck_failures::FailureSource;
+use dck_simcore::{ConfidenceInterval, OnlineStats, RngFactory};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Outcome of one predicted run: the base outcome plus predictor
+/// bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedOutcome {
+    /// The base measurements (waste, failures, outage time, …).
+    pub run: RunOutcome,
+    /// Alarms raised (true and false).
+    pub alarms: u64,
+    /// Failures that were successfully predicted.
+    pub predicted_hits: u64,
+}
+
+/// Runs one predicted replication until `t_base` units of useful work
+/// complete. `rng` drives the predictor (recall coin flips and the
+/// false-alarm process) and must be independent of the failure stream.
+///
+/// # Errors
+/// Propagates configuration/predictor validation; the failure source
+/// must cover exactly the configuration's usable nodes.
+pub fn run_predicted_to_completion(
+    cfg: &RunConfig,
+    predictor: &PredictorSpec,
+    t_base: f64,
+    source: &mut dyn FailureSource,
+    rng: &mut StdRng,
+) -> Result<PredictedOutcome, ModelError> {
+    predictor.validate()?;
+    let cp = proactive_cost(&cfg.params);
+    if predictor.recall > 0.0 && predictor.window < cp {
+        return Err(ModelError::invalid(
+            "window",
+            format!(
+                "lead window {} shorter than the proactive checkpoint {cp}",
+                predictor.window
+            ),
+        ));
+    }
+    let (sched, resp, mut tracker) = cfg.build()?;
+    if source.nodes() != cfg.usable_nodes() {
+        return Err(ModelError::invalid(
+            "failure_source",
+            format!(
+                "failure source covers {} nodes but the configuration simulates {} usable nodes",
+                source.nodes(),
+                cfg.usable_nodes()
+            ),
+        ));
+    }
+    tracker.reset();
+    if sched.work_per_period() <= 0.0 {
+        return Ok(PredictedOutcome {
+            run: RunOutcome {
+                reason: StopReason::NoProgress,
+                total_time: f64::INFINITY,
+                useful_work: 0.0,
+                failures: 0,
+                outage_time: 0.0,
+                fatal_at: None,
+            },
+            alarms: 0,
+            predicted_hits: 0,
+        });
+    }
+
+    let d = cfg.params.downtime;
+    let rec = cfg.params.recovery();
+    let w = predictor.window;
+    let far = predictor.false_alarm_rate(cfg.mtbf);
+    let exp_gap = |rng: &mut StdRng| -> f64 {
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / far
+    };
+
+    let ve = sched.time_to_reach_work(t_base);
+    let mut t = 0.0_f64; // wall clock
+    let mut v = 0.0_f64; // schedule position (monotone)
+    let mut outage_time = 0.0_f64;
+    let mut failures = 0u64;
+    let mut alarms = 0u64;
+    let mut predicted_hits = 0u64;
+
+    // Next failure, with its recall coin flipped at draw time so the
+    // predictor stream is consumed one deviate per failure.
+    let draw = |source: &mut dyn FailureSource, rng: &mut StdRng| {
+        let ev = source.next_failure();
+        let coin: f64 = rng.gen();
+        (ev, coin < predictor.recall)
+    };
+    let (mut fault, mut fault_predicted) = draw(source, rng);
+    let mut next_false = if far > 0.0 {
+        exp_gap(rng)
+    } else {
+        f64::INFINITY
+    };
+
+    let finish = |reason, t: f64, v: f64, failures, outage_time, fatal_at| RunOutcome {
+        reason,
+        total_time: t,
+        useful_work: sched.work_at(v),
+        failures,
+        outage_time,
+        fatal_at,
+    };
+
+    loop {
+        let fault_at = fault.at.as_secs();
+        // An alarm precedes a predicted failure by `w`; a prediction
+        // that would have had to arrive in the (already simulated) past
+        // is too late to act on — the failure hits unpredicted.
+        let alarm_at = if fault_predicted {
+            fault_at - w
+        } else {
+            f64::INFINITY
+        };
+        let effective_alarm = fault_predicted && alarm_at >= t;
+        let next_event = if effective_alarm {
+            alarm_at.min(next_false)
+        } else {
+            fault_at.min(next_false)
+        };
+
+        // Completion check against the next disruption.
+        let t_complete = t + (ve - v);
+        if t_complete <= next_event {
+            return Ok(PredictedOutcome {
+                run: finish(
+                    StopReason::WorkComplete,
+                    t_complete,
+                    ve,
+                    failures,
+                    outage_time,
+                    None,
+                ),
+                alarms,
+                predicted_hits,
+            });
+        }
+
+        if next_false <= next_event {
+            // False alarm: advance, pay the proactive checkpoint.
+            let at = next_false.max(t);
+            v += at - t;
+            t = at + cp;
+            outage_time += cp;
+            alarms += 1;
+            next_false = t + exp_gap(rng);
+            continue;
+        }
+
+        if effective_alarm {
+            // True alarm: proactive checkpoint, then run to the hit.
+            let at = alarm_at.max(t);
+            v += at - t;
+            t = at + cp;
+            outage_time += cp;
+            alarms += 1;
+            let snap_v = v;
+            if fault_at > t {
+                v += fault_at - t;
+                t = fault_at;
+            }
+            failures += 1;
+            predicted_hits += 1;
+            // Risk windows key on the fault's true arrival time even
+            // when a prior outage delayed its processing.
+            let outcome = tracker.record_failure(fault.node, fault_at);
+            if outcome.fatal {
+                return Ok(PredictedOutcome {
+                    run: finish(StopReason::Fatal, t, v, failures, outage_time, Some(t)),
+                    alarms,
+                    predicted_hits,
+                });
+            }
+            // Roll back to the proactive image: downtime, own-image
+            // re-fetch, and re-execution of the stretch since the
+            // snapshot (charged to the outage clock; `v` stays).
+            let outage = d + rec + (v - snap_v);
+            t += outage;
+            outage_time += outage;
+        } else {
+            // Unpredicted failure: the paper's case analysis.
+            let at = fault_at.max(t);
+            v += at - t;
+            t = at;
+            failures += 1;
+            let outcome = tracker.record_failure(fault.node, fault_at);
+            if outcome.fatal {
+                return Ok(PredictedOutcome {
+                    run: finish(StopReason::Fatal, t, v, failures, outage_time, Some(t)),
+                    alarms,
+                    predicted_hits,
+                });
+            }
+            let off = v % sched.period();
+            let outage = resp.outage(off).total();
+            t += outage;
+            outage_time += outage;
+        }
+
+        if failures >= cfg.max_failures {
+            return Ok(PredictedOutcome {
+                run: finish(
+                    StopReason::FailureCapReached,
+                    t,
+                    v,
+                    failures,
+                    outage_time,
+                    None,
+                ),
+                alarms,
+                predicted_hits,
+            });
+        }
+        (fault, fault_predicted) = draw(source, rng);
+    }
+}
+
+/// Monte-Carlo estimate of the predicted waste: `mc.replications`
+/// independent runs of `t_base` work each, aggregated exactly like
+/// [`crate::montecarlo::estimate_waste`]. Replication `i` derives its
+/// failure stream from `(seed, "failures", i)` and its predictor
+/// stream from `(seed, "predictor", i)`, so the two never correlate
+/// and the estimate is reproducible across worker counts (the loop is
+/// sequential — prediction grids are small).
+///
+/// # Errors
+/// Propagates configuration/predictor validation.
+pub fn estimate_predicted_waste(
+    cfg: &RunConfig,
+    predictor: &PredictorSpec,
+    t_base: f64,
+    mc: &MonteCarloConfig,
+) -> Result<WasteEstimate, ModelError> {
+    predictor.validate()?;
+    let factory = RngFactory::new(mc.seed);
+    let mut waste = OnlineStats::default();
+    let mut fail_stats = OnlineStats::default();
+    let mut completed = 0usize;
+    let mut fatal = 0usize;
+    let mut truncated = 0usize;
+    for i in 0..mc.replications {
+        let mut source = replication_source(cfg, mc, i as u64);
+        let mut rng = factory.component_stream("predictor", i as u64);
+        let out = run_predicted_to_completion(cfg, predictor, t_base, source.as_mut(), &mut rng)?;
+        match out.run.reason {
+            StopReason::WorkComplete => {
+                completed += 1;
+                waste.push(out.run.waste());
+                fail_stats.push(out.run.failures as f64);
+            }
+            StopReason::Fatal => fatal += 1,
+            _ => truncated += 1,
+        }
+    }
+    let ci95 = if completed > 0 {
+        Some(ConfidenceInterval::from_stats(&waste, 0.95))
+    } else {
+        None
+    };
+    Ok(WasteEstimate {
+        waste,
+        ci95,
+        failures: fail_stats,
+        completed,
+        fatal,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeriodChoice;
+    use crate::montecarlo::estimate_waste;
+    use dck_core::{PlatformParams, Protocol};
+    use dck_failures::{FailureEvent, FailureTrace};
+    use dck_simcore::SimTime;
+
+    fn base_params(nodes: u64) -> PlatformParams {
+        PlatformParams::new(0.0, 2.0, 4.0, 10.0, nodes).unwrap()
+    }
+
+    fn cfg(protocol: Protocol, period: f64, mtbf: f64) -> RunConfig {
+        let mut c = RunConfig::new(protocol, base_params(12), 0.0, mtbf);
+        c.period = PeriodChoice::Explicit(period);
+        c
+    }
+
+    fn rng() -> StdRng {
+        RngFactory::new(7).component_stream("predictor", 0)
+    }
+
+    #[test]
+    fn failure_free_run_matches_base_simulator() {
+        let c = cfg(Protocol::DoubleNbl, 100.0, 1e9);
+        let predictor = PredictorSpec::new(1.0, 1.0, 60.0);
+        let trace = FailureTrace::new(12, vec![]);
+        let mut replay = trace.replay();
+        let out =
+            run_predicted_to_completion(&c, &predictor, 980.0, &mut replay, &mut rng()).unwrap();
+        assert_eq!(out.run.reason, StopReason::WorkComplete);
+        assert_eq!(out.alarms, 0);
+        // 10 full periods of 98 work each (phi = 0), no disruptions.
+        assert!((out.run.total_time - 1_000.0).abs() < 1e-9);
+        assert_eq!(out.run.outage_time, 0.0);
+    }
+
+    #[test]
+    fn predicted_failure_loses_only_the_window_stretch() {
+        // One failure at t = 350 (compute phase of period 4), predicted
+        // with a 60 s window; C_p = δ + R = 6.
+        let c = cfg(Protocol::DoubleNbl, 100.0, 1e9);
+        let predictor = PredictorSpec::new(1.0, 1.0, 60.0);
+        let trace = FailureTrace::new(
+            12,
+            vec![FailureEvent {
+                at: SimTime::seconds(350.0),
+                node: 0,
+            }],
+        );
+        let mut replay = trace.replay();
+        let out =
+            run_predicted_to_completion(&c, &predictor, 980.0, &mut replay, &mut rng()).unwrap();
+        assert_eq!(out.run.reason, StopReason::WorkComplete);
+        assert_eq!(out.alarms, 1);
+        assert_eq!(out.predicted_hits, 1);
+        // Alarm at 290, checkpoint to 296, hit at 350: outage clock
+        // carries C_p + (D + R + 54) = 6 + 58 = 64.
+        assert!((out.run.outage_time - 64.0).abs() < 1e-9, "{out:?}");
+        assert!((out.run.total_time - 1_064.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unpredicted_failure_pays_the_full_case_analysis() {
+        // recall 0: identical to the base machine on the same trace.
+        let c = cfg(Protocol::DoubleNbl, 100.0, 1e9);
+        let predictor = PredictorSpec::new(1.0, 0.0, 60.0);
+        let events = vec![FailureEvent {
+            at: SimTime::seconds(350.0),
+            node: 0,
+        }];
+        let trace = FailureTrace::new(12, events.clone());
+        let mut replay = trace.replay();
+        let out =
+            run_predicted_to_completion(&c, &predictor, 970.0, &mut replay, &mut rng()).unwrap();
+        let trace = FailureTrace::new(12, events);
+        let mut replay = trace.replay();
+        let base = crate::run::run_to_completion(&c, 970.0, &mut replay).unwrap();
+        assert_eq!(out.run.reason, StopReason::WorkComplete);
+        assert_eq!(out.alarms, 0);
+        assert!((out.run.total_time - base.total_time).abs() < 1e-9);
+        assert!((out.run.outage_time - base.outage_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fatal_failures_still_end_the_run() {
+        // Two paired nodes inside the risk window; prediction does not
+        // resurrect a destroyed group.
+        let c = cfg(Protocol::DoubleNbl, 100.0, 1e9);
+        let predictor = PredictorSpec::new(1.0, 0.0, 60.0);
+        let trace = FailureTrace::new(
+            12,
+            vec![
+                FailureEvent {
+                    at: SimTime::seconds(500.0),
+                    node: 2,
+                },
+                FailureEvent {
+                    at: SimTime::seconds(510.0),
+                    node: 3,
+                },
+            ],
+        );
+        let mut replay = trace.replay();
+        let out =
+            run_predicted_to_completion(&c, &predictor, 10_000.0, &mut replay, &mut rng()).unwrap();
+        assert_eq!(out.run.reason, StopReason::Fatal);
+    }
+
+    #[test]
+    fn short_window_is_rejected_with_positive_recall() {
+        let c = cfg(Protocol::DoubleNbl, 100.0, 3_600.0);
+        let trace = FailureTrace::new(12, vec![]);
+        let mut replay = trace.replay();
+        let err = run_predicted_to_completion(
+            &c,
+            &PredictorSpec::new(1.0, 0.5, 1.0), // w = 1 < C_p = 6
+            970.0,
+            &mut replay,
+            &mut rng(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn monte_carlo_estimate_matches_the_predicted_model() {
+        // The conformance-style check in miniature: model vs sim at one
+        // benign predicted operating point, judged by the sim's CI95.
+        let mtbf = 3_600.0;
+        let mut c = RunConfig::new(Protocol::DoubleNbl, base_params(48), 0.0, mtbf);
+        // A short lead window: the predicted loss D + R + (w - C_p)
+        // = 28 s undercuts the ~108 s unpredicted average.
+        let predictor = PredictorSpec::new(0.8, 0.7, 30.0);
+        let opt = dck_core::predicted_optimal_period(
+            Protocol::DoubleNbl,
+            &c.params,
+            0.0,
+            &predictor,
+            mtbf,
+        )
+        .unwrap();
+        c.period = PeriodChoice::Explicit(opt.period);
+        let mc = MonteCarloConfig::new(48, 0xBEEF);
+        let est = estimate_predicted_waste(&c, &predictor, 10.0 * mtbf, &mc).unwrap();
+        let ci = est.ci95.expect("benign point: all replications complete");
+        let tol = 3.0 * ci.half_width + 0.01;
+        assert!(
+            (opt.total - ci.mean).abs() <= tol,
+            "model {} vs sim {} ± {} (tol {tol})",
+            opt.total,
+            ci.mean,
+            ci.half_width
+        );
+        // Prediction must actually reduce the measured waste vs the
+        // unpredicted machine at its own optimal period.
+        let base_cfg = RunConfig::new(Protocol::DoubleNbl, base_params(48), 0.0, mtbf);
+        let base_est = estimate_waste(&base_cfg, 10.0 * mtbf, &mc).unwrap();
+        let base_ci = base_est.ci95.unwrap();
+        assert!(
+            ci.mean < base_ci.mean,
+            "predicted waste {} not below unpredicted {}",
+            ci.mean,
+            base_ci.mean
+        );
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let c = cfg(Protocol::Triple, 300.0, 1_800.0);
+        let predictor = PredictorSpec::new(0.6, 0.5, 30.0);
+        let mc = MonteCarloConfig::new(8, 42);
+        let a = estimate_predicted_waste(&c, &predictor, 5_000.0, &mc).unwrap();
+        let b = estimate_predicted_waste(&c, &predictor, 5_000.0, &mc).unwrap();
+        assert_eq!(a.waste.mean().to_bits(), b.waste.mean().to_bits());
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -15,9 +15,17 @@
 //! re-checks in CI.
 
 use crate::script::FaultScript;
-use dck_core::{ModelError, PlatformParams, Protocol};
-use dck_sim::{run_sweep, SweepSpec};
+use dck_core::{ModelError, PlatformParams, PredictorSpec, Protocol};
+use dck_sim::{
+    estimate_predicted_waste, run_sweep, MonteCarloConfig, PeriodChoice, RunConfig, SweepSpec,
+};
 use serde::{Deserialize, Serialize};
+
+/// Schema tag of the `conformance.json` artifact. v2 added the
+/// parameterized k-buddy protocols to the grid and the fault-prediction
+/// cell section; v1 files (no tag) are rejected rather than silently
+/// reinterpreted.
+pub const SCHEMA: &str = "dck-conformance/v2";
 
 /// Verdict for one grid cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,18 +67,95 @@ pub struct ConformanceSpec {
     /// (the model is asymptotic in `P/M`; it is *supposed* to be a few
     /// waste-points off at harsh cells).
     pub bias_allowance: f64,
+    /// Fault-prediction cells to run alongside the waste grid (`None`
+    /// skips the section).
+    #[serde(default)]
+    pub prediction: Option<PredictionGrid>,
+}
+
+/// Grid of fault-prediction conformance cells: `dck_core::predict`'s
+/// closed form vs `dck_sim::predict`'s mechanistic estimate, sharing
+/// the spec's base platform, budget and tolerance policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionGrid {
+    /// Protocols under test.
+    pub protocols: Vec<Protocol>,
+    /// Platform MTBFs (seconds).
+    pub mtbfs: Vec<f64>,
+    /// Predictor precisions `p`.
+    pub precisions: Vec<f64>,
+    /// Predictor recalls `r`.
+    pub recalls: Vec<f64>,
+    /// Prediction lead window `w` (seconds), fixed across the grid.
+    pub window: f64,
+}
+
+impl PredictionGrid {
+    /// Total prediction cells.
+    pub fn cell_count(&self) -> usize {
+        self.protocols.len() * self.mtbfs.len() * self.precisions.len() * self.recalls.len()
+    }
+}
+
+/// One evaluated fault-prediction cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionCell {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Predictor precision.
+    pub precision: f64,
+    /// Predictor recall.
+    pub recall: f64,
+    /// Lead window (seconds).
+    pub window: f64,
+    /// Model-optimal predicted period used by both sides.
+    pub period: f64,
+    /// Closed-form predicted waste at that period.
+    pub model_waste: f64,
+    /// Monte-Carlo mean waste (`None` when no replication completed).
+    pub sim_waste: Option<f64>,
+    /// CI95 half-width of the estimate.
+    pub half_width: Option<f64>,
+    /// The tolerance the cell was judged against.
+    pub tolerance: Option<f64>,
+    /// Replications that completed their work.
+    pub completed: usize,
+    /// Replications executed.
+    pub replications_run: usize,
+    /// Verdict.
+    pub status: CellStatus,
+}
+
+impl PredictionCell {
+    /// Coordinates rendered for failure messages.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "{} predicted @ (MTBF={}s, p={}, r={}, w={}s)",
+            self.protocol, self.mtbf, self.precision, self.recall, self.window
+        )
+    }
 }
 
 impl ConformanceSpec {
-    /// The coarse CI grid: all three evaluated protocols over a
-    /// 3 MTBF × 3 α × 3 φ/R lattice (27 cells per protocol) on the
-    /// Table I Base shape at 48 nodes — small enough for a debug-mode
-    /// tier-1 run, wide enough to cross every period-formula branch.
+    /// The coarse CI grid: the three evaluated protocols plus the
+    /// `k = 4` and `k = 5` buddy instances over a
+    /// 3 MTBF × 2 α × 3 φ/R lattice (18 cells per protocol, 90 total)
+    /// on the Table I Base shape at 60 nodes — small enough for a
+    /// debug-mode tier-1 run, wide enough to cross every
+    /// period-formula branch for every group size. (v1 ran 3 α values
+    /// over 3 protocols; the middle α was traded for the two k-buddy
+    /// planes to keep the runtime bounded.) A small fault-prediction
+    /// grid rides along.
     pub fn coarse() -> Self {
+        let mut protocols = Protocol::EVALUATED.to_vec();
+        protocols.push(Protocol::BuddyNbl { k: 4 });
+        protocols.push(Protocol::BuddyNbl { k: 5 });
         ConformanceSpec {
-            protocols: Protocol::EVALUATED.to_vec(),
+            protocols,
             mtbfs: vec![1_800.0, 3_600.0, 7.0 * 3_600.0],
-            alphas: vec![0.0, 5.0, 10.0],
+            alphas: vec![0.0, 10.0],
             phi_ratios: vec![0.0, 0.5, 1.0],
             // Compile-time-constant Base-shaped params (validated shape
             // locked by the params tests), constructed infallibly.
@@ -79,7 +164,8 @@ impl ConformanceSpec {
                 delta: 2.0,
                 theta_min: 4.0,
                 alpha: 10.0,
-                nodes: 48,
+                // lcm(2, 3, 4, 5): every group size divides evenly.
+                nodes: 60,
             },
             replications: 24,
             work_in_mtbfs: 10.0,
@@ -87,12 +173,27 @@ impl ConformanceSpec {
             workers: 0,
             ci_slack: 3.0,
             bias_allowance: 0.01,
+            prediction: Some(PredictionGrid {
+                protocols: vec![Protocol::DoubleNbl, Protocol::Triple],
+                mtbfs: vec![3_600.0],
+                precisions: vec![0.5, 0.9],
+                recalls: vec![0.0, 0.7],
+                window: 30.0,
+            }),
         }
     }
 
-    /// Total number of grid cells.
+    /// Total number of waste-grid cells (prediction cells are counted
+    /// separately via [`ConformanceSpec::prediction_cell_count`]).
     pub fn cell_count(&self) -> usize {
         self.protocols.len() * self.mtbfs.len() * self.alphas.len() * self.phi_ratios.len()
+    }
+
+    /// Total number of fault-prediction cells.
+    pub fn prediction_cell_count(&self) -> usize {
+        self.prediction
+            .as_ref()
+            .map_or(0, PredictionGrid::cell_count)
     }
 }
 
@@ -154,6 +255,9 @@ pub struct GridSummary {
 /// The `conformance.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConformanceReport {
+    /// Schema tag; must equal [`SCHEMA`].
+    #[serde(default)]
+    pub schema: String,
     /// The spec that produced the report.
     pub spec: ConformanceSpec,
     /// Grid shape.
@@ -161,11 +265,14 @@ pub struct ConformanceReport {
     /// Every evaluated cell, protocol-major then MTBF/α/φ
     /// lexicographic.
     pub cells: Vec<ConformanceCell>,
-    /// Cells that passed.
+    /// Fault-prediction cells (empty when the spec carries none).
+    #[serde(default)]
+    pub prediction_cells: Vec<PredictionCell>,
+    /// Cells that passed (waste grid + prediction).
     pub passed: usize,
-    /// Cells that failed.
+    /// Cells that failed (waste grid + prediction).
     pub failed: usize,
-    /// Degenerate cells.
+    /// Degenerate cells (waste grid + prediction).
     pub degenerate: usize,
     /// Largest |model − sim| over non-degenerate cells.
     pub max_abs_deviation: f64,
@@ -180,32 +287,69 @@ impl ConformanceReport {
     /// One message per failing cell, naming its `(protocol, MTBF, α,
     /// φ/R)` coordinates.
     pub fn failures(&self) -> Vec<String> {
+        let render = |coords: String,
+                      model: f64,
+                      sim: Option<f64>,
+                      tol: Option<f64>,
+                      hw: Option<f64>,
+                      completed: usize,
+                      run: usize| {
+            format!(
+                "{coords}: |model {:.5} - sim {:.5}| = {:.5} > tolerance {:.5} (hw {:.5}, {completed} / {run} completed)",
+                model,
+                sim.unwrap_or(f64::NAN),
+                (model - sim.unwrap_or(f64::NAN)).abs(),
+                tol.unwrap_or(f64::NAN),
+                hw.unwrap_or(f64::NAN),
+            )
+        };
         self.cells
             .iter()
             .filter(|c| c.status == CellStatus::Fail)
             .map(|c| {
-                format!(
-                    "{}: |model {:.5} - sim {:.5}| = {:.5} > tolerance {:.5} (hw {:.5}, {} / {} completed)",
+                render(
                     c.coordinates(),
                     c.model_waste,
-                    c.sim_waste.unwrap_or(f64::NAN),
-                    (c.model_waste - c.sim_waste.unwrap_or(f64::NAN)).abs(),
-                    c.tolerance.unwrap_or(f64::NAN),
-                    c.half_width.unwrap_or(f64::NAN),
+                    c.sim_waste,
+                    c.tolerance,
+                    c.half_width,
                     c.completed,
                     c.replications_run,
                 )
             })
+            .chain(
+                self.prediction_cells
+                    .iter()
+                    .filter(|c| c.status == CellStatus::Fail)
+                    .map(|c| {
+                        render(
+                            c.coordinates(),
+                            c.model_waste,
+                            c.sim_waste,
+                            c.tolerance,
+                            c.half_width,
+                            c.completed,
+                            c.replications_run,
+                        )
+                    }),
+            )
             .collect()
     }
 
     /// Internal consistency of a (possibly externally supplied) report:
-    /// grid shape matches the spec, cell count matches the grid, and
-    /// the verdict tallies match the cells.
+    /// schema tag is current, grid shape matches the spec, cell counts
+    /// (waste and prediction) match the spec, and the verdict tallies
+    /// match the cells.
     ///
     /// # Errors
     /// The first inconsistency found.
     pub fn check_consistent(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!(
+                "schema {:?} but this tool reads {SCHEMA:?} — regenerate the artifact",
+                self.schema
+            ));
+        }
         let spec_cells = self.spec.cell_count();
         if self.grid.cells != spec_cells {
             return Err(format!(
@@ -219,7 +363,21 @@ impl ConformanceReport {
                 self.cells.len()
             ));
         }
-        let count = |s: CellStatus| self.cells.iter().filter(|c| c.status == s).count();
+        let spec_pred = self.spec.prediction_cell_count();
+        if self.prediction_cells.len() != spec_pred {
+            return Err(format!(
+                "{} prediction cells recorded but the spec's grid has {spec_pred}",
+                self.prediction_cells.len()
+            ));
+        }
+        let count = |s: CellStatus| {
+            self.cells.iter().filter(|c| c.status == s).count()
+                + self
+                    .prediction_cells
+                    .iter()
+                    .filter(|c| c.status == s)
+                    .count()
+        };
         for (label, claimed, actual) in [
             ("passed", self.passed, count(CellStatus::Pass)),
             ("failed", self.failed, count(CellStatus::Fail)),
@@ -309,7 +467,12 @@ pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, Mode
         }
     }
 
-    let count = |s: CellStatus| cells.iter().filter(|c| c.status == s).count();
+    let prediction_cells = run_prediction_cells(spec)?;
+
+    let count = |s: CellStatus| {
+        cells.iter().filter(|c| c.status == s).count()
+            + prediction_cells.iter().filter(|c| c.status == s).count()
+    };
     let passed = count(CellStatus::Pass);
     let failed = count(CellStatus::Fail);
     let degenerate = count(CellStatus::Degenerate);
@@ -317,8 +480,15 @@ pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, Mode
         .iter()
         .filter(|c| c.status != CellStatus::Degenerate)
         .filter_map(|c| c.sim_waste.map(|s| (c.model_waste - s).abs()))
+        .chain(
+            prediction_cells
+                .iter()
+                .filter(|c| c.status != CellStatus::Degenerate)
+                .filter_map(|c| c.sim_waste.map(|s| (c.model_waste - s).abs())),
+        )
         .fold(0.0, f64::max);
     Ok(ConformanceReport {
+        schema: SCHEMA.to_string(),
         grid: GridSummary {
             protocols: spec.protocols.len(),
             mtbfs: spec.mtbfs.len(),
@@ -327,12 +497,80 @@ pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, Mode
             cells: spec.cell_count(),
         },
         cells,
+        prediction_cells,
         passed,
         failed,
         degenerate,
         max_abs_deviation,
         spec: spec.clone(),
     })
+}
+
+/// Runs the fault-prediction section of the grid: for each
+/// `(protocol, MTBF, p, r)` both sides share the model-optimal
+/// predicted period, then `dck_sim::predict`'s mechanistic estimate is
+/// judged against `dck_core::predict`'s closed form with the same
+/// tolerance policy as the waste grid. Runs at `φ = 0` (the prediction
+/// model's fault-free term is the unpredicted one, already swept by the
+/// waste grid).
+fn run_prediction_cells(spec: &ConformanceSpec) -> Result<Vec<PredictionCell>, ModelError> {
+    let Some(grid) = &spec.prediction else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::with_capacity(grid.cell_count());
+    for (proto_i, &protocol) in grid.protocols.iter().enumerate() {
+        for (mtbf_i, &mtbf) in grid.mtbfs.iter().enumerate() {
+            for (p_i, &precision) in grid.precisions.iter().enumerate() {
+                for (r_i, &recall) in grid.recalls.iter().enumerate() {
+                    let predictor = PredictorSpec::new(precision, recall, grid.window);
+                    let opt = dck_core::predicted_optimal_period(
+                        protocol, &spec.base, 0.0, &predictor, mtbf,
+                    )?;
+                    let mut cfg = RunConfig::new(protocol, spec.base, 0.0, mtbf);
+                    cfg.period = PeriodChoice::Explicit(opt.period);
+                    let mut mc = MonteCarloConfig::new(spec.replications, 0);
+                    mc.workers = spec.workers;
+                    // Decorrelate cells from each other and from the
+                    // waste planes (which mix from spec.seed directly).
+                    mc.seed = spec
+                        .seed
+                        .wrapping_add(0x51D1_C7ED)
+                        .wrapping_add((proto_i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add((mtbf_i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+                        .wrapping_add((p_i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                        .wrapping_add((r_i as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB));
+                    let t_base = spec.work_in_mtbfs * mtbf;
+                    let est = estimate_predicted_waste(&cfg, &predictor, t_base, &mc)?;
+                    let sim_waste = est.ci95.map(|ci| ci.mean);
+                    let half_width = est.ci95.map(|ci| ci.half_width);
+                    let (status, tolerance) = judge(
+                        opt.total,
+                        sim_waste,
+                        half_width,
+                        est.completed,
+                        spec.replications,
+                        spec,
+                    );
+                    out.push(PredictionCell {
+                        protocol,
+                        mtbf,
+                        precision,
+                        recall,
+                        window: grid.window,
+                        period: opt.period,
+                        model_waste: opt.total,
+                        sim_waste,
+                        half_width,
+                        tolerance,
+                        completed: est.completed,
+                        replications_run: spec.replications,
+                        status,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn judge(
@@ -383,7 +621,7 @@ pub fn cell_repro_script(cell: &ConformanceCell, spec: &ConformanceSpec) -> Faul
         platform,
         phi_ratio: cell.phi_ratio,
         mtbf: cell.mtbf,
-        period: dck_sim::PeriodChoice::Explicit(cell.period),
+        period: PeriodChoice::Explicit(cell.period),
         work: crate::script::WorkSpec::Periods(10.0),
         faults: vec![],
         expect: crate::script::Expectation {
@@ -406,6 +644,7 @@ mod tests {
         spec.phi_ratios = vec![0.25, 0.75];
         spec.replications = 16;
         spec.work_in_mtbfs = 8.0;
+        spec.prediction = None;
         spec
     }
 
@@ -421,6 +660,50 @@ mod tests {
             assert_eq!(c.status, CellStatus::Pass);
             assert!(c.tolerance.unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn prediction_cells_run_and_count_toward_the_tallies() {
+        let mut spec = tiny_spec();
+        spec.phi_ratios = vec![0.25];
+        spec.prediction = Some(PredictionGrid {
+            protocols: vec![Protocol::DoubleNbl],
+            mtbfs: vec![3_600.0],
+            precisions: vec![0.9],
+            recalls: vec![0.0, 0.7],
+            window: 30.0,
+        });
+        let report = run_conformance(&spec).unwrap();
+        assert_eq!(report.prediction_cells.len(), 2);
+        report.check_consistent().unwrap();
+        assert_eq!(
+            report.passed + report.failed + report.degenerate,
+            report.cells.len() + report.prediction_cells.len()
+        );
+        assert!(report.all_pass(), "{:?}", report.failures());
+        for c in &report.prediction_cells {
+            assert!(c.period > 0.0);
+            assert!(c.model_waste > 0.0 && c.model_waste < 1.0);
+        }
+        // The r = 0 cell degenerates to the unpredicted model; the
+        // r = 0.7 cell must not share its estimate.
+        assert_ne!(
+            report.prediction_cells[0].sim_waste,
+            report.prediction_cells[1].sim_waste
+        );
+    }
+
+    #[test]
+    fn reports_without_the_current_schema_are_rejected() {
+        let report = run_conformance(&tiny_spec()).unwrap();
+        assert_eq!(report.schema, SCHEMA);
+        let mut stale = report.clone();
+        stale.schema = String::new(); // what a v1 artifact deserializes to
+        let err = ConformanceReport::from_json(&stale.to_json().unwrap()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let mut wrong = report;
+        wrong.schema = "dck-conformance/v1".to_string();
+        assert!(wrong.check_consistent().is_err());
     }
 
     #[test]

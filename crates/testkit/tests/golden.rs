@@ -15,12 +15,12 @@ fn corpus_covers_every_evaluated_protocol() {
     let cases = load_cases(&default_corpus_dir()).expect("corpus must load");
     assert!(!cases.is_empty(), "golden corpus is empty");
 
-    let mut per_protocol: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut per_protocol: BTreeMap<String, usize> = BTreeMap::new();
     for case in &cases {
         *per_protocol.entry(case.script.protocol.id()).or_insert(0) += 1;
     }
     for protocol in Protocol::EVALUATED {
-        let count = per_protocol.get(protocol.id()).copied().unwrap_or(0);
+        let count = per_protocol.get(&protocol.id()).copied().unwrap_or(0);
         assert!(
             count >= 3,
             "protocol {} has only {count} golden scripts (need >= 3)",

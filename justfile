@@ -48,6 +48,14 @@ bench:
     ./target/release/dck validate --bench BENCH_reps.json
     ./target/release/dck validate --bench BENCH_sweep.json
 
+# Full model-vs-sim conformance grid (k = 2..5 + fault prediction):
+# regenerate the v2 artifact and round-trip it through the validator.
+conformance-k:
+    cargo build --release -p dck-cli
+    DCK_CONFORMANCE_OUT=$(pwd)/conformance.json \
+        cargo test --release -p dck-testkit --test conformance
+    ./target/release/dck validate --conformance conformance.json
+
 # Long-running waste/risk/sweep-cell service on a fixed local port.
 # Send {"v":1,"method":"shutdown"} (or `just loadgen` then that) to stop.
 serve:

@@ -59,9 +59,11 @@ fn deterministic_outage_matches_case_analysis() {
 }
 
 /// Monte-Carlo waste matches Eqs. 5/7/8/14 across a (MTBF, α, φ) grid
-/// for all three protocols, each cell judged against its own
-/// simulator-reported CI95 half-width (not a hard-coded epsilon). A
-/// failure names the offending cell.
+/// for the three evaluated protocols plus the `k = 4` / `k = 5` buddy
+/// instances, each cell judged against its own simulator-reported CI95
+/// half-width (not a hard-coded epsilon). The coarse spec's
+/// fault-prediction cells ride along, so the predicted model is
+/// cross-checked here too. A failure names the offending cell.
 #[test]
 fn monte_carlo_waste_matches_model() {
     let mut spec = dck_testkit::ConformanceSpec::coarse();
@@ -73,6 +75,10 @@ fn monte_carlo_waste_matches_model() {
     spec.replications = 16;
     spec.seed = 0xFEED;
     let report = dck_testkit::run_conformance(&spec).unwrap();
+    assert!(
+        !report.prediction_cells.is_empty(),
+        "coarse spec must carry fault-prediction cells"
+    );
     assert_eq!(
         report.degenerate, 0,
         "degenerate cells (too few completed replications) in a benign regime"
@@ -86,15 +92,20 @@ fn monte_carlo_waste_matches_model() {
 }
 
 /// Monte-Carlo success probability matches Eq. 11 for pairs and Eq. 16
-/// for triples in a regime where fatal failures are observable. The
-/// tolerance is one Wilson-interval half-width (the simulator's own
-/// uncertainty), not a hard-coded epsilon.
+/// for triples — and their `k`-generalization — in a regime where fatal
+/// failures are observable, for **every registered protocol** (a newly
+/// instantiated `k` cannot skip this check). The tolerance is one
+/// Wilson-interval half-width (the simulator's own uncertainty), not a
+/// hard-coded epsilon.
 #[test]
 fn monte_carlo_risk_matches_model() {
     let params = base_params(10_368);
     let mtbf = 60.0;
     let horizon = 86_400.0;
-    for protocol in [Protocol::DoubleNbl, Protocol::Triple] {
+    for protocol in Protocol::registry() {
+        // φ = 0 everywhere; DOUBLE (blocking) pins φ = θmin internally,
+        // and BoF risk windows are θ-independent, so the model side at
+        // θmax matches the simulated window for every instance.
         let cfg = RunConfig::new(protocol, params, 0.0, mtbf);
         let mc = MonteCarloConfig::new(150, 0xCAFE);
         let est = estimate_success(&cfg, horizon, &mc).unwrap();
