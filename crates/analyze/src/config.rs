@@ -10,7 +10,17 @@
 use crate::diagnostics::{Finding, Severity};
 use std::collections::BTreeMap;
 
+/// How far a `snippet_hash`-keyed entry's `line` anchor may drift from
+/// the finding before the entry stops matching. Unrelated edits that
+/// shift code by up to this many lines never re-key the baseline.
+pub const LINE_FUZZ: u32 = 10;
+
 /// One baseline entry: a justified suppression of current findings.
+///
+/// The durable key is `(path, lint, snippet_hash)` with `line` as a
+/// ±[`LINE_FUZZ`] anchor; an entry with `line` but no `snippet_hash`
+/// is the deprecated exact-line format, which still matches but is
+/// reported so it can be migrated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
     /// Lint name the entry applies to.
@@ -18,8 +28,13 @@ pub struct AllowEntry {
     /// Workspace-relative path; a trailing `*` makes it a prefix match
     /// (`crates/experiments/*`).
     pub path: String,
-    /// Restrict the suppression to one line (otherwise whole file).
+    /// Line anchor. With `snippet_hash`: fuzzy (±[`LINE_FUZZ`] lines).
+    /// Without: deprecated exact match. Absent: whole file.
     pub line: Option<u32>,
+    /// FNV-1a hash (16 hex digits) of the whitespace-normalized source
+    /// line the finding sits on — the content key that survives
+    /// unrelated edits shifting line numbers.
+    pub snippet_hash: Option<String>,
     /// Why this finding is acceptable. Required: an empty
     /// justification fails the scan.
     pub justification: String,
@@ -35,7 +50,27 @@ impl AllowEntry {
             Some(prefix) => f.path.starts_with(prefix),
             None => f.path == self.path,
         };
-        path_ok && self.line.is_none_or(|l| l == f.line)
+        if !path_ok {
+            return false;
+        }
+        match (&self.snippet_hash, self.line) {
+            // Content key: hash must match, the line anchor (if any)
+            // only has to be within the fuzz window.
+            (Some(h), anchor) => {
+                *h == snippet_hash(&f.snippet)
+                    && anchor.is_none_or(|l| l.abs_diff(f.line) <= LINE_FUZZ)
+            }
+            // Deprecated exact-line key.
+            (None, Some(l)) => l == f.line,
+            // Whole file.
+            (None, None) => true,
+        }
+    }
+
+    /// True for the deprecated exact-line key format (line without a
+    /// snippet hash).
+    pub fn is_deprecated_exact_line(&self) -> bool {
+        self.line.is_some() && self.snippet_hash.is_none()
     }
 
     /// Short description for stale/unjustified messages.
@@ -45,6 +80,27 @@ impl AllowEntry {
             None => format!("[{}] {}", self.lint, self.path),
         }
     }
+}
+
+/// FNV-1a (64-bit) over the whitespace-normalized snippet — the same
+/// hash the checkpoint fingerprints use, rendered as 16 hex digits.
+/// Normalization trims the line and collapses internal whitespace
+/// runs, so re-indentation does not re-key the baseline either.
+pub fn snippet_hash(snippet: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut pending_space = false;
+    for part in snippet.split_whitespace() {
+        if pending_space {
+            h ^= u64::from(b' ');
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in part.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        pending_space = true;
+    }
+    format!("{h:016x}")
 }
 
 /// Parsed `analyze.toml`.
@@ -79,6 +135,7 @@ impl AnalyzeConfig {
                     lint: String::new(),
                     path: String::new(),
                     line: None,
+                    snippet_hash: None,
                     justification: String::new(),
                 });
                 section = "allow".into();
@@ -127,6 +184,17 @@ impl AnalyzeConfig {
                                     .ok_or_else(|| format!("line {n}: line must be an integer"))?,
                             );
                         }
+                        "snippet_hash" => {
+                            let h = value.as_str().ok_or_else(|| {
+                                format!("line {n}: snippet_hash must be a string")
+                            })?;
+                            if h.len() != 16 || !h.bytes().all(|b| b.is_ascii_hexdigit()) {
+                                return Err(format!(
+                                    "line {n}: snippet_hash must be 16 hex digits"
+                                ));
+                            }
+                            entry.snippet_hash = Some(h.to_ascii_lowercase());
+                        }
                         "justification" => {
                             entry.justification = value
                                 .as_str()
@@ -153,8 +221,9 @@ impl AnalyzeConfig {
     }
 
     /// Renders `[[allow]]` entries for `findings` — the starting point
-    /// for a new baseline. Justifications are left empty on purpose:
-    /// the scan refuses them until a human writes the reason down.
+    /// for a new baseline, keyed by content hash with the line as a
+    /// fuzzy anchor. Justifications are left empty on purpose: the
+    /// scan refuses them until a human writes the reason down.
     pub fn baseline_toml(findings: &[Finding]) -> String {
         let mut out = String::new();
         for f in findings {
@@ -162,6 +231,10 @@ impl AnalyzeConfig {
             out.push_str(&format!("lint = \"{}\"\n", f.lint));
             out.push_str(&format!("path = \"{}\"\n", f.path));
             out.push_str(&format!("line = {}\n", f.line));
+            out.push_str(&format!(
+                "snippet_hash = \"{}\"\n",
+                snippet_hash(&f.snippet)
+            ));
             out.push_str("justification = \"\"\n\n");
         }
         out
@@ -295,6 +368,7 @@ justification = "minimizer-internal +inf, never escapes"
             lint: "panic-safety".into(),
             path: "crates/experiments/*".into(),
             line: None,
+            snippet_hash: None,
             justification: "x".into(),
         };
         assert!(e.matches(&f));
@@ -335,6 +409,115 @@ justification = "minimizer-internal +inf, never escapes"
         assert_eq!(cfg.allow.len(), 1);
         assert!(cfg.allow[0].matches(&f));
         assert!(cfg.allow[0].justification.is_empty(), "human must fill it");
+    }
+
+    #[test]
+    fn snippet_hash_normalizes_whitespace() {
+        assert_eq!(
+            snippet_hash("  x .unwrap( ) ; "),
+            snippet_hash("x .unwrap( ) ;"),
+            "leading/trailing whitespace is ignored"
+        );
+        assert_eq!(
+            snippet_hash("let a\t=  b;"),
+            snippet_hash("let a = b;"),
+            "internal runs collapse to one space"
+        );
+        assert_ne!(snippet_hash("let a = b;"), snippet_hash("let a = c;"));
+        assert_eq!(snippet_hash("x").len(), 16);
+    }
+
+    #[test]
+    fn hash_keyed_entry_matches_fuzzily_by_content() {
+        let f = |line: u32, snippet: &str| Finding {
+            lint: "panic-safety".into(),
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        };
+        let e = AllowEntry {
+            lint: "panic-safety".into(),
+            path: "crates/x/src/a.rs".into(),
+            line: Some(100),
+            snippet_hash: Some(snippet_hash("cfg.build().expect(\"validated\");")),
+            justification: "x".into(),
+        };
+        // Same content, shifted by < LINE_FUZZ: still suppressed.
+        assert!(e.matches(&f(100, "cfg.build().expect(\"validated\");")));
+        assert!(e.matches(&f(109, "  cfg.build().expect(\"validated\");")));
+        assert!(e.matches(&f(91, "cfg.build().expect(\"validated\");")));
+        // Outside the window, or different content: not suppressed.
+        assert!(!e.matches(&f(111, "cfg.build().expect(\"validated\");")));
+        assert!(!e.matches(&f(100, "other.unwrap();")));
+        assert!(!e.is_deprecated_exact_line());
+    }
+
+    #[test]
+    fn hash_without_anchor_matches_anywhere_in_file() {
+        let e = AllowEntry {
+            lint: "panic-safety".into(),
+            path: "crates/x/src/a.rs".into(),
+            line: None,
+            snippet_hash: Some(snippet_hash("boom.unwrap();")),
+            justification: "x".into(),
+        };
+        let f = Finding {
+            lint: "panic-safety".into(),
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line: 4242,
+            col: 1,
+            message: String::new(),
+            snippet: "boom.unwrap();".into(),
+        };
+        assert!(e.matches(&f));
+    }
+
+    #[test]
+    fn exact_line_without_hash_is_deprecated_but_still_matches() {
+        let cfg = AnalyzeConfig::from_toml(
+            "[[allow]]\nlint = \"x\"\npath = \"y\"\nline = 7\njustification = \"j\"",
+        )
+        .unwrap();
+        assert!(cfg.allow[0].is_deprecated_exact_line());
+        let with_hash = AnalyzeConfig::from_toml(
+            "[[allow]]\nlint = \"x\"\npath = \"y\"\nline = 7\nsnippet_hash = \"0123456789abcDEF\"\njustification = \"j\"",
+        )
+        .unwrap();
+        assert!(!with_hash.allow[0].is_deprecated_exact_line());
+        assert_eq!(
+            with_hash.allow[0].snippet_hash.as_deref(),
+            Some("0123456789abcdef"),
+            "hash is case-normalized"
+        );
+        assert!(AnalyzeConfig::from_toml(
+            "[[allow]]\nlint = \"x\"\npath = \"y\"\nsnippet_hash = \"xyz\"\njustification = \"j\"",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_emission_uses_the_hash_key() {
+        let f = Finding {
+            lint: "panic-safety".into(),
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            col: 2,
+            message: String::new(),
+            snippet: "v.unwrap();".into(),
+        };
+        let toml = AnalyzeConfig::baseline_toml(std::slice::from_ref(&f));
+        assert!(toml.contains(&format!(
+            "snippet_hash = \"{}\"",
+            snippet_hash("v.unwrap();")
+        )));
+        let cfg = AnalyzeConfig::from_toml(&toml).unwrap();
+        assert!(!cfg.allow[0].is_deprecated_exact_line());
+        assert!(cfg.allow[0].matches(&f));
     }
 
     #[test]

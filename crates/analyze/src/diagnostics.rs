@@ -83,6 +83,11 @@ pub struct Report {
     /// Baseline entries without a written justification — these fail
     /// the scan: every suppression must say *why*.
     pub unjustified_allows: Vec<String>,
+    /// Baseline entries still using the deprecated exact-line key
+    /// (`line` without `snippet_hash`). They match, but warn until
+    /// migrated to the content-hash key.
+    #[serde(default)]
+    pub deprecated_allows: Vec<String>,
     /// `mod` declarations the walker could not resolve.
     pub unresolved_mods: Vec<String>,
 }
@@ -131,6 +136,11 @@ impl Report {
         for s in &self.unjustified_allows {
             out.push_str(&format!(
                 "analyze.toml: allow entry needs a justification: {s}\n"
+            ));
+        }
+        for s in &self.deprecated_allows {
+            out.push_str(&format!(
+                "analyze.toml: entry uses the deprecated exact-line key; add `snippet_hash` (run `dck lint baseline`): {s}\n"
             ));
         }
         out.push_str(&self.summary());
@@ -205,6 +215,7 @@ mod tests {
             suppressed: 0,
             stale_allows: vec![],
             unjustified_allows: vec![],
+            deprecated_allows: vec![],
             unresolved_mods: vec![],
         };
         assert!(r.is_clean(), "warnings alone stay clean");
@@ -223,6 +234,7 @@ mod tests {
             suppressed: 1,
             stale_allows: vec![],
             unjustified_allows: vec![],
+            deprecated_allows: vec![],
             unresolved_mods: vec![],
         };
         let back = Report::from_json(&r.to_json().unwrap()).unwrap();

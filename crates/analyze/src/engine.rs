@@ -1,10 +1,13 @@
-//! The scan driver: walk the workspace, run every lint, apply the
-//! config's severity overrides and justified baseline, and produce a
-//! [`Report`].
+//! The scan driver: walk the workspace, run every per-file lint, then
+//! build the symbol index + call graph once and run the workspace
+//! lints over them, apply the config's severity overrides and
+//! justified baseline, and produce a [`Report`].
 
+use crate::callgraph::CallGraph;
 use crate::config::AnalyzeConfig;
 use crate::diagnostics::{Finding, Report, Severity};
-use crate::lints::registry;
+use crate::lints::{registry, workspace_registry};
+use crate::symbols::SymbolIndex;
 use crate::walker::walk_workspace;
 use std::path::Path;
 
@@ -20,6 +23,13 @@ pub fn scan(root: &Path, config: &AnalyzeConfig) -> Result<Report, String> {
         for lint in &lints {
             lint.check(file, &mut findings);
         }
+    }
+    // Workspace pass: one index + graph build shared by every
+    // inter-procedural lint.
+    let index = SymbolIndex::build(&ws);
+    let graph = CallGraph::build(&ws, &index);
+    for lint in workspace_registry() {
+        lint.check(&ws, &index, &graph, &mut findings);
     }
     // Config severity overrides, then drop allow-severity findings.
     for f in &mut findings {
@@ -60,6 +70,12 @@ pub fn scan(root: &Path, config: &AnalyzeConfig) -> Result<Report, String> {
         .filter(|e| e.justification.trim().is_empty())
         .map(|e| e.describe())
         .collect();
+    let deprecated_allows = config
+        .allow
+        .iter()
+        .filter(|e| e.is_deprecated_exact_line())
+        .map(|e| e.describe())
+        .collect();
 
     Ok(Report {
         findings,
@@ -67,8 +83,20 @@ pub fn scan(root: &Path, config: &AnalyzeConfig) -> Result<Report, String> {
         suppressed,
         stale_allows,
         unjustified_allows,
+        deprecated_allows,
         unresolved_mods: ws.unresolved_mods,
     })
+}
+
+/// Builds and renders the resolved call graph for `dck lint --graph`.
+///
+/// # Errors
+/// An I/O error message naming the path that failed.
+pub fn dump_call_graph(root: &Path) -> Result<String, String> {
+    let ws = walk_workspace(root)?;
+    let index = SymbolIndex::build(&ws);
+    let graph = CallGraph::build(&ws, &index);
+    Ok(graph.dump(&ws, &index))
 }
 
 /// Loads `analyze.toml` from `root` (an absent file is an empty

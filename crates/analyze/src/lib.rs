@@ -17,14 +17,27 @@
 //!   walker that reaches every file the compiler would, classifying
 //!   each as library/test/bench/example and computing `#[cfg(test)]`
 //!   exempt regions.
-//! * [`lints`] — the registry of seven token-pattern lints:
-//!   `nondeterminism`, `panic-safety`, `slice-index`, `float-eq`,
-//!   `sentinel-value`, `forbid-unsafe`, `todo-markers`.
+//! * [`lints`] — the registry of seven per-file token-pattern lints
+//!   (`nondeterminism`, `panic-safety`, `slice-index`, `float-eq`,
+//!   `sentinel-value`, `forbid-unsafe`, `todo-markers`) plus three
+//!   workspace-level lints built on the call graph
+//!   (`determinism-taint`, `panic-reachability`, `lock-discipline`).
+//! * [`symbols`] / [`callgraph`] — the workspace symbol index (every
+//!   `fn`, its `impl` type, its body span) and the conservative call
+//!   graph resolved by convention, with `catch_unwind` guard edges and
+//!   spawn/pool closure roots.
+//! * [`taint`] / [`reachability`] — the inter-procedural lints:
+//!   nondeterministic sources reaching fingerprinted sinks (full call
+//!   path in the diagnostic), panic sites reachable from work units
+//!   and spawned threads (contained vs escaping), and MutexGuards held
+//!   across calls into compute.
 //! * [`config`] — `analyze.toml`: per-lint severity overrides and a
 //!   *justified* baseline (`[[allow]]` entries must say why; stale
-//!   entries fail the scan so the baseline can only shrink honestly).
-//! * [`diagnostics`] / [`engine`] — findings with `file:line:col`
-//!   spans, rendered human or JSON, driven by [`engine::scan`].
+//!   entries fail the scan so the baseline can only shrink honestly),
+//!   keyed by (path, lint, content hash) with a fuzzy line anchor.
+//! * [`diagnostics`] / [`engine`] / [`sarif`] — findings with
+//!   `file:line:col` spans, rendered human, JSON, or SARIF 2.1.0,
+//!   driven by [`engine::scan`].
 //!
 //! The `dck lint` CLI subcommand and the CI `analyze` job are the two
 //! consumers; `crates/analyze/tests/` holds fixture-driven golden
@@ -33,14 +46,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
 pub mod engine;
 pub mod lexer;
 pub mod lints;
+pub mod reachability;
+pub mod sarif;
+pub mod symbols;
+pub mod taint;
 pub mod walker;
 
-pub use config::{AllowEntry, AnalyzeConfig};
+pub use config::{snippet_hash, AllowEntry, AnalyzeConfig, LINE_FUZZ};
 pub use diagnostics::{Finding, Report, Severity};
-pub use engine::{scan, scan_with_config_file};
+pub use engine::{dump_call_graph, scan, scan_with_config_file};
+pub use lints::{catalog, Explanation, LintInfo};
 pub use walker::{walk_workspace, Context, SourceFile, Workspace};

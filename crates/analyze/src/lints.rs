@@ -7,11 +7,27 @@
 //! false positives are handled by fixing the code or writing a
 //! justified baseline entry in `analyze.toml`.
 
+use crate::callgraph::CallGraph;
 use crate::diagnostics::{Finding, Severity};
 use crate::lexer::{Token, TokenKind};
-use crate::walker::{Context, SourceFile};
+use crate::symbols::SymbolIndex;
+use crate::walker::{Context, SourceFile, Workspace};
 
-/// A single lint pass.
+/// The rationale and worked examples behind a lint, rendered by
+/// `dck lint --explain`. Registering a lint without one is impossible
+/// (the trait requires it) and registering one with empty text fails
+/// the `every_lint_has_an_explanation` test.
+#[derive(Debug, Clone, Copy)]
+pub struct Explanation {
+    /// One paragraph: why the lint exists in *this* codebase.
+    pub rationale: &'static str,
+    /// A short snippet the lint accepts.
+    pub good: &'static str,
+    /// A short snippet the lint rejects.
+    pub bad: &'static str,
+}
+
+/// A single per-file lint pass.
 pub trait Lint {
     /// Stable kebab-case name used in config and baselines.
     fn name(&self) -> &'static str;
@@ -19,12 +35,35 @@ pub trait Lint {
     fn description(&self) -> &'static str;
     /// Severity when `analyze.toml` does not override it.
     fn default_severity(&self) -> Severity;
+    /// Rationale and examples for `dck lint --explain`.
+    fn explanation(&self) -> Explanation;
     /// Appends findings for `file`. Severity on emitted findings is
     /// the default; the engine applies config overrides afterwards.
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
 }
 
-/// All lints, in reporting order.
+/// A workspace-level lint pass: sees the whole workspace plus the
+/// symbol index and call graph the engine built once.
+pub trait WorkspaceLint {
+    /// Stable kebab-case name used in config and baselines.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Severity when `analyze.toml` does not override it.
+    fn default_severity(&self) -> Severity;
+    /// Rationale and examples for `dck lint --explain`.
+    fn explanation(&self) -> Explanation;
+    /// Appends findings over the whole workspace.
+    fn check(
+        &self,
+        ws: &Workspace,
+        index: &SymbolIndex,
+        graph: &CallGraph,
+        findings: &mut Vec<Finding>,
+    );
+}
+
+/// All per-file lints, in reporting order.
 pub fn registry() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(Nondeterminism),
@@ -35,6 +74,51 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(ForbidUnsafe),
         Box::new(TodoMarkers),
     ]
+}
+
+/// All workspace-level lints, in reporting order.
+pub fn workspace_registry() -> Vec<Box<dyn WorkspaceLint>> {
+    vec![
+        Box::new(crate::taint::DeterminismTaint),
+        Box::new(crate::reachability::PanicReachability),
+        Box::new(crate::reachability::LockDiscipline),
+    ]
+}
+
+/// Registry-backed description of one lint, per-file or workspace.
+pub struct LintInfo {
+    /// Stable kebab-case name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Severity when the config does not override it.
+    pub default_severity: Severity,
+    /// Rationale and examples.
+    pub explanation: Explanation,
+    /// True for workspace-level (call-graph) lints.
+    pub workspace: bool,
+}
+
+/// Every registered lint, per-file then workspace, in registry order.
+pub fn catalog() -> Vec<LintInfo> {
+    let mut out: Vec<LintInfo> = registry()
+        .iter()
+        .map(|l| LintInfo {
+            name: l.name(),
+            description: l.description(),
+            default_severity: l.default_severity(),
+            explanation: l.explanation(),
+            workspace: false,
+        })
+        .collect();
+    out.extend(workspace_registry().iter().map(|l| LintInfo {
+        name: l.name(),
+        description: l.description(),
+        default_severity: l.default_severity(),
+        explanation: l.explanation(),
+        workspace: true,
+    }));
+    out
 }
 
 /// Indices of live library tokens: non-comment, outside test-exempt
@@ -90,6 +174,19 @@ impl Lint for Nondeterminism {
     }
     fn default_severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "The repo's headline guarantee is bit-identical replay: the same \
+                        seed and spec must produce byte-for-byte the same sweep, \
+                        checkpoint fingerprint, and serve response on every run and every \
+                        worker count. Hash-order iteration, wall-clock reads, and ad-hoc \
+                        threading each inject host state into that computation. BTree \
+                        collections iterate deterministically, logical clocks replay, and \
+                        simcore::par is the one audited place where threads may exist.",
+            bad: "let mut by_node = HashMap::new(); // iteration order varies per process",
+            good: "let mut by_node = BTreeMap::new(); // deterministic iteration, stable output",
+        }
     }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         let code = live_lib_code(file);
@@ -156,6 +253,18 @@ impl Lint for PanicSafety {
     fn default_severity(&self) -> Severity {
         Severity::Deny
     }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "A panic in library code turns a recoverable input problem into a \
+                        process abort — and in this workspace, into a torn-down pool \
+                        worker or serve thread. Every fallible model operation returns \
+                        Result<_, ModelError> instead; the few justified expects (e.g. \
+                        configurations already validated by build()?) carry a written \
+                        baseline entry in analyze.toml.",
+            bad: "let p = PlatformParams::new(c, r, mtbf).unwrap();",
+            good: "let p = PlatformParams::new(c, r, mtbf)?; // caller decides what failure means",
+        }
+    }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         let code = live_lib_code(file);
         for (k, &i) in code.iter().enumerate() {
@@ -216,6 +325,17 @@ impl Lint for SliceIndex {
         // idiomatic. The lint surfaces the sites for review.
         Severity::Warn
     }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "xs[i] panics when the index is out of bounds, which is a hidden \
+                        panic path with all the consequences panic-safety describes. \
+                        Indexing under a locally provable invariant (chunk arithmetic, \
+                        fixed-size tables) is idiomatic Rust, so this lint only warns — \
+                        it is an inventory for review, not a gate.",
+            bad: "let last = xs[xs.len() - 1]; // panics on empty input",
+            good: "let Some(last) = xs.last() else { return Err(ModelError::Empty) };",
+        }
+    }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         let code = live_lib_code(file);
         for (k, &i) in code.iter().enumerate() {
@@ -268,30 +388,85 @@ impl Lint for FloatEq {
     fn default_severity(&self) -> Severity {
         Severity::Deny
     }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "== and != on floats are exact-bit comparisons: 0.1 + 0.2 != 0.3, \
+                        and NaN != NaN, so equality tests encode accidents of rounding, \
+                        not the numeric property the author meant. The same trap hides \
+                        inside assert_eq!/assert_ne! with float operands. Compare against \
+                        an epsilon, a range, or — when bit-identity *is* the contract, as \
+                        in the replay tests — compare to_bits() explicitly.",
+            bad: "if waste == 0.0 { ... }  assert_eq!(a, 0.25_f64);",
+            good: "if waste.abs() < EPS { ... }  assert_eq!(a.to_bits(), b.to_bits());",
+        }
+    }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         let code = live_lib_code(file);
         for (k, &i) in code.iter().enumerate() {
             let t = &file.tokens[i];
-            if !(t.is_punct("==") || t.is_punct("!=")) {
+            if t.is_punct("==") || t.is_punct("!=") {
+                // Heuristic: a float literal or f32/f64 path within two
+                // code tokens of the comparison marks it floating-point.
+                let window = k.saturating_sub(2)..=(k + 2).min(code.len().saturating_sub(1));
+                let floaty = window
+                    .map(|w| &file.tokens[code[w]])
+                    .any(|n| n.kind == TokenKind::Float || n.is_ident("f32") || n.is_ident("f64"));
+                if floaty {
+                    emit(
+                        self,
+                        file,
+                        t,
+                        format!(
+                            "`{}` on floating point is exact-bit comparison; use an epsilon, a range, or `total_cmp`",
+                            t.text
+                        ),
+                        findings,
+                    );
+                }
                 continue;
             }
-            // Heuristic: a float literal or f32/f64 path within two
-            // code tokens of the comparison marks it floating-point.
-            let window = k.saturating_sub(2)..=(k + 2).min(code.len().saturating_sub(1));
-            let floaty = window
-                .map(|w| &file.tokens[code[w]])
-                .any(|n| n.kind == TokenKind::Float || n.is_ident("f32") || n.is_ident("f64"));
-            if floaty {
-                emit(
-                    self,
-                    file,
-                    t,
-                    format!(
-                        "`{}` on floating point is exact-bit comparison; use an epsilon, a range, or `total_cmp`",
-                        t.text
-                    ),
-                    findings,
-                );
+            // `assert_eq!(..)` / `assert_ne!(..)` with a float operand:
+            // a float literal or f32/f64 path anywhere in the macro's
+            // argument parens. `to_bits()` comparisons carry no float
+            // token, which is exactly the blessed alternative.
+            if (t.is_ident("assert_eq") || t.is_ident("assert_ne"))
+                && code
+                    .get(k + 1)
+                    .is_some_and(|&j| file.tokens[j].is_punct("!"))
+            {
+                let Some(&open) = code.get(k + 2) else {
+                    continue;
+                };
+                if !file.tokens[open].is_punct("(") {
+                    continue;
+                }
+                let mut depth = 0usize;
+                let mut floaty = false;
+                for &j in &code[k + 2..] {
+                    let n = &file.tokens[j];
+                    if n.is_punct("(") {
+                        depth += 1;
+                    } else if n.is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if n.kind == TokenKind::Float || n.is_ident("f32") || n.is_ident("f64") {
+                        floaty = true;
+                    }
+                }
+                if floaty {
+                    emit(
+                        self,
+                        file,
+                        t,
+                        format!(
+                            "`{}!` with float operands is exact-bit comparison; assert against an epsilon or compare `to_bits()`",
+                            t.text
+                        ),
+                        findings,
+                    );
+                }
             }
         }
     }
@@ -310,6 +485,19 @@ impl Lint for SentinelValue {
     }
     fn default_severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "waste_at_phi once returned f64::INFINITY to mean \"infeasible\" and \
+                        a caller averaged it into a real estimate. In the model crate, a \
+                        float that can be an error code will eventually be mistaken for a \
+                        value — failure must be a Result so the type system refuses to \
+                        add it to a mean. The surviving INFINITY sites are running-minimum \
+                        seeds and limit values inside optimizers, each with a baseline \
+                        justification saying so.",
+            bad: "fn waste(p: f64) -> f64 { if p <= 0.0 { f64::INFINITY } else { ... } }",
+            good: "fn waste(p: f64) -> Result<f64, ModelError> { if p <= 0.0 { Err(ModelError::Infeasible) } else { ... } }",
+        }
     }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         if !file.rel.starts_with("crates/core/") {
@@ -356,6 +544,18 @@ impl Lint for ForbidUnsafe {
     }
     fn default_severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "Every numerical claim this workspace makes rests on the compiler's \
+                        memory-safety guarantees; one unsafe block anywhere voids them \
+                        quietly. Requiring #![forbid(unsafe_code)] at every crate root \
+                        makes the guarantee structural: forbid (unlike deny) cannot be \
+                        overridden further down the tree, so the check is one attribute \
+                        per crate instead of an audit per PR.",
+            bad: "//! My crate docs\npub mod model;  // root without the attribute",
+            good: "//! My crate docs\n#![forbid(unsafe_code)]\npub mod model;",
+        }
     }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         if !file.is_crate_root {
@@ -406,6 +606,18 @@ impl Lint for TodoMarkers {
     }
     fn default_severity(&self) -> Severity {
         Severity::Deny
+    }
+    fn explanation(&self) -> Explanation {
+        Explanation {
+            rationale: "todo!() in library code is a panic with a nicer name, and TODO \
+                        comments are work the diff claims is done but is not. Either \
+                        finish the work in the same PR or record it where it will be \
+                        scheduled (ROADMAP.md), not where it will be forgotten. Tests \
+                        and benches are exempt: scaffolding there is visible in runs.",
+            bad: "pub fn resume(path: &Path) -> Snapshot { todo!() } // TODO: handle v2",
+            good:
+                "pub fn resume(path: &Path) -> Result<Snapshot, ModelError> { decode(read(path)?) }",
+        }
     }
     fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         let code = live_lib_code(file);
@@ -518,6 +730,65 @@ mod tests {
             Context::Lib,
         );
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn float_eq_catches_asserts_with_float_operands() {
+        let hits = run_lint(
+            "float-eq",
+            "fn f(a: f64, b: f64) { assert_eq!(a, 0.25); assert_ne!(b, 1.0f64); }",
+            Context::Lib,
+        );
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].message.contains("assert_eq"));
+        assert!(hits[1].message.contains("assert_ne"));
+    }
+
+    #[test]
+    fn float_eq_blesses_to_bits_asserts() {
+        let clean = "fn f(a: F, b: F) { assert_eq!(a.to_bits(), b.to_bits()); assert_eq!(n, 3); }";
+        assert!(run_lint("float-eq", clean, Context::Lib).is_empty());
+    }
+
+    #[test]
+    fn every_lint_has_an_explanation() {
+        for info in catalog() {
+            let e = info.explanation;
+            assert!(
+                !e.rationale.trim().is_empty(),
+                "lint `{}` has no rationale",
+                info.name
+            );
+            assert!(
+                e.rationale.split_whitespace().count() >= 25,
+                "lint `{}` rationale is not a paragraph",
+                info.name
+            );
+            assert!(
+                !e.good.trim().is_empty(),
+                "lint `{}` has no good example",
+                info.name
+            );
+            assert!(
+                !e.bad.trim().is_empty(),
+                "lint `{}` has no bad example",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_covers_both_registries_with_unique_names() {
+        let cat = catalog();
+        assert_eq!(cat.len(), registry().len() + workspace_registry().len());
+        let mut names: Vec<&str> = cat.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "duplicate lint names");
+        assert!(cat
+            .iter()
+            .any(|i| i.name == "determinism-taint" && i.workspace));
+        assert!(cat.iter().any(|i| i.name == "float-eq" && !i.workspace));
     }
 
     #[test]

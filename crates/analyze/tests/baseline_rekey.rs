@@ -1,0 +1,101 @@
+//! The point of the content-hash baseline key: editing *elsewhere* in
+//! a file must not invalidate its `[[allow]]` entries. An entry is
+//! keyed by (path, lint, normalized snippet hash) with the `line` as a
+//! fuzzy anchor (±[`dck_analyze::LINE_FUZZ`]), so a small shift keeps
+//! matching while a large one goes honestly stale.
+
+use dck_analyze::{scan, snippet_hash, AnalyzeConfig, LINE_FUZZ};
+use std::path::PathBuf;
+
+/// A throwaway workspace with one crate whose lib.rs carries one
+/// deliberate `unwrap()` preceded by `pad` filler lines.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(name: &str, pad: usize) -> TempWs {
+        let root = std::env::temp_dir().join(format!("dck-rekey-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src = root.join("crates/x/src");
+        std::fs::create_dir_all(&src).unwrap();
+        let mut text = String::from("//! Temp fixture.\n#![forbid(unsafe_code)]\n");
+        for i in 0..pad {
+            text.push_str(&format!("/// Filler {i}.\npub fn filler_{i}() {{}}\n"));
+        }
+        text.push_str("/// The baselined violation.\npub fn boom(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n");
+        std::fs::write(src.join("lib.rs"), text).unwrap();
+        TempWs { root }
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The entry as `dck lint baseline` would emit it for the unpadded
+/// layout: hash of the offending line, anchored where it first lived.
+fn entry(anchor_line: u32) -> AnalyzeConfig {
+    AnalyzeConfig::from_toml(&format!(
+        "[[allow]]\n\
+         lint = \"panic-safety\"\n\
+         path = \"crates/x/src/lib.rs\"\n\
+         line = {anchor_line}\n\
+         snippet_hash = \"{}\"\n\
+         justification = \"temp fixture exercises the fuzzy key\"\n",
+        snippet_hash("x.unwrap()")
+    ))
+    .unwrap()
+}
+
+#[test]
+fn small_shifts_keep_the_baseline_entry_alive() {
+    // Unpadded, the unwrap sits on line 5; each pad entry adds 2 lines.
+    let anchor = 5;
+    for pad in [0usize, 1, 4] {
+        let ws = TempWs::new(&format!("small-{pad}"), pad);
+        let shift = 2 * pad as u32;
+        assert!(shift <= LINE_FUZZ, "test premise");
+        let report = scan(&ws.root, &entry(anchor)).unwrap();
+        assert!(
+            report.is_clean(),
+            "a {shift}-line shift must not re-key the entry:\n{}",
+            report.to_human()
+        );
+        assert_eq!(report.suppressed, 1);
+    }
+}
+
+#[test]
+fn large_shifts_go_stale_instead_of_matching_blindly() {
+    // 6 pad entries shift the line by 12 > LINE_FUZZ: the entry stops
+    // matching, the finding comes back live, and the entry reports
+    // stale — both sides of the drift are surfaced.
+    let ws = TempWs::new("large", 6);
+    let report = scan(&ws.root, &entry(5)).unwrap();
+    assert!(!report.is_clean());
+    assert_eq!(report.deny_count(), 1);
+    assert_eq!(report.stale_allows.len(), 1);
+}
+
+#[test]
+fn content_change_rekeys_even_on_the_same_line() {
+    // Same line number, different content: the hash no longer matches,
+    // so the entry cannot silently bless a new violation.
+    let ws = TempWs::new("content", 0);
+    let cfg = AnalyzeConfig::from_toml(&format!(
+        "[[allow]]\n\
+         lint = \"panic-safety\"\n\
+         path = \"crates/x/src/lib.rs\"\n\
+         line = 5\n\
+         snippet_hash = \"{}\"\n\
+         justification = \"hash of content that is not on line 5\"\n",
+        snippet_hash("y.expect(\"other\")")
+    ))
+    .unwrap();
+    let report = scan(&ws.root, &cfg).unwrap();
+    assert_eq!(report.deny_count(), 1);
+    assert_eq!(report.stale_allows.len(), 1);
+}

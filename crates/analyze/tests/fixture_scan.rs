@@ -51,9 +51,27 @@ fn json_rendering_matches_golden() {
 }
 
 #[test]
+fn sarif_rendering_matches_golden() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    let rendered = dck_analyze::sarif::render(&report).unwrap();
+    // Structural sanity before the byte-level pin: the document parses
+    // back, carries the right version, and has one result per finding.
+    let v: serde_json::Value = serde_json::from_str(&rendered).unwrap();
+    assert_eq!(v["version"].as_str(), Some("2.1.0"));
+    assert_eq!(
+        v["runs"][0]["results"].as_array().unwrap().len(),
+        report.findings.len()
+    );
+    check_golden("mini.sarif.json", &rendered);
+}
+
+#[test]
 fn fixture_violation_inventory() {
     let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
-    assert_eq!(report.files_scanned, 4, "lib, util, integration test, core");
+    assert_eq!(
+        report.files_scanned, 8,
+        "bad (lib, util, integration test), core, clock, sweeper, pool, lockbox"
+    );
     assert!(
         report.unresolved_mods.is_empty(),
         "{:?}",
@@ -68,14 +86,18 @@ fn fixture_violation_inventory() {
             .filter(|f| f.lint == lint)
             .collect::<Vec<_>>()
     };
-    // `use HashMap` + the `count` signature.
-    assert_eq!(by_lint("nondeterminism").len(), 2);
-    // The live `unwrap()`; the `#[cfg(test)]` module's is exempt.
-    assert_eq!(by_lint("panic-safety").len(), 1);
-    assert_eq!(by_lint("slice-index").len(), 1);
-    assert_eq!(by_lint("float-eq").len(), 1);
+    // `use HashMap` + the `count` signature, `Instant` in clock, and
+    // the two raw `thread::spawn`s in pool.
+    assert_eq!(by_lint("nondeterminism").len(), 5);
+    // bad's `unwrap()` (the `#[cfg(test)]` module's is exempt), both
+    // pool helpers, and lockbox's `.lock().unwrap()`.
+    assert_eq!(by_lint("panic-safety").len(), 4);
+    assert_eq!(by_lint("slice-index").len(), 2);
+    // `==`, `!=`, and `assert_eq!` with float operands; the
+    // `to_bits()` assertion stays clean.
+    assert_eq!(by_lint("float-eq").len(), 3);
     assert_eq!(by_lint("sentinel-value").len(), 1);
-    // `bad` lacks the attribute; `core` carries it.
+    // `bad` lacks the attribute; every other crate carries it.
     let fu = by_lint("forbid-unsafe");
     assert_eq!(fu.len(), 1);
     assert!(fu[0].path.ends_with("bad/src/lib.rs"));
@@ -85,6 +107,58 @@ fn fixture_violation_inventory() {
         .findings
         .iter()
         .all(|f| !f.path.contains("tests/integration.rs")));
+}
+
+#[test]
+fn cross_crate_taint_reports_the_full_call_path() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    let taint: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "determinism-taint")
+        .collect();
+    assert_eq!(taint.len(), 1, "{taint:?}");
+    let f = taint[0];
+    assert_eq!(f.severity, Severity::Deny);
+    // The source is anchored in the crate that *reads* the clock…
+    assert!(f.path.ends_with("clock/src/lib.rs"));
+    // …and the message walks the chain from the sink crate into it.
+    assert!(
+        f.message
+            .contains("call path: sweeper::run_sweep_mini -> clock::stamp"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn panic_reachability_separates_contained_from_escaping() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    let reach: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "panic-reachability")
+        .collect();
+    assert_eq!(reach.len(), 2, "{reach:?}");
+    let escaping = reach.iter().find(|f| f.severity == Severity::Deny).unwrap();
+    assert!(escaping.message.contains("pool::spawned"));
+    assert!(escaping.message.contains("no catch_unwind on the path"));
+    let contained = reach.iter().find(|f| f.severity == Severity::Warn).unwrap();
+    assert!(contained.message.contains("contained by catch_unwind"));
+}
+
+#[test]
+fn lock_discipline_flags_compute_under_guard_only() {
+    let report = scan(&fixture_root(), &AnalyzeConfig::default()).unwrap();
+    let lock: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "lock-discipline")
+        .collect();
+    // The probe/compute/insert shape next door stays clean.
+    assert_eq!(lock.len(), 1, "{lock:?}");
+    assert!(lock[0].path.ends_with("lockbox/src/lib.rs"));
+    assert!(lock[0].message.contains("sweeper::run_sweep_mini"));
 }
 
 #[test]
@@ -112,7 +186,12 @@ fn justified_baseline_suppresses_and_polices_itself() {
             .unwrap();
     let report = scan(&fixture_root(), &cfg).unwrap();
     assert_eq!(report.suppressed, 1);
-    assert!(report.findings.iter().all(|f| f.lint != "panic-safety"));
+    // Only the entry's own file is suppressed; the other crates'
+    // panic-safety findings survive.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !(f.lint == "panic-safety" && f.path.contains("bad/"))));
     assert!(report.stale_allows.is_empty());
     assert!(report.unjustified_allows.is_empty());
 

@@ -6,3 +6,19 @@
 pub fn is_zero(a: f64) -> bool {
     a == 0.0
 }
+
+/// Exact float inequality, equally wrong.
+pub fn is_nonzero(a: f64) -> bool {
+    a != 0.0
+}
+
+/// Exact-bit float assertion, wrong in macro clothing.
+pub fn check_zero(a: f64) {
+    assert_eq!(a, 0.0);
+}
+
+/// Bit-pattern assertion — the accepted spelling; carries no float
+/// token, so the lint stays quiet.
+pub fn check_zero_bits(a: f64) {
+    assert_eq!(a.to_bits(), 0);
+}

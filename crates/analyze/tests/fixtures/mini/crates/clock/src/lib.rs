@@ -1,0 +1,12 @@
+//! Fixture helper crate: the nondeterministic *source* of the
+//! cross-crate taint case. Nothing in this crate is a sink — the
+//! violation only exists because `sweeper` calls into it.
+
+#![forbid(unsafe_code)]
+
+/// Reads the wall clock. Harmless on its own; poisonous once a sweep
+/// engine depends on it.
+pub fn stamp(tick: u64) -> u64 {
+    let t = std::time::Instant::now();
+    tick ^ (t.elapsed().as_nanos() as u64)
+}

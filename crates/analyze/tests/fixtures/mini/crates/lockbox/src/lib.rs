@@ -1,0 +1,37 @@
+//! Fixture lock-discipline cases: a cache lookup that computes a sweep
+//! cell while the cache's MutexGuard is still live (the bad shape
+//! PR-7 removed from serve), next to the accepted probe/compute/insert
+//! shape.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// A one-slot cache in front of the fixture sweep engine.
+pub struct Cache {
+    /// The last computed cell value.
+    pub last: u64,
+}
+
+/// BAD: the guard is bound for the whole block, so the sweep runs
+/// while every other caller is blocked on the lock.
+pub fn lookup_holding_lock(cache: &Mutex<Cache>, cells: usize) -> u64 {
+    let mut g = cache.lock().unwrap();
+    g.last = sweeper::run_sweep_mini(cells);
+    g.last
+}
+
+/// GOOD: probe under the lock, compute outside it, re-lock to insert.
+pub fn lookup_probe_then_compute(cache: &Mutex<Cache>, cells: usize) -> u64 {
+    let hit = cache.lock().ok().map(|g| g.last);
+    match hit {
+        Some(v) if v != 0 => v,
+        _ => {
+            let v = sweeper::run_sweep_mini(cells);
+            if let Ok(mut g) = cache.lock() {
+                g.last = v;
+            }
+            v
+        }
+    }
+}

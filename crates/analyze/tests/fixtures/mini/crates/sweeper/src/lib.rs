@@ -1,0 +1,14 @@
+//! Fixture sink crate: `run_sweep_mini` is a determinism sink by
+//! naming convention, and it reaches `clock::stamp`'s `Instant` read
+//! one crate away — the cross-crate taint case.
+
+#![forbid(unsafe_code)]
+
+/// A sweep engine whose accumulator quietly folds in wall-clock bits.
+pub fn run_sweep_mini(cells: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..cells {
+        acc = acc.wrapping_add(clock::stamp(i as u64));
+    }
+    acc
+}

@@ -31,4 +31,13 @@ fn repo_scan_is_clean_against_checked_in_baseline() {
         "{:?}",
         report.unjustified_allows
     );
+    // The repo baseline is fully migrated to the content-hash key; a
+    // new entry added with bare `line = N` (no `snippet_hash`) would
+    // silently rot as the file drifts, so it is rejected here.
+    assert!(
+        report.deprecated_allows.is_empty(),
+        "analyze.toml entries still on the deprecated exact-line key \
+         (add snippet_hash, see `dck lint baseline`): {:?}",
+        report.deprecated_allows
+    );
 }

@@ -92,7 +92,10 @@ pub fn usage() -> String {
      \x20 trace    generate|stats ...             failure-trace tooling\n\
      \x20 lint     [baseline]                      static determinism/panic-safety lints\n\
      \x20          --root DIR (workspace root)  --config FILE (analyze.toml)\n\
-     \x20          --format human|json  --out FILE (JSON report, written even on failure)\n\
+     \x20          --format human|json|sarif  --out FILE (JSON report, written even on failure)\n\
+     \x20          --sarif FILE (SARIF 2.1.0 report, written even on failure)\n\
+     \x20          --graph (dump the resolved cross-crate call graph)\n\
+     \x20          --explain LINT (what a lint matches, why, bad/good examples)\n\
      \x20 validate --trace F | --metrics F | --sweep F | --conformance F | --snapshot F | --bench F\n\
      \x20                                          schema-check emitted files\n\
      \n\
@@ -670,12 +673,18 @@ fn find_workspace_root() -> Result<std::path::PathBuf, String> {
 }
 
 fn cmd_lint(args: &Args) -> Result<String, String> {
+    if let Some(name) = args.get("explain") {
+        return explain_lint(name);
+    }
     let root = match args.get("root") {
         Some(r) => std::path::PathBuf::from(r),
         None => find_workspace_root()?,
     };
     if !root.is_dir() {
         return Err(format!("--root {} is not a directory", root.display()));
+    }
+    if args.get("graph") == Some("true") {
+        return dck_analyze::dump_call_graph(&root);
     }
     let config_path = match args.get("config") {
         Some(p) => std::path::PathBuf::from(p),
@@ -704,21 +713,65 @@ fn cmd_lint(args: &Args) -> Result<String, String> {
             .collect();
         return Ok(dck_analyze::AnalyzeConfig::baseline_toml(&deny));
     }
-    // The JSON artifact is written even when the scan fails, so CI can
-    // upload it from a failing job.
+    // The JSON and SARIF artifacts are written even when the scan
+    // fails, so CI can upload them from a failing job.
     if let Some(path) = &out_path {
         fsio::atomic_write(Path::new(path), report.to_json()?.as_bytes())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    if let Some(path) = args.get("sarif").map(str::to_string) {
+        fsio::atomic_write(
+            Path::new(&path),
+            dck_analyze::sarif::render(&report)?.as_bytes(),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     if report.is_clean() {
         match format.as_str() {
             "json" => report.to_json(),
+            "sarif" => dck_analyze::sarif::render(&report),
             "human" => Ok(report.to_human()),
-            other => Err(format!("unknown --format `{other}` (human|json)")),
+            other => Err(format!("unknown --format `{other}` (human|json|sarif)")),
         }
     } else {
         Err(report.to_human())
     }
+}
+
+/// `dck lint --explain NAME`: the lint's registry entry rendered as a
+/// card — what it matches, why the rule exists, and a bad/good pair.
+fn explain_lint(name: &str) -> Result<String, String> {
+    let catalog = dck_analyze::catalog();
+    let Some(info) = catalog.iter().find(|i| i.name == name) else {
+        let names: Vec<&str> = catalog.iter().map(|i| i.name).collect();
+        return Err(format!(
+            "unknown lint `{name}`; available: {}",
+            names.join(", ")
+        ));
+    };
+    let scope = if info.workspace {
+        "workspace (call-graph)"
+    } else {
+        "per-file (token pattern)"
+    };
+    Ok(format!(
+        "{} [{} by default, {scope}]\n  {}\n\nwhy\n  {}\n\nflagged\n{}\n\naccepted\n{}\n",
+        info.name,
+        info.default_severity,
+        info.description,
+        info.explanation.rationale,
+        indent(info.explanation.bad),
+        indent(info.explanation.good),
+    ))
+}
+
+fn indent(block: &str) -> String {
+    block
+        .trim_end()
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn cmd_validate(args: &Args) -> Result<String, String> {
@@ -1101,12 +1154,13 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     .map_err(|e| format!("serve failed: {e}"))?;
     Ok(format!(
         "serve: drained after {} connections, {} requests ({} errors), \
-         sweep-cell cache {} hits / {} misses\n",
+         sweep-cell cache {} hits / {} misses, {} worker panics\n",
         summary.connections,
         summary.requests,
         summary.errors,
         summary.cache_hits,
-        summary.cache_misses
+        summary.cache_misses,
+        summary.worker_panics
     ))
 }
 

@@ -40,6 +40,7 @@ use crate::queries;
 use serde::{Map, Value};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
@@ -83,6 +84,11 @@ pub struct ServeSummary {
     pub cache_hits: u64,
     /// `sweep_cell` answers computed on demand.
     pub cache_misses: u64,
+    /// Connections dropped because the handler panicked. The panic is
+    /// contained in the worker (the thread survives and returns to the
+    /// queue); a non-zero count means a compute bug slipped past the
+    /// request validators.
+    pub worker_panics: u64,
 }
 
 struct ServerCtx {
@@ -94,6 +100,7 @@ struct ServerCtx {
     errors: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl ServerCtx {
@@ -107,6 +114,7 @@ impl ServerCtx {
             errors: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
         }
     }
 
@@ -117,6 +125,7 @@ impl ServerCtx {
             errors: self.errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,8 +193,18 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, ctx: &ServerCtx) {
             }
         };
         // A connection-level I/O error (peer reset, broken pipe) ends
-        // that conversation only; the worker returns to the queue.
-        let _ = handle_connection(stream, ctx);
+        // that conversation only; the worker returns to the queue. The
+        // same goes for a panic anywhere in the compute path: the
+        // connection is dropped, the count is recorded, and the worker
+        // keeps serving — one poisoned request must not take a worker
+        // (and eventually the whole pool) down with it.
+        if catch_unwind(AssertUnwindSafe(|| {
+            let _ = handle_connection(stream, ctx);
+        }))
+        .is_err()
+        {
+            ctx.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -388,6 +407,14 @@ fn answer_line(line: &str, ctx: &ServerCtx) -> (String, Control) {
 }
 
 fn dispatch(req: &Request, ctx: &ServerCtx) -> (Result<Value, WireError>, Control) {
+    // Fault injection for the containment e2e, mirroring the sweep
+    // engine's DCK_SWEEP_PANIC_UNIT: a request whose id matches
+    // DCK_SERVE_PANIC_ID panics inside the worker, exercising the
+    // catch_unwind in `worker_loop` and the `worker_panics` counter.
+    // Absent (the normal case) this costs one env lookup per request.
+    if std::env::var("DCK_SERVE_PANIC_ID").is_ok_and(|id| Some(id.as_str()) == req.id.as_str()) {
+        panic!("injected serve panic (DCK_SERVE_PANIC_ID matched the request id)");
+    }
     match req.method.as_str() {
         "ping" => {
             let mut out = Map::new();

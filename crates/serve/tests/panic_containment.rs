@@ -1,0 +1,65 @@
+//! A panic inside a worker's request handling must not take the
+//! worker (or the server) down: `worker_loop` wraps the handler in
+//! `catch_unwind`, drops the poisoned connection, counts the panic,
+//! and keeps serving. This is the runtime half of the static
+//! `panic-reachability` lint's serve-thread story.
+//!
+//! Lives in its own test binary because the `DCK_SERVE_PANIC_ID`
+//! injection hook is process-global.
+
+use dck_serve::{serve, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+
+fn roundtrip(addr: SocketAddr, line: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    // A panicked worker drops the connection: read returns 0 bytes.
+    match reader.read_line(&mut response) {
+        Ok(0) => None,
+        Ok(_) => Some(response.trim().to_string()),
+        Err(_) => None,
+    }
+}
+
+#[test]
+fn worker_survives_injected_panic_and_counts_it() {
+    std::env::set_var("DCK_SERVE_PANIC_ID", "kaboom");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1, // one worker: if the panic killed it, ping would hang
+        cache_cells: 4,
+    };
+    let (addr_tx, addr_rx) = mpsc::channel::<SocketAddr>();
+    let server = std::thread::spawn(move || {
+        serve(&cfg, |addr| {
+            addr_tx.send(addr).unwrap();
+        })
+        .expect("serve")
+    });
+    let addr = addr_rx.recv().expect("bound address");
+
+    // The poisoned request gets no response — its connection is
+    // dropped mid-conversation…
+    let poisoned = roundtrip(addr, r#"{"v":1,"id":"kaboom","method":"ping"}"#);
+    assert_eq!(poisoned, None, "poisoned request must not be answered");
+
+    // …but the same (sole) worker keeps serving new connections.
+    let pong = roundtrip(addr, r#"{"v":1,"id":"p1","method":"ping"}"#).expect("server died");
+    assert!(pong.contains("\"pong\""), "{pong}");
+
+    let bye = roundtrip(addr, r#"{"v":1,"id":"s1","method":"shutdown"}"#).expect("shutdown");
+    assert!(bye.contains("draining"), "{bye}");
+
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.worker_panics, 1);
+    // The poisoned request was still counted as received.
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.errors, 0);
+}

@@ -28,6 +28,11 @@ lint-baseline:
     cargo build --release -p dck-cli
     ./target/release/dck lint baseline
 
+# Dump the resolved cross-crate call graph the workspace lints run on.
+lint-graph:
+    cargo build --release -p dck-cli
+    ./target/release/dck lint --graph
+
 # Regenerate every table/figure + validations + extensions into results/.
 experiments:
     cargo run -p dck-experiments --release -- all --out results
