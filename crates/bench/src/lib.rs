@@ -25,8 +25,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adapt_report;
 pub mod report;
 pub mod serve_report;
 
+pub use adapt_report::{
+    AdaptBenchConfig, AdaptReport, AdaptScenarioReport, AdaptSummary, ADAPT_SCHEMA,
+    DEFAULT_STATIONARY_TOLERANCE,
+};
 pub use report::{BenchConfig, BenchKind, BenchReport, BenchSeries, BenchSummary, SCHEMA};
-pub use serve_report::{ServeBenchConfig, ServeBenchReport, ServeLatency, SERVE_SCHEMA};
+pub use serve_report::{
+    latency_ladder, nearest_rank, ServeBenchConfig, ServeBenchReport, ServeLatency,
+    LATENCY_LADDER_PERMILLE, SERVE_SCHEMA,
+};

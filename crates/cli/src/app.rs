@@ -4,15 +4,17 @@ use crate::parse::{
     format_duration, parse_duration, resolve_params, resolve_phi, resolve_protocol, Args,
 };
 use dck_core::{
-    base_success_probability, optimal_period, Evaluation, Protocol, RiskModel, Scenario,
+    base_success_probability, optimal_period, proactive_cost, ControllerConfig, Evaluation,
+    PredictorSpec, Protocol, RiskModel, Scenario,
 };
 use dck_experiments::output::{ascii_table, fmt_f64};
 use dck_failures::{AggregatedExponential, FailureTrace, MtbfSpec};
 use dck_obs::{JsonlSink, MetricsSnapshot};
 use dck_sim::{
-    estimate_waste, replication_source, run_sweep_with_checkpoint, run_to_completion_sinked,
-    validate_snapshot, EarlyStop, MonteCarloConfig, PeriodChoice, RunConfig, SweepCheckpoint,
-    SweepEngine, SweepResult, SweepSpec, TimelineEvent,
+    estimate_waste, replication_source, run_regret, run_sweep_with_checkpoint,
+    run_to_completion_sinked, validate_snapshot, EarlyStop, MonteCarloConfig, PeriodChoice,
+    RegretCase, RegretScenario, RegretSpec, RunConfig, SweepCheckpoint, SweepEngine, SweepResult,
+    SweepSpec, TimelineEvent,
 };
 use dck_simcore::{fsio, RngFactory, SimTime};
 use std::fmt::Write as _;
@@ -42,6 +44,7 @@ pub fn run(raw: &[String]) -> Result<String, String> {
         "run" => cmd_run(&args)?,
         "inject" => cmd_inject(&args)?,
         "sweep" => cmd_sweep(&args)?,
+        "adapt" => cmd_adapt(&args)?,
         "serve" => cmd_serve(&args)?,
         "loadgen" => cmd_loadgen(&args)?,
         "trace" => cmd_trace(&args)?,
@@ -78,9 +81,16 @@ pub fn usage() -> String {
      \x20          --format ascii|csv|json  --metrics FILE (counters + summary table)\n\
      \x20          --out FILE (rendered output, written atomically)\n\
      \x20          --checkpoint DIR (snapshot between-rounds state; global engine)\n\
-     \x20          --checkpoint-every N (rounds per snapshot, default 1)\n\
+     \x20          --checkpoint-every N (rounds per snapshot, default 1; on resume the\n\
+     \x20              snapshot-recorded cadence wins unless this is passed explicitly)\n\
+     \x20          --keep-snapshots K (retained generations, 2..=8, default 2)\n\
      \x20          --resume (continue from the newest valid snapshot)\n\
      \x20          --max-rounds N (pause after N rounds; rerun with --resume)\n\
+     \x20 adapt    [--protocol P] [opts]          adaptive-controller regret vs static tunings\n\
+     \x20          --mtbf DUR (true platform MTBF)  --reps N  --work-mtbfs X  --seed N\n\
+     \x20          --half-life DUR (estimator window)  --hysteresis X  --min-failures N\n\
+     \x20          --tolerance X (stationary regret gate, default 0.10)\n\
+     \x20          --out FILE (default BENCH_adapt.json; gates enforced after writing)\n\
      \x20 serve    [--addr A] [opts]              waste/risk query service (line-delimited JSON)\n\
      \x20          --addr HOST:PORT (default 127.0.0.1:0, prints the bound address)\n\
      \x20          --workers N (0 = auto)  --cache-cells N (sweep-cell LRU, default 256)\n\
@@ -787,6 +797,7 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
             let at = match event {
                 TimelineEvent::Failure { at, .. }
                 | TimelineEvent::OutageEnd { at }
+                | TimelineEvent::Retune { at, .. }
                 | TimelineEvent::Finished { at, .. } => at,
             };
             if at < last_at {
@@ -883,6 +894,18 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
                 "bench {path}: serve load, {} ok requests at {:.0} req/s ({} errors), p99 {}us",
                 report.ok_requests, report.req_per_sec, report.errors, report.latency.p99_us
             );
+        } else if schema == dck_bench::ADAPT_SCHEMA {
+            let report = dck_bench::AdaptReport::from_json(&text)
+                .map_err(|e| format!("{path}: invalid AdaptReport: {e}"))?;
+            report.validate().map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "bench {path}: adaptive regret, {} scenarios, max stationary regret {:+.1}%, \
+                 drift beats static: {}",
+                report.scenarios.len(),
+                100.0 * report.summary.max_stationary_regret_ratio,
+                report.summary.drift_beats_static
+            );
         } else {
             let report = dck_bench::BenchReport::from_json(&text)
                 .map_err(|e| format!("{path}: invalid BenchReport: {e}"))?;
@@ -909,12 +932,14 @@ fn cmd_validate(args: &Args) -> Result<String, String> {
         })?;
         let _ = writeln!(
             out,
-            "snapshot {path}: v{}, {} rounds, {}/{} cells active, {} replications done, spec {}",
+            "snapshot {path}: v{}, {} rounds, {}/{} cells active, {} replications done, \
+             cadence {} round(s)/snapshot, spec {}",
             info.version,
             info.rounds_done,
             info.active_cells,
             info.cells,
             info.replications_done,
+            info.checkpoint_every,
             info.spec_fingerprint
         );
         checked += 1;
@@ -981,6 +1006,10 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
     let checkpoint = match args.get("checkpoint") {
         Some(dir) => {
             let mut ck = SweepCheckpoint::new(dir);
+            // Explicit vs defaulted matters on resume: an explicit
+            // cadence that disagrees with the one the snapshot records
+            // is a typed error, a defaulted one honors the snapshot.
+            ck.every_explicit = args.get("checkpoint-every").is_some();
             ck.every_rounds = args.get_parsed("checkpoint-every", ck.every_rounds)?;
             if ck.every_rounds == 0 {
                 return Err(
@@ -989,6 +1018,7 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
                         .into(),
                 );
             }
+            ck.keep_snapshots = args.get_parsed("keep-snapshots", ck.keep_snapshots)?;
             ck.resume = args.get_parsed("resume", false)?;
             ck.max_rounds = match args.get("max-rounds") {
                 None => None,
@@ -1007,7 +1037,7 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
             Some(ck)
         }
         None => {
-            for dependent in ["resume", "checkpoint-every", "max-rounds"] {
+            for dependent in ["resume", "checkpoint-every", "keep-snapshots", "max-rounds"] {
                 if args.get(dependent).is_some() {
                     return Err(format!("--{dependent} requires --checkpoint DIR"));
                 }
@@ -1133,6 +1163,144 @@ fn cmd_sweep(args: &Args) -> Result<String, String> {
         }
         None => Ok(rendered),
     }
+}
+
+fn cmd_adapt(args: &Args) -> Result<String, String> {
+    let (params, _scenario) = resolve_params(args)?;
+    let protocol = resolve_protocol(args, Some(Protocol::DoubleNbl))?;
+    let phi = resolve_phi(args, &params)?;
+    let true_mtbf = args.get_duration("mtbf", 7.0 * 3600.0)?;
+    let work_in_mtbfs: f64 = args.get_parsed("work-mtbfs", 80.0)?;
+    let replications: usize = args.get_parsed("reps", 24)?;
+    if replications == 0 {
+        return Err("--reps must be at least 1 (a zero-replication run measures nothing)".into());
+    }
+    let seed: u64 = args.get_parsed("seed", 0xADA7)?;
+    let tolerance: f64 = args.get_parsed("tolerance", dck_bench::DEFAULT_STATIONARY_TOLERANCE)?;
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        return Err("--tolerance must be a positive fraction".into());
+    }
+    let out_path = args.get("out").unwrap_or("BENCH_adapt.json").to_string();
+
+    let mut controller = ControllerConfig::default();
+    controller.hysteresis = args.get_parsed("hysteresis", controller.hysteresis)?;
+    controller.min_failures = args.get_parsed("min-failures", controller.min_failures)?;
+    if let Some(hl) = args.get("half-life") {
+        controller.half_life = Some(parse_duration(hl)?);
+    }
+    controller.validate().map_err(|e| e.to_string())?;
+
+    // Predictor for the predicted scenario: the lead window must cover
+    // the proactive checkpoint, whatever the platform parameters are.
+    let predictor = PredictorSpec::new(0.9, 0.7, 2.0 * proactive_cost(&params));
+    let spec = RegretSpec {
+        protocol,
+        params,
+        phi,
+        true_mtbf,
+        work_in_mtbfs,
+        replications,
+        seed,
+        controller,
+        cases: vec![
+            RegretCase {
+                name: "mtbf-over-x4".into(),
+                scenario: RegretScenario::Misspecified { factor: 4.0 },
+            },
+            RegretCase {
+                name: "mtbf-under-x0.25".into(),
+                scenario: RegretScenario::Misspecified { factor: 0.25 },
+            },
+            RegretCase {
+                name: "drift-degrading-x0.25".into(),
+                scenario: RegretScenario::Drift { end_factor: 0.25 },
+            },
+            RegretCase {
+                name: "predicted-over-x4".into(),
+                scenario: RegretScenario::Predicted {
+                    factor: 4.0,
+                    predictor,
+                },
+            },
+        ],
+    };
+    let results = run_regret(&spec).map_err(|e| e.to_string())?;
+
+    let report = dck_bench::AdaptReport::from_results(
+        dck_bench::AdaptBenchConfig {
+            protocol: protocol.to_string(),
+            nodes: params.nodes,
+            true_mtbf_s: true_mtbf,
+            phi_ratio: if params.theta_min > 0.0 {
+                phi / params.theta_min
+            } else {
+                0.0
+            },
+            work_in_mtbfs,
+            replications,
+            seed,
+            hysteresis: controller.hysteresis,
+            min_failures: controller.min_failures,
+            half_life_s: controller.half_life,
+        },
+        &results,
+        tolerance,
+    );
+
+    let mut rows = Vec::new();
+    for s in &report.scenarios {
+        rows.push(vec![
+            s.name.clone(),
+            s.kind.clone(),
+            format_duration(s.believed_mtbf_s),
+            format_duration(s.oracle_mtbf_s),
+            format!("{:.4}", s.adaptive_waste),
+            format!("{:.4}", s.static_waste),
+            format!("{:.4}", s.oracle_waste),
+            format!("{:+.1}%", 100.0 * s.regret_ratio),
+            if s.beats_static { "yes" } else { "NO" }.to_string(),
+            format!("{:.1}", s.retunes_mean),
+        ]);
+    }
+    let mut out = ascii_table(
+        &[
+            "scenario", "kind", "believed", "oracle", "adaptive", "static", "oracle w", "regret",
+            "beats", "retunes",
+        ],
+        &rows,
+    );
+    let _ = writeln!(
+        out,
+        "stationary regret: max {:+.1}% (tolerance {:.0}%) -> {}",
+        100.0 * report.summary.max_stationary_regret_ratio,
+        100.0 * tolerance,
+        if report.summary.stationary_within_tolerance {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "drift beats static: {}",
+        if report.summary.drift_beats_static {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    // Write the artifact before judging it, so a failing run still
+    // leaves the evidence on disk for inspection.
+    fsio::atomic_write(
+        Path::new(&out_path),
+        report.to_json().map_err(|e| e.to_string())?.as_bytes(),
+    )
+    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = writeln!(out, "report -> {out_path}");
+    report
+        .validate()
+        .map_err(|e| format!("{out}adaptive acceptance gate failed: {e}"))?;
+    Ok(out)
 }
 
 fn cmd_serve(args: &Args) -> Result<String, String> {

@@ -99,6 +99,84 @@ fn assert_surviving_snapshots_valid(ckpt_dir: &Path) -> usize {
     seen
 }
 
+/// Numerically newest snapshot round present in `ckpt_dir`, if any.
+fn newest_round(ckpt_dir: &Path) -> Option<u64> {
+    let mut newest = None;
+    if let Ok(entries) = std::fs::read_dir(ckpt_dir) {
+        for entry in entries {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "dckpt") {
+                let round = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.strip_prefix("sweep-r"))
+                    .and_then(|s| s.parse::<u64>().ok());
+                newest = newest.max(round);
+            }
+        }
+    }
+    newest
+}
+
+/// The corrupt-newest crash case: between kill attempts, a torn
+/// snapshot is planted one round *above* the newest real one — the
+/// disks-lie scenario where the newest file by name is garbage. The
+/// retention policy must treat it as budget-free noise (never letting
+/// it crowd out the newest valid snapshot), resume must fall back past
+/// it, and the pruning on subsequent writes must clean it up: after
+/// completion the artifact is byte-identical to the baseline and every
+/// surviving snapshot validates.
+#[test]
+fn corrupt_newest_snapshot_never_loses_the_valid_generation() {
+    let dir = scratch("corrupt-newest");
+    let ckpt = dir.join("ckpt");
+    let baseline = dir.join("baseline.json");
+    let resumed = dir.join("resumed.json");
+
+    let status = sweep_cmd(&baseline).status().unwrap();
+    assert!(status.success(), "baseline sweep failed");
+
+    let mut schedule = KillSchedule::new(0xC0_44E5);
+    let outcome = run_with_random_kills(
+        |attempt| {
+            if attempt > 0 {
+                // Plant a corrupt "newest" generation above whatever
+                // the killed run left behind. With count-based
+                // filename-order pruning this garbage would consume a
+                // retention slot and push the newest valid snapshot
+                // out on the next write.
+                if let Some(round) = newest_round(&ckpt) {
+                    let torn = ckpt.join(format!("sweep-r{:08}.dckpt", round + 1));
+                    std::fs::write(&torn, b"{\"magic\":\"dck-sweep-snapshot\",\"ver").unwrap();
+                }
+            }
+            let mut c = sweep_cmd(&resumed);
+            c.args(["--checkpoint"]);
+            c.arg(&ckpt);
+            c.args(["--resume"]);
+            c
+        },
+        &mut schedule,
+        max_kill_delay_ms(),
+        6,
+    )
+    .unwrap();
+
+    assert_eq!(
+        std::fs::read(&baseline).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed sweep (after {} kills, corrupt-newest planted each attempt) \
+         diverged from the uninterrupted baseline",
+        outcome.kills
+    );
+    // Validity-aware pruning must have cleaned the planted garbage by
+    // the terminal write: everything still on disk validates, and the
+    // terminal generation survived.
+    assert!(assert_surviving_snapshots_valid(&ckpt) >= 1);
+    assert_validates("--sweep", &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn killed_and_resumed_sweep_matches_uninterrupted_baseline() {
     let dir = scratch("sweep");

@@ -49,7 +49,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod control;
 pub mod error;
+pub mod estimate;
 pub mod evaluation;
 pub mod hardware;
 pub mod hierarchical;
@@ -67,7 +69,9 @@ pub mod waste;
 /// One-stop imports for typical model use.
 pub mod prelude {
     pub use crate::baseline::{daly_period, young_period, CentralizedModel};
+    pub use crate::control::{ControllerConfig, PeriodController, Retune};
     pub use crate::error::ModelError;
+    pub use crate::estimate::{batch_mtbf, EstimatorConfig, FitKind, MtbfEstimate, MtbfEstimator};
     pub use crate::evaluation::Evaluation;
     pub use crate::hardware::HardwareSpec;
     pub use crate::hierarchical::{GlobalStore, HierarchicalModel, HierarchicalPoint};

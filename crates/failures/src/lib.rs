@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod drift;
 pub mod mtbf;
 pub mod process;
 pub mod trace;
 
 pub use distribution::{DistributionSpec, InterArrival};
+pub use drift::DriftingExponential;
 pub use mtbf::MtbfSpec;
 pub use process::{AggregatedExponential, FailureEvent, FailureSource, NodeId, PerNodeRenewal};
 pub use trace::{FailureTrace, OwnedTraceReplay, TraceReplay};

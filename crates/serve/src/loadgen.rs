@@ -21,7 +21,7 @@
 //! power-of-two buckets. The result is a validated
 //! [`ServeBenchReport`] (`BENCH_serve.json`).
 
-use dck_bench::{ServeBenchConfig, ServeBenchReport, ServeLatency, SERVE_SCHEMA};
+use dck_bench::{latency_ladder, ServeBenchConfig, ServeBenchReport, SERVE_SCHEMA};
 use dck_core::{Protocol, Scenario};
 use dck_sim::SweepSpec;
 use serde::{Map, Serialize, Value};
@@ -214,15 +214,6 @@ fn client_loop(cfg: &LoadgenConfig, client: usize, deadline: Instant) -> ClientS
     stats
 }
 
-/// Nearest-rank percentile on an ascending-sorted sample set.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted.get(rank - 1).copied().unwrap_or(0)
-}
-
 /// Drives load at the configured shape and assembles the validated
 /// report.
 ///
@@ -272,7 +263,10 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
         ));
     }
     latencies.sort_unstable();
-    let mean_us = latencies.iter().map(|&x| x as f64).sum::<f64>() / latencies.len() as f64;
+    // Shared exact-integer nearest-rank ladder (dck-bench) — the old
+    // local float-ceil formula overshot ranks at awkward sample counts.
+    let latency = latency_ladder(&latencies)
+        .ok_or_else(|| "no latency samples despite successful requests".to_string())?;
     let report = ServeBenchReport {
         schema: SERVE_SCHEMA.to_string(),
         config: ServeBenchConfig {
@@ -287,14 +281,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
         ok_requests: ok,
         errors,
         req_per_sec: ok as f64 / elapsed_s,
-        latency: ServeLatency {
-            p50_us: percentile(&latencies, 0.50),
-            p90_us: percentile(&latencies, 0.90),
-            p99_us: percentile(&latencies, 0.99),
-            p999_us: percentile(&latencies, 0.999),
-            max_us: latencies.last().copied().unwrap_or(0),
-            mean_us,
-        },
+        latency,
     };
     report
         .validate()
@@ -312,12 +299,15 @@ mod tests {
     #[test]
     fn percentiles_are_nearest_rank() {
         let xs: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&xs, 0.50), 50);
-        assert_eq!(percentile(&xs, 0.90), 90);
-        assert_eq!(percentile(&xs, 0.99), 99);
-        assert_eq!(percentile(&xs, 0.999), 100);
-        assert_eq!(percentile(&[7], 0.5), 7);
-        assert_eq!(percentile(&[], 0.5), 0);
+        let l = latency_ladder(&xs).unwrap();
+        assert_eq!(l.p50_us, 50);
+        assert_eq!(l.p90_us, 90);
+        assert_eq!(l.p99_us, 99);
+        assert_eq!(l.p999_us, 100, "p999 under 1000 samples is the max");
+        assert_eq!(l.max_us, 100);
+        let one = latency_ladder(&[7]).unwrap();
+        assert_eq!((one.p50_us, one.p999_us, one.max_us), (7, 7, 7));
+        assert!(latency_ladder(&[]).is_none());
     }
 
     #[test]

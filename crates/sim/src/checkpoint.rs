@@ -7,14 +7,14 @@
 //! killed sweep resumes **bit-identically** — the simulator practicing
 //! the paper's own discipline of surviving failures via checkpoints.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! A snapshot is a two-line UTF-8 file named
 //! `sweep-r{round:08}.dckpt`:
 //!
 //! ```text
-//! {"magic":"dck-sweep-snapshot","version":1,"checksum":"<fnv1a64 hex>"}
-//! {"spec_fingerprint":"<hex>","rounds_done":N,"cells":[...]}
+//! {"magic":"dck-sweep-snapshot","version":2,"checksum":"<fnv1a64 hex>"}
+//! {"spec_fingerprint":"<hex>","rounds_done":N,"checkpoint_every":K,"cells":[...]}
 //! ```
 //!
 //! The header's checksum is FNV-1a 64 over the payload line's bytes,
@@ -26,12 +26,30 @@
 //! [`OnlineStats`] carries infinite extrema, which JSON number syntax
 //! cannot represent at all (the vendored serializer emits `null`).
 //!
-//! Following the paper's own double-checkpointing discipline, the two
-//! newest snapshots are kept: if a kill lands mid-rename of the newest
-//! (impossible with POSIX rename, but disks lie) or the newest is
-//! corrupt, resume falls back to its buddy one round earlier.
-//! Snapshots are written via [`dck_simcore::fsio::atomic_write`], so a
-//! kill mid-write never leaves a truncated file under the final name.
+//! Version 2 additionally records the producing run's snapshot cadence
+//! (`checkpoint_every`), so a resumed run can honor the schedule the
+//! interrupted run was on instead of silently rebasing it.
+//!
+//! # Retention
+//!
+//! Following the paper's own double-checkpointing discipline, at least
+//! the two newest **valid** snapshots are kept: if a kill lands
+//! mid-rename of the newest (impossible with POSIX rename, but disks
+//! lie) or the newest is corrupt, resume falls back to its buddy one
+//! round earlier. Retention is parameterized by [`RetentionPolicy`] —
+//! `keep = k` generations, like the protocol layer's k-buddy groups —
+//! and the slots beyond the protected newest pair hold a well-spaced
+//! history: each prune greedily discards the snapshot whose removal
+//! minimizes the largest gap between consecutive retained rounds, the
+//! online-checkpointing discard rule of arXiv 1302.4216, which keeps
+//! the worst-case rewind from any round bounded instead of letting the
+//! retained set cluster at the tail.
+//!
+//! Pruning only ever counts snapshots that pass the full checksum
+//! decode against the budget — a corrupt file can never crowd a valid
+//! one out, so the newest valid snapshot is never removed. Snapshots
+//! are written via [`dck_simcore::fsio::atomic_write`], so a kill
+//! mid-write never leaves a truncated file under the final name.
 //!
 //! # Resume safety
 //!
@@ -53,14 +71,101 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Snapshot format version; bump on any payload change.
-pub const SNAPSHOT_VERSION: u64 = 1;
+pub const SNAPSHOT_VERSION: u64 = 2;
 /// Magic tag identifying sweep snapshot files.
 pub const SNAPSHOT_MAGIC: &str = "dck-sweep-snapshot";
 /// Snapshot file extension.
 pub const SNAPSHOT_EXT: &str = "dckpt";
-/// How many snapshot generations to keep — the newest plus one buddy,
-/// mirroring the paper's double-checkpoint discipline.
-const SNAPSHOT_KEEP: usize = 2;
+/// Default retained generations — the newest plus one buddy, mirroring
+/// the paper's double-checkpoint discipline.
+pub const DEFAULT_SNAPSHOT_KEEP: usize = 2;
+/// Upper bound on retained generations, mirroring the protocol layer's
+/// [`dck_core::MAX_GROUP_SIZE`] for k-buddy groups.
+pub const MAX_SNAPSHOT_KEEP: usize = dck_core::MAX_GROUP_SIZE as usize;
+
+/// How many snapshot generations survive a prune, and which.
+///
+/// `keep = 2` is the paper's double-checkpoint discipline (newest +
+/// buddy). Larger `keep` values retain a history whose spacing follows
+/// the online-checkpointing discard rule of arXiv 1302.4216: the
+/// newest two generations are always protected (the buddy pair resume
+/// depends on), and among the rest each prune discards the round whose
+/// removal minimizes the largest gap between consecutive retained
+/// rounds (round 0, the fresh start, anchors the sequence). The
+/// retained set therefore stays within a constant factor of the
+/// best-possible worst-case rewind for `keep` slots, rather than
+/// collapsing into a cluster of the `keep` newest rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    keep: usize,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            keep: DEFAULT_SNAPSHOT_KEEP,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// Policy retaining `keep` generations.
+    ///
+    /// # Errors
+    /// `keep` must lie in `2..=MAX_SNAPSHOT_KEEP` — one generation
+    /// would drop the buddy fallback, and the cap mirrors the k-buddy
+    /// group bound.
+    pub fn keep(keep: usize) -> Result<Self, ModelError> {
+        if !(DEFAULT_SNAPSHOT_KEEP..=MAX_SNAPSHOT_KEEP).contains(&keep) {
+            return Err(ModelError::invalid(
+                "keep_snapshots",
+                format!("retained generations must be in {DEFAULT_SNAPSHOT_KEEP}..={MAX_SNAPSHOT_KEEP}, got {keep}"),
+            ));
+        }
+        Ok(RetentionPolicy { keep })
+    }
+
+    /// Retained generation count.
+    pub fn generations(&self) -> usize {
+        self.keep
+    }
+
+    /// Which of `rounds` (ascending, the valid snapshots on disk)
+    /// survive: the newest two always, the rest by the greedy
+    /// max-gap-minimizing discard rule.
+    pub(crate) fn retain(&self, rounds: &[u64]) -> Vec<u64> {
+        let mut kept: Vec<u64> = rounds.to_vec();
+        while kept.len() > self.keep.max(2) {
+            // Candidates exclude the protected newest pair. The victim
+            // is the round whose removal leaves the smallest maximum
+            // gap between consecutive survivors (with the fresh-start
+            // round 0 as the leading anchor); ties discard the oldest.
+            let n = kept.len();
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..n - 2 {
+                let mut max_gap = 0u64;
+                let mut prev = 0u64;
+                for (j, &r) in kept.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    max_gap = max_gap.max(r.saturating_sub(prev));
+                    prev = r;
+                }
+                if best.is_none_or(|(g, _)| max_gap < g) {
+                    best = Some((max_gap, i));
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    kept.remove(i);
+                }
+                None => break,
+            }
+        }
+        kept
+    }
+}
 
 /// The `GlobalPool` engine's complete between-rounds execution state.
 #[derive(Debug, Clone)]
@@ -98,6 +203,10 @@ struct HeaderDoc {
 struct PayloadDoc {
     spec_fingerprint: String,
     rounds_done: u64,
+    /// Snapshot cadence (rounds per snapshot) the producing run was
+    /// on. Resume honors it unless explicitly overridden — a silently
+    /// rebased cadence mid-run was the bug this field fixes.
+    checkpoint_every: u64,
     cells: Vec<CellDoc>,
 }
 
@@ -193,7 +302,7 @@ pub(crate) fn spec_fingerprint(spec: &SweepSpec) -> u64 {
     }
 }
 
-fn encode(state: &PoolState, fingerprint: u64) -> io::Result<Vec<u8>> {
+fn encode(state: &PoolState, fingerprint: u64, checkpoint_every: u64) -> io::Result<Vec<u8>> {
     let cells = state
         .accs
         .iter()
@@ -212,6 +321,7 @@ fn encode(state: &PoolState, fingerprint: u64) -> io::Result<Vec<u8>> {
     let payload = serde_json::to_string(&PayloadDoc {
         spec_fingerprint: format!("{fingerprint:016x}"),
         rounds_done: state.rounds_done,
+        checkpoint_every,
         cells,
     })
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -308,8 +418,8 @@ fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Writes the state as a new snapshot in `dir` (created if absent) and
-/// prunes generations beyond [`SNAPSHOT_KEEP`]. Returns the snapshot
-/// path.
+/// prunes generations beyond the retention policy. Returns the
+/// snapshot path.
 ///
 /// # Errors
 /// Any I/O error from directory creation or the atomic write; pruning
@@ -318,16 +428,52 @@ pub(crate) fn write_snapshot(
     dir: &Path,
     state: &PoolState,
     fingerprint: u64,
+    checkpoint_every: u64,
+    retention: &RetentionPolicy,
 ) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = snapshot_path(dir, state.rounds_done);
-    atomic_write(&path, &encode(state, fingerprint)?)?;
-    if let Ok(all) = list_snapshots(dir) {
-        for stale in all.iter().rev().skip(SNAPSHOT_KEEP) {
-            let _ = fs::remove_file(stale);
+    atomic_write(&path, &encode(state, fingerprint, checkpoint_every)?)?;
+    prune_snapshots(dir, retention);
+    Ok(path)
+}
+
+/// Removes snapshots beyond the retention budget. Only files that pass
+/// the full checksum decode count against the budget — and only they
+/// are candidates for *policy* removal, so a corrupt file on disk can
+/// never push the newest valid snapshot out. Corrupt `.dckpt` files
+/// themselves are deleted outright: they can never be loaded, and
+/// leaving them around would shadow real generations in directory
+/// listings.
+fn prune_snapshots(dir: &Path, retention: &RetentionPolicy) {
+    let Ok(all) = list_snapshots(dir) else { return };
+    let mut valid: Vec<(u64, PathBuf)> = Vec::new();
+    for path in all {
+        let ok = fs::read(&path).map(|b| decode(&b).is_ok()).unwrap_or(false);
+        if ok {
+            valid.push((snapshot_round(&path).unwrap_or(0), path));
+        } else {
+            let _ = fs::remove_file(&path);
         }
     }
-    Ok(path)
+    let rounds: Vec<u64> = valid.iter().map(|(r, _)| *r).collect();
+    let kept = retention.retain(&rounds);
+    for (r, path) in &valid {
+        if !kept.contains(r) {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// What [`load_latest`] restored: the execution state plus the
+/// snapshot-recorded run settings a resume must honor.
+#[derive(Debug, Clone)]
+pub(crate) struct ResumedSnapshot {
+    /// The between-rounds execution state.
+    pub state: PoolState,
+    /// Snapshot cadence the interrupted run was on (rounds per
+    /// snapshot; `max(1)`-normalized by the writer's caller).
+    pub checkpoint_every: u64,
 }
 
 /// Loads the newest valid snapshot in `dir`, skipping corrupt files
@@ -339,7 +485,10 @@ pub(crate) fn write_snapshot(
 /// A *valid* snapshot whose spec fingerprint differs from
 /// `fingerprint` — resuming a different sweep's state would silently
 /// produce wrong results, so this never falls through to fresh-start.
-pub(crate) fn load_latest(dir: &Path, fingerprint: u64) -> Result<Option<PoolState>, ModelError> {
+pub(crate) fn load_latest(
+    dir: &Path,
+    fingerprint: u64,
+) -> Result<Option<ResumedSnapshot>, ModelError> {
     let snapshots = match list_snapshots(dir) {
         Ok(s) => s,
         Err(_) => return Ok(None),
@@ -360,7 +509,10 @@ pub(crate) fn load_latest(dir: &Path, fingerprint: u64) -> Result<Option<PoolSta
         }
         let state = state_from_payload(&payload)
             .map_err(|e| ModelError::execution(format!("snapshot {}: {e}", path.display())))?;
-        return Ok(Some(state));
+        return Ok(Some(ResumedSnapshot {
+            state,
+            checkpoint_every: payload.checkpoint_every,
+        }));
     }
     Ok(None)
 }
@@ -378,6 +530,9 @@ pub struct SnapshotInfo {
     pub active_cells: usize,
     /// Total replications already executed across the grid.
     pub replications_done: u64,
+    /// Snapshot cadence (rounds per snapshot) recorded by the
+    /// producing run.
+    pub checkpoint_every: u64,
     /// Fingerprint (hex) of the producing sweep spec.
     pub spec_fingerprint: String,
 }
@@ -397,6 +552,7 @@ pub fn validate_snapshot(path: &Path) -> Result<SnapshotInfo, String> {
         cells: state.accs.len(),
         active_cells: state.active.iter().filter(|&&a| a).count(),
         replications_done: state.next.iter().map(|&n| n as u64).sum(),
+        checkpoint_every: payload.checkpoint_every,
         spec_fingerprint: payload.spec_fingerprint,
     })
 }
@@ -411,6 +567,18 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// `write_snapshot` at the default cadence/retention (the shape
+    /// every pre-v2 test exercised).
+    fn write(dir: &Path, state: &PoolState, fp: u64) -> PathBuf {
+        write_snapshot(dir, state, fp, 1, &RetentionPolicy::default()).unwrap()
+    }
+
+    /// `load_latest` projected onto the state (cadence covered by its
+    /// own tests).
+    fn load(dir: &Path, fp: u64) -> Result<Option<PoolState>, ModelError> {
+        load_latest(dir, fp).map(|o| o.map(|r| r.state))
     }
 
     fn sample_state() -> PoolState {
@@ -447,14 +615,14 @@ mod tests {
     fn snapshot_round_trip_is_bit_exact() {
         let dir = scratch("roundtrip");
         let state = sample_state();
-        let path = write_snapshot(&dir, &state, 42).unwrap();
+        let path = write(&dir, &state, 42);
         assert!(path
             .file_name()
             .unwrap()
             .to_str()
             .unwrap()
             .contains("r00000001"));
-        let restored = load_latest(&dir, 42).unwrap().expect("snapshot present");
+        let restored = load(&dir, 42).unwrap().expect("snapshot present");
         assert_eq!(restored.rounds_done, 1);
         assert_eq!(restored.next, state.next);
         assert_eq!(restored.active, state.active);
@@ -475,17 +643,17 @@ mod tests {
     fn corrupt_newest_falls_back_to_buddy() {
         let dir = scratch("buddy");
         let mut state = sample_state();
-        write_snapshot(&dir, &state, 7).unwrap();
+        write(&dir, &state, 7);
         state.rounds_done = 2;
         state.next = vec![16, 8, 8];
-        let newest = write_snapshot(&dir, &state, 7).unwrap();
+        let newest = write(&dir, &state, 7);
         // Torn write under the final name (cannot happen through
         // atomic_write, but disks lie): flip payload bytes.
         let mut bytes = fs::read(&newest).unwrap();
         let n = bytes.len();
         bytes[n - 10] ^= 0xFF;
         fs::write(&newest, &bytes).unwrap();
-        let restored = load_latest(&dir, 7).unwrap().expect("buddy survives");
+        let restored = load(&dir, 7).unwrap().expect("buddy survives");
         assert_eq!(restored.rounds_done, 1, "fell back one generation");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -496,7 +664,7 @@ mod tests {
         let mut state = sample_state();
         for r in 1..=5 {
             state.rounds_done = r;
-            write_snapshot(&dir, &state, 1).unwrap();
+            write(&dir, &state, 1);
         }
         let files = list_snapshots(&dir).unwrap();
         assert_eq!(files.len(), 2);
@@ -513,11 +681,11 @@ mod tests {
         let dir = scratch("digit-boundary");
         let mut state = sample_state();
         state.rounds_done = 9;
-        write_snapshot(&dir, &state, 3).unwrap();
+        write(&dir, &state, 3);
         state.rounds_done = 10;
         state.next = vec![80, 80, 80];
-        write_snapshot(&dir, &state, 3).unwrap();
-        let restored = load_latest(&dir, 3).unwrap().expect("snapshot present");
+        write(&dir, &state, 3);
+        let restored = load(&dir, 3).unwrap().expect("snapshot present");
         assert_eq!(restored.rounds_done, 10, "resumed from round 9, not 10");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -531,10 +699,10 @@ mod tests {
         let dir = scratch("padding-overflow");
         let mut state = sample_state();
         state.rounds_done = 99_999_999;
-        write_snapshot(&dir, &state, 4).unwrap();
+        write(&dir, &state, 4);
         state.rounds_done = 100_000_000;
         state.next = vec![800, 800, 800];
-        write_snapshot(&dir, &state, 4).unwrap();
+        write(&dir, &state, 4);
 
         let files = list_snapshots(&dir).unwrap();
         assert_eq!(files.len(), 2, "both generations kept");
@@ -543,14 +711,14 @@ mod tests {
             "numerically newest sorts last: {files:?}"
         );
 
-        let restored = load_latest(&dir, 4).unwrap().expect("snapshot present");
+        let restored = load(&dir, 4).unwrap().expect("snapshot present");
         assert_eq!(restored.rounds_done, 100_000_000);
         assert_eq!(restored.next, vec![800, 800, 800]);
 
         // One more write must prune the numerically oldest generation,
         // not the lexicographically smallest.
         state.rounds_done = 100_000_001;
-        write_snapshot(&dir, &state, 4).unwrap();
+        write(&dir, &state, 4);
         let files = list_snapshots(&dir).unwrap();
         assert_eq!(files.len(), 2);
         assert!(files[0].to_str().unwrap().contains("r100000000"));
@@ -561,8 +729,8 @@ mod tests {
     #[test]
     fn fingerprint_mismatch_is_a_hard_error() {
         let dir = scratch("fp");
-        write_snapshot(&dir, &sample_state(), 1).unwrap();
-        let err = load_latest(&dir, 2).unwrap_err();
+        write(&dir, &sample_state(), 1);
+        let err = load(&dir, 2).unwrap_err();
         assert!(matches!(err, ModelError::Execution { .. }));
         assert!(err.to_string().contains("different sweep spec"));
         fs::remove_dir_all(&dir).unwrap();
@@ -571,15 +739,15 @@ mod tests {
     #[test]
     fn missing_dir_and_empty_dir_mean_fresh_start() {
         let dir = scratch("empty");
-        assert!(load_latest(&dir.join("nope"), 1).unwrap().is_none());
-        assert!(load_latest(&dir, 1).unwrap().is_none());
+        assert!(load(&dir.join("nope"), 1).unwrap().is_none());
+        assert!(load(&dir, 1).unwrap().is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn validate_reports_and_rejects() {
         let dir = scratch("validate");
-        let path = write_snapshot(&dir, &sample_state(), 9).unwrap();
+        let path = write(&dir, &sample_state(), 9);
         let info = validate_snapshot(&path).unwrap();
         assert_eq!(info.version, SNAPSHOT_VERSION);
         assert_eq!(info.rounds_done, 1);
@@ -603,6 +771,133 @@ mod tests {
         fs::write(&path, format!("{header}\n{payload}\n")).unwrap();
         let err = validate_snapshot(&path).unwrap_err();
         assert!(err.contains("unsupported snapshot version"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_never_removes_the_newest_valid_snapshot() {
+        // The satellite-2 bug: the old prune trusted filename order, so
+        // a corrupt newest file counted toward the keep budget and the
+        // only loadable snapshot could be deleted. Validity-aware
+        // pruning must keep the newest *valid* generation no matter how
+        // much garbage sits above it.
+        let dir = scratch("prune-corrupt");
+        let mut state = sample_state();
+        state.rounds_done = 1;
+        write(&dir, &state, 11);
+        // Plant two corrupt files that sort as the newest generations.
+        for r in [2u64, 3] {
+            fs::write(
+                dir.join(format!("sweep-r{r:08}.{SNAPSHOT_EXT}")),
+                b"{\"magic\":\"dck-sweep-snapshot\"",
+            )
+            .unwrap();
+        }
+        // A prune at default keep=2 with filename-order trust would
+        // now delete sweep-r00000001 (three files, keep two newest by
+        // name). Validity-aware pruning deletes the garbage instead.
+        prune_snapshots(&dir, &RetentionPolicy::default());
+        let files = list_snapshots(&dir).unwrap();
+        assert_eq!(files.len(), 1, "{files:?}");
+        assert!(files[0].to_str().unwrap().contains("r00000001"));
+        let restored = load(&dir, 11).unwrap().expect("valid snapshot survives");
+        assert_eq!(restored.rounds_done, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_does_not_evict_the_valid_pair_on_write() {
+        // End-to-end through write_snapshot: generations 1 and 2 are
+        // valid, 3 lands corrupt (disk lies), then generation 4 is
+        // written. The corrupt file must not push round 2 out of the
+        // keep-2 budget before round 4's write completes the new pair.
+        let dir = scratch("prune-corrupt-write");
+        let mut state = sample_state();
+        for r in [1u64, 2] {
+            state.rounds_done = r;
+            write(&dir, &state, 12);
+        }
+        let newest = dir.join(format!("sweep-r{:08}.{SNAPSHOT_EXT}", 3));
+        fs::write(&newest, b"torn").unwrap();
+        state.rounds_done = 4;
+        write(&dir, &state, 12);
+        let files = list_snapshots(&dir).unwrap();
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["sweep-r00000002.dckpt", "sweep-r00000004.dckpt"],
+            "corrupt r3 deleted, newest valid pair kept"
+        );
+        assert_eq!(load(&dir, 12).unwrap().unwrap().rounds_done, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_policy_validates_like_k_buddy_groups() {
+        assert!(RetentionPolicy::keep(0).is_err());
+        assert!(RetentionPolicy::keep(1).is_err());
+        assert!(RetentionPolicy::keep(MAX_SNAPSHOT_KEEP + 1).is_err());
+        for k in DEFAULT_SNAPSHOT_KEEP..=MAX_SNAPSHOT_KEEP {
+            assert_eq!(RetentionPolicy::keep(k).unwrap().generations(), k);
+        }
+        assert_eq!(
+            RetentionPolicy::default().generations(),
+            DEFAULT_SNAPSHOT_KEEP
+        );
+    }
+
+    #[test]
+    fn k_retention_keeps_a_well_spaced_history() {
+        // Feed rounds 1..=T one at a time (the write pattern) and check
+        // the 1302.4216-style guarantee: the newest two are always
+        // retained, and the worst-case rewind — the largest gap between
+        // consecutive retained rounds, anchored at 0 — stays within a
+        // constant factor of the perfect T/(k-1) spacing.
+        for keep in [3usize, 4, 6, 8] {
+            let policy = RetentionPolicy::keep(keep).unwrap();
+            let mut on_disk: Vec<u64> = Vec::new();
+            for t in 1u64..=200 {
+                on_disk.push(t);
+                on_disk = policy.retain(&on_disk);
+                assert!(on_disk.len() <= keep);
+                assert!(on_disk.contains(&t), "newest retained (t={t})");
+                if t > 1 {
+                    assert!(on_disk.contains(&(t - 1)), "buddy retained (t={t})");
+                }
+                let mut prev = 0u64;
+                let mut max_gap = 0u64;
+                for &r in &on_disk {
+                    max_gap = max_gap.max(r - prev);
+                    prev = r;
+                }
+                let ideal = t.div_ceil(keep as u64 - 1).max(1);
+                assert!(
+                    max_gap <= 4 * ideal,
+                    "keep={keep} t={t}: max gap {max_gap} vs ideal {ideal} ({on_disk:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keep_2_retention_matches_the_legacy_buddy_pair() {
+        let policy = RetentionPolicy::default();
+        assert_eq!(policy.retain(&[1, 2, 3, 4, 5]), vec![4, 5]);
+        assert_eq!(policy.retain(&[7]), vec![7]);
+        assert_eq!(policy.retain(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn cadence_round_trips_through_the_snapshot() {
+        let dir = scratch("cadence");
+        let state = sample_state();
+        let path = write_snapshot(&dir, &state, 5, 3, &RetentionPolicy::default()).unwrap();
+        let restored = load_latest(&dir, 5).unwrap().expect("snapshot present");
+        assert_eq!(restored.checkpoint_every, 3);
+        assert_eq!(validate_snapshot(&path).unwrap().checkpoint_every, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod checkpoint;
 pub mod config;
 pub mod hierarchical;
@@ -41,7 +42,15 @@ pub mod predict;
 pub mod run;
 pub mod sweep;
 
-pub use checkpoint::{sweep_spec_fingerprint, validate_snapshot, SnapshotInfo};
+pub use adapt::{
+    run_adaptive_predicted_to_completion, run_adaptive_to_completion, run_adaptive_traced,
+    run_regret, AdaptiveOutcome, AdaptiveRunConfig, ArmStats, RegretCase, RegretResult,
+    RegretScenario, RegretSpec,
+};
+pub use checkpoint::{
+    sweep_spec_fingerprint, validate_snapshot, RetentionPolicy, SnapshotInfo,
+    DEFAULT_SNAPSHOT_KEEP, MAX_SNAPSHOT_KEEP,
+};
 pub use config::{PeriodChoice, RunConfig};
 pub use hierarchical::{run_hierarchical, HierarchicalOutcome, HierarchicalRunConfig};
 pub use montecarlo::{

@@ -124,6 +124,19 @@ pub enum TimelineEvent {
         /// Wall-clock time.
         at: f64,
     },
+    /// The adaptive controller committed a new period, applied at a
+    /// period boundary (see `dck-sim`'s adaptive executor). Never
+    /// emitted by the static machine.
+    Retune {
+        /// Wall-clock time at which the new schedule took effect.
+        at: f64,
+        /// Period before the retune (seconds).
+        old_period: f64,
+        /// Period after the retune (seconds).
+        new_period: f64,
+        /// The MTBF estimate that drove the decision (seconds).
+        mtbf_estimate: f64,
+    },
     /// The run ended. Emitted on **every** stop path — a traced
     /// timeline always carries exactly one terminal `Finished` event,
     /// whose `reason` equals [`RunOutcome::reason`].

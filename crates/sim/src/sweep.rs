@@ -502,21 +502,45 @@ fn run_global_pool(
     let counters = SweepCounters::capture();
     let injection = PanicInjection::from_env();
     let fingerprint = checkpoint::spec_fingerprint(spec);
+    let retention = match ckpt {
+        Some(ck) => checkpoint::RetentionPolicy::keep(ck.keep_snapshots)?,
+        None => checkpoint::RetentionPolicy::default(),
+    };
+    // The snapshot cadence actually in force: starts from the request
+    // and, on resume, defers to the cadence the snapshot records
+    // unless the caller explicitly asked for a different one (a typed
+    // error — silently rebasing the schedule mid-run was a bug).
+    let mut every_rounds = ckpt.map_or(1, |ck| ck.every_rounds.max(1));
     let mut state = PoolState::fresh(plans.len(), budget);
     if let Some(ck) = ckpt.filter(|ck| ck.resume) {
         if let Some(restored) = checkpoint::load_latest(&ck.dir, fingerprint)? {
-            if restored.accs.len() != plans.len() {
+            if restored.state.accs.len() != plans.len() {
                 return Err(ModelError::execution(format!(
                     "snapshot tracks {} cells but this spec builds {}",
-                    restored.accs.len(),
+                    restored.state.accs.len(),
                     plans.len()
                 )));
             }
+            let recorded = restored.checkpoint_every.max(1);
+            if recorded != every_rounds {
+                if ck.every_explicit {
+                    return Err(ModelError::invalid(
+                        "checkpoint_every",
+                        format!(
+                            "snapshot records a cadence of {recorded} round(s) per snapshot \
+                             but --checkpoint-every {} was requested; drop the flag to honor \
+                             the recorded cadence, or start a fresh sweep to change it",
+                            ck.every_rounds
+                        ),
+                    ));
+                }
+                every_rounds = recorded;
+            }
             if let Some(c) = &counters {
                 c.resumes.incr();
-                c.rounds_restored.add(restored.rounds_done);
+                c.rounds_restored.add(restored.state.rounds_done);
             }
-            state = restored;
+            state = restored.state;
         }
     }
     let mut last_written: Option<u64> = None;
@@ -545,10 +569,14 @@ fn run_global_pool(
                 // Deterministic pause: snapshot and surface a typed
                 // error while work remains. Used by the resume tests
                 // to interrupt at exact round boundaries.
-                let path =
-                    checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
-                        ModelError::execution(format!("cannot write pause snapshot: {e}"))
-                    })?;
+                let path = checkpoint::write_snapshot(
+                    &ck.dir,
+                    &state,
+                    fingerprint,
+                    every_rounds,
+                    &retention,
+                )
+                .map_err(|e| ModelError::execution(format!("cannot write pause snapshot: {e}")))?;
                 if let Some(c) = &counters {
                     c.checkpoints.incr();
                 }
@@ -581,7 +609,15 @@ fn run_global_pool(
                 // the failed round.
                 let mut reason =
                     format!("sweep round {} failed: {pool_err}", state.rounds_done + 1);
-                match ckpt.map(|ck| checkpoint::write_snapshot(&ck.dir, &state, fingerprint)) {
+                match ckpt.map(|ck| {
+                    checkpoint::write_snapshot(
+                        &ck.dir,
+                        &state,
+                        fingerprint,
+                        every_rounds,
+                        &retention,
+                    )
+                }) {
                     Some(Ok(path)) => {
                         if let Some(c) = &counters {
                             c.checkpoints.incr();
@@ -619,10 +655,11 @@ fn run_global_pool(
         }
         state.rounds_done += 1;
         if let Some(ck) = ckpt {
-            if state.rounds_done.is_multiple_of(ck.every_rounds.max(1)) {
-                checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
-                    ModelError::execution(format!("cannot write sweep snapshot: {e}"))
-                })?;
+            if state.rounds_done.is_multiple_of(every_rounds) {
+                checkpoint::write_snapshot(&ck.dir, &state, fingerprint, every_rounds, &retention)
+                    .map_err(|e| {
+                        ModelError::execution(format!("cannot write sweep snapshot: {e}"))
+                    })?;
                 last_written = Some(state.rounds_done);
                 if let Some(c) = &counters {
                     c.checkpoints.incr();
@@ -636,9 +673,10 @@ fn run_global_pool(
     // round loop immediately.
     if let Some(ck) = ckpt {
         if last_written != Some(state.rounds_done) {
-            checkpoint::write_snapshot(&ck.dir, &state, fingerprint).map_err(|e| {
-                ModelError::execution(format!("cannot write final sweep snapshot: {e}"))
-            })?;
+            checkpoint::write_snapshot(&ck.dir, &state, fingerprint, every_rounds, &retention)
+                .map_err(|e| {
+                    ModelError::execution(format!("cannot write final sweep snapshot: {e}"))
+                })?;
             if let Some(c) = &counters {
                 c.checkpoints.incr();
             }
@@ -662,10 +700,20 @@ fn run_global_pool(
 #[derive(Debug, Clone)]
 pub struct SweepCheckpoint {
     /// Directory holding snapshot generations (created on first write;
-    /// the newest two are kept, buddy-style).
+    /// the newest `keep_snapshots` valid generations are kept,
+    /// buddy-style — see [`crate::checkpoint::RetentionPolicy`]).
     pub dir: PathBuf,
     /// Snapshot cadence in rounds; 0 behaves as 1 (every round).
     pub every_rounds: u64,
+    /// Whether `every_rounds` was set explicitly by the caller. On
+    /// resume, a snapshot records the cadence the interrupted run was
+    /// on: an *explicit* mismatching request is a typed error naming
+    /// both values, while a defaulted `every_rounds` silently honors
+    /// the recorded cadence instead of rebasing it mid-run.
+    pub every_explicit: bool,
+    /// Snapshot generations to retain (`2..=MAX_SNAPSHOT_KEEP`); the
+    /// slots past the newest pair keep a well-spaced rewind history.
+    pub keep_snapshots: usize,
     /// Load the newest valid snapshot in `dir` before running (fresh
     /// start when none exists; hard error when a valid snapshot
     /// belongs to a different spec).
@@ -677,11 +725,14 @@ pub struct SweepCheckpoint {
 }
 
 impl SweepCheckpoint {
-    /// Checkpoints into `dir` after every round; no resume, no pause.
+    /// Checkpoints into `dir` after every round; no resume, no pause,
+    /// double-checkpoint retention.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         SweepCheckpoint {
             dir: dir.into(),
             every_rounds: 1,
+            every_explicit: false,
+            keep_snapshots: checkpoint::DEFAULT_SNAPSHOT_KEEP,
             resume: false,
             max_rounds: None,
         }
@@ -1075,6 +1126,70 @@ mod tests {
         resume.resume = true;
         let err = run_sweep_with_checkpoint(&other, Some(&resume)).unwrap_err();
         assert!(err.to_string().contains("different sweep spec"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_explicitly_changed_cadence_is_a_typed_error() {
+        let spec = multi_round_spec();
+        let dir = ckpt_dir("cadence-reject");
+        let mut ck = SweepCheckpoint::new(&dir);
+        ck.every_rounds = 1;
+        ck.every_explicit = true;
+        ck.max_rounds = Some(1);
+        let _ = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap_err();
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        resume.every_rounds = 2;
+        resume.every_explicit = true;
+        let err = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ModelError::InvalidParameter {
+                    name: "checkpoint_every",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cadence of 1") && msg.contains("--checkpoint-every 2"),
+            "error must name both values: {msg}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_defaulted_cadence_honors_the_snapshot() {
+        let _guard = dck_obs::exclusive_session();
+        let spec = multi_round_spec();
+        let baseline = run_sweep(&spec).unwrap();
+        let dir = ckpt_dir("cadence-honor");
+        // First leg pauses after round 1 on an explicit every-2
+        // cadence; the pause snapshot records cadence 2.
+        let mut ck = SweepCheckpoint::new(&dir);
+        ck.every_rounds = 2;
+        ck.every_explicit = true;
+        ck.max_rounds = Some(1);
+        let _ = run_sweep_with_checkpoint(&spec, Some(&ck)).unwrap_err();
+        // Second leg passes no cadence (defaulted every_rounds = 1):
+        // it must pick up the recorded 2, not silently rebase to 1 —
+        // observable as round 2 writing no snapshot while round 3
+        // (cadence hit + terminal) writes one.
+        dck_obs::reset();
+        let was = dck_obs::set_enabled(true);
+        let mut resume = SweepCheckpoint::new(&dir);
+        resume.resume = true;
+        let resumed = run_sweep_with_checkpoint(&spec, Some(&resume)).unwrap();
+        dck_obs::set_enabled(was);
+        let snap = dck_obs::snapshot();
+        assert_cells_bit_identical(&baseline, &resumed);
+        // Rounds 2 and 3 under recorded cadence 2: round 2 hits the
+        // cadence (2 % 2 == 0), round 3 does not but gets the terminal
+        // write — 2 checkpoints. A rebased cadence of 1 would write 3.
+        assert_eq!(snap.counter("sweep.checkpoints_written"), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -242,6 +242,7 @@ proptest! {
         let stamp = |e: &TimelineEvent| match *e {
             TimelineEvent::Failure { at, .. }
             | TimelineEvent::OutageEnd { at }
+            | TimelineEvent::Retune { at, .. }
             | TimelineEvent::Finished { at, .. } => at,
         };
         let mut prev = 0.0;
@@ -254,6 +255,9 @@ proptest! {
             match e {
                 TimelineEvent::Failure { .. } => failures += 1,
                 TimelineEvent::OutageEnd { .. } => outage_ends += 1,
+                TimelineEvent::Retune { .. } => {
+                    prop_assert!(false, "static machine emitted a Retune event")
+                }
                 TimelineEvent::Finished { reason, at } => {
                     prop_assert_eq!(i, timeline.len() - 1, "Finished not terminal");
                     prop_assert_eq!(*reason, out.reason);

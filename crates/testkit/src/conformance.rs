@@ -15,17 +15,18 @@
 //! re-checks in CI.
 
 use crate::script::FaultScript;
-use dck_core::{ModelError, PlatformParams, PredictorSpec, Protocol};
+use dck_core::{ControllerConfig, ModelError, PlatformParams, PredictorSpec, Protocol};
 use dck_sim::{
-    estimate_predicted_waste, run_sweep, MonteCarloConfig, PeriodChoice, RunConfig, SweepSpec,
+    estimate_predicted_waste, run_regret, run_sweep, MonteCarloConfig, PeriodChoice, RegretCase,
+    RegretScenario, RegretSpec, RunConfig, SweepSpec,
 };
 use serde::{Deserialize, Serialize};
 
-/// Schema tag of the `conformance.json` artifact. v2 added the
-/// parameterized k-buddy protocols to the grid and the fault-prediction
-/// cell section; v1 files (no tag) are rejected rather than silently
-/// reinterpreted.
-pub const SCHEMA: &str = "dck-conformance/v2";
+/// Schema tag of the `conformance.json` artifact. v3 added the
+/// adaptive-controller regret section; v2 added the parameterized
+/// k-buddy protocols to the grid and the fault-prediction cell section;
+/// v1 files (no tag) are rejected rather than silently reinterpreted.
+pub const SCHEMA: &str = "dck-conformance/v3";
 
 /// Verdict for one grid cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +72,10 @@ pub struct ConformanceSpec {
     /// skips the section).
     #[serde(default)]
     pub prediction: Option<PredictionGrid>,
+    /// Adaptive-controller regret cells to run alongside the waste
+    /// grid (`None` skips the section).
+    #[serde(default)]
+    pub adaptation: Option<AdaptationGrid>,
 }
 
 /// Grid of fault-prediction conformance cells: `dck_core::predict`'s
@@ -94,6 +99,85 @@ impl PredictionGrid {
     /// Total prediction cells.
     pub fn cell_count(&self) -> usize {
         self.protocols.len() * self.mtbfs.len() * self.precisions.len() * self.recalls.len()
+    }
+}
+
+/// Grid of adaptive-controller regret cells: for each stationary
+/// misspecification factor (and optionally one drifting-MTBF ramp) the
+/// regret harness ([`dck_sim::run_regret`]) races the online controller
+/// against the misspecified and clairvoyant static tunings on paired
+/// failure streams. A stationary cell passes when the adaptive arm's
+/// waste lands within `tolerance` of the oracle's; a drift cell passes
+/// when it strictly beats the static arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationGrid {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// True platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Stationary misspecification factors (believed = factor × true).
+    pub factors: Vec<f64>,
+    /// Drift cell: MTBF ramps to `end_factor × true` over the work
+    /// horizon (`None` skips it).
+    pub drift_end_factor: Option<f64>,
+    /// Replications per arm.
+    pub replications: usize,
+    /// Useful work per replication in multiples of the true MTBF.
+    pub work_in_mtbfs: f64,
+    /// Stationary acceptance: regret ratio vs the oracle at most this.
+    pub tolerance: f64,
+}
+
+impl AdaptationGrid {
+    /// Total adaptation cells.
+    pub fn cell_count(&self) -> usize {
+        self.factors.len() + usize::from(self.drift_end_factor.is_some())
+    }
+}
+
+/// One evaluated adaptive-controller regret cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationCell {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// True platform MTBF (seconds).
+    pub mtbf: f64,
+    /// Misspecification factor (stationary) or drift end factor.
+    pub factor: f64,
+    /// Whether this is the drifting-MTBF cell.
+    pub drift: bool,
+    /// Mean waste of the adaptive arm (`None` when nothing completed).
+    pub adaptive_waste: Option<f64>,
+    /// Mean waste of the misspecified static arm.
+    pub static_waste: Option<f64>,
+    /// Mean waste of the oracle static arm.
+    pub oracle_waste: Option<f64>,
+    /// `(adaptive − oracle) / oracle`.
+    pub regret_ratio: Option<f64>,
+    /// Whether the adaptive arm strictly beat the static arm.
+    pub beats_static: Option<bool>,
+    /// Mean retunes applied per adaptive replication.
+    pub retunes_mean: f64,
+    /// The tolerance the cell was judged against (stationary cells).
+    pub tolerance: Option<f64>,
+    /// Adaptive-arm replications that completed their work.
+    pub completed: usize,
+    /// Replications executed per arm.
+    pub replications_run: usize,
+    /// Verdict.
+    pub status: CellStatus,
+}
+
+impl AdaptationCell {
+    /// Coordinates rendered for failure messages.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "{} adaptive @ (MTBF={}s, {} x{})",
+            self.protocol,
+            self.mtbf,
+            if self.drift { "drift to" } else { "believed" },
+            self.factor
+        )
     }
 }
 
@@ -180,6 +264,15 @@ impl ConformanceSpec {
                 recalls: vec![0.0, 0.7],
                 window: 30.0,
             }),
+            adaptation: Some(AdaptationGrid {
+                protocol: Protocol::DoubleNbl,
+                mtbf: 3_600.0,
+                factors: vec![0.25, 4.0],
+                drift_end_factor: Some(0.25),
+                replications: 12,
+                work_in_mtbfs: 60.0,
+                tolerance: 0.10,
+            }),
         }
     }
 
@@ -194,6 +287,13 @@ impl ConformanceSpec {
         self.prediction
             .as_ref()
             .map_or(0, PredictionGrid::cell_count)
+    }
+
+    /// Total number of adaptive-controller regret cells.
+    pub fn adaptation_cell_count(&self) -> usize {
+        self.adaptation
+            .as_ref()
+            .map_or(0, AdaptationGrid::cell_count)
     }
 }
 
@@ -268,6 +368,10 @@ pub struct ConformanceReport {
     /// Fault-prediction cells (empty when the spec carries none).
     #[serde(default)]
     pub prediction_cells: Vec<PredictionCell>,
+    /// Adaptive-controller regret cells (empty when the spec carries
+    /// none).
+    #[serde(default)]
+    pub adaptation_cells: Vec<AdaptationCell>,
     /// Cells that passed (waste grid + prediction).
     pub passed: usize,
     /// Cells that failed (waste grid + prediction).
@@ -333,6 +437,36 @@ impl ConformanceReport {
                         )
                     }),
             )
+            .chain(
+                self.adaptation_cells
+                    .iter()
+                    .filter(|c| c.status == CellStatus::Fail)
+                    .map(|c| {
+                        // Regret cells fail on a different axis than
+                        // model-vs-sim deviation: name the gate.
+                        let gate = if c.drift {
+                            format!(
+                                "adaptive {:.5} did not beat static {:.5}",
+                                c.adaptive_waste.unwrap_or(f64::NAN),
+                                c.static_waste.unwrap_or(f64::NAN)
+                            )
+                        } else {
+                            format!(
+                                "regret ratio {:.4} > tolerance {:.4} (adaptive {:.5}, oracle {:.5})",
+                                c.regret_ratio.unwrap_or(f64::NAN),
+                                c.tolerance.unwrap_or(f64::NAN),
+                                c.adaptive_waste.unwrap_or(f64::NAN),
+                                c.oracle_waste.unwrap_or(f64::NAN)
+                            )
+                        };
+                        format!(
+                            "{}: {gate} ({} / {} completed)",
+                            c.coordinates(),
+                            c.completed,
+                            c.replications_run
+                        )
+                    }),
+            )
             .collect()
     }
 
@@ -370,10 +504,22 @@ impl ConformanceReport {
                 self.prediction_cells.len()
             ));
         }
+        let spec_adapt = self.spec.adaptation_cell_count();
+        if self.adaptation_cells.len() != spec_adapt {
+            return Err(format!(
+                "{} adaptation cells recorded but the spec's grid has {spec_adapt}",
+                self.adaptation_cells.len()
+            ));
+        }
         let count = |s: CellStatus| {
             self.cells.iter().filter(|c| c.status == s).count()
                 + self
                     .prediction_cells
+                    .iter()
+                    .filter(|c| c.status == s)
+                    .count()
+                + self
+                    .adaptation_cells
                     .iter()
                     .filter(|c| c.status == s)
                     .count()
@@ -468,10 +614,12 @@ pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, Mode
     }
 
     let prediction_cells = run_prediction_cells(spec)?;
+    let adaptation_cells = run_adaptation_cells(spec)?;
 
     let count = |s: CellStatus| {
         cells.iter().filter(|c| c.status == s).count()
             + prediction_cells.iter().filter(|c| c.status == s).count()
+            + adaptation_cells.iter().filter(|c| c.status == s).count()
     };
     let passed = count(CellStatus::Pass);
     let failed = count(CellStatus::Fail);
@@ -498,12 +646,95 @@ pub fn run_conformance(spec: &ConformanceSpec) -> Result<ConformanceReport, Mode
         },
         cells,
         prediction_cells,
+        adaptation_cells,
         passed,
         failed,
         degenerate,
         max_abs_deviation,
         spec: spec.clone(),
     })
+}
+
+/// Runs the adaptive-controller regret section: one harness call with
+/// the grid's stationary factors plus the optional drift ramp, each
+/// judged by its own gate (stationary: regret ratio within tolerance;
+/// drift: strictly beats the misspecified static arm). Cells whose
+/// adaptive arm completed fewer than 80% of its replications are
+/// degenerate, matching the waste-grid soundness rule.
+fn run_adaptation_cells(spec: &ConformanceSpec) -> Result<Vec<AdaptationCell>, ModelError> {
+    let Some(grid) = &spec.adaptation else {
+        return Ok(Vec::new());
+    };
+    let mut cases: Vec<RegretCase> = grid
+        .factors
+        .iter()
+        .map(|&factor| RegretCase {
+            name: format!("misspecified-x{factor}"),
+            scenario: RegretScenario::Misspecified { factor },
+        })
+        .collect();
+    if let Some(end_factor) = grid.drift_end_factor {
+        cases.push(RegretCase {
+            name: format!("drift-x{end_factor}"),
+            scenario: RegretScenario::Drift { end_factor },
+        });
+    }
+    let regret_spec = RegretSpec {
+        protocol: grid.protocol,
+        params: spec.base,
+        phi: spec.base.theta_min,
+        true_mtbf: grid.mtbf,
+        work_in_mtbfs: grid.work_in_mtbfs,
+        replications: grid.replications,
+        seed: spec.seed.wrapping_add(0xADA7_0CE1),
+        controller: ControllerConfig::default(),
+        cases,
+    };
+    let results = run_regret(&regret_spec)?;
+    Ok(results
+        .iter()
+        .map(|r| {
+            let drift = matches!(r.scenario, RegretScenario::Drift { .. });
+            let factor = match r.scenario {
+                RegretScenario::Misspecified { factor }
+                | RegretScenario::Predicted { factor, .. } => factor,
+                RegretScenario::Drift { end_factor } => end_factor,
+            };
+            let sound = r.adaptive.completed * 5 >= grid.replications * 4
+                && r.static_arm.completed > 0
+                && r.oracle.completed > 0;
+            let measured = r.adaptive.completed > 0;
+            let status = if !sound {
+                CellStatus::Degenerate
+            } else if drift {
+                if r.beats_static {
+                    CellStatus::Pass
+                } else {
+                    CellStatus::Fail
+                }
+            } else if r.regret_ratio <= grid.tolerance {
+                CellStatus::Pass
+            } else {
+                CellStatus::Fail
+            };
+            AdaptationCell {
+                protocol: grid.protocol,
+                mtbf: grid.mtbf,
+                factor,
+                drift,
+                adaptive_waste: measured.then_some(r.adaptive.mean_waste),
+                static_waste: (r.static_arm.completed > 0).then_some(r.static_arm.mean_waste),
+                oracle_waste: (r.oracle.completed > 0).then_some(r.oracle.mean_waste),
+                regret_ratio: measured.then_some(r.regret_ratio),
+                beats_static: measured.then_some(r.beats_static),
+                retunes_mean: r.retunes_mean,
+                tolerance: (!drift).then_some(grid.tolerance),
+                completed: r.adaptive.completed,
+                replications_run: grid.replications,
+                status,
+            }
+        })
+        .collect())
 }
 
 /// Runs the fault-prediction section of the grid: for each
@@ -645,6 +876,7 @@ mod tests {
         spec.replications = 16;
         spec.work_in_mtbfs = 8.0;
         spec.prediction = None;
+        spec.adaptation = None;
         spec
     }
 
@@ -690,6 +922,68 @@ mod tests {
         assert_ne!(
             report.prediction_cells[0].sim_waste,
             report.prediction_cells[1].sim_waste
+        );
+    }
+
+    #[test]
+    fn adaptation_cells_run_and_count_toward_the_tallies() {
+        let mut spec = tiny_spec();
+        spec.phi_ratios = vec![0.25];
+        spec.adaptation = Some(AdaptationGrid {
+            protocol: Protocol::DoubleNbl,
+            mtbf: 3_600.0,
+            factors: vec![4.0],
+            drift_end_factor: Some(0.25),
+            replications: 8,
+            work_in_mtbfs: 60.0,
+            tolerance: 0.10,
+        });
+        let report = run_conformance(&spec).unwrap();
+        assert_eq!(report.adaptation_cells.len(), 2);
+        report.check_consistent().unwrap();
+        assert_eq!(
+            report.passed + report.failed + report.degenerate,
+            report.cells.len() + report.adaptation_cells.len()
+        );
+        assert!(report.all_pass(), "{:?}", report.failures());
+        let stationary = &report.adaptation_cells[0];
+        assert!(!stationary.drift);
+        assert!(stationary.regret_ratio.unwrap() <= 0.10);
+        assert!(stationary.retunes_mean >= 1.0);
+        let drift = &report.adaptation_cells[1];
+        assert!(drift.drift);
+        assert_eq!(drift.beats_static, Some(true));
+        assert!(drift.tolerance.is_none());
+        // A tampered count must be caught.
+        let mut short = report;
+        short.adaptation_cells.pop();
+        assert!(short
+            .check_consistent()
+            .unwrap_err()
+            .contains("adaptation cells"));
+    }
+
+    #[test]
+    fn impossible_adaptation_gate_fails_and_names_the_cell() {
+        let mut spec = tiny_spec();
+        spec.phi_ratios = vec![0.25];
+        spec.adaptation = Some(AdaptationGrid {
+            protocol: Protocol::DoubleNbl,
+            mtbf: 3_600.0,
+            factors: vec![4.0],
+            drift_end_factor: None,
+            replications: 8,
+            work_in_mtbfs: 60.0,
+            // Even a perfect controller pays some learning-phase waste;
+            // a negative-regret demand cannot be met.
+            tolerance: -1.0,
+        });
+        let report = run_conformance(&spec).unwrap();
+        assert!(report.failed > 0);
+        let failures = report.failures();
+        assert!(
+            failures.iter().any(|f| f.contains("regret ratio")),
+            "{failures:?}"
         );
     }
 

@@ -50,7 +50,7 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
 
 /// Structural equality of single events under a float tolerance.
 pub fn events_match(a: &TimelineEvent, b: &TimelineEvent, tol: f64) -> bool {
-    use TimelineEvent::{Failure, Finished, OutageEnd};
+    use TimelineEvent::{Failure, Finished, OutageEnd, Retune};
     match (a, b) {
         (
             Failure {
@@ -78,6 +78,25 @@ pub fn events_match(a: &TimelineEvent, b: &TimelineEvent, tol: f64) -> bool {
                 && close(*a_out, *b_out, tol)
         }
         (OutageEnd { at: a_at }, OutageEnd { at: b_at }) => close(*a_at, *b_at, tol),
+        (
+            Retune {
+                at: a_at,
+                old_period: a_old,
+                new_period: a_new,
+                mtbf_estimate: a_m,
+            },
+            Retune {
+                at: b_at,
+                old_period: b_old,
+                new_period: b_new,
+                mtbf_estimate: b_m,
+            },
+        ) => {
+            close(*a_at, *b_at, tol)
+                && close(*a_old, *b_old, tol)
+                && close(*a_new, *b_new, tol)
+                && close(*a_m, *b_m, tol)
+        }
         (
             Finished {
                 at: a_at,

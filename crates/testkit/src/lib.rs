@@ -36,7 +36,8 @@ pub mod killresume;
 pub mod script;
 
 pub use conformance::{
-    run_conformance, ConformanceCell, ConformanceReport, ConformanceSpec, GridSummary,
+    run_conformance, AdaptationCell, AdaptationGrid, ConformanceCell, ConformanceReport,
+    ConformanceSpec, GridSummary,
 };
 pub use diff::{diff_timelines, Divergence};
 pub use golden::{load_cases, replay_case, GoldenCase, ReplayReport};

@@ -85,6 +85,19 @@ fn main() {
                 };
                 println!("{at:>8.1}s  {label}");
             }
+            TimelineEvent::Retune {
+                at,
+                old_period,
+                new_period,
+                mtbf_estimate,
+            } => {
+                // Static runs never retune; printed only when this
+                // example is pointed at an adaptive timeline.
+                println!(
+                    "{at:>8.1}s  RETUNE   P {old_period:.1}s -> {new_period:.1}s \
+                     (estimated M = {mtbf_estimate:.0}s)"
+                );
+            }
         }
     }
     println!(

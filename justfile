@@ -53,8 +53,18 @@ bench:
     ./target/release/dck validate --bench BENCH_reps.json
     ./target/release/dck validate --bench BENCH_sweep.json
 
-# Full model-vs-sim conformance grid (k = 2..5 + fault prediction):
-# regenerate the v2 artifact and round-trip it through the validator.
+# Adaptive-controller regret harness: adaptive vs misspecified-static
+# vs oracle arms over shared failure streams. Writes BENCH_adapt.json
+# at the repo root, enforces the acceptance gates (stationary regret
+# <= 10%, drift beats static), and validates the artifact.
+adapt:
+    cargo build --release -p dck-cli
+    ./target/release/dck adapt --out BENCH_adapt.json
+    ./target/release/dck validate --bench BENCH_adapt.json
+
+# Full model-vs-sim conformance grid (k = 2..5 + fault prediction +
+# adaptation): regenerate the v3 artifact and round-trip it through
+# the validator.
 conformance-k:
     cargo build --release -p dck-cli
     DCK_CONFORMANCE_OUT=$(pwd)/conformance.json \
